@@ -1,0 +1,1 @@
+bench/common.ml: Apps Fmt Hashtbl Input Lazy List Ocolos_bolt Ocolos_pgo Ocolos_profiler Ocolos_sim Ocolos_workloads Printf Workload

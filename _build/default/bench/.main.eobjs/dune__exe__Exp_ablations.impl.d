@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Common Lazy List Ocolos_bolt Ocolos_core Ocolos_proc Ocolos_sim Ocolos_uarch Ocolos_util Ocolos_workloads Printf Table Workload

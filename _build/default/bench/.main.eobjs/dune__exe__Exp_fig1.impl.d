@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: L1i_history List Ocolos_util Printf String Table

@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Apps Array Common Float Lazy List Ocolos_bolt Ocolos_core Ocolos_proc Ocolos_profiler Ocolos_sim Ocolos_util Ocolos_workloads Printf Table Workload

@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Common Float Input Lazy List Ocolos_bolt Ocolos_sim Ocolos_util Ocolos_workloads Printf Table Workload

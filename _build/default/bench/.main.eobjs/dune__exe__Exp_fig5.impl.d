@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Array Common Float Input List Ocolos_util Ocolos_workloads Printf Stats Table Workload

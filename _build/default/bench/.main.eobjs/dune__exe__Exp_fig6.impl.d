@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Common Lazy List Ocolos_bolt Ocolos_profiler Ocolos_sim Ocolos_util Ocolos_workloads Printf Table Workload

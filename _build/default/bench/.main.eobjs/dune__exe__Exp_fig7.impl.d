@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Common Float Lazy List Ocolos_core Ocolos_sim Ocolos_util Ocolos_workloads Printf Table Workload

@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Common Counters Input Lazy List Ocolos_bolt Ocolos_sim Ocolos_uarch Ocolos_util Ocolos_workloads Printf Table Workload

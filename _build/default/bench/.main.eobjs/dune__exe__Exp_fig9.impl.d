@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Common Counters Input List Ocolos_sim Ocolos_uarch Ocolos_util Ocolos_workloads Printf Stats Table Workload

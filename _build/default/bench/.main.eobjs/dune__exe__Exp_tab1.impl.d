@@ -1,0 +1,1 @@
+bench/exp_tab1.ml: Array Common Input List Ocolos_binary Ocolos_bolt Ocolos_core Ocolos_profiler Ocolos_sim Ocolos_util Ocolos_workloads Stats Table Workload

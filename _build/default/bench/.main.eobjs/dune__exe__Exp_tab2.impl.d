@@ -1,0 +1,1 @@
+bench/exp_tab2.ml: Array Common List Ocolos_core Ocolos_sim Ocolos_util Ocolos_workloads Printf Table Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablations Exp_fig1 Exp_fig10 Exp_fig3 Exp_fig5 Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 Exp_tab1 Exp_tab2 List Micro Printf Sys Unix

@@ -1,0 +1,27 @@
+(* Fig. 1: per-core L1i capacity of AMD & Intel server parts over time — the
+   motivation data (capacity has been effectively flat for 15 years). *)
+
+open Ocolos_util
+
+let run () =
+  Table.section "Fig. 1 — per-core L1i capacity over time";
+  let rows =
+    List.map
+      (fun (p : L1i_history.point) ->
+        [| string_of_int p.L1i_history.year;
+           p.L1i_history.vendor;
+           p.L1i_history.uarch;
+           string_of_int p.L1i_history.l1i_kib ^ " KiB" |])
+      (List.sort
+         (fun (a : L1i_history.point) b -> compare a.L1i_history.year b.L1i_history.year)
+         L1i_history.data)
+  in
+  Table.print ~headers:[| "year"; "vendor"; "uarch"; "L1i" |] rows;
+  let intel =
+    List.filter (fun (p : L1i_history.point) -> p.L1i_history.vendor = "Intel") L1i_history.data
+  in
+  let distinct =
+    List.sort_uniq compare (List.map (fun p -> p.L1i_history.l1i_kib) intel)
+  in
+  Printf.printf "\nIntel per-core L1i capacities observed 2006-2021: %s (literally constant)\n"
+    (String.concat ", " (List.map (fun k -> string_of_int k ^ " KiB") distinct))

@@ -1,0 +1,57 @@
+(* Fig. 5: throughput of OCOLOS vs. offline comparators across every
+   benchmark and input, normalized to the original (non-PGO) binary:
+   BOLT with the oracle profile (upper bound), clang-PGO with the same
+   oracle profile, and BOLT with the average-case (all-inputs) profile. *)
+
+open Ocolos_workloads
+open Ocolos_util
+
+let comparisons () =
+  List.concat_map
+    (fun (w : Workload.t) ->
+      List.map
+        (fun input ->
+          Common.progress "fig5: %s/%s" w.Workload.name input.Input.name;
+          Common.compare_input w input)
+        w.Workload.inputs)
+    (Common.all_apps ())
+
+let run () =
+  Table.section "Fig. 5 — OCOLOS vs BOLT-oracle vs PGO-oracle vs BOLT-average (normalized)";
+  let cs = comparisons () in
+  Table.print
+    ~headers:
+      [| "benchmark"; "input"; "orig tps"; "OCOLOS"; "BOLT oracle"; "PGO oracle"; "BOLT avg" |]
+    (List.map
+       (fun (c : Common.comparison) ->
+         [| c.Common.c_app;
+            c.Common.c_input;
+            Table.fmt_f ~digits:0 c.Common.orig_tps;
+            Table.fmt_speedup c.Common.ocolos_x;
+            Table.fmt_speedup c.Common.bolt_oracle_x;
+            Table.fmt_speedup c.Common.pgo_oracle_x;
+            Table.fmt_speedup c.Common.bolt_avg_x |])
+       cs);
+  (* Paper's headline aggregates. *)
+  let arr f = Array.of_list (List.map f cs) in
+  let gap_oracle =
+    Stats.mean (arr (fun c -> c.Common.bolt_oracle_x -. c.Common.ocolos_x))
+  in
+  let gain_avg = Stats.mean (arr (fun c -> c.Common.ocolos_x -. c.Common.bolt_avg_x)) in
+  let best = List.fold_left (fun a c -> Float.max a c.Common.ocolos_x) 0.0 cs in
+  Printf.printf "\nOCOLOS vs BOLT-oracle: mean gap %.1f points (paper: 4.6)\n"
+    (100.0 *. gap_oracle);
+  Printf.printf "OCOLOS vs BOLT-average-case: mean gain %.1f points (paper: 8.9)\n"
+    (100.0 *. gain_avg);
+  Printf.printf "max OCOLOS speedup: %.2fx (paper: up to 2.20x on Verilator, 1.41x on MySQL)\n"
+    best;
+  (match
+     List.find_opt
+       (fun c -> c.Common.c_app = "mongodb" && c.Common.c_input = "scan95_insert5")
+       cs
+   with
+  | Some c ->
+    Printf.printf
+      "mongodb scan95_insert5 inversion: OCOLOS %.2fx (paper: 0.86x — layout opt hurts this workload)\n"
+      c.Common.ocolos_x
+  | None -> ())

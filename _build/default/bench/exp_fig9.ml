@@ -1,0 +1,42 @@
+(* Fig. 9: TopDown front-end latency and retiring percentages of the
+   original binaries, used to classify which workloads OCOLOS will speed up
+   (threshold: >= 5% speedup, as a linear separator trained on the data). *)
+
+open Ocolos_workloads
+open Ocolos_util
+open Ocolos_uarch
+module Measure = Ocolos_sim.Measure
+
+let run () =
+  Table.section "Fig. 9 — TopDown classification of OCOLOS benefit";
+  let points =
+    List.concat_map
+      (fun (w : Workload.t) ->
+        List.map
+          (fun input ->
+            let orig = Common.steady_orig w input in
+            let oco = Common.ocolos w input in
+            let speedup = oco.Measure.post.Measure.tps /. orig.Measure.tps in
+            let td = Counters.topdown orig.Measure.counters in
+            ( Printf.sprintf "%s/%s" w.Workload.name input.Input.name,
+              td.Counters.frontend,
+              td.Counters.retiring,
+              speedup ))
+          w.Workload.inputs)
+      (Common.all_apps ())
+  in
+  Table.print
+    ~headers:[| "workload"; "FE-latency %"; "retiring %"; "OCOLOS speedup"; "benefits?" |]
+    (List.map
+       (fun (name, fe, ret, s) ->
+         [| name; Table.fmt_pct fe; Table.fmt_pct ret; Table.fmt_speedup s;
+            (if s >= 1.05 then "yes" else "no") |])
+       points);
+  let labeled = List.map (fun (_, fe, ret, s) -> (fe, ret, s >= 1.05)) points in
+  let classifier = Stats.train_perceptron labeled in
+  Printf.printf
+    "\nlinear classifier: benefit iff %.2f*FE%% + %.2f*Ret%% + %.2f > 0 — training accuracy %.0f%%\n"
+    classifier.Stats.w1 classifier.Stats.w2 classifier.Stats.bias
+    (100.0 *. Stats.accuracy classifier labeled);
+  Printf.printf
+    "(the paper finds the same two TopDown metrics cleanly separate winners from losers)\n"

@@ -1,0 +1,47 @@
+(* Benchmark harness entry point.
+
+   Regenerates every table and figure of the paper's evaluation (Section VI)
+   on the simulated substrate, plus the ablation suite and a Bechamel
+   microbenchmark pass. Run a single experiment by name:
+
+     dune exec bench/main.exe -- fig5
+     dune exec bench/main.exe            # everything, in paper order *)
+
+let experiments =
+  [ ("fig1", "L1i capacity over time (motivation)", Exp_fig1.run);
+    ("fig3", "BOLT profile-input sensitivity", Exp_fig3.run);
+    ("fig5", "OCOLOS vs BOLT/PGO across benchmarks", Exp_fig5.run);
+    ("tab1", "benchmark characterization", Exp_tab1.run);
+    ("fig6", "speedup vs profiling duration", Exp_fig6.run);
+    ("fig7", "replacement timeline", Exp_fig7.run);
+    ("tab2", "fixed costs of code replacement", Exp_tab2.run);
+    ("fig8", "front-end events per kilo-instruction", Exp_fig8.run);
+    ("fig9", "TopDown benefit classifier", Exp_fig9.run);
+    ("fig10", "BAM on a Clang build", Exp_fig10.run);
+    ("ablations", "design-choice ablations + continuous optimization", Exp_ablations.run);
+    ("micro", "Bechamel microbenchmarks of the toolchain", Micro.run) ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment...]";
+  print_endline "experiments:";
+  List.iter (fun (name, descr, _) -> Printf.printf "  %-10s %s\n" name descr) experiments;
+  print_endline "  all        run everything (default)"
+
+let run_one name =
+  match List.find_opt (fun (n, _, _) -> n = name) experiments with
+  | Some (_, _, f) ->
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Printf.printf "[%s done in %.1f s wall]\n%!" name (Unix.gettimeofday () -. t0)
+  | None ->
+    Printf.printf "unknown experiment %S\n" name;
+    usage ();
+    exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: ([ "-h" ] | [ "--help" ] | [ "help" ]) -> usage ()
+  | [ _ ] | [ _; "all" ] ->
+    List.iter (fun (name, _, _) -> run_one name) experiments
+  | _ :: names -> List.iter run_one names
+  | [] -> usage ()

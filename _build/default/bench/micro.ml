@@ -1,0 +1,74 @@
+(* Bechamel microbenchmarks of the toolchain's own primitives (wall-clock
+   cost of the simulator and optimizer machinery, as opposed to the
+   simulated-cycle experiments above): interpreter stepping, profile
+   conversion, CFG reconstruction, layout algorithms, emission, and the
+   whole BOLT pipeline. *)
+
+open Bechamel
+open Toolkit
+open Ocolos_workloads
+
+let make_tests () =
+  let w = Apps.tiny ~tx_limit:None () in
+  let input = Workload.find_input w "a" in
+  let proc = Workload.launch w ~input in
+  (* Pre-collect a profile for the conversion / optimizer benchmarks. *)
+  let proc2 = Workload.launch w ~input in
+  let session = Ocolos_profiler.Perf.start proc2 in
+  Ocolos_proc.Proc.run ~cycle_limit:200_000.0 proc2;
+  let samples = Ocolos_profiler.Perf.stop session in
+  let profile = Ocolos_profiler.Perf2bolt.convert ~binary:w.Workload.binary samples in
+  let parser_fid =
+    match w.Workload.gen.Gen.parser_fid with Some f -> f | None -> 0
+  in
+  let rc = Ocolos_bolt.Cfg.of_binary w.Workload.binary parser_fid in
+  let graph =
+    { Ocolos_bolt.Func_reorder.nodes =
+        Array.to_list
+          (Array.map (fun (s : Ocolos_binary.Binary.func_sym) -> s.Ocolos_binary.Binary.fs_fid)
+             w.Workload.binary.Ocolos_binary.Binary.symbols);
+      edge_weight = profile.Ocolos_profiler.Profile.calls;
+      node_size = (fun _ -> 64);
+      node_heat = (fun fid -> Ocolos_profiler.Profile.func_records profile fid) }
+  in
+  [ Test.make ~name:"interpreter: 1k instructions"
+      (Staged.stage (fun () ->
+           Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:1000 proc));
+    Test.make ~name:"perf2bolt: convert samples"
+      (Staged.stage (fun () ->
+           ignore (Ocolos_profiler.Perf2bolt.convert ~binary:w.Workload.binary samples)));
+    Test.make ~name:"cfg: reconstruct parser"
+      (Staged.stage (fun () -> ignore (Ocolos_bolt.Cfg.of_binary w.Workload.binary parser_fid)));
+    Test.make ~name:"bb_reorder: ext-tsp layout"
+      (Staged.stage (fun () -> ignore (Ocolos_bolt.Bb_reorder.layout_func rc)));
+    Test.make ~name:"func_reorder: C3"
+      (Staged.stage (fun () -> ignore (Ocolos_bolt.Func_reorder.c3 graph)));
+    Test.make ~name:"func_reorder: Pettis-Hansen"
+      (Staged.stage (fun () -> ignore (Ocolos_bolt.Func_reorder.pettis_hansen graph)));
+    Test.make ~name:"emit: whole tiny program"
+      (Staged.stage (fun () ->
+           ignore (Ocolos_binary.Emit.emit_default ~name:"bench" w.Workload.program)));
+    Test.make ~name:"bolt: full pipeline"
+      (Staged.stage (fun () ->
+           ignore (Ocolos_bolt.Bolt.run ~binary:w.Workload.binary ~profile ()))) ]
+
+let run () =
+  Ocolos_util.Table.section "Microbenchmarks (wall-clock, Bechamel OLS ns/run)";
+  let tests = make_tests () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let grouped = Test.make_grouped ~name:"ocolos" ~fmt:"%s %s" tests in
+  let results = Benchmark.all cfg instances grouped in
+  let analyzed = Analyze.all ols Instance.monotonic_clock results in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name r ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some _ | None -> ())
+    analyzed;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-45s %14.0f ns/run\n" name est)
+    (List.sort compare !rows);
+  print_newline ()

@@ -1,0 +1,252 @@
+(* ocolos_cli: drive the simulator from the command line.
+
+   Subcommands:
+     list                          workloads and their inputs
+     inspect  -w W                 binary summary and characterization
+     run      -w W -i I [-s SEC]   steady-state throughput of the original
+     bolt     -w W -i I            offline BOLT: profile, optimize, compare
+     ocolos   -w W -i I            online OCOLOS: attach, replace, compare
+     timeline -w W -i I            per-second Fig.7-style timeline
+     topdown  -w W -i I            stage-1 TopDown bottleneck analysis *)
+
+open Cmdliner
+open Ocolos_workloads
+module Measure = Ocolos_sim.Measure
+module Timeline = Ocolos_sim.Timeline
+
+let workloads () =
+  [ ("mysql", fun () -> Apps.mysql_like ());
+    ("mongodb", fun () -> Apps.mongodb_like ());
+    ("memcached", fun () -> Apps.memcached_like ());
+    ("verilator", fun () -> Apps.verilator_like ());
+    ("clang", fun () -> Apps.clang_like ());
+    ("tiny", fun () -> Apps.tiny ~tx_limit:None ()) ]
+
+let load_workload name =
+  match List.assoc_opt name (workloads ()) with
+  | Some f -> f ()
+  | None -> Fmt.failwith "unknown workload %S (try `ocolos_cli list`)" name
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload name (see $(b,list)).")
+
+let input_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Input name for the workload.")
+
+let seconds_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "s"; "seconds" ] ~docv:"SEC" ~doc:"Measurement duration in simulated seconds.")
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, f) ->
+        let w = f () in
+        Fmt.pr "%-10s inputs: %s@." name
+          (String.concat ", "
+             (List.map (fun (i : Input.t) -> i.Input.name) w.Workload.inputs)))
+      (workloads ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and inputs") Term.(const run $ const ())
+
+let inspect_cmd =
+  let run name =
+    let w = load_workload name in
+    let b = w.Workload.binary in
+    Fmt.pr "%a@." Ocolos_binary.Binary.pp_summary b;
+    Fmt.pr "direct call sites: %d@." (List.length (Ocolos_binary.Binary.direct_call_sites b));
+    Fmt.pr "sections:@.";
+    List.iter
+      (fun (s : Ocolos_binary.Binary.section) ->
+        Fmt.pr "  %-14s base 0x%x size %d@." s.Ocolos_binary.Binary.sec_name
+          s.Ocolos_binary.Binary.sec_base s.Ocolos_binary.Binary.sec_size)
+      b.Ocolos_binary.Binary.sections
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Binary summary") Term.(const run $ workload_arg)
+
+let run_cmd =
+  let run name input_name seconds =
+    let w = load_workload name in
+    let input = Workload.find_input w input_name in
+    let s = Measure.steady ~measure:seconds w ~input in
+    Fmt.pr "%s/%s: %.0f tps@.%a@." name input_name s.Measure.tps Ocolos_uarch.Counters.pp
+      s.Measure.counters
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Steady-state throughput of the original binary")
+    Term.(const run $ workload_arg $ input_arg $ seconds_arg)
+
+let bolt_cmd =
+  let run name input_name seconds =
+    let w = load_workload name in
+    let input = Workload.find_input w input_name in
+    let orig = Measure.steady ~measure:seconds w ~input in
+    let profile = Measure.collect_profile w ~input in
+    let r = Measure.bolt_binary w profile in
+    let opt = Measure.steady ~binary:r.Ocolos_bolt.Bolt.merged ~measure:seconds w ~input in
+    Fmt.pr "original: %.0f tps@." orig.Measure.tps;
+    Fmt.pr "BOLTed:   %.0f tps (%.2fx), %d functions optimized, %d skipped@." opt.Measure.tps
+      (opt.Measure.tps /. orig.Measure.tps)
+      r.Ocolos_bolt.Bolt.funcs_reordered r.Ocolos_bolt.Bolt.skipped
+  in
+  Cmd.v
+    (Cmd.info "bolt" ~doc:"Offline BOLT: profile, optimize, compare")
+    Term.(const run $ workload_arg $ input_arg $ seconds_arg)
+
+let ocolos_cmd =
+  let run name input_name seconds =
+    let w = load_workload name in
+    let input = Workload.find_input w input_name in
+    let orig = Measure.steady ~measure:seconds w ~input in
+    let r = Measure.ocolos_steady ~measure:seconds w ~input in
+    let s = r.Measure.stats in
+    Fmt.pr "original: %.0f tps@." orig.Measure.tps;
+    Fmt.pr "OCOLOS:   %.0f tps (%.2fx)@." r.Measure.post.Measure.tps
+      (r.Measure.post.Measure.tps /. orig.Measure.tps);
+    Fmt.pr
+      "replacement: %d funcs optimized, %d v-table entries + %d call sites patched, %d on stack, pause %.3f s@."
+      s.Ocolos_core.Ocolos.funcs_optimized s.Ocolos_core.Ocolos.vtable_entries_patched
+      s.Ocolos_core.Ocolos.call_sites_patched s.Ocolos_core.Ocolos.stack_live_funcs
+      s.Ocolos_core.Ocolos.pause_seconds;
+    Fmt.pr "background: perf2bolt %.2f s, llvm-bolt %.2f s@." r.Measure.perf2bolt_seconds
+      r.Measure.bolt_seconds
+  in
+  Cmd.v
+    (Cmd.info "ocolos" ~doc:"Online OCOLOS: attach, profile, replace, compare")
+    Term.(const run $ workload_arg $ input_arg $ seconds_arg)
+
+let out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output image path (.oclb).")
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Binary image (.oclb) to load.")
+
+(* Save a BOLT-optimized image for later runs: the offline deployment
+   flow. *)
+let save_cmd =
+  let run name input_name out =
+    let w = load_workload name in
+    let input = Workload.find_input w input_name in
+    let profile = Measure.collect_profile w ~input in
+    let r = Measure.bolt_binary w profile in
+    Ocolos_binary.Serialize.save out r.Ocolos_bolt.Bolt.merged;
+    Fmt.pr "wrote %s (%d functions optimized, entry 0x%x)@." out
+      r.Ocolos_bolt.Bolt.funcs_reordered
+      r.Ocolos_bolt.Bolt.merged.Ocolos_binary.Binary.entry
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Profile, BOLT, and save the optimized image to a file")
+    Term.(const run $ workload_arg $ input_arg $ out_arg)
+
+let load_cmd =
+  let run path =
+    let b = Ocolos_binary.Serialize.load path in
+    Fmt.pr "%a@." Ocolos_binary.Binary.pp_summary b;
+    List.iter
+      (fun (s : Ocolos_binary.Binary.section) ->
+        Fmt.pr "  %-14s base 0x%x size %d@." s.Ocolos_binary.Binary.sec_name
+          s.Ocolos_binary.Binary.sec_base s.Ocolos_binary.Binary.sec_size)
+      b.Ocolos_binary.Binary.sections
+  in
+  Cmd.v (Cmd.info "load" ~doc:"Inspect a saved binary image") Term.(const run $ file_arg)
+
+(* objdump analog. *)
+let disasm_cmd =
+  let func_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "function" ] ~docv:"NAME" ~doc:"Only this function.")
+  in
+  let run name func =
+    let w = load_workload name in
+    let b = w.Workload.binary in
+    match func with
+    | None -> Fmt.pr "%a@." Ocolos_binary.Disasm.pp b
+    | Some fname -> (
+      match Ocolos_binary.Binary.find_symbol_by_name b fname with
+      | Some s -> Fmt.pr "%a@." (fun fmt () ->
+            Ocolos_binary.Disasm.pp_function fmt b s.Ocolos_binary.Binary.fs_fid) ()
+      | None -> Fmt.failwith "no function %S" fname)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a workload's binary (objdump analog)")
+    Term.(const run $ workload_arg $ func_arg)
+
+(* perf report analog: top L1i-missing functions. *)
+let report_cmd =
+  let run name input_name seconds =
+    let w = load_workload name in
+    let input = Workload.find_input w input_name in
+    let proc = Workload.launch w ~input in
+    Ocolos_proc.Proc.run ~cycle_limit:(Ocolos_sim.Clock.seconds_to_cycles 0.3) proc;
+    let session = Ocolos_profiler.Perf_report.start proc in
+    Ocolos_proc.Proc.run ~cycle_limit:(Ocolos_sim.Clock.seconds_to_cycles (0.3 +. seconds)) proc;
+    let report = Ocolos_profiler.Perf_report.stop session in
+    Fmt.pr "%a" (Ocolos_profiler.Perf_report.pp_top ~limit:15) (report, w.Workload.binary)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"perf-report analog: functions by L1i-miss share")
+    Term.(const run $ workload_arg $ input_arg $ seconds_arg)
+
+let timeline_cmd =
+  let run name input_name =
+    let w = load_workload name in
+    let input = Workload.find_input w input_name in
+    let t = Timeline.run ~warmup_s:5 ~profile_s:3 ~post_s:8 w ~input in
+    List.iter
+      (fun (p : Timeline.point) ->
+        Fmt.pr "%3d  %-15s %8.0f tps  p95 %.2f ms@." p.Timeline.second
+          (Timeline.region_name p.Timeline.region)
+          p.Timeline.tps p.Timeline.p95_ms)
+      t.Timeline.points
+  in
+  Cmd.v
+    (Cmd.info "timeline" ~doc:"Fig.7-style replacement timeline")
+    Term.(const run $ workload_arg $ input_arg)
+
+let topdown_cmd =
+  let run name input_name seconds =
+    let w = load_workload name in
+    let input = Workload.find_input w input_name in
+    let proc = Workload.launch w ~input in
+    Ocolos_proc.Proc.run ~cycle_limit:(Ocolos_sim.Clock.seconds_to_cycles 0.3) proc;
+    let before = Ocolos_proc.Proc.total_counters proc in
+    Ocolos_proc.Proc.run ~cycle_limit:(Ocolos_sim.Clock.seconds_to_cycles (0.3 +. seconds)) proc;
+    let after = Ocolos_proc.Proc.total_counters proc in
+    let v = Ocolos_profiler.Topdown_check.analyze ~before ~after () in
+    let td = v.Ocolos_profiler.Topdown_check.topdown in
+    Fmt.pr "retiring %.0f%%  front-end %.0f%%  bad-speculation %.0f%%  back-end %.0f%%@."
+      (100.0 *. td.Ocolos_uarch.Counters.retiring)
+      (100.0 *. td.Ocolos_uarch.Counters.frontend)
+      (100.0 *. td.Ocolos_uarch.Counters.bad_speculation)
+      (100.0 *. td.Ocolos_uarch.Counters.backend);
+    Fmt.pr "front-end bound: %b — %s@." v.Ocolos_profiler.Topdown_check.frontend_bound
+      (if v.Ocolos_profiler.Topdown_check.frontend_bound then
+         "OCOLOS is likely to help (proceed to LBR profiling)"
+       else "OCOLOS is unlikely to help")
+  in
+  Cmd.v
+    (Cmd.info "topdown" ~doc:"Stage-1 TopDown bottleneck analysis (DMon-style)")
+    Term.(const run $ workload_arg $ input_arg $ seconds_arg)
+
+let () =
+  let doc = "OCOLOS: online code layout optimization (simulated reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ocolos_cli" ~doc)
+          [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; timeline_cmd; topdown_cmd;
+            save_cmd; load_cmd; report_cmd; disasm_cmd ]))

@@ -1,0 +1,1 @@
+examples/bam_build.ml: Apps Fmt List Ocolos_binary Ocolos_bolt Ocolos_core Ocolos_proc Ocolos_profiler Ocolos_sim Ocolos_workloads Workload

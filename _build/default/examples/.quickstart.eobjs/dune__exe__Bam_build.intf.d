@@ -1,0 +1,1 @@
+examples/bam_build.mli:

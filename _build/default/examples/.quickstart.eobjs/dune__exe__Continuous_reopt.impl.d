@@ -1,0 +1,1 @@
+examples/continuous_reopt.ml: Apps Fmt Ocolos_core Ocolos_proc Ocolos_sim Ocolos_workloads Workload

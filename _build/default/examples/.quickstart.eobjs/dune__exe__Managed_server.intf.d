@@ -1,0 +1,1 @@
+examples/managed_server.mli:

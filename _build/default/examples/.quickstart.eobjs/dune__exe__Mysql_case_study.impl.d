@@ -1,0 +1,1 @@
+examples/mysql_case_study.ml: Apps Counters Float Fmt Input List Ocolos_bolt Ocolos_core Ocolos_proc Ocolos_profiler Ocolos_sim Ocolos_uarch Ocolos_workloads String Workload

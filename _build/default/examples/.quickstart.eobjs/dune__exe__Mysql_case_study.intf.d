@@ -1,0 +1,1 @@
+examples/mysql_case_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apps Fmt Ocolos_binary Ocolos_bolt Ocolos_core Ocolos_proc Ocolos_profiler Ocolos_sim Ocolos_workloads Workload

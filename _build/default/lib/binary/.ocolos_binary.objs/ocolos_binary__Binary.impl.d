@@ -1,0 +1,1 @@
+lib/binary/binary.ml: Array Fmt Hashtbl Instr List Ocolos_isa

@@ -1,0 +1,1 @@
+lib/binary/binary.mli: Format Hashtbl Ocolos_isa

@@ -1,0 +1,1 @@
+lib/binary/disasm.ml: Array Binary Fmt Hashtbl Instr List Ocolos_isa

@@ -1,0 +1,1 @@
+lib/binary/disasm.mli: Binary Format

@@ -1,0 +1,1 @@
+lib/binary/emit.ml: Array Binary Fmt Hashtbl Instr Ir Layout List Ocolos_isa

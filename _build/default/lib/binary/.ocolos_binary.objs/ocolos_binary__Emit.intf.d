@@ -1,0 +1,1 @@
+lib/binary/emit.mli: Binary Hashtbl Layout Ocolos_isa

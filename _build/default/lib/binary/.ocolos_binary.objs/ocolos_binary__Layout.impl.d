@@ -1,0 +1,1 @@
+lib/binary/layout.ml: Array Fmt Hashtbl Ir List Ocolos_isa Ocolos_util

@@ -1,0 +1,1 @@
+lib/binary/layout.mli: Ocolos_isa Ocolos_util

@@ -1,0 +1,1 @@
+lib/binary/serialize.ml: Array Binary Buffer Bytes Char Encode Fmt Fun Hashtbl List Ocolos_isa String

@@ -1,0 +1,1 @@
+lib/binary/serialize.mli: Binary Bytes

@@ -1,0 +1,137 @@
+(* Executable images.
+
+   A binary is a set of sections holding machine code (address -> instruction,
+   with byte-accurate sizes), a symbol table mapping functions to their code
+   ranges, v-table images to be materialized in data memory at load time, and
+   a global data region. BOLTed binaries carry both the original code
+   (renamed bolt.org.text, left at its original addresses) and the optimized
+   code in a new .text section at higher addresses, exactly as described in
+   Section II-D of the paper. *)
+
+open Ocolos_isa
+
+type range = { r_start : int; r_size : int }
+
+let range_contains r addr = addr >= r.r_start && addr < r.r_start + r.r_size
+
+type func_sym = {
+  fs_fid : int;
+  fs_name : string;
+  fs_entry : int;
+  fs_ranges : range list; (* hot range first; cold split range second if any *)
+}
+
+let sym_size s = List.fold_left (fun acc r -> acc + r.r_size) 0 s.fs_ranges
+
+type section = { sec_name : string; sec_base : int; sec_size : int }
+
+type vtable = {
+  vt_id : int;
+  vt_addr : int; (* base address in data memory *)
+  vt_entries : int array; (* code addresses of the methods *)
+}
+
+type t = {
+  name : string;
+  sections : section list;
+  code : (int, Instr.t) Hashtbl.t;
+  code_order : int array; (* instruction addresses, sorted *)
+  symbols : func_sym array; (* indexed by fid *)
+  vtables : vtable array; (* indexed by vid *)
+  globals_base : int;
+  globals_words : int;
+  global_init : (int * int) list; (* absolute data address, value *)
+  entry : int; (* code address of the program entry point *)
+  debug : (int, int * int) Hashtbl.t; (* addr -> (fid, bid); ground truth *)
+}
+
+let find_instr b addr = Hashtbl.find_opt b.code addr
+
+let instr_count b = Array.length b.code_order
+
+let text_bytes b =
+  Array.fold_left
+    (fun acc addr -> acc + Instr.size (Hashtbl.find b.code addr))
+    0 b.code_order
+
+(* Map a code address to the function whose range contains it. *)
+let func_of_addr b addr =
+  let n = Array.length b.symbols in
+  let rec scan i =
+    if i >= n then None
+    else
+      let s = b.symbols.(i) in
+      if List.exists (fun r -> range_contains r addr) s.fs_ranges then Some s else scan (i + 1)
+  in
+  scan 0
+
+(* Sorted (range_start, fid) index for fast address->function resolution. *)
+type addr_index = (int * int * int) array (* start, end_exclusive, fid *)
+
+let build_addr_index b =
+  let ranges =
+    Array.to_list b.symbols
+    |> List.concat_map (fun s ->
+           List.map (fun r -> (r.r_start, r.r_start + r.r_size, s.fs_fid)) s.fs_ranges)
+    |> Array.of_list
+  in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) ranges;
+  ranges
+
+let index_lookup (idx : addr_index) addr =
+  let lo = ref 0 and hi = ref (Array.length idx - 1) and found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let s, e, fid = idx.(mid) in
+    if addr < s then hi := mid - 1
+    else if addr >= e then lo := mid + 1
+    else begin
+      found := Some fid;
+      lo := !hi + 1
+    end
+  done;
+  !found
+
+let find_symbol_by_name b name =
+  let n = Array.length b.symbols in
+  let rec scan i =
+    if i >= n then None
+    else if b.symbols.(i).fs_name = name then Some b.symbols.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let section_named b name = List.find_opt (fun s -> s.sec_name = name) b.sections
+
+(* Direct call sites: (site address, callee entry address). OCOLOS parses
+   these offline to shorten the stop-the-world phase (Section IV). *)
+let direct_call_sites b =
+  Array.fold_left
+    (fun acc addr ->
+      match Hashtbl.find b.code addr with
+      | Instr.Call target -> (addr, target) :: acc
+      | _ -> acc)
+    [] b.code_order
+  |> List.rev
+
+(* Instructions of one function in address order, as (addr, instr) pairs. *)
+let func_instrs b fid =
+  let s = b.symbols.(fid) in
+  List.concat_map
+    (fun r ->
+      let acc = ref [] in
+      let addr = ref r.r_start in
+      while !addr < r.r_start + r.r_size do
+        match Hashtbl.find_opt b.code !addr with
+        | Some i ->
+          acc := (!addr, i) :: !acc;
+          addr := !addr + Instr.size i
+        | None -> addr := !addr + 1 (* alignment padding *)
+      done;
+      List.rev !acc)
+    s.fs_ranges
+
+let pp_summary fmt b =
+  Fmt.pf fmt "binary %s: %d functions, %d vtables, %d instrs, %d text bytes, entry 0x%x"
+    b.name (Array.length b.symbols) (Array.length b.vtables) (instr_count b) (text_bytes b)
+    b.entry

@@ -1,0 +1,8 @@
+(** objdump-style disassembly of binary images: functions in address order,
+    per-instruction addresses, basic-block boundaries from debug info, and
+    symbolized direct-transfer targets. *)
+
+val symbolize : Binary.t -> Binary.addr_index -> int -> string
+val pp_function : Format.formatter -> Binary.t -> int -> unit
+val pp : Format.formatter -> Binary.t -> unit
+val function_to_string : Binary.t -> int -> string

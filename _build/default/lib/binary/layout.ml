@@ -1,0 +1,74 @@
+(* Code layout descriptors.
+
+   A layout fixes the order of functions in the text section and, per
+   function, the order of basic blocks, optionally splitting blocks into a
+   hot part (placed with the function) and a cold part (exiled to a shared
+   cold region after all hot code, as BOLT's hot/cold splitting does). *)
+
+open Ocolos_isa
+
+type func_layout = {
+  fid : int;
+  hot : int list; (* block ids; must start with the entry block 0 *)
+  cold : int list; (* block ids placed in the shared cold region *)
+}
+
+type t = func_layout list
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let validate (program : Ir.program) (layout : t) =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun fl ->
+      if Hashtbl.mem seen fl.fid then invalid "function %d appears twice in layout" fl.fid;
+      Hashtbl.add seen fl.fid ();
+      if fl.fid < 0 || fl.fid >= Array.length program.Ir.funcs then
+        invalid "layout function id %d out of range" fl.fid;
+      let f = program.Ir.funcs.(fl.fid) in
+      let nblocks = Array.length f.Ir.blocks in
+      (match fl.hot with
+      | 0 :: _ -> ()
+      | _ -> invalid "function %s: layout must start with entry block" f.Ir.fname);
+      let marks = Array.make nblocks 0 in
+      List.iter
+        (fun bid ->
+          if bid < 0 || bid >= nblocks then invalid "function %s: block %d out of range" f.Ir.fname bid;
+          marks.(bid) <- marks.(bid) + 1)
+        (fl.hot @ fl.cold);
+      Array.iteri
+        (fun bid count ->
+          if count <> 1 then
+            invalid "function %s: block %d placed %d times" f.Ir.fname bid count)
+        marks)
+    layout
+
+(* Source-order layout of every function: the "original binary" layout. *)
+let default (program : Ir.program) : t =
+  Array.to_list
+    (Array.map
+       (fun (f : Ir.func) ->
+         { fid = f.Ir.fid; hot = List.init (Array.length f.Ir.blocks) (fun i -> i); cold = [] })
+       program.Ir.funcs)
+
+let covered_fids (layout : t) = List.map (fun fl -> fl.fid) layout
+
+(* Random valid layout: random function order, random block order with entry
+   first, random hot/cold split. Used by property tests to check that layout
+   never changes semantics. *)
+let randomize rng (program : Ir.program) : t =
+  let fids = Array.init (Array.length program.Ir.funcs) (fun i -> i) in
+  Ocolos_util.Rng.shuffle rng fids;
+  Array.to_list fids
+  |> List.map (fun fid ->
+         let f = program.Ir.funcs.(fid) in
+         let nblocks = Array.length f.Ir.blocks in
+         let rest = Array.init (nblocks - 1) (fun i -> i + 1) in
+         Ocolos_util.Rng.shuffle rng rest;
+         let hot, cold =
+           Array.to_list rest
+           |> List.partition (fun _ -> Ocolos_util.Rng.bool rng 0.7)
+         in
+         { fid; hot = 0 :: hot; cold })

@@ -1,0 +1,32 @@
+(** Code layout descriptors.
+
+    A layout fixes the order of functions in the text section and, per
+    function, the order of basic blocks, optionally splitting blocks into a
+    hot part (placed with the function) and a cold part (exiled to a shared
+    cold region after all hot code, as in BOLT's hot/cold splitting). *)
+
+type func_layout = {
+  fid : int;
+  hot : int list;  (** block ids; must start with the entry block 0 *)
+  cold : int list;  (** block ids placed in the shared cold region *)
+}
+
+(** Functions in text-section order. Functions absent from the list are not
+    emitted (the BOLT path leaves cold functions at their original
+    addresses). *)
+type t = func_layout list
+
+exception Invalid of string
+
+(** Check that each listed function places every block exactly once and puts
+    the entry block first. Raises {!Invalid} otherwise. *)
+val validate : Ocolos_isa.Ir.program -> t -> unit
+
+(** Source-order layout of every function (the "original binary" layout). *)
+val default : Ocolos_isa.Ir.program -> t
+
+val covered_fids : t -> int list
+
+(** Random valid layout (random function/block order and hot/cold split);
+    property tests use this to check layout never changes semantics. *)
+val randomize : Ocolos_util.Rng.t -> Ocolos_isa.Ir.program -> t

@@ -1,0 +1,1 @@
+lib/bolt/bb_reorder.mli: Cfg

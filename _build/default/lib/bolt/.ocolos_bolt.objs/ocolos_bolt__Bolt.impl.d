@@ -1,0 +1,1 @@
+lib/bolt/bolt.ml: Array Bb_reorder Binary Cfg Emit Func_reorder Hashtbl Ir Layout List Ocolos_binary Ocolos_isa Ocolos_profiler Option Peephole Profile

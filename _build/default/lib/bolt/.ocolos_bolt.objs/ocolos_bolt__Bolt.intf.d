@@ -1,0 +1,1 @@
+lib/bolt/bolt.mli: Ocolos_binary Ocolos_profiler

@@ -1,0 +1,1 @@
+lib/bolt/cfg.ml: Array Binary Fmt Hashtbl Instr Ir List Ocolos_binary Ocolos_isa Queue

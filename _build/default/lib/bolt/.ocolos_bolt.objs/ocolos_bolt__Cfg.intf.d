@@ -1,0 +1,1 @@
+lib/bolt/cfg.mli: Hashtbl Ocolos_binary Ocolos_isa

@@ -1,0 +1,1 @@
+lib/bolt/func_reorder.ml: Hashtbl List

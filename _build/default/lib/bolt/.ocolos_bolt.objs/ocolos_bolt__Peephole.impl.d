@@ -1,0 +1,1 @@
+lib/bolt/peephole.ml: Array Instr Ir List Ocolos_isa

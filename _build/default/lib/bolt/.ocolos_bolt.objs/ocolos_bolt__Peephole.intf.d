@@ -1,0 +1,1 @@
+lib/bolt/peephole.mli: Ocolos_isa

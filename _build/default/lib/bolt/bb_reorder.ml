@@ -1,0 +1,110 @@
+(* Basic-block reordering (the most impactful PGO transformation, paper
+   Section II-B).
+
+   Greedy chain construction in the style of BOLT: CFG edges are visited by
+   descending weight and chains are merged tail-to-head so that hot edges
+   become fallthroughs; chains are then concatenated with the entry chain
+   first and the rest by execution density. Zero-count blocks can be split
+   into a cold section (BOLT's hot-cold splitting). The ExtTSP metric of
+   Newell & Pupyrev scores layouts for evaluation and tests. *)
+
+let block_size rc bid = rc.Cfg.rc_block_end.(bid) - rc.Cfg.rc_block_addr.(bid)
+
+(* ExtTSP score of a block order: rewards fallthrough (weight 1.0) and
+   short forward/backward jumps (weight 0.1, linear decay over 1024/640
+   bytes). Higher is better. *)
+let ext_tsp_score rc (order : int list) =
+  let pos = Hashtbl.create 32 in
+  let cursor = ref 0 in
+  List.iter
+    (fun bid ->
+      Hashtbl.replace pos bid (!cursor, !cursor + block_size rc bid);
+      cursor := !cursor + block_size rc bid)
+    order;
+  Hashtbl.fold
+    (fun (src, dst) count acc ->
+      match (Hashtbl.find_opt pos src, Hashtbl.find_opt pos dst) with
+      | Some (_, src_end), Some (dst_start, _) ->
+        let w = float_of_int count in
+        let score =
+          if src_end = dst_start then w
+          else if dst_start > src_end then begin
+            let d = dst_start - src_end in
+            if d <= 1024 then 0.1 *. w *. (1.0 -. (float_of_int d /. 1024.0)) else 0.0
+          end
+          else begin
+            let d = src_end - dst_start in
+            if d <= 640 then 0.1 *. w *. (1.0 -. (float_of_int d /. 640.0)) else 0.0
+          end
+        in
+        acc +. score
+      | _, _ -> acc)
+    rc.Cfg.rc_edges 0.0
+
+type chain = { mutable blocks : int list; mutable rev_tail : int; mutable total : int; mutable bytes : int }
+
+(* Compute (hot order, cold blocks) for one function. [split] exiles
+   never-executed blocks; without profile data the original order is kept.
+   [chain_order] picks how non-entry chains are concatenated: [`Density]
+   (BOLT's rule, best with complete profiles) or [`Source] (original
+   address order, safer under the degraded profiles compiler PGO sees). *)
+let layout_func ?(split = true) ?(chain_order = `Density) (rc : Cfg.reconstructed) =
+  let nblocks = Array.length rc.Cfg.rc_block_addr in
+  let original = List.init nblocks (fun i -> i) in
+  if Cfg.total_count rc = 0 then (original, [])
+  else begin
+    let hot bid = rc.Cfg.rc_counts.(bid) > 0 || bid = 0 in
+    let cold_blocks = List.filter (fun b -> not (hot b)) original in
+    let chain_of = Array.init nblocks (fun bid ->
+        { blocks = [ bid ]; rev_tail = bid; total = rc.Cfg.rc_counts.(bid); bytes = block_size rc bid })
+    in
+    let repr = Array.init nblocks (fun i -> i) in
+    let rec find i = if repr.(i) = i then i else (repr.(i) <- find repr.(i); repr.(i)) in
+    (* Merge chains over edges by descending weight: u's chain tail must be
+       u and v's chain head must be v; never bury the entry block. *)
+    let edges =
+      Hashtbl.fold (fun (u, v) w acc -> ((u, v), w) :: acc) rc.Cfg.rc_edges []
+      |> List.filter (fun ((u, v), _) -> u <> v && v <> 0 && hot u && hot v)
+      |> List.sort (fun (_, w1) (_, w2) -> compare w2 w1)
+    in
+    List.iter
+      (fun ((u, v), _) ->
+        let cu = find u and cv = find v in
+        if cu <> cv then begin
+          let a = chain_of.(cu) and b = chain_of.(cv) in
+          if a.rev_tail = u && List.hd b.blocks = v then begin
+            a.blocks <- a.blocks @ b.blocks;
+            a.rev_tail <- b.rev_tail;
+            a.total <- a.total + b.total;
+            a.bytes <- a.bytes + b.bytes;
+            repr.(cv) <- cu
+          end
+        end)
+      edges;
+    (* Collect distinct hot chains; entry chain first, then by density. *)
+    let seen = Hashtbl.create 16 in
+    let chains =
+      List.filter_map
+        (fun bid ->
+          if not (hot bid) then None
+          else
+            let c = find bid in
+            if Hashtbl.mem seen c then None
+            else begin
+              Hashtbl.add seen c ();
+              Some chain_of.(c)
+            end)
+        original
+    in
+    let entry_chain = find 0 in
+    let density c = float_of_int c.total /. float_of_int (max 1 c.bytes) in
+    let rest = List.filter (fun c -> c != chain_of.(entry_chain)) chains in
+    let rest =
+      match chain_order with
+      | `Density -> List.sort (fun c1 c2 -> compare (density c2) (density c1)) rest
+      | `Source ->
+        List.sort (fun c1 c2 -> compare (List.hd c1.blocks) (List.hd c2.blocks)) rest
+    in
+    let hot_order = List.concat_map (fun c -> c.blocks) (chain_of.(entry_chain) :: rest) in
+    if split then (hot_order, cold_blocks) else (hot_order @ cold_blocks, [])
+  end

@@ -1,0 +1,23 @@
+(** Basic-block reordering (paper Section II-B).
+
+    Greedy chain construction in the style of BOLT: CFG edges are merged
+    tail-to-head by descending weight so hot edges become fallthroughs;
+    chains are concatenated entry-first then by execution density.
+    Zero-count blocks can be split into a cold section. *)
+
+val block_size : Cfg.reconstructed -> int -> int
+
+(** ExtTSP layout score (Newell & Pupyrev): rewards fallthroughs and short
+    jumps; higher is better. *)
+val ext_tsp_score : Cfg.reconstructed -> int list -> float
+
+(** [(hot order, cold blocks)] for one function. [split] exiles
+    never-executed blocks; with no profile data the original order is
+    returned unchanged. [chain_order] concatenates non-entry chains by
+    execution density (BOLT) or source position (safer for degraded
+    profiles). The entry block is always first in the hot order. *)
+val layout_func :
+  ?split:bool ->
+  ?chain_order:[ `Density | `Source ] ->
+  Cfg.reconstructed ->
+  int list * int list

@@ -1,0 +1,266 @@
+(* The BOLT pipeline: profile + binary -> optimized binary.
+
+   Mirrors the real tool's structure (paper Section II-D): select hot
+   functions from the profile, reconstruct their CFGs from machine code,
+   reorder basic blocks (hot/cold splitting optional), reorder functions
+   (C3 by default), and emit the optimized code into a new .text section at
+   higher addresses while the original code remains in place as
+   bolt.org.text. Cold functions are untouched apart from the symbol-table
+   merge. *)
+
+open Ocolos_isa
+open Ocolos_binary
+open Ocolos_profiler
+
+type func_order = C3 | Pettis_hansen | Original_order
+
+type config = {
+  reorder_blocks : bool;
+  split_functions : bool;
+  func_order : func_order;
+  hot_threshold : int; (* min LBR records for a function to be optimized *)
+  max_hot_funcs : int option;
+  peephole : bool;
+}
+
+let default_config =
+  { reorder_blocks = true;
+    split_functions = true;
+    func_order = C3;
+    hot_threshold = 8;
+    max_hot_funcs = None;
+    peephole = true }
+
+type result = {
+  merged : Binary.t; (* original + optimized sections: the BOLTed binary *)
+  new_text : Binary.t; (* only the optimized section (what OCOLOS injects) *)
+  translation : (int * int) list; (* old entry -> new entry, optimized funcs *)
+  hot_fids : int list;
+  funcs_reordered : int;
+  work_instrs : int; (* volume processed, for the cost model *)
+  skipped : int; (* functions whose reconstruction was refused *)
+  bolt_base : int;
+}
+
+let align_up n a = (n + a - 1) / a * a
+
+let sections_end (binary : Binary.t) =
+  List.fold_left
+    (fun acc (s : Binary.section) -> max acc (s.Binary.sec_base + s.Binary.sec_size))
+    0 binary.Binary.sections
+
+(* First data address above everything the binary initializes: a fresh
+   region for the optimized code's jump tables. *)
+let fresh_data_base (binary : Binary.t) =
+  let m = binary.Binary.globals_base + binary.Binary.globals_words in
+  let m =
+    Array.fold_left
+      (fun acc vt -> max acc (vt.Binary.vt_addr + Array.length vt.Binary.vt_entries))
+      m binary.Binary.vtables
+  in
+  let m = List.fold_left (fun acc (a, _) -> max acc (a + 1)) m binary.Binary.global_init in
+  align_up m 0x1000
+
+(* Partition the profile's branch and range records by owning function. *)
+let partition_profile (binary : Binary.t) (profile : Profile.t) =
+  let index = Binary.build_addr_index binary in
+  let branches : (int, (int * int * int) list) Hashtbl.t = Hashtbl.create 256 in
+  let ranges : (int, (int * int * int) list) Hashtbl.t = Hashtbl.create 256 in
+  let push tbl fid v =
+    match Hashtbl.find_opt tbl fid with
+    | Some l -> Hashtbl.replace tbl fid (v :: l)
+    | None -> Hashtbl.add tbl fid [ v ]
+  in
+  Hashtbl.iter
+    (fun (from_addr, to_addr) count ->
+      match (Binary.index_lookup index from_addr, Binary.index_lookup index to_addr) with
+      | Some f1, Some f2 when f1 = f2 -> push branches f1 (from_addr, to_addr, count)
+      | _, _ -> ())
+    profile.Profile.branches;
+  Hashtbl.iter
+    (fun (start_addr, end_addr) count ->
+      match Binary.index_lookup index start_addr with
+      | Some f -> push ranges f (start_addr, end_addr, count)
+      | None -> ())
+    profile.Profile.ranges;
+  (branches, ranges)
+
+let select_hot_funcs config (binary : Binary.t) (profile : Profile.t) =
+  let hot =
+    Array.to_list binary.Binary.symbols
+    |> List.filter_map (fun s ->
+           let records = Profile.func_records profile s.Binary.fs_fid in
+           if records >= config.hot_threshold then Some (s.Binary.fs_fid, records) else None)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let hot = match config.max_hot_funcs with None -> hot | Some n -> List.filteri (fun i _ -> i < n) hot in
+  List.map fst hot
+
+let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile : Profile.t) () =
+  let extern_entry =
+    match extern_entry with
+    | Some f -> f
+    | None -> fun fid -> Some binary.Binary.symbols.(fid).Binary.fs_entry
+  in
+  let hot_candidates = select_hot_funcs config binary profile in
+  let branches_by_fid, ranges_by_fid = partition_profile binary profile in
+  let skipped = ref 0 in
+  let work_instrs = ref 0 in
+  (* Reconstruct, attach counts, peephole. *)
+  let reconstructed =
+    List.filter_map
+      (fun fid ->
+        match Cfg.of_binary binary fid with
+        | rc ->
+          Cfg.attach_profile rc
+            ~branches:(Option.value ~default:[] (Hashtbl.find_opt branches_by_fid fid))
+            ~ranges:(Option.value ~default:[] (Hashtbl.find_opt ranges_by_fid fid));
+          work_instrs := !work_instrs + rc.Cfg.rc_instr_count;
+          Some (fid, rc)
+        | exception Cfg.Unsupported _ ->
+          incr skipped;
+          None)
+      hot_candidates
+  in
+  let hot_fids = List.map fst reconstructed in
+  let hot_set = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace hot_set f ()) hot_fids;
+  (* Per-function block layout. *)
+  let block_layouts =
+    List.map
+      (fun (fid, rc) ->
+        let hot_order, cold =
+          if config.reorder_blocks then Bb_reorder.layout_func ~split:config.split_functions rc
+          else (List.init (Array.length rc.Cfg.rc_block_addr) (fun i -> i), [])
+        in
+        (fid, hot_order, cold))
+      reconstructed
+  in
+  (* Function order over the hot set. *)
+  let call_graph =
+    let edge_weight = Hashtbl.create 256 in
+    Hashtbl.iter
+      (fun (caller, callee) w ->
+        if Hashtbl.mem hot_set caller && Hashtbl.mem hot_set callee then
+          Hashtbl.replace edge_weight (caller, callee) w)
+      profile.Profile.calls;
+    { Func_reorder.nodes = hot_fids;
+      edge_weight;
+      node_size = (fun fid -> Binary.sym_size binary.Binary.symbols.(fid));
+      node_heat = (fun fid -> Profile.func_records profile fid) }
+  in
+  let func_order =
+    match config.func_order with
+    | C3 -> Func_reorder.c3 call_graph
+    | Pettis_hansen -> Func_reorder.pettis_hansen call_graph
+    | Original_order -> Func_reorder.original call_graph
+  in
+  (* Synthetic IR program: reconstructed bodies for hot functions, dummies
+     elsewhere (they are never emitted, only resolved externally). *)
+  let rc_by_fid = Hashtbl.create 64 in
+  List.iter (fun (fid, rc) -> Hashtbl.replace rc_by_fid fid rc) reconstructed;
+  let funcs =
+    Array.init (Array.length binary.Binary.symbols) (fun fid ->
+        match Hashtbl.find_opt rc_by_fid fid with
+        | Some rc ->
+          let f = rc.Cfg.rc_func in
+          if config.peephole then fst (Peephole.run_func f) else f
+        | None ->
+          { Ir.fid;
+            fname = binary.Binary.symbols.(fid).Binary.fs_name;
+            blocks = [| { Ir.bid = 0; body = []; term = Ir.Thalt } |] })
+  in
+  let entry_fid =
+    let index = Binary.build_addr_index binary in
+    Option.value ~default:0 (Binary.index_lookup index binary.Binary.entry)
+  in
+  let program =
+    { Ir.funcs; vtables = [||]; entry_fid; globals_words = 0; global_init = [] }
+  in
+  let layout =
+    List.map
+      (fun fid ->
+        let _, hot_order, cold = List.find (fun (f, _, _) -> f = fid) block_layouts in
+        { Layout.fid; hot = hot_order; cold })
+      func_order
+  in
+  let bolt_base = align_up (sections_end binary + 0x100000) 0x100000 in
+  let table_base = fresh_data_base binary in
+  let emitted =
+    Emit.emit ~text_base:bolt_base ~globals_base:table_base ~extern_entry
+      ~section_name:".text" ~emit_vtables:false ~name:(binary.Binary.name ^ ".bolt.text")
+      program layout
+  in
+  let new_text = emitted.Emit.binary in
+  work_instrs := !work_instrs + Binary.instr_count new_text;
+  let translation =
+    List.map
+      (fun fid ->
+        (binary.Binary.symbols.(fid).Binary.fs_entry, Hashtbl.find emitted.Emit.func_entry fid))
+      hot_fids
+  in
+  let translate = Hashtbl.create 64 in
+  List.iter (fun (o, n) -> Hashtbl.replace translate o n) translation;
+  let tr addr = match Hashtbl.find_opt translate addr with Some n -> n | None -> addr in
+  (* Merge into the BOLTed binary image. *)
+  let code = Hashtbl.copy binary.Binary.code in
+  Hashtbl.iter (fun a i -> Hashtbl.replace code a i) new_text.Binary.code;
+  let code_order =
+    let all = Array.append binary.Binary.code_order new_text.Binary.code_order in
+    Array.sort compare all;
+    all
+  in
+  let symbols =
+    Array.map
+      (fun s ->
+        if Hashtbl.mem rc_by_fid s.Binary.fs_fid then begin
+          let ns = new_text.Binary.symbols.(
+            (* new_text symbols are indexed densely by their position in its
+               own symbol array; find by fid *)
+            let rec find i =
+              if new_text.Binary.symbols.(i).Binary.fs_fid = s.Binary.fs_fid then i
+              else find (i + 1)
+            in
+            find 0)
+          in
+          { s with Binary.fs_entry = ns.Binary.fs_entry;
+            fs_ranges = ns.Binary.fs_ranges @ s.Binary.fs_ranges }
+        end
+        else s)
+      binary.Binary.symbols
+  in
+  let sections =
+    List.map
+      (fun (s : Binary.section) ->
+        if s.Binary.sec_name = ".text" then { s with Binary.sec_name = "bolt.org.text" } else s)
+      binary.Binary.sections
+    @ new_text.Binary.sections
+  in
+  let vtables =
+    Array.map
+      (fun vt -> { vt with Binary.vt_entries = Array.map tr vt.Binary.vt_entries })
+      binary.Binary.vtables
+  in
+  let debug = Hashtbl.copy binary.Binary.debug in
+  Hashtbl.iter (fun a v -> Hashtbl.replace debug a v) new_text.Binary.debug;
+  let merged =
+    { Binary.name = binary.Binary.name ^ ".bolt";
+      sections;
+      code;
+      code_order;
+      symbols;
+      vtables;
+      globals_base = binary.Binary.globals_base;
+      globals_words = binary.Binary.globals_words;
+      global_init = binary.Binary.global_init @ new_text.Binary.global_init;
+      entry = tr binary.Binary.entry;
+      debug }
+  in
+  { merged;
+    new_text;
+    translation;
+    hot_fids;
+    funcs_reordered = List.length hot_fids;
+    work_instrs = !work_instrs;
+    skipped = !skipped;
+    bolt_base }

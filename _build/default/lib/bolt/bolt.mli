@@ -1,0 +1,52 @@
+(** The BOLT pipeline: profile + binary -> optimized binary (paper
+    Section II-D).
+
+    Selects hot functions from the profile, reconstructs their CFGs from
+    machine code, reorders basic blocks (with optional hot/cold splitting),
+    reorders functions (C3 by default), and emits the optimized code into a
+    new [.text] section at higher addresses while the original code remains
+    in place as [bolt.org.text]. *)
+
+type func_order = C3 | Pettis_hansen | Original_order
+
+type config = {
+  reorder_blocks : bool;
+  split_functions : bool;
+  func_order : func_order;
+  hot_threshold : int;  (** min LBR records for a function to be optimized *)
+  max_hot_funcs : int option;
+  peephole : bool;
+}
+
+val default_config : config
+
+type result = {
+  merged : Ocolos_binary.Binary.t;
+      (** original + optimized sections: the BOLTed binary (offline use) *)
+  new_text : Ocolos_binary.Binary.t;
+      (** only the optimized section — what OCOLOS injects at run time *)
+  translation : (int * int) list;
+      (** old entry -> new entry for every optimized function *)
+  hot_fids : int list;
+  funcs_reordered : int;
+  work_instrs : int;  (** processed volume, for the time model *)
+  skipped : int;  (** functions whose reconstruction was refused *)
+  bolt_base : int;
+}
+
+val align_up : int -> int -> int
+val sections_end : Ocolos_binary.Binary.t -> int
+val fresh_data_base : Ocolos_binary.Binary.t -> int
+
+(** [run ~binary ~profile ()] optimizes [binary] under [profile].
+    [extern_entry] overrides how calls to non-optimized functions are
+    resolved (OCOLOS's continuous mode pins them to the original C0 entries
+    so that old versions can be garbage-collected); it defaults to the input
+    binary's symbol entries. *)
+val run :
+  ?config:config ->
+  ?extern_entry:(int -> int option) ->
+  binary:Ocolos_binary.Binary.t ->
+  profile:Ocolos_profiler.Profile.t ->
+  unit ->
+  result

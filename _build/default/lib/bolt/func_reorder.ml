@@ -1,0 +1,124 @@
+(* Function reordering over the weighted call graph.
+
+   Implements both algorithms the paper describes (Section II-C): the
+   classic Pettis-Hansen greedy chain merge, and C3 (call-chain clustering,
+   Ottoni & Maher), which places callers before callees and orders the
+   resulting clusters by execution density. *)
+
+type graph = {
+  nodes : int list; (* fids to order *)
+  edge_weight : (int * int, int) Hashtbl.t; (* (caller, callee) -> count *)
+  node_size : int -> int; (* code bytes *)
+  node_heat : int -> int; (* execution samples *)
+}
+
+let default_max_cluster_bytes = 1 lsl 20
+
+(* C3: visit functions hottest-first; append each function's cluster to its
+   heaviest caller's cluster (caller before callee), subject to a size cap;
+   finally order clusters by density. *)
+let c3 ?(max_cluster_bytes = default_max_cluster_bytes) g =
+  let cluster : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* fid -> cluster id *)
+  let members : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  (* cluster id -> fids in order *)
+  let csize : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let cheat : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun fid ->
+      Hashtbl.replace cluster fid fid;
+      Hashtbl.replace members fid [ fid ];
+      Hashtbl.replace csize fid (g.node_size fid);
+      Hashtbl.replace cheat fid (g.node_heat fid))
+    g.nodes;
+  (* Heaviest caller of each node. *)
+  let heaviest_caller = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (caller, callee) w ->
+      if caller <> callee then
+        match Hashtbl.find_opt heaviest_caller callee with
+        | Some (_, w') when w' >= w -> ()
+        | Some _ | None -> Hashtbl.replace heaviest_caller callee (caller, w))
+    g.edge_weight;
+  let by_heat = List.sort (fun a b -> compare (g.node_heat b) (g.node_heat a)) g.nodes in
+  List.iter
+    (fun fid ->
+      match Hashtbl.find_opt heaviest_caller fid with
+      | None -> ()
+      | Some (caller, _) ->
+        if Hashtbl.mem cluster caller then begin
+          let cc = Hashtbl.find cluster caller and cf = Hashtbl.find cluster fid in
+          if cc <> cf then begin
+            let size_c = Hashtbl.find csize cc and size_f = Hashtbl.find csize cf in
+            if size_c + size_f <= max_cluster_bytes then begin
+              let merged = Hashtbl.find members cc @ Hashtbl.find members cf in
+              Hashtbl.replace members cc merged;
+              Hashtbl.replace csize cc (size_c + size_f);
+              Hashtbl.replace cheat cc (Hashtbl.find cheat cc + Hashtbl.find cheat cf);
+              List.iter (fun m -> Hashtbl.replace cluster m cc) (Hashtbl.find members cf);
+              Hashtbl.remove members cf;
+              Hashtbl.remove csize cf;
+              Hashtbl.remove cheat cf
+            end
+          end
+        end)
+    by_heat;
+  let clusters = Hashtbl.fold (fun cid fids acc -> (cid, fids) :: acc) members [] in
+  let density (cid, _) =
+    float_of_int (Hashtbl.find cheat cid) /. float_of_int (max 1 (Hashtbl.find csize cid))
+  in
+  clusters
+  |> List.sort (fun a b -> compare (density b) (density a))
+  |> List.concat_map snd
+
+(* Pettis-Hansen: undirected edge weights, heaviest first; merge the two
+   chains so the endpoints joined by the edge become adjacent when possible.
+   Final order: chains by total heat, heaviest first. *)
+let pettis_hansen g =
+  let undirected = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (a, b) w ->
+      if a <> b then begin
+        let key = if a < b then (a, b) else (b, a) in
+        match Hashtbl.find_opt undirected key with
+        | Some w' -> Hashtbl.replace undirected key (w + w')
+        | None -> Hashtbl.add undirected key w
+      end)
+    g.edge_weight;
+  let chain : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let members : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun fid ->
+      Hashtbl.replace chain fid fid;
+      Hashtbl.replace members fid [ fid ])
+    g.nodes;
+  let edges =
+    Hashtbl.fold (fun k w acc -> (k, w) :: acc) undirected []
+    |> List.sort (fun (_, w1) (_, w2) -> compare w2 w1)
+  in
+  List.iter
+    (fun ((a, b), _) ->
+      match (Hashtbl.find_opt chain a, Hashtbl.find_opt chain b) with
+      | Some ca, Some cb when ca <> cb ->
+        let ma = Hashtbl.find members ca and mb = Hashtbl.find members cb in
+        (* Choose the concatenation that puts [a] and [b] adjacent. *)
+        let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> assert false in
+        let merged =
+          if last ma = a && List.hd mb = b then ma @ mb
+          else if last mb = b && List.hd ma = a then mb @ ma
+          else if List.hd ma = a && List.hd mb = b then List.rev ma @ mb
+          else if last ma = a && last mb = b then ma @ List.rev mb
+          else ma @ mb
+        in
+        Hashtbl.replace members ca merged;
+        List.iter (fun m -> Hashtbl.replace chain m ca) mb;
+        Hashtbl.remove members cb
+      | _, _ -> ())
+    edges;
+  let heat fids = List.fold_left (fun acc f -> acc + g.node_heat f) 0 fids in
+  Hashtbl.fold (fun _ fids acc -> fids :: acc) members []
+  |> List.sort (fun f1 f2 -> compare (heat f2) (heat f1))
+  |> List.concat
+
+(* Keep the original (fid) order: the no-function-reordering ablation. *)
+let original g = List.sort compare g.nodes

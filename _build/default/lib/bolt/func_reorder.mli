@@ -1,0 +1,21 @@
+(** Function reordering over the weighted call graph (paper Section II-C):
+    Pettis-Hansen greedy chain merging and C3 call-chain clustering (callers
+    placed before callees, clusters ordered by execution density). *)
+
+type graph = {
+  nodes : int list;  (** fids to order *)
+  edge_weight : (int * int, int) Hashtbl.t;  (** (caller, callee) -> count *)
+  node_size : int -> int;  (** code bytes *)
+  node_heat : int -> int;  (** execution samples *)
+}
+
+val default_max_cluster_bytes : int
+
+(** C3 ordering of [g.nodes]. *)
+val c3 : ?max_cluster_bytes:int -> graph -> int list
+
+(** Pettis-Hansen ordering of [g.nodes]. *)
+val pettis_hansen : graph -> int list
+
+(** Original (fid) order — the no-reordering ablation. *)
+val original : graph -> int list

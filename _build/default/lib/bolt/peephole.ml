@@ -1,0 +1,38 @@
+(* Small peephole cleanups applied to reconstructed functions, mirroring the
+   minor optimizations BOLT applies even to cold code: dead NOP removal and
+   algebraic no-op elimination. *)
+
+open Ocolos_isa
+
+let is_noop_instr = function
+  | Instr.Nop -> true
+  | Instr.Alui ((Instr.Add | Instr.Sub | Instr.Or | Instr.Xor | Instr.Shl | Instr.Shr), d, s, 0)
+    when d = s ->
+    true
+  | Instr.Alui (Instr.Mul, d, s, 1) when d = s -> true
+  | _ -> false
+
+let is_noop = function
+  | Ir.Plain i -> is_noop_instr i
+  | Ir.SCall _ | Ir.SCallInd _ | Ir.SFpCreate _ -> false
+
+(* Returns the cleaned function and the number of instructions removed. *)
+let run_func (f : Ir.func) =
+  let removed = ref 0 in
+  let blocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        let body =
+          List.filter
+            (fun si ->
+              if is_noop si then begin
+                incr removed;
+                false
+              end
+              else true)
+            b.Ir.body
+        in
+        { b with Ir.body })
+      f.Ir.blocks
+  in
+  ({ f with Ir.blocks }, !removed)

@@ -1,0 +1,9 @@
+(** Small peephole cleanups applied to reconstructed functions, mirroring
+    the minor optimizations BOLT applies even to cold code: dead NOPs and
+    algebraic no-ops. *)
+
+val is_noop_instr : Ocolos_isa.Instr.t -> bool
+val is_noop : Ocolos_isa.Ir.sinstr -> bool
+
+(** Returns the cleaned function and how many instructions were removed. *)
+val run_func : Ocolos_isa.Ir.func -> Ocolos_isa.Ir.func * int

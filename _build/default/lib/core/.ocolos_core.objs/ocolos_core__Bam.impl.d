@@ -1,0 +1,1 @@
+lib/core/bam.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/core/daemon.mli: Ocolos Ocolos_proc

@@ -1,0 +1,46 @@
+(** BAM: Batch Accelerator Mode (paper Section V-A).
+
+    Intercepts exec calls of a target binary in a batch workload: the first
+    K executions are profiled, BOLT then runs once in the background, and
+    every later exec transparently launches the BOLTed binary — no
+    stop-the-world phase, no build-system changes. *)
+
+type config = {
+  jobs : int;  (** make -j parallelism *)
+  profiles_wanted : int;  (** executions to profile before running BOLT *)
+  perf_slowdown : float;  (** run-time factor for profiled executions *)
+}
+
+val default_config : config
+
+type mode = Original | Profiled | Optimized
+
+(** The interception state machine (the LD_PRELOAD library's logic). *)
+type t
+
+val create : ?config:config -> bolt_seconds:float -> unit -> t
+
+(** Decide how an exec of the target binary at time [now] is launched. *)
+val on_exec : t -> now:float -> mode
+
+(** Exit notification; the K-th completed profile starts background BOLT. *)
+val on_exit : t -> now:float -> mode -> unit
+
+type outcome = {
+  total_seconds : float;
+  profiled_runs : int;
+  original_runs : int;
+  optimized_runs : int;
+  bolt_ready_at : float option;
+}
+
+(** List-schedule [n_files] compile jobs over [config.jobs] slots with BAM
+    intercepting each exec; [t_orig]/[t_opt] give per-file durations. *)
+val simulate_build :
+  ?config:config ->
+  n_files:int ->
+  t_orig:(int -> float) ->
+  t_opt:(int -> float) ->
+  bolt_seconds:float ->
+  unit ->
+  outcome

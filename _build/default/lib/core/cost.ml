@@ -1,0 +1,36 @@
+(* Time model for OCOLOS's fixed costs (paper Table II).
+
+   The simulator has no meaningful wall clock, so each pipeline stage's
+   duration is a calibrated linear function of the work it performs:
+   perf2bolt is dominated by LBR record conversion, llvm-bolt by the volume
+   of (re)constructed instructions, and the stop-the-world phase by patched
+   sites and injected bytes. Constants are calibrated so that paper-scale
+   workloads produce Table-II-magnitude times. *)
+
+type t = {
+  perf2bolt_sec_per_record : float;
+  bolt_sec_per_instr : float;
+  pause_sec_per_site : float; (* per patched v-table entry or call site *)
+  pause_sec_per_byte : float; (* per injected code byte *)
+  pause_floor_sec : float; (* fixed ptrace attach/stop cost *)
+  background_contention : float;
+      (* fraction of target-thread cycles lost per second of background
+         perf2bolt/BOLT work (region 3 of Fig. 7) *)
+}
+
+let default =
+  { perf2bolt_sec_per_record = 5.0e-5;
+    bolt_sec_per_instr = 4.0e-5;
+    pause_sec_per_site = 2.0e-4;
+    pause_sec_per_byte = 2.0e-6;
+    pause_floor_sec = 0.02;
+    background_contention = 0.13 }
+
+let perf2bolt_seconds t ~records = float_of_int records *. t.perf2bolt_sec_per_record
+
+let bolt_seconds t ~work_instrs = float_of_int work_instrs *. t.bolt_sec_per_instr
+
+let pause_seconds t ~sites ~bytes =
+  t.pause_floor_sec
+  +. (float_of_int sites *. t.pause_sec_per_site)
+  +. (float_of_int bytes *. t.pause_sec_per_byte)

@@ -1,0 +1,23 @@
+(** Time model for OCOLOS's fixed costs (paper Table II).
+
+    The simulator has no meaningful wall clock, so each pipeline stage's
+    duration is a calibrated linear function of the work it performs:
+    perf2bolt of LBR records converted, llvm-bolt of (re)constructed
+    instructions, and the stop-the-world phase of patched sites plus
+    injected bytes. *)
+
+type t = {
+  perf2bolt_sec_per_record : float;
+  bolt_sec_per_instr : float;
+  pause_sec_per_site : float;
+  pause_sec_per_byte : float;
+  pause_floor_sec : float;
+  background_contention : float;
+      (** fraction of target-thread cycles lost per second of background
+          perf2bolt/BOLT work (Fig. 7 region 3) *)
+}
+
+val default : t
+val perf2bolt_seconds : t -> records:int -> float
+val bolt_seconds : t -> work_instrs:int -> float
+val pause_seconds : t -> sites:int -> bytes:int -> float

@@ -1,0 +1,121 @@
+(* Continuous-optimization controller.
+
+   Decides *when* to (re-)optimize a managed process, combining the paper's
+   pieces: the DMon-style stage-1 TopDown gate (only front-end-bound
+   processes are worth optimizing, Section V), the amortization rule (run
+   at least long enough to win back what replacement cost, Section VI-C3),
+   and drift detection for continuous mode (Section IV-C): when throughput
+   degrades relative to the post-optimization steady state — e.g. the input
+   mix shifted and the layout went stale — it re-profiles and replaces
+   C_i with C_{i+1}.
+
+   The controller is driven by periodic ticks from whoever owns the
+   process's execution loop; it keeps no thread of its own. *)
+
+open Ocolos_proc
+open Ocolos_uarch
+
+type config = {
+  frontend_threshold : float; (* stage-1 gate on TopDown front-end fraction *)
+  regression_tolerance : float; (* re-optimize when tps < (1 - tol) * best *)
+  min_interval_s : float; (* amortization guard between replacements *)
+  profile_s : float; (* LBR profiling duration per optimization *)
+  warmup_s : float; (* ignore ticks before this *)
+}
+
+let default_config =
+  { frontend_threshold = 0.15;
+    regression_tolerance = 0.12;
+    min_interval_s = 10.0;
+    profile_s = 2.0;
+    warmup_s = 1.0 }
+
+type phase = Monitoring | Profiling of float (* profiling since *)
+
+type t = {
+  oc : Ocolos.t;
+  proc : Proc.t;
+  config : config;
+  mutable phase : phase;
+  mutable last_counters : Counters.t;
+  mutable last_tick_s : float;
+  mutable best_tps : float; (* best throughput since the last replacement *)
+  mutable last_replacement_s : float;
+  mutable replacements : int;
+}
+
+let create ?(config = default_config) (oc : Ocolos.t) (proc : Proc.t) =
+  { oc;
+    proc;
+    config;
+    phase = Monitoring;
+    last_counters = Proc.total_counters proc;
+    last_tick_s = 0.0;
+    best_tps = 0.0;
+    last_replacement_s = neg_infinity;
+    replacements = 0 }
+
+type action =
+  | Idle (* nothing to do *)
+  | Started_profiling of string (* reason *)
+  | Replaced of Ocolos.replacement_stats
+
+let action_to_string = function
+  | Idle -> "idle"
+  | Started_profiling reason -> "profiling: " ^ reason
+  | Replaced s -> Fmt.str "replaced (C%d)" s.Ocolos.version
+
+(* One controller tick at simulated time [now_s]. The caller advances the
+   process between ticks. *)
+let tick t ~now_s =
+  let counters = Proc.total_counters t.proc in
+  let interval = Counters.diff counters t.last_counters in
+  let dt = now_s -. t.last_tick_s in
+  t.last_counters <- counters;
+  t.last_tick_s <- now_s;
+  if dt <= 0.0 || now_s < t.config.warmup_s then Idle
+  else begin
+    let tps = float_of_int interval.Counters.transactions /. dt in
+    let td = Counters.topdown interval in
+    match t.phase with
+    | Profiling since ->
+      if now_s -. since >= t.config.profile_s then begin
+        let profile, _ = Ocolos.stop_profiling t.oc in
+        let result, _ = Ocolos.run_bolt t.oc profile in
+        let stats = Ocolos.replace_code t.oc result in
+        t.phase <- Monitoring;
+        t.best_tps <- 0.0;
+        t.last_replacement_s <- now_s;
+        t.replacements <- t.replacements + 1;
+        Replaced stats
+      end
+      else Idle
+    | Monitoring ->
+      t.best_tps <- Float.max t.best_tps tps;
+      let amortized = now_s -. t.last_replacement_s >= t.config.min_interval_s in
+      let reason =
+        if t.replacements = 0 then
+          if td.Counters.frontend >= t.config.frontend_threshold then
+            Some
+              (Fmt.str "front-end bound (%.0f%% >= %.0f%%)" (100.0 *. td.Counters.frontend)
+                 (100.0 *. t.config.frontend_threshold))
+          else None
+        else if
+          amortized
+          && tps < (1.0 -. t.config.regression_tolerance) *. t.best_tps
+        then
+          Some
+            (Fmt.str "throughput regressed to %.0f (best since C%d: %.0f) — stale layout"
+               tps (Ocolos.version t.oc) t.best_tps)
+        else None
+      in
+      (match reason with
+      | Some why ->
+        Ocolos.start_profiling t.oc;
+        t.phase <- Profiling now_s;
+        Started_profiling why
+      | None -> Idle)
+  end
+
+let replacements t = t.replacements
+let phase t = t.phase

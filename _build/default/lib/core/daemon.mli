@@ -1,0 +1,36 @@
+(** Continuous-optimization controller: decides {e when} to (re-)optimize a
+    managed process. Combines the DMon-style stage-1 TopDown gate (paper
+    Section V), the amortization rule of Section VI-C3, and drift detection
+    for continuous mode (Section IV-C): a throughput regression relative to
+    the post-optimization steady state — a stale layout after an input
+    shift — triggers re-profiling and replacement of C_i by C_{i+1}.
+
+    Driven by periodic {!tick}s from whoever owns the process's execution
+    loop; the controller keeps no thread of its own. *)
+
+type config = {
+  frontend_threshold : float;
+  regression_tolerance : float;
+  min_interval_s : float;
+  profile_s : float;
+  warmup_s : float;
+}
+
+val default_config : config
+
+type phase = Monitoring | Profiling of float
+
+type t
+
+val create : ?config:config -> Ocolos.t -> Ocolos_proc.Proc.t -> t
+
+type action = Idle | Started_profiling of string | Replaced of Ocolos.replacement_stats
+
+val action_to_string : action -> string
+
+(** One controller tick at simulated time [now_s]; the caller advances the
+    process between ticks. *)
+val tick : t -> now_s:float -> action
+
+val replacements : t -> int
+val phase : t -> phase

@@ -1,0 +1,554 @@
+(* OCOLOS: online code layout optimization of a running process.
+
+   The paper's pipeline (Fig. 4a): (1) profile the target with LBR sampling,
+   (2) run BOLT in the background to produce optimized code C1, then pause
+   the target, (3) inject C1 into the address space at fresh addresses while
+   leaving C0 intact (design principle #1: preserve C0 instruction
+   addresses), (4) update a judicious subset of code pointers — v-table
+   entries and direct calls inside stack-live functions — so that C1 runs in
+   the common case (design principle #2), and (5) resume. Function pointers
+   are pinned to C0 forever via the wrapFuncPtrCreation hook, which is what
+   makes continuous optimization's garbage collection of old code versions
+   safe (Section IV-C2).
+
+   Continuous optimization (C_i -> C_{i+1}) re-profiles the running process,
+   BOLTs the current code, and replaces it: stack-live C_i functions are
+   copied verbatim (with address rebasing) so that return addresses and PCs
+   can be redirected, every other reference is forced over to C_{i+1} or
+   back to C0, and the now-unreachable C_i region is unmapped. The paper
+   could not evaluate this mode because LLVM-BOLT refuses BOLTed inputs; our
+   BOLT substrate has no such limitation, so it is fully implemented. *)
+
+open Ocolos_isa
+open Ocolos_binary
+open Ocolos_proc
+open Ocolos_profiler
+open Ocolos_bolt
+
+type config = {
+  bolt : Bolt.config;
+  perf : Perf.config;
+  cost : Cost.t;
+  patch_all_direct_calls : bool; (* ablation: paper found this useless *)
+  verify_gc : bool; (* scan for dangling pointers after GC *)
+}
+
+let default_config =
+  { bolt = Bolt.default_config;
+    perf = Perf.default_config;
+    cost = Cost.default;
+    patch_all_direct_calls = false;
+    verify_gc = true }
+
+type replacement_stats = {
+  version : int; (* the new code version number (C_version) *)
+  vtable_entries_patched : int;
+  call_sites_patched : int;
+  stack_live_funcs : int;
+  copied_funcs : int; (* stack-live C_i functions copied for GC *)
+  funcs_optimized : int;
+  code_bytes_injected : int;
+  gc_bytes_freed : int;
+  pause_seconds : float;
+}
+
+type copy = { cp_fid : int; cp_ranges : (int * int) list (* [start, end) *) }
+
+type t = {
+  proc : Proc.t;
+  original : Binary.t;
+  config : config;
+  c0_entry : (int, int) Hashtbl.t;
+  c0_ranges : (int, (int * int) list) Hashtbl.t;
+  offline_sites : (int * int * int) array; (* (site addr, owner fid, callee fid) *)
+  vtable_slots : (int * int * int) array; (* (vid, slot, fid) *)
+  to_c0 : (int, int) Hashtbl.t; (* entry address of any version -> C0 entry *)
+  mutable version : int;
+  mutable current : Binary.t; (* live symbol/code view, for perf2bolt & BOLT *)
+  mutable current_entry : (int, int) Hashtbl.t; (* fid -> live entry *)
+  mutable live_text : (int * int) option; (* [start, end) of C_version text *)
+  mutable live_text_addrs : int array; (* instruction addresses of C_version *)
+  mutable copies : copy list;
+  mutable session : Perf.session option;
+}
+
+(* ---- attach ---- *)
+
+let attach ?(config = default_config) (proc : Proc.t) =
+  let original = proc.Proc.binary in
+  let c0_entry = Hashtbl.create 256 and c0_ranges = Hashtbl.create 256 in
+  Array.iter
+    (fun (s : Binary.func_sym) ->
+      Hashtbl.replace c0_entry s.Binary.fs_fid s.Binary.fs_entry;
+      Hashtbl.replace c0_ranges s.Binary.fs_fid
+        (List.map (fun r -> (r.Binary.r_start, r.Binary.r_start + r.Binary.r_size)) s.Binary.fs_ranges))
+    original.Binary.symbols;
+  (* Offline analysis: parse every direct call site from the binary, with
+     its owning function and callee, to shorten the stop-the-world phase
+     (Section IV). *)
+  let index = Binary.build_addr_index original in
+  let entry_fid = Hashtbl.create 256 in
+  Hashtbl.iter (fun fid entry -> Hashtbl.replace entry_fid entry fid) c0_entry;
+  let offline_sites =
+    Binary.direct_call_sites original
+    |> List.filter_map (fun (site, target) ->
+           match (Binary.index_lookup index site, Hashtbl.find_opt entry_fid target) with
+           | Some owner, Some callee -> Some (site, owner, callee)
+           | _, _ -> None)
+    |> Array.of_list
+  in
+  let vtable_slots =
+    Array.to_list original.Binary.vtables
+    |> List.concat_map (fun vt ->
+           Array.to_list vt.Binary.vt_entries
+           |> List.mapi (fun slot entry ->
+                  match Hashtbl.find_opt entry_fid entry with
+                  | Some fid -> [ (vt.Binary.vt_id, slot, fid) ]
+                  | None -> [])
+           |> List.concat)
+    |> Array.of_list
+  in
+  let current_entry = Hashtbl.copy c0_entry in
+  let t =
+    { proc;
+      original;
+      config;
+      c0_entry;
+      c0_ranges;
+      offline_sites;
+      vtable_slots;
+      to_c0 = Hashtbl.create 256;
+      version = 0;
+      current = original;
+      current_entry;
+      live_text = None;
+      live_text_addrs = [||];
+      copies = [];
+      session = None }
+  in
+  (* The wrapFuncPtrCreation hook: function pointers always refer to C0. *)
+  proc.Proc.hooks.translate_fp <-
+    Some (fun addr -> match Hashtbl.find_opt t.to_c0 addr with Some c0 -> c0 | None -> addr);
+  t
+
+(* ---- profiling ---- *)
+
+let start_profiling t =
+  if t.session <> None then invalid_arg "Ocolos.start_profiling: already profiling";
+  t.session <- Some (Perf.start ~cfg:t.config.perf t.proc)
+
+(* Returns the aggregated profile and the modeled perf2bolt time. *)
+let stop_profiling t =
+  match t.session with
+  | None -> invalid_arg "Ocolos.stop_profiling: not profiling"
+  | Some session ->
+    t.session <- None;
+    let samples = Perf.stop session in
+    let profile = Perf2bolt.convert ~binary:t.current samples in
+    let seconds =
+      Cost.perf2bolt_seconds t.config.cost ~records:(Perf.record_count samples)
+    in
+    (profile, seconds)
+
+(* ---- BOLT (background) ---- *)
+
+let run_bolt t profile =
+  let extern_entry fid = Hashtbl.find_opt t.c0_entry fid in
+  let result = Bolt.run ~config:t.config.bolt ~binary:t.current ~extern_entry ~profile () in
+  let seconds = Cost.bolt_seconds t.config.cost ~work_instrs:result.Bolt.work_instrs in
+  (result, seconds)
+
+(* ---- code replacement ---- *)
+
+let in_range (s, e) addr = addr >= s && addr < e
+
+let live_frames_and_pcs t =
+  Array.to_list t.proc.Proc.threads
+  |> List.concat_map (fun (thread : Ocolos_proc.Thread.t) ->
+         if Ocolos_proc.Thread.is_running thread then
+           thread.Ocolos_proc.Thread.pc
+           :: Ocolos_proc.Thread.return_addresses thread
+         else [])
+
+(* Functions currently on some thread's stack (by return address or PC). *)
+let stack_live_fids t =
+  let fids = Hashtbl.create 32 in
+  List.iter
+    (fun addr ->
+      match Addr_space.fid_of_addr t.proc.Proc.mem addr with
+      | Some fid -> Hashtbl.replace fids fid ()
+      | None -> ())
+    (live_frames_and_pcs t);
+  fids
+
+(* Copy a stack-live C_i function to a fresh region, rebasing intra-function
+   targets and redirecting cross-function targets out of the doomed region.
+   Returns the copy descriptor and an address-translation table for frames. *)
+let copy_stack_live_func t ~doomed ~old_entry_fid ~desired_entry fid =
+  let ranges =
+    (* This fid's code ranges inside the doomed region. *)
+    let sym = t.current.Binary.symbols.(fid) in
+    List.filter_map
+      (fun (r : Binary.range) ->
+        if in_range doomed r.Binary.r_start then Some (r.Binary.r_start, r.Binary.r_start + r.Binary.r_size)
+        else None)
+      sym.Binary.fs_ranges
+  in
+  let total = List.fold_left (fun acc (s, e) -> acc + (e - s)) 0 ranges in
+  let base = Addr_space.reserve_code t.proc.Proc.mem (total + 16) in
+  (* Lay the ranges consecutively at the new base. *)
+  let offsets =
+    let cursor = ref base in
+    List.map
+      (fun (s, e) ->
+        let o = (s, e, !cursor - s) in
+        cursor := !cursor + (e - s);
+        o)
+      ranges
+  in
+  let remap addr =
+    let rec go = function
+      | [] -> None
+      | (s, e, delta) :: rest -> if addr >= s && addr < e then Some (addr + delta) else go rest
+    in
+    go offsets
+  in
+  let addr_map = Hashtbl.create 64 in
+  let new_ranges = List.map (fun (s, e, delta) -> (s + delta, e + delta)) offsets in
+  List.iter
+    (fun (s, e) ->
+      let addr = ref s in
+      while !addr < e do
+        match Addr_space.read_code t.proc.Proc.mem !addr with
+        | None -> incr addr (* padding *)
+        | Some instr ->
+          let instr' =
+            match Instr.static_target instr with
+            | None -> instr
+            | Some target -> (
+              match remap target with
+              | Some t' -> Instr.with_target instr t'
+              | None ->
+                if in_range doomed target then
+                  (* A reference into another doomed function: only entries
+                     are valid cross-function targets; send it to the
+                     incoming version (or C0). *)
+                  match Hashtbl.find_opt old_entry_fid target with
+                  | Some callee -> Instr.with_target instr (desired_entry callee)
+                  | None -> instr
+                else instr)
+          in
+          let dst = match remap !addr with Some d -> d | None -> assert false in
+          Addr_space.write_code t.proc.Proc.mem dst instr';
+          Hashtbl.replace addr_map !addr dst;
+          addr := !addr + Instr.size instr
+      done)
+    ranges;
+  Addr_space.add_sym_ranges t.proc.Proc.mem
+    (List.map (fun (s, e) -> { Addr_space.sr_start = s; sr_end = e; sr_fid = fid }) new_ranges);
+  ({ cp_fid = fid; cp_ranges = new_ranges }, addr_map)
+
+(* Rewrite return addresses, saved callee entries and thread PCs through an
+   address map (continuous optimization, Section IV-C1). *)
+let patch_thread_code_pointers t addr_map =
+  Array.iter
+    (fun (thread : Ocolos_proc.Thread.t) ->
+      (match Hashtbl.find_opt addr_map thread.Ocolos_proc.Thread.pc with
+      | Some pc' -> thread.Ocolos_proc.Thread.pc <- pc'
+      | None -> ());
+      List.iter
+        (fun (frame : Ocolos_proc.Thread.frame) ->
+          (match Hashtbl.find_opt addr_map frame.Ocolos_proc.Thread.ret_addr with
+          | Some a -> frame.Ocolos_proc.Thread.ret_addr <- a
+          | None -> ());
+          match Hashtbl.find_opt addr_map frame.Ocolos_proc.Thread.callee_entry with
+          | Some a -> frame.Ocolos_proc.Thread.callee_entry <- a
+          | None -> ())
+        (Ocolos_proc.Thread.live_frames thread))
+    t.proc.Proc.threads
+
+exception Dangling_pointer of string
+
+(* Safety check after GC: no reachable code pointer may reference freed
+   code. Scans v-tables, thread PCs, return addresses and patched call
+   sites. *)
+let verify_no_dangling t ~freed =
+  let check what addr =
+    if in_range freed addr && Addr_space.read_code t.proc.Proc.mem addr = None then
+      raise (Dangling_pointer (Fmt.str "%s references freed code at 0x%x" what addr))
+  in
+  Array.iter
+    (fun (vid, slot, _) ->
+      check (Fmt.str "vtable %d slot %d" vid slot)
+        (Addr_space.read_data t.proc.Proc.mem (Addr_space.vtable_base t.proc.Proc.mem vid + slot)))
+    t.vtable_slots;
+  List.iter (fun addr -> check "thread stack/pc" addr) (live_frames_and_pcs t);
+  Array.iter
+    (fun (site, _, _) ->
+      match Addr_space.read_code t.proc.Proc.mem site with
+      | Some (Instr.Call target) -> check (Fmt.str "call site 0x%x" site) target
+      | Some _ | None -> ())
+    t.offline_sites
+
+(* Rebuild the live binary view after a replacement: code is snapshotted
+   from the process, symbols point at the newest version (falling back to
+   C0), sections gain the injected text so the next BOLT round allocates
+   above it. *)
+let refresh_current t (new_text : Binary.t) =
+  let code = Hashtbl.copy t.proc.Proc.mem.Addr_space.code in
+  let code_order =
+    let arr = Array.make (Hashtbl.length code) 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun addr _ ->
+        arr.(!i) <- addr;
+        incr i)
+      code;
+    Array.sort compare arr;
+    arr
+  in
+  let new_syms = Hashtbl.create 64 in
+  Array.iter (fun (s : Binary.func_sym) -> Hashtbl.replace new_syms s.Binary.fs_fid s)
+    new_text.Binary.symbols;
+  let copies_by_fid = Hashtbl.create 16 in
+  List.iter
+    (fun cp ->
+      let ranges =
+        List.map (fun (s, e) -> { Binary.r_start = s; r_size = e - s }) cp.cp_ranges
+      in
+      Hashtbl.replace copies_by_fid cp.cp_fid
+        (ranges @ Option.value ~default:[] (Hashtbl.find_opt copies_by_fid cp.cp_fid)))
+    t.copies;
+  let symbols =
+    Array.map
+      (fun (s : Binary.func_sym) ->
+        let fid = s.Binary.fs_fid in
+        let c0 =
+          List.map
+            (fun (rs, re) -> { Binary.r_start = rs; r_size = re - rs })
+            (Option.value ~default:[] (Hashtbl.find_opt t.c0_ranges fid))
+        in
+        let copies = Option.value ~default:[] (Hashtbl.find_opt copies_by_fid fid) in
+        match Hashtbl.find_opt new_syms fid with
+        | Some ns -> { ns with Binary.fs_ranges = ns.Binary.fs_ranges @ copies @ c0 }
+        | None ->
+          { s with
+            Binary.fs_entry = Hashtbl.find t.c0_entry fid;
+            fs_ranges = copies @ c0 })
+      t.original.Binary.symbols
+  in
+  let sections =
+    List.map
+      (fun (s : Binary.section) ->
+        if s.Binary.sec_name = ".text" then { s with Binary.sec_name = "bolt.org.text" } else s)
+      t.original.Binary.sections
+    @ new_text.Binary.sections
+  in
+  t.current <-
+    { t.original with
+      Binary.name = Fmt.str "%s.v%d" t.original.Binary.name t.version;
+      sections;
+      code;
+      code_order;
+      symbols;
+      global_init = t.original.Binary.global_init @ new_text.Binary.global_init;
+      entry = t.original.Binary.entry }
+
+(* The stop-the-world phase. Pauses the target, injects C_{i+1}, patches
+   code pointers, garbage-collects C_i (when continuous), resumes. *)
+let replace_code t (result : Bolt.result) : replacement_stats =
+  let proc = t.proc in
+  Proc.pause proc;
+  let new_text = result.Bolt.new_text in
+  (* 1. Inject the optimized code and its jump-table data. *)
+  Array.iter
+    (fun addr ->
+      Addr_space.write_code proc.Proc.mem addr (Hashtbl.find new_text.Binary.code addr))
+    new_text.Binary.code_order;
+  List.iter (fun (a, v) -> Addr_space.write_data proc.Proc.mem a v) new_text.Binary.global_init;
+  Addr_space.add_sym_ranges proc.Proc.mem
+    (Array.to_list new_text.Binary.symbols
+    |> List.concat_map (fun (s : Binary.func_sym) ->
+           List.map
+             (fun (r : Binary.range) ->
+               { Addr_space.sr_start = r.Binary.r_start;
+                 sr_end = r.Binary.r_start + r.Binary.r_size;
+                 sr_fid = s.Binary.fs_fid })
+             s.Binary.fs_ranges));
+  let bytes_injected = Binary.text_bytes new_text in
+  (* Keep the mmap cursor above the injected section. *)
+  let new_end = Bolt.sections_end new_text in
+  if proc.Proc.mem.Addr_space.next_map_base < new_end then
+    proc.Proc.mem.Addr_space.next_map_base <- (new_end + 0xFFFF) land lnot 0xFFFF;
+  (* 2. Entry maps. *)
+  let new_entries = Hashtbl.create 64 in
+  Array.iter
+    (fun (s : Binary.func_sym) -> Hashtbl.replace new_entries s.Binary.fs_fid s.Binary.fs_entry)
+    new_text.Binary.symbols;
+  let desired_entry fid =
+    match Hashtbl.find_opt new_entries fid with
+    | Some e -> e
+    | None -> Hashtbl.find t.c0_entry fid
+  in
+  (* Function pointers must keep referring to C0: register the new entries
+     in the translation map consulted by wrapFuncPtrCreation. *)
+  Hashtbl.iter
+    (fun fid entry -> Hashtbl.replace t.to_c0 entry (Hashtbl.find t.c0_entry fid))
+    new_entries;
+  (* 3. Patch v-tables. *)
+  let vt_patched = ref 0 in
+  Array.iter
+    (fun (vid, slot, fid) ->
+      let addr = Addr_space.vtable_base proc.Proc.mem vid + slot in
+      let cur = Addr_space.read_data proc.Proc.mem addr in
+      let want = desired_entry fid in
+      if cur <> want then begin
+        Addr_space.write_data proc.Proc.mem addr want;
+        incr vt_patched
+      end)
+    t.vtable_slots;
+  (* 4. Patch direct calls in stack-live C0 functions (or all, under the
+     ablation flag). In continuous rounds, any C0 site still targeting the
+     doomed C_i region must also be redirected so that GC is safe. *)
+  let live = stack_live_fids t in
+  let sites_patched = ref 0 in
+  Array.iter
+    (fun (site, owner, callee) ->
+      let cur_target =
+        match Addr_space.read_code proc.Proc.mem site with
+        | Some (Instr.Call cur) -> Some cur
+        | Some _ | None -> None
+      in
+      let target_doomed =
+        match (cur_target, t.live_text) with
+        | Some cur, Some doomed -> in_range doomed cur
+        | _, _ -> false
+      in
+      if t.config.patch_all_direct_calls || Hashtbl.mem live owner || target_doomed then begin
+        let want = desired_entry callee in
+        match cur_target with
+        | Some cur when cur <> want ->
+          Addr_space.write_code proc.Proc.mem site (Instr.Call want);
+          incr sites_patched
+        | Some _ | None -> ()
+      end)
+    t.offline_sites;
+  (* 5. Continuous optimization: evacuate and GC the previous version. *)
+  let copied = ref 0 and gc_bytes = ref 0 in
+  (match t.live_text with
+  | None -> ()
+  | Some doomed ->
+    let old_entry_fid = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun fid entry -> if in_range doomed entry then Hashtbl.replace old_entry_fid entry fid)
+      t.current_entry;
+    (* Stack-live functions executing in the doomed region get verbatim
+       copies; frames and PCs are rebased into the copies. *)
+    let doomed_live = Hashtbl.create 16 in
+    List.iter
+      (fun addr ->
+        if in_range doomed addr then
+          match Addr_space.fid_of_addr proc.Proc.mem addr with
+          | Some fid -> Hashtbl.replace doomed_live fid ()
+          | None -> ())
+      (live_frames_and_pcs t);
+    let addr_map = Hashtbl.create 256 in
+    Hashtbl.iter
+      (fun fid () ->
+        let cp, map = copy_stack_live_func t ~doomed ~old_entry_fid ~desired_entry fid in
+        t.copies <- cp :: t.copies;
+        incr copied;
+        Hashtbl.iter (fun k v -> Hashtbl.replace addr_map k v) map)
+      doomed_live;
+    patch_thread_code_pointers t addr_map;
+    (* Unmap the doomed text. *)
+    Array.iter
+      (fun addr ->
+        match Addr_space.read_code proc.Proc.mem addr with
+        | Some instr ->
+          gc_bytes := !gc_bytes + Instr.size instr;
+          Addr_space.remove_code proc.Proc.mem addr
+        | None -> ())
+      t.live_text_addrs;
+    Addr_space.remove_sym_ranges proc.Proc.mem ~pred:(fun r ->
+        in_range doomed r.Addr_space.sr_start);
+    (* Reap copies from earlier rounds that nothing references anymore. *)
+    let referenced = live_frames_and_pcs t in
+    let still_needed cp =
+      List.exists (fun addr -> List.exists (fun r -> in_range r addr) cp.cp_ranges) referenced
+    in
+    let keep, reap = List.partition still_needed t.copies in
+    (* Surviving copies from earlier rounds may still call into the doomed
+       region (their calls were resolved to C_i entries when copied):
+       redirect those to the incoming version. *)
+    List.iter
+      (fun cp ->
+        List.iter
+          (fun (s, e) ->
+            let addr = ref s in
+            while !addr < e do
+              match Addr_space.read_code proc.Proc.mem !addr with
+              | None -> incr addr
+              | Some instr ->
+                (match Instr.static_target instr with
+                | Some target when in_range doomed target -> (
+                  match Hashtbl.find_opt old_entry_fid target with
+                  | Some callee ->
+                    Addr_space.write_code proc.Proc.mem !addr
+                      (Instr.with_target instr (desired_entry callee))
+                  | None -> ())
+                | Some _ | None -> ());
+                addr := !addr + Instr.size instr
+            done)
+          cp.cp_ranges)
+      keep;
+    List.iter
+      (fun cp ->
+        List.iter
+          (fun (s, e) ->
+            let addr = ref s in
+            while !addr < e do
+              (match Addr_space.read_code proc.Proc.mem !addr with
+              | Some instr ->
+                gc_bytes := !gc_bytes + Instr.size instr;
+                Addr_space.remove_code proc.Proc.mem !addr;
+                addr := !addr + Instr.size instr
+              | None -> incr addr)
+            done;
+            Addr_space.remove_sym_ranges proc.Proc.mem ~pred:(fun r ->
+                r.Addr_space.sr_start >= s && r.Addr_space.sr_start < e))
+          cp.cp_ranges)
+      reap;
+    t.copies <- keep;
+    if t.config.verify_gc then verify_no_dangling t ~freed:doomed);
+  (* 6. Update version state and the live binary view. *)
+  t.version <- t.version + 1;
+  let sec =
+    match Binary.section_named new_text ".text" with
+    | Some s -> (s.Binary.sec_base, s.Binary.sec_base + s.Binary.sec_size)
+    | None -> (result.Bolt.bolt_base, result.Bolt.bolt_base)
+  in
+  t.live_text <- Some sec;
+  t.live_text_addrs <- Array.copy new_text.Binary.code_order;
+  let current_entry = Hashtbl.create 256 in
+  Hashtbl.iter (fun fid _ -> Hashtbl.replace current_entry fid (desired_entry fid)) t.c0_entry;
+  t.current_entry <- current_entry;
+  refresh_current t new_text;
+  (* 7. Stop-the-world cost, then resume. *)
+  let sites = !vt_patched + !sites_patched in
+  let pause_seconds =
+    Cost.pause_seconds t.config.cost ~sites ~bytes:bytes_injected
+  in
+  Proc.resume proc;
+  { version = t.version;
+    vtable_entries_patched = !vt_patched;
+    call_sites_patched = !sites_patched;
+    stack_live_funcs = Hashtbl.length live;
+    copied_funcs = !copied;
+    funcs_optimized = result.Bolt.funcs_reordered;
+    code_bytes_injected = bytes_injected;
+    gc_bytes_freed = !gc_bytes;
+    pause_seconds }
+
+let version t = t.version
+let current_binary t = t.current

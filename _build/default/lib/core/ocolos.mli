@@ -1,0 +1,76 @@
+(** OCOLOS: online code layout optimization of a running process (the
+    paper's primary contribution).
+
+    Pipeline (paper Fig. 4a): profile the target with LBR sampling, run BOLT
+    in the background, then pause the target, inject the optimized code C1
+    at fresh addresses while preserving C0 (design principle #1), update
+    v-table entries and direct calls inside stack-live functions so C1 runs
+    in the common case (principle #2), and resume — fixed costs only
+    (principle #3). Function pointers are pinned to C0 by the
+    wrapFuncPtrCreation hook, which also makes continuous optimization's
+    garbage collection of old versions safe. Continuous mode (C_i ->
+    C_{i+1}), which the paper could not evaluate due to an LLVM-BOLT
+    limitation, is fully implemented here: stack-live C_i functions are
+    copied verbatim with address rebasing, return addresses and PCs are
+    redirected, and the unreachable C_i region is unmapped. *)
+
+type config = {
+  bolt : Ocolos_bolt.Bolt.config;
+  perf : Ocolos_profiler.Perf.config;
+  cost : Cost.t;
+  patch_all_direct_calls : bool;
+      (** ablation: the paper found patching non-stack-live calls does not
+          help and only slows replacement *)
+  verify_gc : bool;  (** scan for dangling pointers after each GC *)
+}
+
+val default_config : config
+
+type replacement_stats = {
+  version : int;
+  vtable_entries_patched : int;
+  call_sites_patched : int;
+  stack_live_funcs : int;
+  copied_funcs : int;
+  funcs_optimized : int;
+  code_bytes_injected : int;
+  gc_bytes_freed : int;
+  pause_seconds : float;  (** modeled stop-the-world duration *)
+}
+
+type t
+
+(** Attach to a running process (the ptrace analog). Performs the offline
+    call-site analysis and installs the function-pointer creation hook. *)
+val attach : ?config:config -> Ocolos_proc.Proc.t -> t
+
+val version : t -> int
+
+(** The live binary view (C0 plus the current optimized version): symbol
+    resolution for profiling and the input to the next BOLT round. *)
+val current_binary : t -> Ocolos_binary.Binary.t
+
+(** Begin LBR sampling of the target. The caller keeps driving the process;
+    sampling happens as it runs. *)
+val start_profiling : t -> unit
+
+(** Stop sampling; returns the aggregated profile and the modeled perf2bolt
+    conversion time in seconds. *)
+val stop_profiling : t -> Ocolos_profiler.Profile.t * float
+
+(** Run BOLT on the current code version. Returns the result and the
+    modeled optimization time in seconds. *)
+val run_bolt : t -> Ocolos_profiler.Profile.t -> Ocolos_bolt.Bolt.result * float
+
+(** The stop-the-world phase: pause, inject, patch pointers, GC the
+    previous version (continuous mode), resume. *)
+val replace_code : t -> Ocolos_bolt.Bolt.result -> replacement_stats
+
+(** Raised by the post-GC safety scan when a reachable code pointer
+    references freed code. *)
+exception Dangling_pointer of string
+
+val verify_no_dangling : t -> freed:(int * int) -> unit
+
+(** Stack-live function set (by return addresses and PCs), as fids. *)
+val stack_live_fids : t -> (int, unit) Hashtbl.t

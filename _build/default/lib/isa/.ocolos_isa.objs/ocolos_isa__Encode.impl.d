@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Buffer Bytes Char Fmt Instr

@@ -1,0 +1,1 @@
+lib/isa/ir.ml: Array Fmt Instr List

@@ -1,0 +1,219 @@
+(* Instruction record codec.
+
+   Binaries serialize to byte images (see Ocolos_binary.Serialize) using a
+   compact record encoding: a one-byte opcode (ALU operation / branch
+   condition folded into the low bits) followed by zigzag-LEB128 operands.
+   This is a *file format*: the performance model's byte-accurate notion of
+   instruction size remains {!Instr.size} (x86-like fixed encodings), while
+   the on-disk records can carry full-width absolute addresses. *)
+
+open Instr
+
+exception Decode_error of string
+
+let decode_error fmt = Fmt.kstr (fun s -> raise (Decode_error s)) fmt
+
+let op_nop = 0x00
+let op_alu = 0x10 (* + alu_op *)
+let op_alui = 0x20 (* + alu_op *)
+let op_movi = 0x30
+let op_load = 0x31
+let op_store = 0x32
+let op_branch = 0x40 (* + cond *)
+let op_jump = 0x50
+let op_jumpind = 0x51
+let op_call = 0x52
+let op_callind = 0x53
+let op_ret = 0x54
+let op_fpcreate = 0x55
+let op_vtload = 0x60
+let op_rand = 0x61
+let op_txmark = 0x70
+let op_halt = 0x71
+
+let alu_code = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Xor -> 3
+  | And -> 4
+  | Or -> 5
+  | Shl -> 6
+  | Shr -> 7
+
+let alu_of_code = function
+  | 0 -> Add
+  | 1 -> Sub
+  | 2 -> Mul
+  | 3 -> Xor
+  | 4 -> And
+  | 5 -> Or
+  | 6 -> Shl
+  | 7 -> Shr
+  | c -> decode_error "bad alu op %d" c
+
+let cond_code = function Eq -> 0 | Ne -> 1 | Lt -> 2 | Ge -> 3 | Gt -> 4 | Le -> 5
+
+let cond_of_code = function
+  | 0 -> Eq
+  | 1 -> Ne
+  | 2 -> Lt
+  | 3 -> Ge
+  | 4 -> Gt
+  | 5 -> Le
+  | c -> decode_error "bad cond %d" c
+
+(* Zigzag LEB128 varints: small magnitudes stay small, negatives work. *)
+let put_varint buf v =
+  let z = (v lsl 1) lxor (v asr 62) in
+  let rec go z =
+    if z land lnot 0x7F = 0 then Buffer.add_char buf (Char.chr z)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (z land 0x7F)));
+      go (z lsr 7)
+    end
+  in
+  go z
+
+type reader = { bytes : Bytes.t; mutable pos : int }
+
+let read_byte r =
+  if r.pos >= Bytes.length r.bytes then decode_error "truncated image at %d" r.pos;
+  let c = Char.code (Bytes.get r.bytes r.pos) in
+  r.pos <- r.pos + 1;
+  c
+
+let read_varint r =
+  let rec go shift acc =
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  let z = go 0 0 in
+  (z lsr 1) lxor (-(z land 1))
+
+(* Append one instruction's record to [buf]. *)
+let encode buf i =
+  let byte op = Buffer.add_char buf (Char.chr op) in
+  let v x = put_varint buf x in
+  match i with
+  | Nop -> byte op_nop
+  | Alu (op, d, a, b) ->
+    byte (op_alu + alu_code op);
+    v d;
+    v a;
+    v b
+  | Alui (op, d, a, imm) ->
+    byte (op_alui + alu_code op);
+    v d;
+    v a;
+    v imm
+  | Movi (d, imm) ->
+    byte op_movi;
+    v d;
+    v imm
+  | Load (d, b, off) ->
+    byte op_load;
+    v d;
+    v b;
+    v off
+  | Store (s, b, off) ->
+    byte op_store;
+    v s;
+    v b;
+    v off
+  | Branch (c, r, target) ->
+    byte (op_branch + cond_code c);
+    v r;
+    v target
+  | Jump target ->
+    byte op_jump;
+    v target
+  | JumpInd r ->
+    byte op_jumpind;
+    v r
+  | Call target ->
+    byte op_call;
+    v target
+  | CallInd r ->
+    byte op_callind;
+    v r
+  | Ret -> byte op_ret
+  | FpCreate (d, target) ->
+    byte op_fpcreate;
+    v d;
+    v target
+  | VtLoad (d, vid, slot) ->
+    byte op_vtload;
+    v d;
+    v vid;
+    v slot
+  | Rand (d, bound) ->
+    byte op_rand;
+    v d;
+    v bound
+  | TxMark -> byte op_txmark
+  | Halt -> byte op_halt
+
+(* Read one instruction record. *)
+let decode r =
+  let op = read_byte r in
+  let v () = read_varint r in
+  if op >= op_alu && op < op_alu + 8 then begin
+    let d = v () in
+    let a = v () in
+    let b = v () in
+    Alu (alu_of_code (op - op_alu), d, a, b)
+  end
+  else if op >= op_alui && op < op_alui + 8 then begin
+    let d = v () in
+    let a = v () in
+    let imm = v () in
+    Alui (alu_of_code (op - op_alui), d, a, imm)
+  end
+  else if op >= op_branch && op < op_branch + 6 then begin
+    let r' = v () in
+    let target = v () in
+    Branch (cond_of_code (op - op_branch), r', target)
+  end
+  else
+    match () with
+    | () when op = op_nop -> Nop
+    | () when op = op_movi ->
+      let d = v () in
+      let imm = v () in
+      Movi (d, imm)
+    | () when op = op_load ->
+      let d = v () in
+      let b = v () in
+      let off = v () in
+      Load (d, b, off)
+    | () when op = op_store ->
+      let s = v () in
+      let b = v () in
+      let off = v () in
+      Store (s, b, off)
+    | () when op = op_jump -> Jump (v ())
+    | () when op = op_jumpind -> JumpInd (v ())
+    | () when op = op_call -> Call (v ())
+    | () when op = op_callind -> CallInd (v ())
+    | () when op = op_ret -> Ret
+    | () when op = op_fpcreate ->
+      let d = v () in
+      let t = v () in
+      FpCreate (d, t)
+    | () when op = op_vtload ->
+      let d = v () in
+      let vid = v () in
+      let slot = v () in
+      VtLoad (d, vid, slot)
+    | () when op = op_rand ->
+      let d = v () in
+      let b = v () in
+      Rand (d, b)
+    | () when op = op_txmark -> TxMark
+    | () when op = op_halt -> Halt
+    | () -> decode_error "unknown opcode 0x%02x at %d" op (r.pos - 1)
+
+let reader_of_bytes bytes = { bytes; pos = 0 }
+let at_end r = r.pos >= Bytes.length r.bytes

@@ -1,0 +1,26 @@
+(** Instruction record codec for on-disk binary images: a one-byte opcode
+    (ALU op / branch condition folded into the low bits) followed by
+    zigzag-LEB128 operands. This is a file format — the performance model's
+    byte-accurate instruction sizes remain {!Instr.size}. *)
+
+exception Decode_error of string
+
+(** Append one instruction's record. *)
+val encode : Buffer.t -> Instr.t -> unit
+
+type reader
+
+val reader_of_bytes : Bytes.t -> reader
+val at_end : reader -> bool
+
+(** Read one instruction record; raises {!Decode_error} on malformed
+    input. *)
+val decode : reader -> Instr.t
+
+(**/**)
+
+val put_varint : Buffer.t -> int -> unit
+val read_varint : reader -> int
+
+(** Read one raw byte (for embedded strings). *)
+val read_byte : reader -> int

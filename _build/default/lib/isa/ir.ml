@@ -1,0 +1,144 @@
+(* Pre-layout program representation.
+
+   The workload "compiler" produces this IR; the emitter linearizes it into
+   machine code given a layout. Control flow between basic blocks is
+   symbolic (block ids), and calls reference functions by id, so the same
+   program can be emitted under arbitrary layouts. *)
+
+type sinstr =
+  | Plain of Instr.t (* must not be control flow *)
+  | SCall of int (* direct call to function [fid] *)
+  | SCallInd of Instr.reg (* indirect call through a register *)
+  | SFpCreate of Instr.reg * int (* dst <- &funcs.(fid) *)
+
+type terminator =
+  | Tjump of int (* unconditional transfer to block id *)
+  | Tbranch of Instr.cond * Instr.reg * int * int (* taken bid, fallthrough bid *)
+  | Tjump_table of Instr.reg * int array (* computed goto over block ids *)
+  | Tret
+  | Thalt
+
+type block = { bid : int; body : sinstr list; term : terminator }
+
+type func = { fid : int; fname : string; blocks : block array }
+
+type program = {
+  funcs : func array; (* indexed by fid *)
+  vtables : int array array; (* vid -> slot -> fid *)
+  entry_fid : int;
+  globals_words : int; (* size of the global data region, in words *)
+  global_init : (int * int) list; (* word offset, initial value *)
+}
+
+let block_successors block =
+  match block.term with
+  | Tjump b -> [ b ]
+  | Tbranch (_, _, taken, fall) -> [ taken; fall ]
+  | Tjump_table (_, targets) -> Array.to_list targets
+  | Tret | Thalt -> []
+
+let func_instr_count f =
+  Array.fold_left (fun acc b -> acc + List.length b.body + 1) 0 f.blocks
+
+let program_instr_count p = Array.fold_left (fun acc f -> acc + func_instr_count f) 0 p.funcs
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+(* Structural validation: ids in range, no control-flow instructions hidden
+   inside [Plain], vtable slots referencing real functions. *)
+let validate p =
+  let nfuncs = Array.length p.funcs in
+  if p.entry_fid < 0 || p.entry_fid >= nfuncs then invalid "entry_fid %d out of range" p.entry_fid;
+  Array.iteri
+    (fun fid f ->
+      if f.fid <> fid then invalid "function %s: fid %d at index %d" f.fname f.fid fid;
+      if Array.length f.blocks = 0 then invalid "function %s has no blocks" f.fname;
+      let nblocks = Array.length f.blocks in
+      let check_bid b =
+        if b < 0 || b >= nblocks then invalid "function %s: block id %d out of range" f.fname b
+      in
+      Array.iteri
+        (fun bid blk ->
+          if blk.bid <> bid then invalid "function %s: bid %d at index %d" f.fname blk.bid bid;
+          List.iter
+            (fun si ->
+              match si with
+              | Plain i ->
+                if Instr.is_control_flow i then
+                  invalid "function %s: control-flow instr %s in Plain" f.fname (Instr.to_string i)
+              | SCallInd _ -> ()
+              | SCall callee | SFpCreate (_, callee) ->
+                if callee < 0 || callee >= nfuncs then
+                  invalid "function %s: callee fid %d out of range" f.fname callee)
+            blk.body;
+          List.iter check_bid (block_successors blk))
+        f.blocks)
+    p.funcs;
+  Array.iteri
+    (fun vid vt ->
+      Array.iteri
+        (fun slot fid ->
+          if fid < 0 || fid >= nfuncs then
+            invalid "vtable %d slot %d: fid %d out of range" vid slot fid)
+        vt)
+    p.vtables
+
+(* Lower jump tables into compare-and-branch trees (the -fno-jump-tables
+   compilation mode that OCOLOS requires of its target binaries). Uses r15 as
+   a scratch register. New blocks are appended, so existing block ids stay
+   stable. *)
+let scratch_reg = 15
+
+let lower_jump_tables_func f =
+  let extra = ref [] in
+  let next_bid = ref (Array.length f.blocks) in
+  let fresh_block body term =
+    let bid = !next_bid in
+    incr next_bid;
+    extra := { bid; body; term } :: !extra;
+    bid
+  in
+  (* Chain block i tests selector == i, branching to targets.(i), else to the
+     next test; the last test falls through to the final target. *)
+  let lower_table sel targets =
+    let n = Array.length targets in
+    if n = 0 then invalid "jump table with no targets";
+    if n = 1 then ([], Tjump targets.(0))
+    else begin
+      let rec chain i =
+        (* Returns the block id performing tests from index i upward. *)
+        if i = n - 1 then targets.(i)
+        else
+          let rest = chain (i + 1) in
+          fresh_block
+            [ Plain (Instr.Alui (Instr.Sub, scratch_reg, sel, i)) ]
+            (Tbranch (Instr.Eq, scratch_reg, targets.(i), rest))
+      in
+      let rest = chain 1 in
+      ( [ Plain (Instr.Alui (Instr.Sub, scratch_reg, sel, 0)) ],
+        Tbranch (Instr.Eq, scratch_reg, targets.(0), rest) )
+    end
+  in
+  let blocks =
+    Array.map
+      (fun blk ->
+        match blk.term with
+        | Tjump_table (sel, targets) ->
+          let prefix, term = lower_table sel targets in
+          { blk with body = blk.body @ prefix; term }
+        | Tjump _ | Tbranch _ | Tret | Thalt -> blk)
+      f.blocks
+  in
+  { f with blocks = Array.append blocks (Array.of_list (List.rev !extra)) }
+
+let lower_jump_tables p = { p with funcs = Array.map lower_jump_tables_func p.funcs }
+
+let has_jump_tables p =
+  Array.exists
+    (fun f ->
+      Array.exists
+        (fun b -> match b.term with Tjump_table _ -> true | Tjump _ | Tbranch _ | Tret | Thalt -> false)
+        f.blocks)
+    p.funcs

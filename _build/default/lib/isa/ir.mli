@@ -1,0 +1,50 @@
+(** Pre-layout program representation.
+
+    The workload "compiler" produces this IR; {!Ocolos_binary.Emit}
+    linearizes it into machine code given a layout. Control flow between
+    basic blocks is symbolic (block ids) and calls reference functions by id,
+    so one program can be emitted under arbitrary layouts. *)
+
+type sinstr =
+  | Plain of Instr.t  (** any non-control-flow instruction *)
+  | SCall of int  (** direct call to function [fid] *)
+  | SCallInd of Instr.reg  (** indirect call through a register *)
+  | SFpCreate of Instr.reg * int  (** dst <- address of function [fid] *)
+
+type terminator =
+  | Tjump of int
+  | Tbranch of Instr.cond * Instr.reg * int * int  (** taken bid, fallthrough bid *)
+  | Tjump_table of Instr.reg * int array
+  | Tret
+  | Thalt
+
+type block = { bid : int; body : sinstr list; term : terminator }
+type func = { fid : int; fname : string; blocks : block array }
+
+type program = {
+  funcs : func array;  (** indexed by fid *)
+  vtables : int array array;  (** vid -> slot -> fid *)
+  entry_fid : int;
+  globals_words : int;  (** size of the global data region, in words *)
+  global_init : (int * int) list;  (** (word offset, initial value) pairs *)
+}
+
+val block_successors : block -> int list
+val func_instr_count : func -> int
+val program_instr_count : program -> int
+
+exception Invalid of string
+
+(** Structural validation; raises {!Invalid} on malformed programs. *)
+val validate : program -> unit
+
+(** Scratch register reserved for jump-table lowering. *)
+val scratch_reg : int
+
+(** Lower all [Tjump_table] terminators into compare-and-branch chains — the
+    [-fno-jump-tables] compilation mode OCOLOS requires of target binaries.
+    Existing block ids are preserved; new blocks are appended. *)
+val lower_jump_tables : program -> program
+
+val lower_jump_tables_func : func -> func
+val has_jump_tables : program -> bool

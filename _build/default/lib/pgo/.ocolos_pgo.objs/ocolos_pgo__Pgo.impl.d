@@ -1,0 +1,1 @@
+lib/pgo/pgo.ml: Array Binary Emit Hashtbl Instr Ir Layout List Ocolos_binary Ocolos_bolt Ocolos_isa Ocolos_profiler

@@ -1,0 +1,1 @@
+lib/pgo/pgo.mli: Ocolos_binary Ocolos_isa Ocolos_profiler

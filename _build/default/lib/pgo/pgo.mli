@@ -1,0 +1,33 @@
+(** Compiler PGO analog (clang's -fprofile-use configuration in the paper's
+    Fig. 5).
+
+    The machine-level LBR profile is mapped back to source-level IR through
+    debug info — a lossy process (dropped edges, blurred counts) that models
+    why compiler PGO trails BOLT — and the whole program is recompiled with
+    block reordering and C3 function ordering driven by the degraded
+    counts. *)
+
+type config = {
+  edge_drop_prob : float;
+  call_drop_prob : float;
+  count_blur : float;
+  hot_threshold : int;
+}
+
+val default_config : config
+
+type result = {
+  binary : Ocolos_binary.Binary.t;
+  funcs_reordered : int;
+  edges_mapped : int;
+  edges_total : int;
+}
+
+val run :
+  ?config:config ->
+  program:Ocolos_isa.Ir.program ->
+  binary:Ocolos_binary.Binary.t ->
+  profile:Ocolos_profiler.Profile.t ->
+  name:string ->
+  unit ->
+  result

@@ -1,0 +1,1 @@
+lib/proc/addr_space.ml: Array Binary Hashtbl Instr List Ocolos_binary Ocolos_isa

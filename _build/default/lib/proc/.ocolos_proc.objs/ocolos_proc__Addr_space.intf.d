@@ -1,0 +1,1 @@
+lib/proc/addr_space.mli: Hashtbl Ocolos_binary Ocolos_isa

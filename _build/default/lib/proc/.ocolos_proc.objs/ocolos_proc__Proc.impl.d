@@ -1,0 +1,1 @@
+lib/proc/proc.ml: Addr_space Array Float Fmt Instr Ocolos_binary Ocolos_isa Ocolos_uarch Ocolos_util Thread

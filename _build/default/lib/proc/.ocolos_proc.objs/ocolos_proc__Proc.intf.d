@@ -1,0 +1,1 @@
+lib/proc/proc.mli: Addr_space Ocolos_binary Ocolos_uarch Thread

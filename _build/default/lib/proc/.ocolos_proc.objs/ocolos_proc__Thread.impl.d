@@ -1,0 +1,1 @@
+lib/proc/thread.ml: Array Instr List Ocolos_isa Ocolos_uarch Ocolos_util

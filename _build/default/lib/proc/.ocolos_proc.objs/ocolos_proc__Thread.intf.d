@@ -1,0 +1,1 @@
+lib/proc/thread.mli: Ocolos_uarch Ocolos_util

@@ -1,0 +1,118 @@
+(* The address space of a simulated process.
+
+   Code and data live in separate spaces (instruction memory is a map from
+   byte address to decoded instruction; data memory is word-addressed).
+   OCOLOS mutates the code map at run time when it injects optimized code,
+   and appends symbol ranges so that address->function resolution keeps
+   working for the injected region. *)
+
+open Ocolos_isa
+open Ocolos_binary
+
+type sym_range = { sr_start : int; sr_end : int; sr_fid : int }
+
+type t = {
+  code : (int, Instr.t) Hashtbl.t;
+  data : (int, int) Hashtbl.t; (* word address -> value; absent = 0 *)
+  vtable_addr : int array; (* vid -> base address in data memory *)
+  mutable sym_index : sym_range array; (* sorted by sr_start *)
+  mutable code_bytes : int; (* total bytes of mapped code *)
+  mutable next_map_base : int; (* first free code address for injection *)
+}
+
+let read_data t addr = match Hashtbl.find_opt t.data addr with Some v -> v | None -> 0
+
+let write_data t addr v = Hashtbl.replace t.data addr v
+
+let read_code t addr = Hashtbl.find_opt t.code addr
+
+let write_code t addr instr =
+  (match Hashtbl.find_opt t.code addr with
+  | Some old -> t.code_bytes <- t.code_bytes - Instr.size old
+  | None -> ());
+  Hashtbl.replace t.code addr instr;
+  t.code_bytes <- t.code_bytes + Instr.size instr
+
+let remove_code t addr =
+  match Hashtbl.find_opt t.code addr with
+  | Some old ->
+    t.code_bytes <- t.code_bytes - Instr.size old;
+    Hashtbl.remove t.code addr
+  | None -> ()
+
+let rebuild_sym_index t ranges =
+  let arr = Array.of_list ranges in
+  Array.sort (fun a b -> compare a.sr_start b.sr_start) arr;
+  t.sym_index <- arr
+
+let add_sym_ranges t ranges =
+  rebuild_sym_index t (ranges @ Array.to_list t.sym_index)
+
+let remove_sym_ranges t ~pred =
+  rebuild_sym_index t (List.filter (fun r -> not (pred r)) (Array.to_list t.sym_index))
+
+(* Binary search over symbol ranges. *)
+let fid_of_addr t addr =
+  let idx = t.sym_index in
+  let lo = ref 0 and hi = ref (Array.length idx - 1) and found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = idx.(mid) in
+    if addr < r.sr_start then hi := mid - 1
+    else if addr >= r.sr_end then lo := mid + 1
+    else begin
+      found := Some r.sr_fid;
+      lo := !hi + 1
+    end
+  done;
+  !found
+
+(* Map a binary image: copy code, initialize globals and v-tables, index
+   symbols. *)
+let load (binary : Binary.t) =
+  let t =
+    { code = Hashtbl.create (Array.length binary.Binary.code_order * 2);
+      data = Hashtbl.create 4096;
+      vtable_addr = Array.map (fun vt -> vt.Binary.vt_addr) binary.Binary.vtables;
+      sym_index = [||];
+      code_bytes = 0;
+      next_map_base = 0 }
+  in
+  Array.iter
+    (fun addr -> write_code t addr (Hashtbl.find binary.Binary.code addr))
+    binary.Binary.code_order;
+  List.iter (fun (addr, v) -> write_data t addr v) binary.Binary.global_init;
+  Array.iter
+    (fun vt ->
+      Array.iteri (fun slot target -> write_data t (vt.Binary.vt_addr + slot) target)
+        vt.Binary.vt_entries)
+    binary.Binary.vtables;
+  let ranges =
+    Array.to_list binary.Binary.symbols
+    |> List.concat_map (fun s ->
+           List.map
+             (fun r ->
+               { sr_start = r.Binary.r_start;
+                 sr_end = r.Binary.r_start + r.Binary.r_size;
+                 sr_fid = s.Binary.fs_fid })
+             s.Binary.fs_ranges)
+  in
+  rebuild_sym_index t ranges;
+  let max_end =
+    List.fold_left
+      (fun acc (s : Binary.section) -> max acc (s.Binary.sec_base + s.Binary.sec_size))
+      0 binary.Binary.sections
+  in
+  t.next_map_base <- (max_end + 0xFFFF) land lnot 0xFFFF;
+  t
+
+(* Reserve [bytes] of fresh code address space (page-aligned), as an
+   anonymous executable mmap would. *)
+let reserve_code t bytes =
+  let base = t.next_map_base in
+  t.next_map_base <- (base + bytes + 0xFFF) land lnot 0xFFF;
+  base
+
+let vtable_base t vid = t.vtable_addr.(vid)
+
+let code_instr_count t = Hashtbl.length t.code

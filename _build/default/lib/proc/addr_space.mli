@@ -1,0 +1,41 @@
+(** The address space of a simulated process.
+
+    Code and data live in separate spaces: instruction memory maps byte
+    addresses to decoded instructions; data memory is word-addressed.
+    OCOLOS mutates the code map when injecting optimized code and extends
+    the symbol index so address->function resolution covers the injected
+    region. *)
+
+type sym_range = { sr_start : int; sr_end : int; sr_fid : int }
+
+type t = {
+  code : (int, Ocolos_isa.Instr.t) Hashtbl.t;
+  data : (int, int) Hashtbl.t;
+  vtable_addr : int array;  (** vid -> base address in data memory *)
+  mutable sym_index : sym_range array;
+  mutable code_bytes : int;
+  mutable next_map_base : int;
+}
+
+val read_data : t -> int -> int
+val write_data : t -> int -> int -> unit
+val read_code : t -> int -> Ocolos_isa.Instr.t option
+val write_code : t -> int -> Ocolos_isa.Instr.t -> unit
+val remove_code : t -> int -> unit
+
+val add_sym_ranges : t -> sym_range list -> unit
+val remove_sym_ranges : t -> pred:(sym_range -> bool) -> unit
+
+(** Function owning a code address, via the symbol index. *)
+val fid_of_addr : t -> int -> int option
+
+(** Map a binary image: copy code, initialize globals and v-tables, index
+    symbols. *)
+val load : Ocolos_binary.Binary.t -> t
+
+(** Reserve fresh page-aligned code address space (an anonymous executable
+    mmap). Returns the base address. *)
+val reserve_code : t -> int -> int
+
+val vtable_base : t -> int -> int
+val code_instr_count : t -> int

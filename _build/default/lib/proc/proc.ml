@@ -1,0 +1,216 @@
+(* A simulated process: an address space plus threads, an interpreter and a
+   round-robin scheduler.
+
+   External controllers (the profiler, OCOLOS) interact with the process the
+   way perf and ptrace do with a real one: a taken-branch hook observes
+   control flow (the LBR analog), pause/resume stops all threads at an
+   instruction boundary, and the address space and per-thread register/stack
+   state are directly inspectable and patchable while paused. *)
+
+open Ocolos_isa
+
+type branch_kind = Cond | Jump | IndJump | DirectCall | IndCall | Return
+
+type hooks = {
+  mutable on_taken_branch :
+    (tid:int -> from_addr:int -> to_addr:int -> kind:branch_kind -> cycles:float -> unit) option;
+  mutable translate_fp : (int -> int) option;
+      (* wrapFuncPtrCreation: rewrites the value materialized by FpCreate *)
+}
+
+type t = {
+  mem : Addr_space.t;
+  threads : Thread.t array;
+  binary : Ocolos_binary.Binary.t; (* the image the process was launched from *)
+  hooks : hooks;
+  mutable instret : int; (* total instructions retired, all threads *)
+  mutable paused : bool;
+}
+
+let load ?(nthreads = 1) ?(cfg = Ocolos_uarch.Config.broadwell) ?(seed = 42) binary =
+  let mem = Addr_space.load binary in
+  let threads =
+    Array.init nthreads (fun tid ->
+        Thread.create ~tid ~entry:binary.Ocolos_binary.Binary.entry ~seed:(seed + (7919 * tid))
+          ~cfg)
+  in
+  { mem;
+    threads;
+    binary;
+    hooks = { on_taken_branch = None; translate_fp = None };
+    instret = 0;
+    paused = false }
+
+exception Fault of string
+
+let fault t (thread : Thread.t) fmt =
+  Fmt.kstr
+    (fun msg ->
+      thread.Thread.state <- Thread.Faulted msg;
+      ignore t;
+      raise (Fault msg))
+    fmt
+
+let notify_branch t (thread : Thread.t) ~from_addr ~to_addr ~kind =
+  match t.hooks.on_taken_branch with
+  | None -> ()
+  | Some f ->
+    f ~tid:thread.Thread.tid ~from_addr ~to_addr ~kind
+      ~cycles:(Ocolos_uarch.Core.cycles thread.Thread.core)
+
+(* Execute exactly one instruction on [thread]. *)
+let step t (thread : Thread.t) =
+  let pc = thread.Thread.pc in
+  let instr =
+    match Addr_space.read_code t.mem pc with
+    | Some i -> i
+    | None -> fault t thread "thread %d: fetch from unmapped address 0x%x" thread.Thread.tid pc
+  in
+  let size = Instr.size instr in
+  let core = thread.Thread.core in
+  let regs = thread.Thread.regs in
+  Ocolos_uarch.Core.fetch core ~addr:pc ~size;
+  thread.Thread.instret <- thread.Thread.instret + 1;
+  t.instret <- t.instret + 1;
+  let next = pc + size in
+  (match instr with
+  | Instr.Nop | Instr.TxMark ->
+    if instr = Instr.TxMark then Ocolos_uarch.Core.on_tx core;
+    thread.Thread.pc <- next
+  | Instr.Alu (op, d, a, b) ->
+    regs.(d) <- Instr.eval_alu op regs.(a) regs.(b);
+    thread.Thread.pc <- next
+  | Instr.Alui (op, d, a, imm) ->
+    regs.(d) <- Instr.eval_alu op regs.(a) imm;
+    thread.Thread.pc <- next
+  | Instr.Movi (d, imm) ->
+    regs.(d) <- imm;
+    thread.Thread.pc <- next
+  | Instr.Load (d, b, off) ->
+    let addr = regs.(b) + off in
+    Ocolos_uarch.Core.on_mem core ~addr:(addr lsl 3);
+    regs.(d) <- Addr_space.read_data t.mem addr;
+    thread.Thread.pc <- next
+  | Instr.Store (s, b, off) ->
+    let addr = regs.(b) + off in
+    Ocolos_uarch.Core.on_mem core ~addr:(addr lsl 3);
+    Addr_space.write_data t.mem addr regs.(s);
+    thread.Thread.pc <- next
+  | Instr.Branch (c, r, target) ->
+    let taken = Instr.eval_cond c regs.(r) in
+    Ocolos_uarch.Core.on_cond_branch core ~pc ~taken ~target;
+    if taken then begin
+      notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:Cond;
+      thread.Thread.pc <- target
+    end
+    else thread.Thread.pc <- next
+  | Instr.Jump target ->
+    Ocolos_uarch.Core.on_jump core ~pc ~target;
+    notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:Jump;
+    thread.Thread.pc <- target
+  | Instr.JumpInd r ->
+    let target = regs.(r) in
+    Ocolos_uarch.Core.on_indirect_jump core ~pc ~target;
+    notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:IndJump;
+    thread.Thread.pc <- target
+  | Instr.Call target ->
+    Thread.push_frame thread ~ret_addr:next ~callee_entry:target;
+    Ocolos_uarch.Core.on_call core ~pc ~target ~return_addr:next ~indirect:false;
+    notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:DirectCall;
+    thread.Thread.pc <- target
+  | Instr.CallInd r ->
+    let target = regs.(r) in
+    Thread.push_frame thread ~ret_addr:next ~callee_entry:target;
+    Ocolos_uarch.Core.on_call core ~pc ~target ~return_addr:next ~indirect:true;
+    notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:IndCall;
+    thread.Thread.pc <- target
+  | Instr.Ret -> (
+    match Thread.pop_frame thread with
+    | Some target ->
+      Ocolos_uarch.Core.on_ret core ~pc ~target;
+      notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:Return;
+      thread.Thread.pc <- target
+    | None -> thread.Thread.state <- Thread.Halted)
+  | Instr.FpCreate (d, target) ->
+    let v = match t.hooks.translate_fp with None -> target | Some f -> f target in
+    regs.(d) <- v;
+    thread.Thread.pc <- next
+  | Instr.VtLoad (d, vid, slot) ->
+    let addr = Addr_space.vtable_base t.mem vid + slot in
+    Ocolos_uarch.Core.on_mem core ~addr:(addr lsl 3);
+    regs.(d) <- Addr_space.read_data t.mem addr;
+    thread.Thread.pc <- next
+  | Instr.Rand (d, bound) ->
+    regs.(d) <- Ocolos_util.Rng.int thread.Thread.rng bound;
+    thread.Thread.pc <- next
+  | Instr.Halt -> thread.Thread.state <- Thread.Halted)
+
+let runnable t = Array.exists Thread.is_running t.threads
+
+(* Round-robin execution until every running thread's core has reached the
+   cycle horizon, all threads halt, or the global instruction budget is
+   exhausted. The cycle horizon is the simulated wall clock: running every
+   core to the same cycle count models threads running concurrently on
+   dedicated cores for the same duration. *)
+let run ?(quantum = 64) ?(max_instrs = max_int) ~cycle_limit t =
+  if t.paused then invalid_arg "Proc.run: process is paused";
+  let budget = ref max_instrs in
+  let progress = ref true in
+  while !progress && !budget > 0 do
+    progress := false;
+    Array.iter
+      (fun thread ->
+        if Thread.is_running thread
+           && Ocolos_uarch.Core.cycles thread.Thread.core < cycle_limit
+        then begin
+          let steps = min quantum !budget in
+          let i = ref 0 in
+          while
+            !i < steps
+            && Thread.is_running thread
+            && Ocolos_uarch.Core.cycles thread.Thread.core < cycle_limit
+          do
+            step t thread;
+            incr i
+          done;
+          budget := !budget - !i;
+          if !i > 0 then progress := true
+        end)
+      t.threads
+  done
+
+(* ptrace-style control: pause stops execution at an instruction boundary
+   (callers may then inspect and patch state); resume allows run again. *)
+let pause t = t.paused <- true
+let resume t = t.paused <- false
+
+(* Advance every running thread's core clock without executing instructions
+   (a stop-the-world interval: threads stand still while wall time passes). *)
+let stall_all t ~cycles ~category =
+  Array.iter
+    (fun thread ->
+      if Thread.is_running thread then
+        Ocolos_uarch.Core.stall thread.Thread.core ~cycles ~category)
+    t.threads
+
+let total_counters t =
+  Array.fold_left
+    (fun acc thread -> Ocolos_uarch.Counters.add acc (Ocolos_uarch.Core.snapshot thread.Thread.core))
+    Ocolos_uarch.Counters.zero t.threads
+
+let max_cycles t =
+  Array.fold_left
+    (fun acc thread -> Float.max acc (Ocolos_uarch.Core.cycles thread.Thread.core))
+    0.0 t.threads
+
+let transactions t =
+  Array.fold_left
+    (fun acc thread -> acc + (Ocolos_uarch.Core.snapshot thread.Thread.core).Ocolos_uarch.Counters.transactions)
+    0 t.threads
+
+(* Read a global word, by word offset within the globals region. *)
+let read_global t off =
+  Addr_space.read_data t.mem (t.binary.Ocolos_binary.Binary.globals_base + off)
+
+let write_global t off v =
+  Addr_space.write_data t.mem (t.binary.Ocolos_binary.Binary.globals_base + off) v

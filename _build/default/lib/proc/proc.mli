@@ -1,0 +1,67 @@
+(** A simulated process: an address space plus threads, an interpreter and a
+    round-robin scheduler.
+
+    External controllers (the profiler, OCOLOS) interact with the process
+    the way perf and ptrace do with a real one: a taken-branch hook observes
+    control flow (the LBR analog), pause/resume stops all threads at an
+    instruction boundary, and the address space and per-thread
+    register/stack state are inspectable and patchable while paused. *)
+
+type branch_kind = Cond | Jump | IndJump | DirectCall | IndCall | Return
+
+type hooks = {
+  mutable on_taken_branch :
+    (tid:int -> from_addr:int -> to_addr:int -> kind:branch_kind -> cycles:float -> unit)
+    option;
+  mutable translate_fp : (int -> int) option;
+      (** the wrapFuncPtrCreation callback: rewrites values materialized by
+          [FpCreate] (paper Section IV-C2) *)
+}
+
+type t = {
+  mem : Addr_space.t;
+  threads : Thread.t array;
+  binary : Ocolos_binary.Binary.t;
+  hooks : hooks;
+  mutable instret : int;
+  mutable paused : bool;
+}
+
+(** Launch a process from a binary image with [nthreads] worker threads, all
+    starting at the binary entry point with distinct PRNG seeds. *)
+val load :
+  ?nthreads:int -> ?cfg:Ocolos_uarch.Config.t -> ?seed:int -> Ocolos_binary.Binary.t -> t
+
+exception Fault of string
+
+(** Execute one instruction on the given thread. Raises {!Fault} on an
+    unmapped fetch (the thread is marked faulted first). *)
+val step : t -> Thread.t -> unit
+
+val runnable : t -> bool
+
+(** Round-robin execution until every running thread's core reaches
+    [cycle_limit], all threads halt, or [max_instrs] is exhausted. Running
+    every core to a common cycle horizon models concurrent execution on
+    dedicated cores. Raises [Invalid_argument] if the process is paused. *)
+val run : ?quantum:int -> ?max_instrs:int -> cycle_limit:float -> t -> unit
+
+val pause : t -> unit
+val resume : t -> unit
+
+(** Advance running threads' clocks without executing instructions (a
+    stop-the-world interval). *)
+val stall_all :
+  t -> cycles:float -> category:[ `Frontend | `Backend | `BadSpec ] -> unit
+
+(** Sum of all threads' counters. *)
+val total_counters : t -> Ocolos_uarch.Counters.t
+
+val max_cycles : t -> float
+val transactions : t -> int
+
+(** Read/write a word in the globals region by word offset (how the workload
+    driver sets input parameters). *)
+val read_global : t -> int -> int
+
+val write_global : t -> int -> int -> unit

@@ -1,0 +1,1 @@
+lib/profiler/lbr.ml: Array

@@ -1,0 +1,1 @@
+lib/profiler/perf.ml: Array Lbr List Ocolos_proc Ocolos_uarch

@@ -1,0 +1,1 @@
+lib/profiler/perf.mli: Lbr Ocolos_proc

@@ -1,0 +1,1 @@
+lib/profiler/perf2bolt.ml: Array Binary Hashtbl Lbr List Ocolos_binary Ocolos_isa Perf Profile

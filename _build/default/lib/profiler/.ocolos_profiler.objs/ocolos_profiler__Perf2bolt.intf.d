@@ -1,0 +1,1 @@
+lib/profiler/perf2bolt.mli: Ocolos_binary Perf Profile

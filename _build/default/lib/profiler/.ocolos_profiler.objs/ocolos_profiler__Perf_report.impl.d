@@ -1,0 +1,1 @@
+lib/profiler/perf_report.ml: Array Fmt Hashtbl List Ocolos_binary Ocolos_proc Ocolos_uarch Option

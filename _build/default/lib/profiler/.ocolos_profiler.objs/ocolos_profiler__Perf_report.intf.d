@@ -1,0 +1,1 @@
+lib/profiler/perf_report.mli: Format Ocolos_binary Ocolos_isa Ocolos_proc

@@ -1,0 +1,1 @@
+lib/profiler/profile.ml: Fmt Hashtbl List

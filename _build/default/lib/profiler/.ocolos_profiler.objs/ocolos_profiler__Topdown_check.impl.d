@@ -1,0 +1,1 @@
+lib/profiler/topdown_check.ml: Counters Ocolos_uarch

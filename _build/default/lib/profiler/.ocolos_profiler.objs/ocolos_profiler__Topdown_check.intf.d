@@ -1,0 +1,1 @@
+lib/profiler/topdown_check.mli: Ocolos_uarch

@@ -1,0 +1,31 @@
+(* Last Branch Record ring buffer.
+
+   Models Intel's LBR facility (Section II-A of the paper): the 32 most
+   recent taken control transfers, recorded as (source PC, target) pairs.
+   Software samples the ring to reconstruct hot control-flow paths. *)
+
+type entry = { from_addr : int; to_addr : int }
+
+type t = {
+  slots : entry array;
+  mutable head : int; (* next write position *)
+  mutable filled : int;
+}
+
+let capacity = 32
+
+let create () = { slots = Array.make capacity { from_addr = 0; to_addr = 0 }; head = 0; filled = 0 }
+
+let record t ~from_addr ~to_addr =
+  t.slots.(t.head) <- { from_addr; to_addr };
+  t.head <- (t.head + 1) mod capacity;
+  t.filled <- min capacity (t.filled + 1)
+
+(* Entries oldest-first, as a sample snapshot. *)
+let snapshot t =
+  Array.init t.filled (fun i ->
+      t.slots.((t.head + capacity - t.filled + i) mod capacity))
+
+let clear t =
+  t.head <- 0;
+  t.filled <- 0

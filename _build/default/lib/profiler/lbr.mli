@@ -1,0 +1,14 @@
+(** Last Branch Record ring buffer (Intel LBR analog, 32 entries): the most
+    recent taken control transfers as (source PC, target) pairs. *)
+
+type entry = { from_addr : int; to_addr : int }
+type t
+
+val capacity : int
+val create : unit -> t
+val record : t -> from_addr:int -> to_addr:int -> unit
+
+(** Current contents, oldest first. *)
+val snapshot : t -> entry array
+
+val clear : t -> unit

@@ -1,0 +1,29 @@
+(** perf-record analog: LBR sampling of a running process.
+
+    Attaching installs a taken-branch hook feeding per-thread LBR rings;
+    every [sample_period] core cycles the ring is snapshotted (a PMI),
+    charging a small overhead to the sampled thread — the throughput dip of
+    the paper's Fig. 7 region 2. *)
+
+type config = {
+  sample_period : int;  (** core cycles between PMIs, per thread *)
+  pmi_overhead : float;  (** cycles charged to the thread per sample *)
+}
+
+val default_config : config
+
+type sample = { s_tid : int; entries : Lbr.entry array }
+type session
+
+(** Attach to a (running or about-to-run) process. The caller keeps driving
+    the process; branch events flow into the session until {!stop}. *)
+val start : ?cfg:config -> Ocolos_proc.Proc.t -> session
+
+(** Detach, restoring any previous hook; returns samples oldest first. *)
+val stop : session -> sample list
+
+val sample_count : session -> int
+
+(** Total LBR records across samples (raw profile volume; drives the
+    perf2bolt cost model). *)
+val record_count : sample list -> int

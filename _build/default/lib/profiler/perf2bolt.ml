@@ -1,0 +1,56 @@
+(* perf2bolt analog: convert raw LBR samples into an aggregated profile.
+
+   Classifies each LBR entry against the binary (call edge vs. branch edge)
+   and derives fallthrough ranges from consecutive entries — the range
+   [to_1, from_2] between two successive taken branches executed straight
+   line. The conversion dominates OCOLOS's background costs in the paper
+   (Table II), so we expose the processed record count for the cost model. *)
+
+open Ocolos_binary
+
+let convert ~(binary : Binary.t) (samples : Perf.sample list) : Profile.t =
+  let profile = Profile.create () in
+  let index = Binary.build_addr_index binary in
+  let fid_of addr = Binary.index_lookup index addr in
+  let entry_of_fid = Hashtbl.create 256 in
+  Array.iter
+    (fun s -> Hashtbl.replace entry_of_fid s.Binary.fs_entry s.Binary.fs_fid)
+    binary.Binary.symbols;
+  List.iter
+    (fun (s : Perf.sample) ->
+      let entries = s.Perf.entries in
+      Array.iteri
+        (fun i (e : Lbr.entry) ->
+          Profile.add_branch profile ~from_addr:e.Lbr.from_addr ~to_addr:e.Lbr.to_addr 1;
+          let fid_from = fid_of e.Lbr.from_addr and fid_to = fid_of e.Lbr.to_addr in
+          (match fid_from with
+          | Some f -> Profile.add_func_record profile f 1
+          | None -> ());
+          (match fid_to with
+          | Some f when fid_from <> Some f -> Profile.add_func_record profile f 1
+          | Some _ | None -> ());
+          (* A call edge: the source instruction is a call, or the target is
+             a function entry reached by a non-return transfer. *)
+          (match (fid_from, fid_to) with
+          | Some caller, Some callee ->
+            let is_call =
+              match Binary.find_instr binary e.Lbr.from_addr with
+              | Some (Ocolos_isa.Instr.Call _) | Some (Ocolos_isa.Instr.CallInd _) -> true
+              | Some _ -> false
+              | None -> Hashtbl.mem entry_of_fid e.Lbr.to_addr && caller <> callee
+            in
+            if is_call then Profile.add_call profile ~caller ~callee 1
+          | _, _ -> ());
+          (* Fallthrough range between consecutive taken branches. *)
+          if i + 1 < Array.length entries then begin
+            let next = entries.(i + 1) in
+            let range_start = e.Lbr.to_addr and range_end = next.Lbr.from_addr in
+            if range_start <= range_end then
+              match (fid_of range_start, fid_of range_end) with
+              | Some f1, Some f2 when f1 = f2 ->
+                Profile.add_range profile ~start_addr:range_start ~end_addr:range_end 1
+              | _, _ -> ()
+          end)
+        entries)
+    samples;
+  profile

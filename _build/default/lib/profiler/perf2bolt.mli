@@ -1,0 +1,6 @@
+(** perf2bolt analog: convert raw LBR samples into an aggregated profile.
+
+    Classifies each LBR entry against the binary (call edge vs. branch edge)
+    and derives straight-line fallthrough ranges from consecutive entries. *)
+
+val convert : binary:Ocolos_binary.Binary.t -> Perf.sample list -> Profile.t

@@ -1,0 +1,25 @@
+(** perf report / perf annotate analog: sampled L1i-miss addresses
+    attributed to functions and instructions (the paper's MYSQLparse
+    analysis, Section VI-C). *)
+
+type t
+type session
+
+(** Attach miss sampling (every [period]-th L1i miss) to all cores. *)
+val start : ?period:int -> Ocolos_proc.Proc.t -> session
+
+(** Detach and return the collected report. *)
+val stop : session -> t
+
+type func_row = { fr_fid : int; fr_name : string; fr_samples : int; fr_share : float }
+
+(** Functions ranked by share of sampled L1i misses (perf report). *)
+val by_function : t -> Ocolos_binary.Binary.t -> func_row list
+
+(** One function's instructions with per-address sample counts
+    (perf annotate). *)
+val annotate :
+  t -> Ocolos_binary.Binary.t -> int -> (int * Ocolos_isa.Instr.t * int) list
+
+val samples_of_func : t -> Ocolos_binary.Binary.t -> int -> int
+val pp_top : ?limit:int -> Format.formatter -> t * Ocolos_binary.Binary.t -> unit

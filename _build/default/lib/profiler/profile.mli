@@ -1,0 +1,28 @@
+(** Aggregated control-flow profile: the output of {!Perf2bolt} and the
+    input to BOLT. Taken-branch edge counts, straight-line fallthrough
+    ranges, and the weighted call graph; addresses refer to the profiled
+    binary. *)
+
+type t = {
+  branches : (int * int, int) Hashtbl.t;  (** (site, target) -> taken count *)
+  ranges : (int * int, int) Hashtbl.t;  (** (start, end) straight-line run *)
+  calls : (int * int, int) Hashtbl.t;  (** (caller fid, callee fid) -> count *)
+  func_records : (int, int) Hashtbl.t;  (** fid -> LBR records touching it *)
+  mutable total_records : int;
+}
+
+val create : unit -> t
+val add_branch : t -> from_addr:int -> to_addr:int -> int -> unit
+val add_range : t -> start_addr:int -> end_addr:int -> int -> unit
+val add_call : t -> caller:int -> callee:int -> int -> unit
+val add_func_record : t -> int -> int -> unit
+
+val branch_count : t -> int * int -> int
+val call_count : t -> int * int -> int
+val func_records : t -> int -> int
+
+(** Sum counts across profiles: the paper's "all inputs" aggregate. *)
+val merge : t list -> t
+
+val is_empty : t -> bool
+val pp_summary : Format.formatter -> t -> unit

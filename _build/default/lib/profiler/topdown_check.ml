@@ -1,0 +1,23 @@
+(* Stage-1 profiling (DMon-style TopDown bottleneck analysis, paper
+   Section V): decide from hardware counters whether a process is
+   front-end-bound enough to merit OCOLOS's optimizations. *)
+
+open Ocolos_uarch
+
+type verdict = {
+  topdown : Counters.topdown;
+  frontend_bound : bool;
+  interval : Counters.t;
+}
+
+let default_threshold = 0.15
+
+(* Analyze the counter delta over a measurement interval. *)
+let analyze ?(threshold = default_threshold) ~before ~after () =
+  let interval = Counters.diff after before in
+  let topdown = Counters.topdown interval in
+  { topdown; frontend_bound = topdown.Counters.frontend >= threshold; interval }
+
+(* Fig. 9's classifier inputs: front-end latency and retiring percentages. *)
+let features verdict =
+  (verdict.topdown.Counters.frontend, verdict.topdown.Counters.retiring)

@@ -1,0 +1,21 @@
+(** Stage-1 profiling (DMon-style TopDown bottleneck analysis): decide from
+    hardware counters whether a process is front-end-bound enough to merit
+    OCOLOS's optimizations (paper Section V and Fig. 9). *)
+
+type verdict = {
+  topdown : Ocolos_uarch.Counters.topdown;
+  frontend_bound : bool;
+  interval : Ocolos_uarch.Counters.t;
+}
+
+val default_threshold : float
+
+val analyze :
+  ?threshold:float ->
+  before:Ocolos_uarch.Counters.t ->
+  after:Ocolos_uarch.Counters.t ->
+  unit ->
+  verdict
+
+(** (front-end latency fraction, retiring fraction) — Fig. 9 inputs. *)
+val features : verdict -> float * float

@@ -1,0 +1,1 @@
+lib/sim/measure.mli: Ocolos_binary Ocolos_bolt Ocolos_core Ocolos_pgo Ocolos_profiler Ocolos_uarch Ocolos_workloads

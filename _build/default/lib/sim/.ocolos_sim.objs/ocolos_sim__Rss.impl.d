@@ -1,0 +1,1 @@
+lib/sim/rss.ml: Array Ocolos_binary Ocolos_core Ocolos_workloads

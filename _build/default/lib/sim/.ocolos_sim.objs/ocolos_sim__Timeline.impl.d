@@ -1,0 +1,1 @@
+lib/sim/timeline.ml: Array Clock Float List Ocolos_core Ocolos_proc Ocolos_uarch Ocolos_workloads Proc Workload

@@ -1,0 +1,1 @@
+lib/sim/timeline.mli: Ocolos_core Ocolos_workloads

@@ -1,0 +1,11 @@
+(* Simulated wall clock.
+
+   The simulator's core clock is scaled: one simulated second is 10^6 core
+   cycles (versus 2.1x10^9 on the paper's Broadwell testbed), matching the
+   ~1:100 scaling of the workloads' code footprints. All "seconds" in
+   experiment output are simulated seconds. *)
+
+let cycles_per_second = 1_000_000.0
+
+let seconds_to_cycles s = s *. cycles_per_second
+let cycles_to_seconds c = c /. cycles_per_second

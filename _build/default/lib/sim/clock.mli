@@ -1,0 +1,6 @@
+(** Simulated wall clock: one simulated second = 10^6 core cycles (the
+    workloads are ~1:100 scale models of the paper's binaries). *)
+
+val cycles_per_second : float
+val seconds_to_cycles : float -> float
+val cycles_to_seconds : float -> float

@@ -1,0 +1,113 @@
+(* Measurement driver shared by the benchmark harness and the examples.
+
+   Provides the paper's experimental configurations: steady-state throughput
+   of a binary under an input; profile collection runs; the four Fig. 5
+   comparators (original, BOLT oracle, PGO oracle, BOLT average-case); and
+   full online OCOLOS runs. *)
+
+open Ocolos_workloads
+open Ocolos_proc
+open Ocolos_uarch
+
+type sample = {
+  tps : float; (* transactions per simulated second *)
+  counters : Counters.t; (* interval counters over the measurement window *)
+  topdown : Counters.topdown;
+}
+
+let default_warmup = 0.6
+let default_measure = 2.0
+
+let interval_sample ~seconds counters =
+  { tps = float_of_int counters.Counters.transactions /. seconds;
+    counters;
+    topdown = Counters.topdown counters }
+
+(* Steady-state throughput of [binary] running [input]. *)
+let steady ?binary ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
+    ?(measure = default_measure) (w : Workload.t) ~input =
+  let proc = Workload.launch ?binary ?nthreads ~seed w ~input in
+  Proc.run ~cycle_limit:(Clock.seconds_to_cycles warmup) proc;
+  let before = Proc.total_counters proc in
+  Proc.run ~cycle_limit:(Clock.seconds_to_cycles (warmup +. measure)) proc;
+  let counters = Counters.diff (Proc.total_counters proc) before in
+  interval_sample ~seconds:measure counters
+
+(* Collect an LBR profile of [binary] (default: original) running [input]
+   for [seconds], after a short warmup. This is the offline-profiling path
+   used by the BOLT / PGO comparators. *)
+let collect_profile ?binary ?nthreads ?(seed = 4321) ?(warmup = 0.3) ?(seconds = 2.0)
+    ?perf_cfg (w : Workload.t) ~input =
+  let binary = match binary with Some b -> b | None -> w.Workload.binary in
+  let proc = Workload.launch ~binary ?nthreads ~seed w ~input in
+  Proc.run ~cycle_limit:(Clock.seconds_to_cycles warmup) proc;
+  let session = Ocolos_profiler.Perf.start ?cfg:perf_cfg proc in
+  Proc.run ~cycle_limit:(Clock.seconds_to_cycles (warmup +. seconds)) proc;
+  let samples = Ocolos_profiler.Perf.stop session in
+  Ocolos_profiler.Perf2bolt.convert ~binary samples
+
+(* Offline BOLT with a given profile (the BOLT-oracle / average-case
+   configurations, depending on which profile is passed). *)
+let bolt_binary ?config (w : Workload.t) profile =
+  Ocolos_bolt.Bolt.run ?config ~binary:w.Workload.binary ~profile ()
+
+(* Clang-PGO analog with the same profile. *)
+let pgo_binary ?config (w : Workload.t) profile =
+  Ocolos_pgo.Pgo.run ?config ~program:w.Workload.program ~binary:w.Workload.binary ~profile
+    ~name:(w.Workload.name ^ ".pgo") ()
+
+type ocolos_run = {
+  post : sample; (* steady state after code replacement *)
+  stats : Ocolos_core.Ocolos.replacement_stats;
+  perf2bolt_seconds : float;
+  bolt_seconds : float;
+  profile : Ocolos_profiler.Profile.t;
+}
+
+(* A full online OCOLOS cycle on a freshly launched process: warm up,
+   profile the running process for [profile_s], BOLT in the background
+   (charging contention stalls to the target), replace code (charging the
+   stop-the-world pause), then measure steady state. *)
+let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
+    ?(profile_s = 2.0) ?(measure = default_measure) (w : Workload.t) ~input =
+  let proc = Workload.launch ?nthreads ~seed w ~input in
+  let oc = Ocolos_core.Ocolos.attach ?config proc in
+  let cost =
+    (match config with Some c -> c | None -> Ocolos_core.Ocolos.default_config).Ocolos_core.Ocolos.cost
+  in
+  let horizon = ref warmup in
+  let advance s =
+    horizon := !horizon +. s;
+    Proc.run ~cycle_limit:(Clock.seconds_to_cycles !horizon) proc
+  in
+  Proc.run ~cycle_limit:(Clock.seconds_to_cycles !horizon) proc;
+  Ocolos_core.Ocolos.start_profiling oc;
+  advance profile_s;
+  let profile, perf2bolt_seconds = Ocolos_core.Ocolos.stop_profiling oc in
+  let result, bolt_seconds = Ocolos_core.Ocolos.run_bolt oc profile in
+  (* Background perf2bolt + BOLT compete with the target for cycles. Only a
+     bounded slice of that interval is actually simulated (it does not
+     affect the post-replacement steady state we are measuring); the
+     contention stall is charged for the simulated slice. Timeline.run
+     simulates the full region when the region itself is the subject. *)
+  let background = perf2bolt_seconds +. bolt_seconds in
+  let bg_sim = Float.min background 1.5 in
+  advance bg_sim;
+  Proc.stall_all proc
+    ~cycles:(Clock.seconds_to_cycles (bg_sim *. cost.Ocolos_core.Cost.background_contention))
+    ~category:`Backend;
+  let stats = Ocolos_core.Ocolos.replace_code oc result in
+  Proc.stall_all proc
+    ~cycles:(Clock.seconds_to_cycles stats.Ocolos_core.Ocolos.pause_seconds)
+    ~category:`Backend;
+  (* Re-anchor the clock after the injected stalls so the measurement
+     window is a full [measure] seconds of post-replacement execution. *)
+  horizon := Float.max !horizon (Clock.cycles_to_seconds (Proc.max_cycles proc));
+  let before = Proc.total_counters proc in
+  advance measure;
+  let counters = Counters.diff (Proc.total_counters proc) before in
+  { post = interval_sample ~seconds:measure counters;
+    stats;
+    perf2bolt_seconds;
+    bolt_seconds;
+    profile }

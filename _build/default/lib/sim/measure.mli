@@ -1,0 +1,74 @@
+(** Measurement drivers shared by the benchmark harness and examples: the
+    paper's experimental configurations (steady-state throughput, offline
+    profile collection, BOLT / PGO comparators, full online OCOLOS runs). *)
+
+type sample = {
+  tps : float;  (** transactions per simulated second *)
+  counters : Ocolos_uarch.Counters.t;  (** interval counters *)
+  topdown : Ocolos_uarch.Counters.topdown;
+}
+
+val default_warmup : float
+val default_measure : float
+
+(** Steady-state throughput of [binary] (default: the workload's original)
+    running [input]. *)
+val steady :
+  ?binary:Ocolos_binary.Binary.t ->
+  ?nthreads:int ->
+  ?seed:int ->
+  ?warmup:float ->
+  ?measure:float ->
+  Ocolos_workloads.Workload.t ->
+  input:Ocolos_workloads.Input.t ->
+  sample
+
+(** Collect an LBR profile offline: fresh process, warmup, sample for
+    [seconds]. *)
+val collect_profile :
+  ?binary:Ocolos_binary.Binary.t ->
+  ?nthreads:int ->
+  ?seed:int ->
+  ?warmup:float ->
+  ?seconds:float ->
+  ?perf_cfg:Ocolos_profiler.Perf.config ->
+  Ocolos_workloads.Workload.t ->
+  input:Ocolos_workloads.Input.t ->
+  Ocolos_profiler.Profile.t
+
+(** Offline BOLT with the given profile (oracle or average-case, depending
+    on the profile passed). *)
+val bolt_binary :
+  ?config:Ocolos_bolt.Bolt.config ->
+  Ocolos_workloads.Workload.t ->
+  Ocolos_profiler.Profile.t ->
+  Ocolos_bolt.Bolt.result
+
+(** Clang-PGO analog with the same profile. *)
+val pgo_binary :
+  ?config:Ocolos_pgo.Pgo.config ->
+  Ocolos_workloads.Workload.t ->
+  Ocolos_profiler.Profile.t ->
+  Ocolos_pgo.Pgo.result
+
+type ocolos_run = {
+  post : sample;  (** steady state after code replacement *)
+  stats : Ocolos_core.Ocolos.replacement_stats;
+  perf2bolt_seconds : float;
+  bolt_seconds : float;
+  profile : Ocolos_profiler.Profile.t;
+}
+
+(** A full online OCOLOS cycle on a freshly launched process: warm up,
+    profile the running process, BOLT in the background (charging
+    contention stalls), replace code (charging the pause), then measure. *)
+val ocolos_steady :
+  ?config:Ocolos_core.Ocolos.config ->
+  ?nthreads:int ->
+  ?seed:int ->
+  ?warmup:float ->
+  ?profile_s:float ->
+  ?measure:float ->
+  Ocolos_workloads.Workload.t ->
+  input:Ocolos_workloads.Input.t ->
+  ocolos_run

@@ -1,0 +1,26 @@
+(** Fig. 7 driver: per-second throughput (and modeled p95 latency) of a
+    server before, during and after OCOLOS's code replacement, across the
+    paper's five regions. *)
+
+type region = Warmup | Profiling | Background | Pause | Optimized
+
+val region_name : region -> string
+
+type point = { second : int; tps : float; p95_ms : float; region : region }
+
+type t = {
+  points : point list;
+  stats : Ocolos_core.Ocolos.replacement_stats;
+  perf2bolt_seconds : float;
+  bolt_seconds : float;
+}
+
+val run :
+  ?config:Ocolos_core.Ocolos.config ->
+  ?seed:int ->
+  ?warmup_s:int ->
+  ?profile_s:int ->
+  ?post_s:int ->
+  Ocolos_workloads.Workload.t ->
+  input:Ocolos_workloads.Input.t ->
+  t

@@ -1,0 +1,1 @@
+lib/uarch/core.ml: Btb Cache Config Counters Float Predictor

@@ -1,0 +1,82 @@
+(* Branch Target Buffer.
+
+   Set-associative, tagged by branch PC, storing the predicted target. Only
+   *taken* control transfers are allocated (the paper's motivation: layouts
+   that convert taken branches into fallthroughs relieve BTB pressure). *)
+
+type entry = { mutable tag : int; mutable target : int; mutable stamp : int }
+
+type t = {
+  sets : int;
+  ways : int;
+  table : entry array array;
+  mutable tick : int;
+  mutable lookups : int;
+  mutable misses : int;
+}
+
+let create ~entries ~ways =
+  let sets = max 1 (entries / ways) in
+  if sets land (sets - 1) <> 0 then invalid_arg "Btb.create: entries/ways must be a power of two";
+  { sets;
+    ways;
+    table = Array.init sets (fun _ -> Array.init ways (fun _ -> { tag = -1; target = 0; stamp = 0 }));
+    tick = 0;
+    lookups = 0;
+    misses = 0 }
+
+let set_of t pc = (pc lsr 1) land (t.sets - 1)
+
+(* Look up the predicted target for a taken transfer at [pc]. *)
+let lookup t pc =
+  t.tick <- t.tick + 1;
+  t.lookups <- t.lookups + 1;
+  let set = t.table.(set_of t pc) in
+  let rec find w =
+    if w >= t.ways then None
+    else if set.(w).tag = pc then begin
+      set.(w).stamp <- t.tick;
+      Some set.(w).target
+    end
+    else find (w + 1)
+  in
+  let r = find 0 in
+  if r = None then t.misses <- t.misses + 1;
+  r
+
+(* Record that the transfer at [pc] went to [target]. *)
+let update t pc target =
+  t.tick <- t.tick + 1;
+  let set = t.table.(set_of t pc) in
+  let rec find w = if w >= t.ways then None else if set.(w).tag = pc then Some w else find (w + 1) in
+  match find 0 with
+  | Some w ->
+    set.(w).target <- target;
+    set.(w).stamp <- t.tick
+  | None ->
+    let victim = ref 0 in
+    (try
+       for i = 0 to t.ways - 1 do
+         if set.(i).tag = -1 then begin
+           victim := i;
+           raise Exit
+         end;
+         if set.(i).stamp < set.(!victim).stamp then victim := i
+       done
+     with Exit -> ());
+    set.(!victim).tag <- pc;
+    set.(!victim).target <- target;
+    set.(!victim).stamp <- t.tick
+
+let reset_counters t =
+  t.lookups <- 0;
+  t.misses <- 0
+
+let flush t =
+  Array.iter (fun set -> Array.iter (fun e -> e.tag <- -1) set) t.table;
+  reset_counters t
+
+let miss_rate t = if t.lookups = 0 then 0.0 else float_of_int t.misses /. float_of_int t.lookups
+
+let lookups t = t.lookups
+let misses t = t.misses

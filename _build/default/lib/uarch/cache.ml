@@ -1,0 +1,112 @@
+(* Generic set-associative cache with true-LRU replacement.
+
+   Used for the L1i, L1d and unified L2 (with 64-byte lines) and for the
+   iTLB (a "cache" of 4 KiB pages). Tracks hit/miss counters. *)
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_bits : int;
+  tags : int array array; (* tags.(set).(way); -1 = invalid *)
+  stamp : int array array; (* LRU timestamps *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~name ~sets ~ways ~line_bytes =
+  if not (is_power_of_two sets) then invalid_arg "Cache.create: sets must be a power of two";
+  if not (is_power_of_two line_bytes) then
+    invalid_arg "Cache.create: line_bytes must be a power of two";
+  if ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  { name;
+    sets;
+    ways;
+    line_bits = log2 line_bytes;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    stamp = Array.init sets (fun _ -> Array.make ways 0);
+    tick = 0;
+    hits = 0;
+    misses = 0 }
+
+let of_size ~name ~size_bytes ~ways ~line_bytes =
+  let lines = size_bytes / line_bytes in
+  let sets = max 1 (lines / ways) in
+  create ~name ~sets ~ways ~line_bytes
+
+let line_of t addr = addr lsr t.line_bits
+
+let set_of t line = line land (t.sets - 1)
+
+(* Access a byte address; returns true on hit. Miss fills the line, evicting
+   the least-recently-used way. *)
+let access t addr =
+  t.tick <- t.tick + 1;
+  let line = line_of t addr in
+  let set = set_of t line in
+  let tags = t.tags.(set) and stamp = t.stamp.(set) in
+  let rec find w = if w >= t.ways then -1 else if tags.(w) = line then w else find (w + 1) in
+  let w = find 0 in
+  if w >= 0 then begin
+    stamp.(w) <- t.tick;
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Victim: first invalid way if any, else least-recently-used. *)
+    let victim = ref 0 in
+    (try
+       for i = 0 to t.ways - 1 do
+         if tags.(i) = -1 then begin
+           victim := i;
+           raise Exit
+         end;
+         if stamp.(i) < stamp.(!victim) then victim := i
+       done
+     with Exit -> ());
+    let victim = !victim in
+    tags.(victim) <- line;
+    stamp.(victim) <- t.tick;
+    false
+  end
+
+(* Fill a line without touching the hit/miss counters: hardware prefetch.
+   Returns true if the line was already resident. *)
+let prefetch t addr =
+  let hits = t.hits and misses = t.misses in
+  let hit = access t addr in
+  t.hits <- hits;
+  t.misses <- misses;
+  hit
+
+(* Probe without updating state or counters. *)
+let probe t addr =
+  let line = line_of t addr in
+  let set = set_of t line in
+  let tags = t.tags.(set) in
+  let rec find w = if w >= t.ways then false else tags.(w) = line || find (w + 1) in
+  find 0
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let flush t =
+  Array.iter (fun set -> Array.fill set 0 (Array.length set) (-1)) t.tags;
+  reset_counters t
+
+let accesses t = t.hits + t.misses
+
+let miss_rate t =
+  let n = accesses t in
+  if n = 0 then 0.0 else float_of_int t.misses /. float_of_int n
+
+let size_bytes t = t.sets * t.ways * (1 lsl t.line_bits)

@@ -1,0 +1,45 @@
+(** Generic set-associative cache with true-LRU replacement.
+
+    Instantiated as L1i, L1d and unified L2 (64-byte lines) and as the iTLB
+    (a "cache" of 4 KiB pages). Tracks hit/miss counters. *)
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_bits : int;
+  tags : int array array;
+  stamp : int array array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(** [create ~name ~sets ~ways ~line_bytes]. [sets] and [line_bytes] must be
+    powers of two. *)
+val create : name:string -> sets:int -> ways:int -> line_bytes:int -> t
+
+(** [of_size ~name ~size_bytes ~ways ~line_bytes] derives the set count. *)
+val of_size : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
+
+val line_of : t -> int -> int
+
+(** Access a byte address; true on hit. A miss fills the line, evicting the
+    LRU way. *)
+val access : t -> int -> bool
+
+(** Fill a line without touching hit/miss counters (hardware prefetch);
+    true if it was already resident. *)
+val prefetch : t -> int -> bool
+
+(** Check residency without updating LRU state or counters. *)
+val probe : t -> int -> bool
+
+val reset_counters : t -> unit
+
+(** Invalidate all lines and reset counters. *)
+val flush : t -> unit
+
+val accesses : t -> int
+val miss_rate : t -> float
+val size_bytes : t -> int

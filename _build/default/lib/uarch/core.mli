@@ -1,0 +1,48 @@
+(** Per-core front-end timing model.
+
+    The interpreter reports fetch, branch, memory and transaction events;
+    this module charges cycles and attributes them to TopDown categories.
+    Each simulated thread owns one core. *)
+
+type t
+
+val create : ?cfg:Config.t -> unit -> t
+
+(** Install an observer for L1i miss addresses (the perf-annotate analog);
+    [None] removes it. *)
+val set_l1i_miss_observer : t -> (int -> unit) option -> unit
+
+(** Total cycles so far (base + front-end + bad-speculation + back-end). *)
+val cycles : t -> float
+
+(** Per-instruction fetch accounting (L1i, iTLB, issue slots). *)
+val fetch : t -> addr:int -> size:int -> unit
+
+(** Conditional branch outcome at [pc]; charges direction prediction and, if
+    taken, the taken-transfer costs (bubble, BTB). *)
+val on_cond_branch : t -> pc:int -> taken:bool -> target:int -> unit
+
+(** Unconditional direct jump. *)
+val on_jump : t -> pc:int -> target:int -> unit
+
+(** Indirect jump (jump table): BTB target prediction; wrong target
+    flushes. *)
+val on_indirect_jump : t -> pc:int -> target:int -> unit
+
+(** Direct or indirect call; pushes the return-address stack. *)
+val on_call : t -> pc:int -> target:int -> return_addr:int -> indirect:bool -> unit
+
+(** Return; checked against the return-address stack. *)
+val on_ret : t -> pc:int -> target:int -> unit
+
+(** Data-memory access (load or store). *)
+val on_mem : t -> addr:int -> unit
+
+(** Transaction-complete marker. *)
+val on_tx : t -> unit
+
+(** Inject externally-caused stall cycles into a TopDown bucket (scheduler
+    pauses, profiling overhead). *)
+val stall : t -> cycles:float -> category:[ `Frontend | `Backend | `BadSpec ] -> unit
+
+val snapshot : t -> Counters.t

@@ -1,0 +1,119 @@
+(* Performance-counter snapshots, TopDown attribution and derived metrics
+   (events per kilo-instruction, Fig. 8; TopDown percentages, Fig. 9). *)
+
+type t = {
+  instructions : int;
+  transactions : int;
+  cycles : float;
+  base_cycles : float; (* issue-limited cycles: instructions / width *)
+  fe_cycles : float; (* front-end stall cycles: L1i, iTLB, BTB, taken bubbles *)
+  bs_cycles : float; (* bad-speculation cycles: mispredict flushes *)
+  be_cycles : float; (* back-end stall cycles: data misses, DRAM queuing *)
+  l1i_accesses : int;
+  l1i_misses : int;
+  itlb_accesses : int;
+  itlb_misses : int;
+  l1d_accesses : int;
+  l1d_misses : int;
+  l2_misses : int; (* instruction + data L2 misses (DRAM transfers) *)
+  taken_branches : int;
+  cond_branches : int;
+  mispredicts : int;
+  btb_lookups : int;
+  btb_misses : int;
+}
+
+let zero =
+  { instructions = 0;
+    transactions = 0;
+    cycles = 0.0;
+    base_cycles = 0.0;
+    fe_cycles = 0.0;
+    bs_cycles = 0.0;
+    be_cycles = 0.0;
+    l1i_accesses = 0;
+    l1i_misses = 0;
+    itlb_accesses = 0;
+    itlb_misses = 0;
+    l1d_accesses = 0;
+    l1d_misses = 0;
+    l2_misses = 0;
+    taken_branches = 0;
+    cond_branches = 0;
+    mispredicts = 0;
+    btb_lookups = 0;
+    btb_misses = 0 }
+
+let diff later earlier =
+  { instructions = later.instructions - earlier.instructions;
+    transactions = later.transactions - earlier.transactions;
+    cycles = later.cycles -. earlier.cycles;
+    base_cycles = later.base_cycles -. earlier.base_cycles;
+    fe_cycles = later.fe_cycles -. earlier.fe_cycles;
+    bs_cycles = later.bs_cycles -. earlier.bs_cycles;
+    be_cycles = later.be_cycles -. earlier.be_cycles;
+    l1i_accesses = later.l1i_accesses - earlier.l1i_accesses;
+    l1i_misses = later.l1i_misses - earlier.l1i_misses;
+    itlb_accesses = later.itlb_accesses - earlier.itlb_accesses;
+    itlb_misses = later.itlb_misses - earlier.itlb_misses;
+    l1d_accesses = later.l1d_accesses - earlier.l1d_accesses;
+    l1d_misses = later.l1d_misses - earlier.l1d_misses;
+    l2_misses = later.l2_misses - earlier.l2_misses;
+    taken_branches = later.taken_branches - earlier.taken_branches;
+    cond_branches = later.cond_branches - earlier.cond_branches;
+    mispredicts = later.mispredicts - earlier.mispredicts;
+    btb_lookups = later.btb_lookups - earlier.btb_lookups;
+    btb_misses = later.btb_misses - earlier.btb_misses }
+
+let add a b =
+  { instructions = a.instructions + b.instructions;
+    transactions = a.transactions + b.transactions;
+    cycles = a.cycles +. b.cycles;
+    base_cycles = a.base_cycles +. b.base_cycles;
+    fe_cycles = a.fe_cycles +. b.fe_cycles;
+    bs_cycles = a.bs_cycles +. b.bs_cycles;
+    be_cycles = a.be_cycles +. b.be_cycles;
+    l1i_accesses = a.l1i_accesses + b.l1i_accesses;
+    l1i_misses = a.l1i_misses + b.l1i_misses;
+    itlb_accesses = a.itlb_accesses + b.itlb_accesses;
+    itlb_misses = a.itlb_misses + b.itlb_misses;
+    l1d_accesses = a.l1d_accesses + b.l1d_accesses;
+    l1d_misses = a.l1d_misses + b.l1d_misses;
+    l2_misses = a.l2_misses + b.l2_misses;
+    taken_branches = a.taken_branches + b.taken_branches;
+    cond_branches = a.cond_branches + b.cond_branches;
+    mispredicts = a.mispredicts + b.mispredicts;
+    btb_lookups = a.btb_lookups + b.btb_lookups;
+    btb_misses = a.btb_misses + b.btb_misses }
+
+let per_kilo_instr t count =
+  if t.instructions = 0 then 0.0
+  else 1000.0 *. float_of_int count /. float_of_int t.instructions
+
+let l1i_mpki t = per_kilo_instr t t.l1i_misses
+let itlb_mpki t = per_kilo_instr t t.itlb_misses
+let l1d_mpki t = per_kilo_instr t t.l1d_misses
+let taken_branches_pki t = per_kilo_instr t t.taken_branches
+let mispredicts_pki t = per_kilo_instr t t.mispredicts
+let btb_misses_pki t = per_kilo_instr t t.btb_misses
+
+let ipc t = if t.cycles = 0.0 then 0.0 else float_of_int t.instructions /. t.cycles
+
+(* TopDown level-1 attribution as fractions of total cycles. *)
+type topdown = { retiring : float; frontend : float; bad_speculation : float; backend : float }
+
+let topdown t =
+  if t.cycles <= 0.0 then { retiring = 0.0; frontend = 0.0; bad_speculation = 0.0; backend = 0.0 }
+  else
+    { retiring = t.base_cycles /. t.cycles;
+      frontend = t.fe_cycles /. t.cycles;
+      bad_speculation = t.bs_cycles /. t.cycles;
+      backend = t.be_cycles /. t.cycles }
+
+let pp fmt t =
+  let td = topdown t in
+  Fmt.pf fmt
+    "instrs=%d tx=%d cycles=%.0f IPC=%.2f L1i-MPKI=%.2f iTLB-MPKI=%.2f takenPKI=%.1f mispPKI=%.2f TD[ret=%.2f fe=%.2f bs=%.2f be=%.2f]"
+    t.instructions t.transactions t.cycles (ipc t) (l1i_mpki t) (itlb_mpki t)
+    (taken_branches_pki t) (mispredicts_pki t) td.retiring td.frontend td.bad_speculation
+    td.backend

@@ -1,0 +1,47 @@
+(** Performance-counter snapshots, TopDown attribution and derived metrics
+    (events per kilo-instruction for Fig. 8; TopDown percentages for
+    Fig. 9). *)
+
+type t = {
+  instructions : int;
+  transactions : int;
+  cycles : float;
+  base_cycles : float;  (** issue-limited cycles: instructions / width *)
+  fe_cycles : float;  (** front-end stalls: L1i, iTLB, BTB, taken bubbles *)
+  bs_cycles : float;  (** bad speculation: mispredict flushes *)
+  be_cycles : float;  (** back-end stalls: data misses, DRAM queuing *)
+  l1i_accesses : int;
+  l1i_misses : int;
+  itlb_accesses : int;
+  itlb_misses : int;
+  l1d_accesses : int;
+  l1d_misses : int;
+  l2_misses : int;
+  taken_branches : int;
+  cond_branches : int;
+  mispredicts : int;
+  btb_lookups : int;
+  btb_misses : int;
+}
+
+val zero : t
+
+(** [diff later earlier] is the interval between two snapshots. *)
+val diff : t -> t -> t
+
+val add : t -> t -> t
+
+val l1i_mpki : t -> float
+val itlb_mpki : t -> float
+val l1d_mpki : t -> float
+val taken_branches_pki : t -> float
+val mispredicts_pki : t -> float
+val btb_misses_pki : t -> float
+val ipc : t -> float
+
+type topdown = { retiring : float; frontend : float; bad_speculation : float; backend : float }
+
+(** TopDown level-1 attribution as fractions of total cycles. *)
+val topdown : t -> topdown
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** Conditional-branch direction prediction (gshare, 2-bit counters) and a
+    return-address stack. *)
+
+type t
+
+val create : ?history_bits:int -> unit -> t
+
+(** Current prediction for [pc], without updating any state. *)
+val predict : t -> int -> bool
+
+(** Predict, then train with the actual outcome; true when correct. *)
+val predict_and_update : t -> int -> taken:bool -> bool
+
+val reset_counters : t -> unit
+val misprediction_rate : t -> float
+val predictions : t -> int
+val mispredictions : t -> int
+
+(** Return-address stack with hardware-style wrap-around on overflow. *)
+module Ras : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+  val push : t -> int -> unit
+
+  (** Predicted return address; [None] when empty. *)
+  val pop : t -> int option
+
+  val clear : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/util/l1i_history.ml:

@@ -1,0 +1,19 @@
+(* Per-core L1 instruction cache capacity of Intel and AMD server
+   microarchitectures over time (paper Fig. 1 motivation data). *)
+
+type point = { year : int; vendor : string; uarch : string; l1i_kib : int }
+
+let data =
+  [ { year = 2006; vendor = "Intel"; uarch = "Core (Merom)"; l1i_kib = 32 };
+    { year = 2008; vendor = "Intel"; uarch = "Nehalem"; l1i_kib = 32 };
+    { year = 2011; vendor = "Intel"; uarch = "Sandy Bridge"; l1i_kib = 32 };
+    { year = 2013; vendor = "Intel"; uarch = "Haswell"; l1i_kib = 32 };
+    { year = 2015; vendor = "Intel"; uarch = "Broadwell"; l1i_kib = 32 };
+    { year = 2017; vendor = "Intel"; uarch = "Skylake-SP"; l1i_kib = 32 };
+    { year = 2019; vendor = "Intel"; uarch = "Cascade Lake"; l1i_kib = 32 };
+    { year = 2021; vendor = "Intel"; uarch = "Ice Lake-SP"; l1i_kib = 32 };
+    { year = 2007; vendor = "AMD"; uarch = "Barcelona"; l1i_kib = 64 };
+    { year = 2011; vendor = "AMD"; uarch = "Bulldozer"; l1i_kib = 64 };
+    { year = 2017; vendor = "AMD"; uarch = "Zen"; l1i_kib = 64 };
+    { year = 2019; vendor = "AMD"; uarch = "Zen 2"; l1i_kib = 32 };
+    { year = 2020; vendor = "AMD"; uarch = "Zen 3"; l1i_kib = 32 } ]

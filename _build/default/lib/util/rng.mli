@@ -1,0 +1,46 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Every source of randomness in the simulator goes through this module so
+    that experiments are exactly reproducible from a seed. *)
+
+type t
+
+(** [create seed] makes a generator whose stream is a pure function of
+    [seed]. *)
+val create : int -> t
+
+(** Independent copy: the copy replays the same future stream. *)
+val copy : t -> t
+
+(** [split t] derives a generator whose stream is statistically independent
+    of [t]'s future output, advancing [t] once. *)
+val split : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** 62 random bits as a non-negative [int]. *)
+val bits : t -> int
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t p] is true with probability [p]. *)
+val bool : t -> float -> bool
+
+(** Uniformly chosen array element. Raises on empty arrays. *)
+val choose : t -> 'a array -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [weighted_index t w] samples index [i] with probability
+    [w.(i) / sum w]. Raises if the weights sum to zero. *)
+val weighted_index : t -> float array -> int

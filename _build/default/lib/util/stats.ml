@@ -1,0 +1,89 @@
+(* Small statistics toolkit used by the benchmark harness. *)
+
+let mean xs =
+  match Array.length xs with
+  | 0 -> invalid_arg "Stats.mean: empty"
+  | n -> Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+(* Nearest-rank percentile over a copy of the input. *)
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let median xs = percentile xs 50.0
+
+let geomean xs =
+  match Array.length xs with
+  | 0 -> invalid_arg "Stats.geomean: empty"
+  | n ->
+    let acc = Array.fold_left (fun a x -> a +. log x) 0.0 xs in
+    exp (acc /. float_of_int n)
+
+type linear_fit = { slope : float; intercept : float; r2 : float }
+
+(* Ordinary least squares y = slope * x + intercept. *)
+let linear_regression xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.linear_regression: length mismatch";
+  if n < 2 then invalid_arg "Stats.linear_regression: need >= 2 points";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  let slope = if !sxx = 0.0 then 0.0 else !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 =
+    if !sxx = 0.0 || !syy = 0.0 then 1.0
+    else !sxy *. !sxy /. (!sxx *. !syy)
+  in
+  { slope; intercept; r2 }
+
+(* Two-feature linear classifier trained by the perceptron rule; used for the
+   Fig. 9 reproduction (classify speedup from TopDown metrics). *)
+type classifier = { w1 : float; w2 : float; bias : float }
+
+let classify c x1 x2 = (c.w1 *. x1) +. (c.w2 *. x2) +. c.bias > 0.0
+
+let train_perceptron ?(epochs = 2000) ?(lr = 0.01) points =
+  let c = ref { w1 = 0.0; w2 = 0.0; bias = 0.0 } in
+  for _ = 1 to epochs do
+    List.iter
+      (fun (x1, x2, label) ->
+        let predicted = classify !c x1 x2 in
+        if predicted <> label then begin
+          let sign = if label then 1.0 else -1.0 in
+          c :=
+            { w1 = !c.w1 +. (lr *. sign *. x1);
+              w2 = !c.w2 +. (lr *. sign *. x2);
+              bias = !c.bias +. (lr *. sign) }
+        end)
+      points
+  done;
+  !c
+
+let accuracy c points =
+  let correct =
+    List.fold_left
+      (fun acc (x1, x2, label) -> if classify c x1 x2 = label then acc + 1 else acc)
+      0 points
+  in
+  float_of_int correct /. float_of_int (List.length points)

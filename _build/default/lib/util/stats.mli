@@ -1,0 +1,24 @@
+(** Statistics helpers for the benchmark harness. *)
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+
+(** Nearest-rank percentile; [percentile xs 95.0] is the 95th percentile. *)
+val percentile : float array -> float -> float
+
+val median : float array -> float
+val geomean : float array -> float
+
+type linear_fit = { slope : float; intercept : float; r2 : float }
+
+(** Ordinary least squares fit of [y = slope * x + intercept]. *)
+val linear_regression : float array -> float array -> linear_fit
+
+(** Two-feature linear classifier (Fig. 9: TopDown front-end latency and
+    retiring percentages predict whether a workload speeds up). *)
+type classifier = { w1 : float; w2 : float; bias : float }
+
+val classify : classifier -> float -> float -> bool
+val train_perceptron : ?epochs:int -> ?lr:float -> (float * float * bool) list -> classifier
+val accuracy : classifier -> (float * float * bool) list -> float

@@ -1,0 +1,60 @@
+(* Column-aligned plain-text tables for the benchmark harness output. *)
+
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(aligns = [||]) ~headers rows =
+  let ncols = Array.length headers in
+  let align_of i =
+    if i < Array.length aligns then aligns.(i) else if i = 0 then Left else Right
+  in
+  let widths = Array.map String.length headers in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    Array.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (align_of i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row headers;
+  emit_row (Array.init ncols (fun i -> String.make widths.(i) '-'));
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?aligns ~headers rows = print_string (render ?aligns ~headers rows)
+
+let fmt_f ?(digits = 3) x = Printf.sprintf "%.*f" digits x
+
+let fmt_speedup x = Printf.sprintf "%.2fx" x
+
+let fmt_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let fmt_int n =
+  (* Group thousands for readability: 31677 -> "31,677". *)
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buf
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar

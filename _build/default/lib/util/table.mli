@@ -1,0 +1,22 @@
+(** Plain-text aligned tables used by the benchmark harness to print the
+    paper's tables and figure series. *)
+
+type align = Left | Right
+
+(** [render ~headers rows] lays out a table; columns default to left-aligned
+    first column, right-aligned rest, overridable with [aligns]. *)
+val render : ?aligns:align array -> headers:string array -> string array list -> string
+
+val print : ?aligns:align array -> headers:string array -> string array list -> unit
+
+val fmt_f : ?digits:int -> float -> string
+val fmt_speedup : float -> string
+
+(** Fraction in 0..1 rendered as a percentage. *)
+val fmt_pct : float -> string
+
+(** Integer with thousands separators. *)
+val fmt_int : int -> string
+
+(** Print a visually distinct section banner. *)
+val section : string -> unit

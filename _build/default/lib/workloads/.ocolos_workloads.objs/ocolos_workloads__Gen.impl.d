@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Hashtbl Input Instr Ir List Ocolos_isa Ocolos_util Printf

@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Input Ocolos_isa

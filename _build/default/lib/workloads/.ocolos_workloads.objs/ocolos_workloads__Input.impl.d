@@ -1,0 +1,1 @@
+lib/workloads/input.ml: Array List

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Binary Emit Fmt Gen Input Ir List Ocolos_binary Ocolos_isa Ocolos_proc Ocolos_uarch Proc Thread

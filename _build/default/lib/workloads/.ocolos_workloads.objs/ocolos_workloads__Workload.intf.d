@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Gen Input Ocolos_binary Ocolos_isa Ocolos_proc Ocolos_uarch

@@ -1,0 +1,203 @@
+(* The paper's benchmark applications, scaled to the simulator.
+
+   Transaction-type indices define each app's operation classes; inputs are
+   the Sysbench / YCSB / memaslap / RISC-V-benchmark analogs. Scale is
+   roughly 1:100 versus the paper's binaries (Table I), with front-end
+   pressure preserved by scaling the L1i-relative footprint rather than
+   absolute size. *)
+
+let mysql_tx_types = 6
+(* 0 point_select, 1 range_select, 2 update_index, 3 update_nonindex,
+   4 insert, 5 delete *)
+
+let mysql_like ?(seed = 11) () =
+  let cfg =
+    { Gen.default with
+      Gen.seed;
+      n_tx_types = mysql_tx_types;
+      funcs_per_type = 30;
+      shared_funcs = 200;
+      cold_funcs = 800;
+      parser_blocks = 240;
+      jump_table_sites = 8;
+      blocks_per_func = (5, 12);
+      body_instrs = (4, 10);
+      calls_per_func = (2, 4);
+      use_vtable_dispatch = true;
+      fp_sites_per_type = true;
+      hot_taken_prob = 0.33;
+      scan_tx = None }
+  in
+  let gen = Gen.generate cfg in
+  let n = mysql_tx_types in
+  let mk = Input.make in
+  let inputs =
+    [ mk ~name:"point_select" ~mix:(Input.pure ~n_types:n 0) ~bias_seed:101 ();
+      mk ~name:"read_only" ~mix:(Input.weighted ~n_types:n [ (0, 0.7); (1, 0.3) ]) ~bias_seed:102 ();
+      mk ~name:"read_write"
+        ~mix:(Input.weighted ~n_types:n [ (0, 0.4); (1, 0.2); (2, 0.1); (3, 0.1); (4, 0.1); (5, 0.1) ])
+        ~bias_seed:103 ();
+      mk ~name:"write_only"
+        ~mix:(Input.weighted ~n_types:n [ (2, 0.3); (3, 0.3); (4, 0.2); (5, 0.2) ])
+        ~bias_seed:104 ();
+      mk ~name:"update_index" ~mix:(Input.pure ~n_types:n 2) ~bias_seed:105 ();
+      mk ~name:"update_nonindex" ~mix:(Input.pure ~n_types:n 3) ~bias_seed:106 ();
+      mk ~name:"insert" ~mix:(Input.pure ~n_types:n 4) ~bias_seed:107 ();
+      mk ~name:"delete" ~mix:(Input.pure ~n_types:n 5) ~bias_seed:108 () ]
+  in
+  Workload.build ~name:"mysql" ~inputs ~nthreads:4 gen
+
+let mongodb_tx_types = 4
+(* 0 read, 1 update, 2 insert, 3 scan *)
+
+let mongodb_like ?(seed = 22) () =
+  let cfg =
+    { Gen.default with
+      Gen.seed;
+      n_tx_types = mongodb_tx_types;
+      funcs_per_type = 34;
+      shared_funcs = 200;
+      cold_funcs = 800;
+      parser_blocks = 200;
+      blocks_per_func = (5, 12);
+      body_instrs = (4, 10);
+      calls_per_func = (2, 4);
+      use_vtable_dispatch = true;
+      hot_taken_prob = 0.33;
+      scan_tx = Some 3 }
+  in
+  let gen = Gen.generate cfg in
+  let n = mongodb_tx_types in
+  let mk = Input.make in
+  let scan_len = 96 in
+  (* elements per scan; the rotating cursor walks a 1 MiB region, so every
+     element is a fresh DRAM line *)
+  let inputs =
+    [ mk ~name:"read95_insert5" ~mix:(Input.weighted ~n_types:n [ (0, 0.95); (2, 0.05) ])
+        ~bias_seed:201 ();
+      mk ~name:"read_update" ~mix:(Input.weighted ~n_types:n [ (0, 0.5); (1, 0.5) ])
+        ~bias_seed:202 ();
+      mk ~name:"scan95_insert5" ~mix:(Input.weighted ~n_types:n [ (3, 0.95); (2, 0.05) ])
+        ~bias_seed:203 ~scan_len () ]
+  in
+  Workload.build ~name:"mongodb" ~inputs ~nthreads:4 gen
+
+let memcached_tx_types = 2
+(* 0 get, 1 set *)
+
+let memcached_like ?(seed = 33) () =
+  let cfg =
+    { Gen.default with
+      Gen.seed;
+      n_tx_types = memcached_tx_types;
+      funcs_per_type = 10;
+      shared_funcs = 30;
+      cold_funcs = 40;
+      parser_blocks = 24;
+      blocks_per_func = (3, 6);
+      use_vtable_dispatch = false;
+      fp_sites_per_type = true;
+      hot_taken_prob = 0.45;
+      scan_tx = None }
+  in
+  let gen = Gen.generate cfg in
+  let n = memcached_tx_types in
+  let mk = Input.make in
+  let inputs =
+    [ mk ~name:"set10_get90" ~mix:(Input.weighted ~n_types:n [ (0, 0.9); (1, 0.1) ])
+        ~bias_seed:301 ();
+      mk ~name:"set50_get50" ~mix:(Input.weighted ~n_types:n [ (0, 0.5); (1, 0.5) ])
+        ~bias_seed:302 () ]
+  in
+  Workload.build ~name:"memcached" ~inputs ~nthreads:4 gen
+
+(* Verilator: a single-threaded chip simulator dominated by one enormous
+   generated evaluation kernel (the parser slot) whose hot path depends
+   strongly on the simulated program. *)
+let verilator_like ?(seed = 44) () =
+  let cfg =
+    { Gen.default with
+      Gen.seed;
+      n_tx_types = 1;
+      funcs_per_type = 45;
+      shared_funcs = 160;
+      cold_funcs = 500;
+      parser_blocks = 5000;
+      jump_table_sites = 5;
+      blocks_per_func = (5, 11);
+      body_instrs = (7, 14);
+      calls_per_func = (2, 4);
+      loop_prob = 0.18;
+      use_vtable_dispatch = false;
+      fp_sites_per_type = false;
+      stable_site_fraction = 0.25;
+      flip_prob = 0.7;
+      hot_taken_prob = 0.52;
+      bias_hot = (978, 998);
+      bias_cold = (2, 14);
+      scan_tx = None }
+  in
+  let gen = Gen.generate cfg in
+  let mk = Input.make in
+  let mix = Input.pure ~n_types:1 0 in
+  let inputs =
+    [ mk ~name:"dhrystone" ~mix ~bias_seed:401 ();
+      mk ~name:"median" ~mix ~bias_seed:402 ();
+      mk ~name:"vvadd" ~mix ~bias_seed:403 () ]
+  in
+  Workload.build ~name:"verilator" ~inputs ~nthreads:1 gen
+
+(* Clang: the BAM batch workload. One process per "source file": a finite,
+   single-threaded run whose input (file) decides the hot paths through the
+   compiler. *)
+let clang_tx_types = 3
+(* 0 parse/sema, 1 codegen, 2 optimize *)
+
+let clang_file ~file_index =
+  Input.make
+    ~name:(Printf.sprintf "file_%03d" file_index)
+    ~mix:(Input.weighted ~n_types:clang_tx_types [ (0, 0.45); (1, 0.3); (2, 0.25) ])
+    ~bias_seed:(500 + file_index) ()
+
+let clang_like ?(seed = 55) ?(tx_per_file = 400) ?(n_files = 40) () =
+  let cfg =
+    { Gen.default with
+      Gen.seed;
+      n_tx_types = clang_tx_types;
+      funcs_per_type = 18;
+      shared_funcs = 120;
+      cold_funcs = 700;
+      parser_blocks = 180;
+      blocks_per_func = (4, 9);
+      use_vtable_dispatch = true;
+      tx_limit = Some tx_per_file;
+      stable_site_fraction = 0.7;
+      flip_prob = 0.3;
+      scan_tx = None }
+  in
+  let gen = Gen.generate cfg in
+  let inputs = List.init n_files (fun i -> clang_file ~file_index:i) in
+  Workload.build ~name:"clang" ~inputs ~nthreads:1 gen
+
+(* Small throwaway application for unit and property tests. *)
+let tiny ?(seed = 7) ?(tx_limit = Some 40) () =
+  let cfg =
+    { Gen.default with
+      Gen.seed;
+      n_tx_types = 2;
+      funcs_per_type = 3;
+      shared_funcs = 6;
+      cold_funcs = 4;
+      parser_blocks = 12;
+      jump_table_sites = 2;
+      blocks_per_func = (3, 5);
+      tx_limit;
+      use_vtable_dispatch = true;
+      scan_tx = None }
+  in
+  let gen = Gen.generate cfg in
+  let inputs =
+    [ Input.make ~name:"a" ~mix:[| 0.8; 0.2 |] ~bias_seed:901 ();
+      Input.make ~name:"b" ~mix:[| 0.2; 0.8 |] ~bias_seed:902 () ]
+  in
+  Workload.build ~name:"tiny" ~inputs ~nthreads:2 gen

@@ -1,0 +1,35 @@
+(** The paper's benchmark applications, scaled ~1:100 to the simulator with
+    L1i-relative front-end pressure preserved.
+
+    Transaction types per application:
+    - mysql: point_select, range_select, update_index, update_nonindex,
+      insert, delete — inputs are the Sysbench OLTP mixes.
+    - mongodb: read, update, insert, scan — YCSB-style mixes, including the
+      scan95_insert5 input whose layout-optimized version is {e slower}
+      than the original (the paper's inversion case).
+    - memcached: get, set — memaslap-style mixes; small code, small win.
+    - verilator: one transaction type dominated by a huge generated
+      evaluation kernel; inputs are simulated RISC-V benchmarks.
+    - clang: parse/sema, codegen, optimize; one finite process per source
+      file — the BAM batch workload. *)
+
+val mysql_tx_types : int
+val mysql_like : ?seed:int -> unit -> Workload.t
+
+val mongodb_tx_types : int
+val mongodb_like : ?seed:int -> unit -> Workload.t
+
+val memcached_tx_types : int
+val memcached_like : ?seed:int -> unit -> Workload.t
+
+val verilator_like : ?seed:int -> unit -> Workload.t
+
+val clang_tx_types : int
+
+(** Input representing one source file of the build. *)
+val clang_file : file_index:int -> Input.t
+
+val clang_like : ?seed:int -> ?tx_per_file:int -> ?n_files:int -> unit -> Workload.t
+
+(** Small application for unit and property tests. *)
+val tiny : ?seed:int -> ?tx_limit:int option -> unit -> Workload.t

@@ -1,0 +1,726 @@
+(* Synthetic application generator.
+
+   Produces IR programs shaped like the paper's benchmarks: a server loop
+   dispatching over transaction types; a large branchy parser (the
+   MYSQLparse analog); per-type handler and operation functions calling
+   shared utilities; rarely-taken error paths into cold code; v-table and
+   function-pointer dispatch; optional data-scan transactions.
+
+   Branch biases are *not* baked into the code: every conditional compares a
+   random draw against a parameter loaded from a global slot, and inputs are
+   vectors of slot values. The same binary therefore exhibits different hot
+   paths under different inputs, which is the property the paper's
+   input-sensitivity experiments (Fig. 3) depend on.
+
+   Register conventions (the generated "ABI"): r10 is always zero (used as a
+   base for absolute loads), r11 is the thread-local data base set by the
+   driver, r12 accumulates a per-thread checksum, r13 is a loop counter, r14
+   an indirect-call scratch, r15 the jump-table lowering scratch. Bodies use
+   r0..r9 freely. *)
+
+open Ocolos_isa
+module Rng = Ocolos_util.Rng
+
+let reg_zero = 10
+let reg_tls = 11
+let reg_checksum = 12
+let reg_loop = 13
+let reg_callee = 14
+
+(* Thread-local word offsets relative to r11. *)
+let tls_scratch_words = 64
+let tls_tx_counter = tls_scratch_words
+let tls_fp_base = tls_scratch_words + 1
+let tls_scan_idx = tls_scratch_words + 2
+let tls_scan_len = tls_scratch_words + 3
+let tls_scan_cursor = tls_scratch_words + 4
+let tls_scan_base = 4096
+let scan_stride_words = 8
+
+(* Scanned region per thread: 512 Ki words (4 MiB), far above the L3 slice,
+   so a rotating cursor makes every scanned line a DRAM access. *)
+let scan_region_mask = (1 lsl 19) - 1
+
+type config = {
+  seed : int;
+  n_tx_types : int;
+  funcs_per_type : int;
+  shared_funcs : int;
+  cold_funcs : int;
+  parser_blocks : int; (* 0 = no parser function *)
+  jump_table_sites : int; (* switch statements inside the parser *)
+  blocks_per_func : int * int;
+  body_instrs : int * int;
+  calls_per_func : int * int;
+  error_prob : float; (* chance a block gets a rare error side-exit *)
+  loop_prob : float; (* chance a position becomes a bounded compute loop *)
+  loop_trip : int * int;
+  use_vtable_dispatch : bool;
+  vtable_op_prob : float; (* chance an op call goes through a v-table *)
+  fp_sites_per_type : bool; (* handlers create + call function pointers *)
+  scan_tx : int option; (* tx type that performs the data scan *)
+  tx_limit : int option; (* None = server loop; Some n = n tx then halt *)
+  stable_site_fraction : float; (* sites all inputs agree on *)
+  flip_prob : float; (* chance an input flips an unstable site *)
+  hot_taken_prob : float; (* chance a site's common direction is the taken
+                             side, i.e. the static compiler guessed wrong *)
+  bias_hot : int * int; (* per-mille taken probability of hot-taken sites *)
+  bias_cold : int * int; (* per-mille taken probability of cold-taken sites *)
+  scan_filters : int; (* op functions rotated through per scanned element *)
+  globals_base : int; (* must match the emitter's *)
+}
+
+let default =
+  { seed = 1;
+    n_tx_types = 6;
+    funcs_per_type = 20;
+    shared_funcs = 120;
+    cold_funcs = 400;
+    parser_blocks = 120;
+    jump_table_sites = 0;
+    blocks_per_func = (4, 9);
+    body_instrs = (3, 8);
+    calls_per_func = (1, 3);
+    error_prob = 0.18;
+    loop_prob = 0.12;
+    loop_trip = (2, 6);
+    use_vtable_dispatch = true;
+    vtable_op_prob = 0.25;
+    fp_sites_per_type = true;
+    scan_tx = None;
+    tx_limit = None;
+    stable_site_fraction = 0.6;
+    flip_prob = 0.4;
+    hot_taken_prob = 0.5;
+    bias_hot = (935, 990);
+    bias_cold = (8, 53);
+    scan_filters = 16;
+    globals_base = 0x1000 }
+
+type site_kind = Normal | Error
+
+type site = {
+  site_id : int;
+  slot : int; (* global word offset holding the threshold parameter *)
+  kind : site_kind;
+  base_hot_taken : bool; (* program-level common direction *)
+  stable : bool; (* true: every input keeps the base direction *)
+}
+
+type t = {
+  cfg : config;
+  program : Ir.program;
+  sites : site array;
+  tx_cum_slots : int array;
+  scan_len_slot : int;
+  handler_fids : int array;
+  parser_fid : int option;
+  main_fid : int;
+}
+
+(* ---- generation state ---- *)
+
+type state = {
+  rng : Rng.t;
+  mutable next_slot : int;
+  mutable sites_acc : site list;
+  mutable n_sites : int;
+  config : config;
+}
+
+let fresh_site st kind =
+  let slot = st.next_slot in
+  st.next_slot <- st.next_slot + 1;
+  let site =
+    { site_id = st.n_sites;
+      slot;
+      kind;
+      base_hot_taken = Rng.bool st.rng st.config.hot_taken_prob;
+      stable = Rng.bool st.rng st.config.stable_site_fraction }
+  in
+  st.n_sites <- st.n_sites + 1;
+  st.sites_acc <- site :: st.sites_acc;
+  site
+
+(* Load a global parameter into [dst]: absolute addressing via r10 == 0. *)
+let load_global st dst slot = Instr.Load (dst, reg_zero, st.config.globals_base + slot)
+
+(* The biased-branch idiom: 4 body instructions + a conditional terminator
+   taken with probability param/1000. Returns (instrs, cond, reg). *)
+let site_instrs st site =
+  let ra = Rng.int st.rng 8 and rb = (Rng.int st.rng 8) + 1 in
+  let rb = if rb = ra then 9 else rb in
+  let rc = 9 - Rng.int st.rng 2 in
+  let rc = if rc = ra || rc = rb then 0 else rc in
+  ( [ Ir.Plain (Instr.Rand (ra, 1000));
+      Ir.Plain (load_global st rb site.slot);
+      Ir.Plain (Instr.Alu (Instr.Sub, rc, ra, rb));
+      Ir.Plain (Instr.Alu (Instr.Xor, reg_checksum, reg_checksum, ra)) ],
+    Instr.Lt,
+    rc )
+
+(* Random straight-line body: ALU work, thread-local loads/stores, checksum
+   folds. *)
+let gen_body st n =
+  let instr () =
+    let r = Rng.float st.rng in
+    let rd = Rng.int st.rng 10 and rs = Rng.int st.rng 10 in
+    if r < 0.40 then
+      let op = Rng.choose st.rng [| Instr.Add; Instr.Xor; Instr.Sub; Instr.And; Instr.Or |] in
+      Ir.Plain (Instr.Alui (op, rd, rs, 1 + Rng.int st.rng 1000))
+    else if r < 0.55 then
+      Ir.Plain (Instr.Alu (Instr.Add, rd, rs, Rng.int st.rng 10))
+    else if r < 0.65 then Ir.Plain (Instr.Movi (rd, Rng.int st.rng 4096))
+    else if r < 0.80 then Ir.Plain (Instr.Load (rd, reg_tls, Rng.int st.rng tls_scratch_words))
+    else if r < 0.90 then Ir.Plain (Instr.Store (rs, reg_tls, Rng.int st.rng tls_scratch_words))
+    else Ir.Plain (Instr.Alu (Instr.Add, reg_checksum, reg_checksum, rd))
+  in
+  List.init n (fun _ -> instr ())
+
+(* ---- structured function construction ---- *)
+
+(* Proto-blocks reference main-chain positions and aux indices symbolically;
+   bids are assigned afterwards (mains in order, then auxes: compilers put
+   error handling at the end of the function). *)
+type target = Main of int | Aux of int
+
+type pterm =
+  | PJump of target
+  | PBranch of Instr.cond * Instr.reg * target * target (* taken, fall *)
+  | PTable of Instr.reg * target array
+  | PRet
+  | PHalt
+
+type proto = { p_body : Ir.sinstr list; p_term : pterm }
+
+let materialize ~fid ~fname mains auxes =
+  let mains = Array.of_list mains in
+  let auxes = Array.of_list auxes in
+  let n = Array.length mains in
+  let bid_of = function Main i -> i | Aux k -> n + k in
+  let conv bid (p : proto) =
+    let term =
+      match p.p_term with
+      | PJump t -> Ir.Tjump (bid_of t)
+      | PBranch (c, r, taken, fall) -> Ir.Tbranch (c, r, bid_of taken, bid_of fall)
+      | PTable (r, ts) -> Ir.Tjump_table (r, Array.map bid_of ts)
+      | PRet -> Ir.Tret
+      | PHalt -> Ir.Thalt
+    in
+    { Ir.bid; body = p.p_body; term }
+  in
+  let blocks =
+    Array.init (n + Array.length auxes) (fun bid ->
+        if bid < n then conv bid mains.(bid) else conv bid auxes.(bid - n))
+  in
+  { Ir.fid; fname; blocks }
+
+(* A branchy operation function: a forward chain of blocks with biased skip
+   branches, rare error exits into cold tail blocks (which may call cold
+   functions), and occasional bounded compute loops. *)
+let gen_branchy_func ?(table_prob = 0.0) st ~fid ~fname ~nblocks ~callees ~cold_callees
+    ~extra_tail =
+  let mains : proto list ref = ref [] in
+  let auxes : proto list ref = ref [] in
+  let n_aux = ref 0 in
+  let push_aux p =
+    auxes := !auxes @ [ p ];
+    let k = !n_aux in
+    incr n_aux;
+    k
+  in
+  let callee_pool = Array.of_list callees in
+  let call_instr () =
+    if Array.length callee_pool = 0 then []
+    else
+      let callee = Rng.choose st.rng callee_pool in
+      match callee with
+      | `Direct fid -> [ Ir.SCall fid ]
+      | `Vtable (vid, slot) ->
+        [ Ir.Plain (Instr.VtLoad (reg_callee, vid, slot)); Ir.SCallInd reg_callee ]
+  in
+  let lo, hi = st.config.body_instrs in
+  let i = ref 0 in
+  let n = max 2 nblocks in
+  while !i < n - 1 do
+    let body = gen_body st (Rng.int_in st.rng lo hi) in
+    let body = if Rng.bool st.rng 0.5 then body @ call_instr () else body in
+    let roll = Rng.float st.rng in
+    if roll < st.config.loop_prob && !i < n - 2 then begin
+      (* Bounded compute loop: preheader at position i, body at i+1. *)
+      let tlo, thi = st.config.loop_trip in
+      let trip = Rng.int_in st.rng tlo thi in
+      mains :=
+        !mains @ [ { p_body = body @ [ Ir.Plain (Instr.Movi (reg_loop, trip)) ];
+                     p_term = PJump (Main (!i + 1)) } ];
+      let loop_body =
+        gen_body st 2 @ [ Ir.Plain (Instr.Alui (Instr.Sub, reg_loop, reg_loop, 1)) ]
+      in
+      mains :=
+        !mains
+        @ [ { p_body = loop_body;
+              p_term = PBranch (Instr.Gt, reg_loop, Main (!i + 1), Main (!i + 2)) } ];
+      i := !i + 2
+    end
+    else if roll < st.config.loop_prob +. st.config.error_prob then begin
+      (* Rare error exit to a cold aux block that rejoins the chain. *)
+      let site = fresh_site st Error in
+      let instrs, cond, reg = site_instrs st site in
+      let err_body =
+        gen_body st (Rng.int_in st.rng lo hi)
+        @ (match cold_callees with
+          | [] -> []
+          | l -> if Rng.bool st.rng 0.5 then [ Ir.SCall (Rng.choose st.rng (Array.of_list l)) ] else [])
+      in
+      let k = push_aux { p_body = err_body; p_term = PJump (Main (!i + 1)) } in
+      mains :=
+        !mains
+        @ [ { p_body = body @ instrs; p_term = PBranch (cond, reg, Aux k, Main (!i + 1)) } ];
+      incr i
+    end
+    else if roll < st.config.loop_prob +. st.config.error_prob +. table_prob && n - 1 - !i >= 3
+    then begin
+      (* Switch-statement dispatch over the next few positions (a jump table
+         unless the program is compiled with -fno-jump-tables). *)
+      let k = min 4 (n - 1 - !i) in
+      let sel = Rng.int st.rng 8 in
+      let body =
+        body
+        @ [ Ir.Plain (Instr.Rand (sel, 4 * k));
+            Ir.Plain (Instr.Alu (Instr.Xor, reg_checksum, reg_checksum, sel)) ]
+      in
+      let targets =
+        (* Skew the switch: three quarters of the table entries share the
+           first target — switches usually have a dominant case, which both
+           the BTB and the lowered compare chain predict well. *)
+        Array.init (4 * k) (fun j -> Main (!i + 1 + if j < 3 * k then 0 else j - (3 * k)))
+      in
+      mains := !mains @ [ { p_body = body; p_term = PTable (sel, targets) } ];
+      incr i
+    end
+    else if roll < st.config.loop_prob +. st.config.error_prob +. table_prob +. 0.12 then begin
+      mains := !mains @ [ { p_body = body; p_term = PJump (Main (!i + 1)) } ];
+      incr i
+    end
+    else begin
+      (* Biased skip: taken side jumps forward over 1..4 positions. *)
+      let site = fresh_site st Normal in
+      let instrs, cond, reg = site_instrs st site in
+      let skip = min (n - 1) (!i + 1 + Rng.int_in st.rng 1 4) in
+      mains :=
+        !mains
+        @ [ { p_body = body @ instrs;
+              p_term = PBranch (cond, reg, Main skip, Main (!i + 1)) } ];
+      incr i
+    end
+  done;
+  (* Final block. *)
+  let final_body = gen_body st (Rng.int_in st.rng lo hi) @ extra_tail in
+  mains := !mains @ [ { p_body = final_body; p_term = PRet } ];
+  materialize ~fid ~fname !mains !auxes
+
+(* Scan-transaction blocks appended to a handler (the MongoDB range-scan
+   analog). Each element reads one fresh cache line from a rotating window
+   over a 1 MiB thread-local region (every read is a DRAM access) and then
+   dispatches on the element "type" into one of the workload's operation
+   functions — a filter/projection step. The per-element code footprint is
+   what makes scans front-end-sensitive, and the paper's scan inversion
+   emerges from the interaction of that footprint with the DRAM controller
+   model. Loop state lives in thread-local memory because the called ops
+   clobber the general registers.
+
+   Block shape (positions relative to [base]):
+     0: preheader   1: loop head    2..k+1: filter dispatch   k+2: advance
+     k+3: exit (cursor update + ret) *)
+let scan_blocks st ~scan_len_slot ~filters =
+  let k = Array.length filters in
+  assert (k > 0);
+  let head = 1 and advance = k + 2 and exit_ = k + 3 in
+  let preheader =
+    { p_body =
+        [ Ir.Plain (load_global st 9 scan_len_slot);
+          Ir.Plain (Instr.Store (9, reg_tls, tls_scan_len));
+          Ir.Plain (Instr.Movi (8, 0));
+          Ir.Plain (Instr.Store (8, reg_tls, tls_scan_idx)) ];
+      p_term = PBranch (Instr.Gt, 9, Main head, Main exit_) }
+  in
+  let loop_head =
+    { p_body =
+        [ Ir.Plain (Instr.Load (8, reg_tls, tls_scan_idx));
+          Ir.Plain (Instr.Load (4, reg_tls, tls_scan_cursor));
+          Ir.Plain (Instr.Alu (Instr.Add, 6, 4, 8));
+          Ir.Plain (Instr.Alui (Instr.And, 6, 6, scan_region_mask));
+          Ir.Plain (Instr.Alu (Instr.Add, 7, reg_tls, 6));
+          Ir.Plain (Instr.Alui (Instr.Add, 7, 7, tls_scan_base));
+          Ir.Plain (Instr.Load (5, 7, 0));
+          Ir.Plain (Instr.Alu (Instr.Xor, reg_checksum, reg_checksum, 5));
+          Ir.Plain (Instr.Rand (6, k)) ];
+      p_term = PTable (6, Array.init k (fun i -> Main (2 + i))) }
+  in
+  let filter_block i =
+    { p_body = [ Ir.SCall filters.(i) ]; p_term = PJump (Main advance) }
+  in
+  let advance_block =
+    { p_body =
+        [ Ir.Plain (Instr.Load (8, reg_tls, tls_scan_idx));
+          Ir.Plain (Instr.Alui (Instr.Add, 8, 8, scan_stride_words));
+          Ir.Plain (Instr.Store (8, reg_tls, tls_scan_idx));
+          Ir.Plain (Instr.Load (9, reg_tls, tls_scan_len));
+          Ir.Plain (Instr.Alu (Instr.Sub, 6, 8, 9)) ];
+      p_term = PBranch (Instr.Lt, 6, Main head, Main exit_) }
+  in
+  let exit_block =
+    { p_body =
+        [ Ir.Plain (Instr.Load (4, reg_tls, tls_scan_cursor));
+          Ir.Plain (Instr.Load (9, reg_tls, tls_scan_len));
+          Ir.Plain (Instr.Alu (Instr.Add, 4, 4, 9));
+          Ir.Plain (Instr.Alui (Instr.And, 4, 4, scan_region_mask));
+          Ir.Plain (Instr.Store (4, reg_tls, tls_scan_cursor)) ];
+      p_term = PRet }
+  in
+  [ preheader; loop_head ] @ List.init k filter_block @ [ advance_block; exit_block ]
+
+(* A transaction handler: optional fp-create prologue, then one chain block
+   per operation of the type — every transaction sweeps most of the type's
+   op functions (this breadth is what makes the per-transaction instruction
+   footprint large, like a real query execution). Biased skips drop a few
+   ops per transaction; some calls dispatch through the type's v-table. An
+   optional fp call and scan epilogue follow. *)
+let gen_handler st ~fid ~fname ~ops ~vtable ~fp_target ~scan ~cold_callees =
+  let fp_slot = tls_fp_base in
+  let prologue =
+    match fp_target with
+    | Some target ->
+      [ Ir.SFpCreate (reg_callee, target);
+        Ir.Plain (Instr.Store (reg_callee, reg_tls, fp_slot)) ]
+    | None -> []
+  in
+  let fp_call =
+    match fp_target with
+    | Some _ ->
+      [ Ir.Plain (Instr.Load (reg_callee, reg_tls, fp_slot)); Ir.SCallInd reg_callee ]
+    | None -> []
+  in
+  let mains = ref [] and auxes = ref [] in
+  let n_ops = List.length ops in
+  let n = n_ops + 1 in
+  List.iteri
+    (fun slot op ->
+      let call =
+        match vtable with
+        | Some vid when Rng.bool st.rng st.config.vtable_op_prob ->
+          [ Ir.Plain (Instr.VtLoad (reg_callee, vid, slot)); Ir.SCallInd reg_callee ]
+        | Some _ | None -> [ Ir.SCall op ]
+      in
+      let body = gen_body st (Rng.int_in st.rng 2 4) @ call in
+      (* Occasionally skip the next op or two, under input control; rare
+         error exits reach cold code, as elsewhere. *)
+      if Rng.bool st.rng 0.25 && slot < n_ops - 1 then begin
+        let site = fresh_site st Normal in
+        let instrs, cond, reg = site_instrs st site in
+        mains :=
+          !mains
+          @ [ { p_body = body @ instrs;
+                p_term = PBranch (cond, reg, Main (min (n - 1) (slot + 2)), Main (slot + 1)) } ]
+      end
+      else if Rng.bool st.rng 0.1 && cold_callees <> [] then begin
+        let site = fresh_site st Error in
+        let instrs, cond, reg = site_instrs st site in
+        let err =
+          { p_body =
+              gen_body st 3 @ [ Ir.SCall (Rng.choose st.rng (Array.of_list cold_callees)) ];
+            p_term = PJump (Main (slot + 1)) }
+        in
+        auxes := !auxes @ [ err ];
+        let k = List.length !auxes - 1 in
+        mains :=
+          !mains
+          @ [ { p_body = body @ instrs; p_term = PBranch (cond, reg, Aux k, Main (slot + 1)) } ]
+      end
+      else mains := !mains @ [ { p_body = body; p_term = PJump (Main (slot + 1)) } ])
+    ops;
+  mains := !mains @ [ { p_body = gen_body st 3 @ fp_call; p_term = PRet } ];
+  let base = materialize ~fid ~fname !mains !auxes in
+  (* Prepend the prologue to the entry block. *)
+  let blocks = Array.copy base.Ir.blocks in
+  blocks.(0) <- { (blocks.(0)) with Ir.body = prologue @ blocks.(0).Ir.body };
+  let base = { base with Ir.blocks } in
+  match scan with
+  | None -> base
+  | Some scan_len_slot ->
+    (* Splice the scan blocks after the handler body: every Ret in the
+       original blocks is redirected into the scan preheader. *)
+    let n = Array.length base.Ir.blocks in
+    let filters =
+      Array.of_list (List.filteri (fun i _ -> i < st.config.scan_filters) ops)
+    in
+    let protos = scan_blocks st ~scan_len_slot ~filters in
+    let conv bid (p : proto) =
+      let abs = function
+        | Main i -> n + i
+        | Aux _ -> invalid_arg "scan blocks use Main targets only"
+      in
+      let term =
+        match p.p_term with
+        | PJump t -> Ir.Tjump (abs t)
+        | PBranch (c, r, a, b) -> Ir.Tbranch (c, r, abs a, abs b)
+        | PTable (r, ts) -> Ir.Tjump_table (r, Array.map abs ts)
+        | PRet -> Ir.Tret
+        | PHalt -> Ir.Thalt
+      in
+      { Ir.bid; body = p.p_body; term }
+    in
+    let scan_arr = Array.of_list protos in
+    let blocks =
+      Array.init
+        (n + Array.length scan_arr)
+        (fun bid ->
+          if bid < n then begin
+            let b = base.Ir.blocks.(bid) in
+            if b.Ir.term = Ir.Tret then { b with Ir.term = Ir.Tjump n } else b
+          end
+          else conv bid scan_arr.(bid - n))
+    in
+    { base with Ir.blocks }
+
+(* The entry function: init, transaction-select chain, per-type dispatch
+   blocks (direct or v-table call), TxMark, loop control. *)
+let gen_main st ~fid ~tx_cum_slots ~handler_fids ~parser_fid ~vtable =
+  let n_tx = Array.length handler_fids in
+  let mains = ref [] and auxes = ref [] in
+  let push p = mains := !mains @ [ p ] in
+  let push_aux p =
+    auxes := !auxes @ [ p ];
+    List.length !auxes - 1
+  in
+  (* Positions: 0 = init, 1 = loop head (select chain start),
+     1 + n_tx - 1 checks, then decrement block. Dispatch blocks are auxes. *)
+  let init_body =
+    match st.config.tx_limit with
+    | Some n ->
+      [ Ir.Plain (Instr.Movi (0, n)); Ir.Plain (Instr.Store (0, reg_tls, tls_tx_counter)) ]
+    | None -> []
+  in
+  push { p_body = init_body; p_term = PJump (Main 1) };
+  let dec_pos = 1 + n_tx in
+  (* Dispatch aux for each type. *)
+  let dispatch_aux =
+    Array.init n_tx (fun i ->
+        let call_parser = match parser_fid with Some p -> [ Ir.SCall p ] | None -> [] in
+        let dispatch =
+          match vtable with
+          | Some vid when st.config.use_vtable_dispatch ->
+            [ Ir.Plain (Instr.VtLoad (reg_callee, vid, i)); Ir.SCallInd reg_callee ]
+          | Some _ | None -> [ Ir.SCall handler_fids.(i) ]
+        in
+        push_aux
+          { p_body = call_parser @ dispatch @ [ Ir.Plain Instr.TxMark ];
+            p_term = PJump (Main dec_pos) })
+  in
+  (* Selection chain: position 1 + i tests cumulative threshold i. *)
+  for i = 0 to n_tx - 1 do
+    let body =
+      if i = 0 then [ Ir.Plain (Instr.Rand (0, 1000)) ] else []
+    in
+    if i = n_tx - 1 then
+      (* Last type: unconditional. *)
+      push { p_body = body; p_term = PJump (Aux dispatch_aux.(i)) }
+    else begin
+      let body =
+        body
+        @ [ Ir.Plain (load_global st 1 tx_cum_slots.(i));
+            Ir.Plain (Instr.Alu (Instr.Sub, 2, 0, 1)) ]
+      in
+      push { p_body = body; p_term = PBranch (Instr.Lt, 2, Aux dispatch_aux.(i), Main (2 + i)) }
+    end
+  done;
+  (* Decrement / loop back. *)
+  (match st.config.tx_limit with
+  | Some _ ->
+    push
+      { p_body =
+          [ Ir.Plain (Instr.Load (0, reg_tls, tls_tx_counter));
+            Ir.Plain (Instr.Alui (Instr.Sub, 0, 0, 1));
+            Ir.Plain (Instr.Store (0, reg_tls, tls_tx_counter)) ];
+        p_term = PBranch (Instr.Gt, 0, Main 1, Main (dec_pos + 1)) };
+    push { p_body = []; p_term = PHalt }
+  | None -> push { p_body = []; p_term = PJump (Main 1) });
+  materialize ~fid ~fname:"main_loop" !mains !auxes
+
+(* ---- whole-program assembly ---- *)
+
+type role =
+  | Rmain
+  | Rparser
+  | Rhandler of int
+  | Rop of int * int (* type, index *)
+  | Rshared of int
+  | Rcold of int
+
+let generate (config : config) : t =
+  let st =
+    { rng = Rng.create config.seed;
+      next_slot = 1 + config.n_tx_types + 1;
+      sites_acc = [];
+      n_sites = 0;
+      config }
+  in
+  let tx_cum_slots = Array.init config.n_tx_types (fun i -> 1 + i) in
+  let scan_len_slot = 1 + config.n_tx_types in
+  (* Roles, then a shuffled fid assignment: definition order deliberately
+     uncorrelated with call locality, like a real large code base. *)
+  let roles =
+    [ Rmain ]
+    @ (if config.parser_blocks > 0 then [ Rparser ] else [])
+    @ List.init config.n_tx_types (fun i -> Rhandler i)
+    @ List.concat
+        (List.init config.n_tx_types (fun t ->
+             List.init config.funcs_per_type (fun j -> Rop (t, j))))
+    @ List.init config.shared_funcs (fun i -> Rshared i)
+    @ List.init config.cold_funcs (fun i -> Rcold i)
+  in
+  let roles = Array.of_list roles in
+  let fid_perm = Array.init (Array.length roles) (fun i -> i) in
+  Rng.shuffle st.rng fid_perm;
+  (* role index -> fid *)
+  let fid_of_role_idx = fid_perm in
+  let role_idx = Hashtbl.create 64 in
+  Array.iteri (fun i r -> Hashtbl.replace role_idx r i) roles;
+  let fid_of role = fid_of_role_idx.(Hashtbl.find role_idx role) in
+  let main_fid = fid_of Rmain in
+  let parser_fid = if config.parser_blocks > 0 then Some (fid_of Rparser) else None in
+  let handler_fids = Array.init config.n_tx_types (fun i -> fid_of (Rhandler i)) in
+  let op_fids = Array.init config.n_tx_types (fun t ->
+      Array.init config.funcs_per_type (fun j -> fid_of (Rop (t, j))))
+  in
+  let shared_fids = Array.init config.shared_funcs (fun i -> fid_of (Rshared i)) in
+  let cold_fids = Array.init config.cold_funcs (fun i -> fid_of (Rcold i)) in
+  (* V-tables: vtable 0 dispatches handlers; vtable 1+t dispatches type t's
+     ops. *)
+  let vtables =
+    if config.use_vtable_dispatch then
+      Array.append
+        [| Array.copy handler_fids |]
+        (Array.map Array.copy op_fids)
+    else [||]
+  in
+  let handler_vt t = if config.use_vtable_dispatch then Some (1 + t) else None in
+  let nfuncs = Array.length roles in
+  let funcs = Array.make nfuncs { Ir.fid = 0; fname = ""; blocks = [||] } in
+  let blo, bhi = config.blocks_per_func in
+  let some_cold () =
+    if Array.length cold_fids = 0 then []
+    else
+      List.init 3 (fun _ -> cold_fids.(Rng.int st.rng (Array.length cold_fids)))
+  in
+  (* Shared utility leaves. *)
+  Array.iteri
+    (fun i fid ->
+      funcs.(fid) <-
+        gen_branchy_func st ~fid ~fname:(Printf.sprintf "util_%d" i)
+          ~nblocks:(Rng.int_in st.rng 2 4) ~callees:[] ~cold_callees:[] ~extra_tail:[])
+    shared_fids;
+  (* Cold functions (error paths only). *)
+  Array.iteri
+    (fun i fid ->
+      funcs.(fid) <-
+        gen_branchy_func st ~fid ~fname:(Printf.sprintf "cold_%d" i)
+          ~nblocks:(Rng.int_in st.rng blo bhi) ~callees:[] ~cold_callees:[] ~extra_tail:[])
+    cold_fids;
+  (* Per-type op functions: call shared utilities. *)
+  Array.iteri
+    (fun t per_type ->
+      Array.iteri
+        (fun j fid ->
+          let clo, chi = config.calls_per_func in
+          let ncalls = Rng.int_in st.rng clo chi in
+          let callees =
+            List.init ncalls (fun _ ->
+                `Direct (shared_fids.(Rng.int st.rng (max 1 (Array.length shared_fids)))))
+          in
+          funcs.(fid) <-
+            gen_branchy_func st ~fid ~fname:(Printf.sprintf "op_%d_%d" t j)
+              ~nblocks:(Rng.int_in st.rng blo bhi) ~callees ~cold_callees:(some_cold ())
+              ~extra_tail:[])
+        per_type)
+    op_fids;
+  (* Handlers. *)
+  Array.iteri
+    (fun t fid ->
+      let ops = Array.to_list op_fids.(t) in
+      let fp_target =
+        if config.fp_sites_per_type && Array.length shared_fids > 0 then
+          Some shared_fids.(Rng.int st.rng (Array.length shared_fids))
+        else None
+      in
+      let scan = if config.scan_tx = Some t then Some scan_len_slot else None in
+      funcs.(fid) <-
+        gen_handler st ~fid ~fname:(Printf.sprintf "handler_%d" t) ~ops
+          ~vtable:(handler_vt t) ~fp_target ~scan ~cold_callees:(some_cold ()))
+    handler_fids;
+  (* Parser. *)
+  (match parser_fid with
+  | Some fid ->
+    let table_prob =
+      if config.jump_table_sites > 0 then
+        float_of_int config.jump_table_sites /. float_of_int config.parser_blocks
+      else 0.0
+    in
+    funcs.(fid) <-
+      gen_branchy_func ~table_prob st ~fid ~fname:"parse_query" ~nblocks:config.parser_blocks
+        ~callees:[] ~cold_callees:(some_cold ()) ~extra_tail:[]
+  | None -> ());
+  (* Main. *)
+  funcs.(main_fid) <-
+    gen_main st ~fid:main_fid ~tx_cum_slots ~handler_fids ~parser_fid
+      ~vtable:(if config.use_vtable_dispatch then Some 0 else None);
+  let sites = Array.of_list (List.rev st.sites_acc) in
+  let program =
+    { Ir.funcs;
+      vtables;
+      entry_fid = main_fid;
+      globals_words = st.next_slot;
+      global_init = [] }
+  in
+  Ir.validate program;
+  { cfg = config;
+    program;
+    sites;
+    tx_cum_slots;
+    scan_len_slot;
+    handler_fids;
+    parser_fid;
+    main_fid }
+
+(* ---- input -> parameter vector ---- *)
+
+(* Slot values a given input assigns: cumulative transaction thresholds,
+   scan length, and one threshold per branch site. Error sites are cold for
+   every input; normal sites take their program-level base direction, which
+   unstable sites flip per input with [flip_prob]. *)
+let make_params t (input : Input.t) : (int * int) list =
+  if Array.length input.Input.mix <> t.cfg.n_tx_types then
+    invalid_arg "Gen.make_params: mix length mismatch";
+  let cum = ref 0.0 in
+  let tx_params =
+    List.init t.cfg.n_tx_types (fun i ->
+        cum := !cum +. input.Input.mix.(i);
+        (t.tx_cum_slots.(i), int_of_float (!cum *. 1000.0)))
+  in
+  let site_params =
+    Array.to_list t.sites
+    |> List.map (fun site ->
+           match site.kind with
+           | Error -> (site.slot, 2)
+           | Normal ->
+             let rng = Rng.create ((input.Input.bias_seed * 1000003) + site.site_id) in
+             let flip = (not site.stable) && Rng.bool rng t.cfg.flip_prob in
+             let hot_taken = if flip then not site.base_hot_taken else site.base_hot_taken in
+             let hot_lo, hot_hi = t.cfg.bias_hot and cold_lo, cold_hi = t.cfg.bias_cold in
+             let p =
+               if hot_taken then Rng.int_in rng hot_lo hot_hi
+               else Rng.int_in rng cold_lo cold_hi
+             in
+             (site.slot, p))
+  in
+  ((t.scan_len_slot, input.Input.scan_len * scan_stride_words) :: tx_params) @ site_params

@@ -1,0 +1,95 @@
+(** Synthetic application generator.
+
+    Produces IR programs shaped like the paper's benchmarks: a server loop
+    dispatching over transaction types, a large branchy parser (the
+    MYSQLparse analog), per-type handler and operation functions calling
+    shared utilities, rarely-taken error paths into cold code, v-table and
+    function-pointer dispatch, and optional data-scan transactions.
+
+    Branch biases are not baked into the code: every conditional compares a
+    random draw against a parameter loaded from a global slot, and inputs
+    are vectors of slot values — the same binary exhibits different hot
+    paths under different inputs (the property Fig. 3 depends on).
+
+    Register conventions of the generated "ABI": r10 is always zero (base
+    for absolute loads), r11 the thread-local data base, r12 a per-thread
+    checksum accumulator, r13 a loop counter, r14 indirect-call scratch,
+    r15 the jump-table lowering scratch. *)
+
+val reg_zero : int
+val reg_tls : int
+val reg_checksum : int
+val reg_loop : int
+val reg_callee : int
+
+val tls_scratch_words : int
+val tls_tx_counter : int
+val tls_fp_base : int
+val tls_scan_idx : int
+val tls_scan_len : int
+val tls_scan_cursor : int
+val tls_scan_base : int
+val scan_stride_words : int
+val scan_region_mask : int
+
+type config = {
+  seed : int;
+  n_tx_types : int;
+  funcs_per_type : int;
+  shared_funcs : int;
+  cold_funcs : int;
+  parser_blocks : int;  (** 0 = no parser function *)
+  jump_table_sites : int;  (** switch statements inside the parser *)
+  blocks_per_func : int * int;
+  body_instrs : int * int;
+  calls_per_func : int * int;
+  error_prob : float;
+  loop_prob : float;
+  loop_trip : int * int;
+  use_vtable_dispatch : bool;
+  vtable_op_prob : float;
+  fp_sites_per_type : bool;
+  scan_tx : int option;
+  tx_limit : int option;  (** None = server loop; Some n = n tx then halt *)
+  stable_site_fraction : float;
+  flip_prob : float;
+  hot_taken_prob : float;
+      (** chance a site's common direction is the taken side, i.e. the
+          static compiler guessed wrong *)
+  bias_hot : int * int;
+  bias_cold : int * int;
+  scan_filters : int;
+  globals_base : int;
+}
+
+val default : config
+
+type site_kind = Normal | Error
+
+type site = {
+  site_id : int;
+  slot : int;
+  kind : site_kind;
+  base_hot_taken : bool;
+  stable : bool;
+}
+
+type t = {
+  cfg : config;
+  program : Ocolos_isa.Ir.program;
+  sites : site array;
+  tx_cum_slots : int array;
+  scan_len_slot : int;
+  handler_fids : int array;
+  parser_fid : int option;
+  main_fid : int;
+}
+
+(** Generate a program; deterministic in [config.seed]. The result
+    validates under {!Ocolos_isa.Ir.validate}. *)
+val generate : config -> t
+
+(** Slot values an input assigns: cumulative transaction thresholds, scan
+    length, and one threshold per branch site. Deterministic in
+    (program, input). *)
+val make_params : t -> Input.t -> (int * int) list

@@ -1,0 +1,25 @@
+(* A workload input: the analog of a Sysbench / YCSB / memaslap input or a
+   Verilator benchmark program. Inputs never change the binary; they change
+   the values the driver writes into the process's global parameter slots,
+   which steer transaction mixes and branch biases. *)
+
+type t = {
+  name : string;
+  mix : float array; (* probability of each transaction type *)
+  bias_seed : int; (* per-input branch-bias assignment *)
+  scan_len : int; (* elements touched per scan transaction *)
+}
+
+let make ?(scan_len = 0) ~name ~mix ~bias_seed () = { name; mix; bias_seed; scan_len }
+
+(* A single-type mix: probability 1 for [typ]. *)
+let pure ~n_types typ =
+  Array.init n_types (fun i -> if i = typ then 1.0 else 0.0)
+
+(* Normalized weighted mix from (type, weight) pairs. *)
+let weighted ~n_types pairs =
+  let mix = Array.make n_types 0.0 in
+  List.iter (fun (t, w) -> mix.(t) <- mix.(t) +. w) pairs;
+  let total = Array.fold_left ( +. ) 0.0 mix in
+  if total <= 0.0 then invalid_arg "Input.weighted: zero total";
+  Array.map (fun w -> w /. total) mix

@@ -1,0 +1,19 @@
+(** A workload input: the analog of a Sysbench / YCSB / memaslap input or a
+    Verilator benchmark program. Inputs never change the binary — they are
+    vectors of values written into the process's global parameter slots,
+    steering transaction mixes and branch biases. *)
+
+type t = {
+  name : string;
+  mix : float array;  (** probability of each transaction type *)
+  bias_seed : int;  (** per-input branch-bias assignment *)
+  scan_len : int;  (** elements touched per scan transaction *)
+}
+
+val make : ?scan_len:int -> name:string -> mix:float array -> bias_seed:int -> unit -> t
+
+(** Mix with probability 1 for one transaction type. *)
+val pure : n_types:int -> int -> float array
+
+(** Normalized mix from (type, weight) pairs. Raises on a zero total. *)
+val weighted : n_types:int -> (int * float) list -> float array

@@ -1,0 +1,63 @@
+(* A benchmark application: generated program + compiled binary + its input
+   set, plus the driver glue that launches processes and applies inputs
+   (the Sysbench/YCSB/memaslap client analog). *)
+
+open Ocolos_isa
+open Ocolos_binary
+open Ocolos_proc
+
+(* Thread-local regions: each thread's r11 points at a private heap slice. *)
+let heap_base_words = 0x400000
+let thread_region_words = 1 lsl 20
+
+type t = {
+  name : string;
+  gen : Gen.t;
+  program : Ir.program; (* post jump-table lowering if requested *)
+  binary : Binary.t; (* original (unoptimized) image *)
+  inputs : Input.t list;
+  nthreads : int;
+}
+
+(* Compile a generated application. [no_jump_tables] is the paper's
+   required flag for OCOLOS target binaries. *)
+let build ?(no_jump_tables = true) ~name ~inputs ~nthreads (gen : Gen.t) =
+  let program =
+    if no_jump_tables then Ir.lower_jump_tables gen.Gen.program else gen.Gen.program
+  in
+  Ir.validate program;
+  let emitted = Emit.emit_default ~name program in
+  { name; gen; program; binary = emitted.Emit.binary; inputs; nthreads }
+
+let find_input t name =
+  match List.find_opt (fun (i : Input.t) -> i.Input.name = name) t.inputs with
+  | Some i -> i
+  | None -> Fmt.invalid_arg "workload %s has no input %s" t.name name
+
+(* Write an input's parameter vector into a process's globals. Callable at
+   any time: inputs can shift under a running server. *)
+let set_input t (proc : Proc.t) (input : Input.t) =
+  List.iter (fun (slot, v) -> Proc.write_global proc slot v) (Gen.make_params t.gen input)
+
+(* Initialize per-thread state: the r11 thread-local base register. *)
+let init_threads (proc : Proc.t) =
+  Array.iteri
+    (fun tid (thread : Thread.t) ->
+      thread.Thread.regs.(Gen.reg_tls) <- heap_base_words + (tid * thread_region_words))
+    proc.Proc.threads
+
+(* Launch a process running [binary] (defaults to the workload's original
+   binary) under [input]. *)
+let launch ?binary ?nthreads ?(cfg = Ocolos_uarch.Config.broadwell) ?(seed = 1234) t ~input =
+  let binary = match binary with Some b -> b | None -> t.binary in
+  let nthreads = match nthreads with Some n -> n | None -> t.nthreads in
+  let proc = Proc.load ~nthreads ~cfg ~seed binary in
+  init_threads proc;
+  set_input t proc input;
+  proc
+
+(* Per-thread checksums (r12): layout-independent on finite runs, used by
+   the semantics-preservation tests. *)
+let checksums (proc : Proc.t) =
+  Array.to_list
+    (Array.map (fun (thread : Thread.t) -> thread.Thread.regs.(Gen.reg_checksum)) proc.Proc.threads)

@@ -1,0 +1,45 @@
+(** A benchmark application: generated program + compiled binary + input
+    set, plus the driver glue that launches processes and applies inputs
+    (the Sysbench/YCSB/memaslap client analog). *)
+
+val heap_base_words : int
+val thread_region_words : int
+
+type t = {
+  name : string;
+  gen : Gen.t;
+  program : Ocolos_isa.Ir.program;  (** post jump-table lowering *)
+  binary : Ocolos_binary.Binary.t;  (** the original (unoptimized) image *)
+  inputs : Input.t list;
+  nthreads : int;
+}
+
+(** Compile a generated application. [no_jump_tables] (default true) is the
+    paper's required flag for OCOLOS target binaries. *)
+val build :
+  ?no_jump_tables:bool -> name:string -> inputs:Input.t list -> nthreads:int -> Gen.t -> t
+
+(** Find an input by name. Raises [Invalid_argument] if absent. *)
+val find_input : t -> string -> Input.t
+
+(** Write an input's parameter vector into a running process's globals —
+    inputs can shift under a live server. *)
+val set_input : t -> Ocolos_proc.Proc.t -> Input.t -> unit
+
+(** Initialize each thread's r11 thread-local base register. *)
+val init_threads : Ocolos_proc.Proc.t -> unit
+
+(** Launch a process running [binary] (default: the workload's original
+    binary) under [input], with threads initialized. *)
+val launch :
+  ?binary:Ocolos_binary.Binary.t ->
+  ?nthreads:int ->
+  ?cfg:Ocolos_uarch.Config.t ->
+  ?seed:int ->
+  t ->
+  input:Input.t ->
+  Ocolos_proc.Proc.t
+
+(** Per-thread checksums (r12): layout-independent on finite runs; the
+    semantics-preservation tests compare these. *)
+val checksums : Ocolos_proc.Proc.t -> int list

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_bam Test_binary Test_bolt Test_core Test_daemon Test_disasm Test_encode Test_isa Test_pgo Test_proc Test_profiler Test_props Test_sim Test_uarch Test_util Test_workloads

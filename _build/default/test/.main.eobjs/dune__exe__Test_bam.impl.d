@@ -1,0 +1,1 @@
+test/test_bam.ml: Alcotest Ocolos_core Printf

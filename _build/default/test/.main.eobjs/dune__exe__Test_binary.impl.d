@@ -1,0 +1,1 @@
+test/test_binary.ml: Alcotest Array Binary Emit Instr Ir Layout List Ocolos_binary Ocolos_isa Ocolos_util Option

@@ -1,0 +1,1 @@
+test/test_bolt.ml: Alcotest Apps Array Binary Emit Fmt Gen Hashtbl Instr Ir List Ocolos_binary Ocolos_bolt Ocolos_isa Ocolos_proc Ocolos_profiler Ocolos_workloads Printf Workload

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Apps Array Hashtbl List Ocolos_binary Ocolos_bolt Ocolos_core Ocolos_isa Ocolos_proc Ocolos_workloads Printf Workload

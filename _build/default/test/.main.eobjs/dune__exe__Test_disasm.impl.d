@@ -1,0 +1,1 @@
+test/test_disasm.ml: Alcotest Apps Array Fmt Gen List Ocolos_binary Ocolos_bolt Ocolos_proc Ocolos_profiler Ocolos_workloads String Workload

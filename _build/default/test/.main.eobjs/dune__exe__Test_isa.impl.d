@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Instr Ir List Ocolos_isa

@@ -1,0 +1,1 @@
+test/test_pgo.ml: Alcotest Apps Array Ocolos_binary Ocolos_pgo Ocolos_proc Ocolos_profiler Ocolos_workloads Workload

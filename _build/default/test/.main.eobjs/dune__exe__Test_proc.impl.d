@@ -1,0 +1,1 @@
+test/test_proc.ml: Addr_space Alcotest Array Instr Ir List Ocolos_binary Ocolos_isa Ocolos_proc Proc Thread

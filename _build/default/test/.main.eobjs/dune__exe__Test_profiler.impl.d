@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Apps Array Gen Hashtbl List Ocolos_proc Ocolos_profiler Ocolos_uarch Ocolos_workloads Printf Workload

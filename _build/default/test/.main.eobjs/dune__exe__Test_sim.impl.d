@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Apps List Ocolos_core Ocolos_sim Ocolos_uarch Ocolos_workloads Printf Workload

@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Btb Cache Config Core Counters Ocolos_uarch Predictor Printf

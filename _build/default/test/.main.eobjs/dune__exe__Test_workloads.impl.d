@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Apps Array Gen Ir List Ocolos_binary Ocolos_isa Ocolos_proc Ocolos_uarch Ocolos_util Ocolos_workloads Printf Workload

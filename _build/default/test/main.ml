@@ -1,0 +1,20 @@
+(* Test entry point: one alcotest run over every module's suite. *)
+
+let () =
+  Alcotest.run "ocolos"
+    [ ("util", Test_util.suite);
+      ("isa", Test_isa.suite);
+      ("encode", Test_encode.suite);
+      ("uarch", Test_uarch.suite);
+      ("binary", Test_binary.suite);
+      ("proc", Test_proc.suite);
+      ("profiler", Test_profiler.suite);
+      ("bolt", Test_bolt.suite);
+      ("workloads", Test_workloads.suite);
+      ("pgo", Test_pgo.suite);
+      ("core", Test_core.suite);
+      ("bam", Test_bam.suite);
+      ("daemon", Test_daemon.suite);
+      ("sim", Test_sim.suite);
+      ("disasm", Test_disasm.suite);
+      ("properties", Test_props.suite) ]

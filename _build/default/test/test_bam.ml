@@ -1,0 +1,87 @@
+(* Tests for BAM's exec-interception state machine and build scheduler. *)
+
+module Bam = Ocolos_core.Bam
+
+let cfg ?(jobs = 2) ?(k = 2) () =
+  { Bam.jobs; profiles_wanted = k; perf_slowdown = 1.10 }
+
+let test_state_machine_profiles_first_k () =
+  let t = Bam.create ~config:(cfg ~k:2 ()) ~bolt_seconds:5.0 () in
+  Alcotest.(check bool) "first profiled" true (Bam.on_exec t ~now:0.0 = Bam.Profiled);
+  Alcotest.(check bool) "second profiled" true (Bam.on_exec t ~now:0.0 = Bam.Profiled);
+  Alcotest.(check bool) "third original" true (Bam.on_exec t ~now:1.0 = Bam.Original)
+
+let test_bolt_starts_after_kth_exit () =
+  let t = Bam.create ~config:(cfg ~k:1 ()) ~bolt_seconds:5.0 () in
+  let m = Bam.on_exec t ~now:0.0 in
+  Bam.on_exit t ~now:10.0 m;
+  (* BOLT ready at 15: execs before that still original, after optimized. *)
+  Alcotest.(check bool) "before ready" true (Bam.on_exec t ~now:12.0 = Bam.Original);
+  Alcotest.(check bool) "after ready" true (Bam.on_exec t ~now:15.0 = Bam.Optimized)
+
+let test_simulate_build_counts () =
+  let out =
+    Bam.simulate_build ~config:(cfg ~jobs:2 ~k:3 ()) ~n_files:20
+      ~t_orig:(fun _ -> 10.0)
+      ~t_opt:(fun _ -> 7.0)
+      ~bolt_seconds:5.0 ()
+  in
+  Alcotest.(check int) "profiled" 3 out.Bam.profiled_runs;
+  Alcotest.(check int) "all jobs ran" 20
+    (out.Bam.profiled_runs + out.Bam.original_runs + out.Bam.optimized_runs);
+  Alcotest.(check bool) "some optimized" true (out.Bam.optimized_runs > 0);
+  Alcotest.(check bool) "bolt ran" true (out.Bam.bolt_ready_at <> None)
+
+let test_build_faster_than_original_when_speedup_real () =
+  let baseline =
+    Bam.simulate_build ~config:(cfg ~jobs:4 ~k:0 ()) ~n_files:40
+      ~t_orig:(fun _ -> 10.0)
+      ~t_opt:(fun _ -> 10.0)
+      ~bolt_seconds:0.0 ()
+  in
+  let bam =
+    Bam.simulate_build ~config:(cfg ~jobs:4 ~k:2 ()) ~n_files:40
+      ~t_orig:(fun _ -> 10.0)
+      ~t_opt:(fun _ -> 7.0)
+      ~bolt_seconds:4.0 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "bam %.1f < baseline %.1f" bam.Bam.total_seconds baseline.Bam.total_seconds)
+    true
+    (bam.Bam.total_seconds < baseline.Bam.total_seconds)
+
+let test_over_profiling_hurts () =
+  (* Profiling every execution means the optimized binary never runs. *)
+  let k_small =
+    Bam.simulate_build ~config:(cfg ~jobs:4 ~k:2 ()) ~n_files:40
+      ~t_orig:(fun _ -> 10.0)
+      ~t_opt:(fun _ -> 7.0)
+      ~bolt_seconds:4.0 ()
+  in
+  let k_all =
+    Bam.simulate_build ~config:(cfg ~jobs:4 ~k:40 ()) ~n_files:40
+      ~t_orig:(fun _ -> 10.0)
+      ~t_opt:(fun _ -> 7.0)
+      ~bolt_seconds:4.0 ()
+  in
+  Alcotest.(check bool) "over-profiling slower" true
+    (k_all.Bam.total_seconds > k_small.Bam.total_seconds);
+  Alcotest.(check int) "nothing optimized" 0 k_all.Bam.optimized_runs
+
+let test_makespan_consistency () =
+  (* With 1 job slot the makespan is the serial sum. *)
+  let out =
+    Bam.simulate_build ~config:(cfg ~jobs:1 ~k:0 ()) ~n_files:5
+      ~t_orig:(fun _ -> 3.0)
+      ~t_opt:(fun _ -> 3.0)
+      ~bolt_seconds:0.0 ()
+  in
+  Alcotest.(check (float 1e-6)) "serial sum" 15.0 out.Bam.total_seconds
+
+let suite =
+  [ Alcotest.test_case "profiles first k" `Quick test_state_machine_profiles_first_k;
+    Alcotest.test_case "bolt after kth exit" `Quick test_bolt_starts_after_kth_exit;
+    Alcotest.test_case "simulate build counts" `Quick test_simulate_build_counts;
+    Alcotest.test_case "bam beats baseline" `Quick test_build_faster_than_original_when_speedup_real;
+    Alcotest.test_case "over-profiling hurts" `Quick test_over_profiling_hurts;
+    Alcotest.test_case "makespan consistency" `Quick test_makespan_consistency ]

@@ -1,0 +1,110 @@
+(* Tests for the continuous-optimization controller and the perf-report
+   analog. *)
+
+open Ocolos_workloads
+module Daemon = Ocolos_core.Daemon
+module Clock = Ocolos_sim.Clock
+
+let drive proc horizon = Ocolos_proc.Proc.run ~cycle_limit:(Clock.seconds_to_cycles horizon) proc
+
+(* Tick the daemon once per simulated second for [seconds]; collect
+   non-idle actions. *)
+let run_daemon d proc ~from ~seconds =
+  let actions = ref [] in
+  for s = from + 1 to from + seconds do
+    drive proc (float_of_int s);
+    match Daemon.tick d ~now_s:(float_of_int s) with
+    | Daemon.Idle -> ()
+    | a -> actions := (s, a) :: !actions
+  done;
+  List.rev !actions
+
+let test_daemon_optimizes_frontend_bound () =
+  let w = Apps.tiny ~tx_limit:None () in
+  let input = Workload.find_input w "a" in
+  let proc = Workload.launch w ~input in
+  let oc = Ocolos_core.Ocolos.attach proc in
+  let config = { Daemon.default_config with Daemon.profile_s = 1.0; warmup_s = 0.5 } in
+  let d = Daemon.create ~config oc proc in
+  let actions = run_daemon d proc ~from:0 ~seconds:6 in
+  Alcotest.(check bool) "started profiling" true
+    (List.exists (fun (_, a) -> match a with Daemon.Started_profiling _ -> true | _ -> false)
+       actions);
+  Alcotest.(check int) "replaced once" 1 (Daemon.replacements d);
+  Alcotest.(check int) "version 1" 1 (Ocolos_core.Ocolos.version oc)
+
+let test_daemon_steady_state_no_churn () =
+  (* After the first optimization, a steady workload must not trigger
+     re-optimization. *)
+  let w = Apps.tiny ~tx_limit:None () in
+  let input = Workload.find_input w "a" in
+  let proc = Workload.launch w ~input in
+  let oc = Ocolos_core.Ocolos.attach proc in
+  let config =
+    { Daemon.default_config with Daemon.profile_s = 1.0; warmup_s = 0.5; min_interval_s = 3.0 }
+  in
+  let d = Daemon.create ~config oc proc in
+  ignore (run_daemon d proc ~from:0 ~seconds:20);
+  Alcotest.(check int) "exactly one replacement" 1 (Daemon.replacements d)
+
+let test_daemon_reoptimizes_on_input_shift () =
+  (* Needs a workload where layout actually matters (tiny fits the L1i, so
+     a stale layout costs nothing there). *)
+  let w = Apps.mysql_like () in
+  let proc = Workload.launch w ~input:(Workload.find_input w "point_select") in
+  let oc = Ocolos_core.Ocolos.attach proc in
+  let config =
+    { Daemon.default_config with
+      Daemon.profile_s = 2.0;
+      warmup_s = 0.5;
+      min_interval_s = 2.0;
+      regression_tolerance = 0.08 }
+  in
+  let d = Daemon.create ~config oc proc in
+  ignore (run_daemon d proc ~from:0 ~seconds:8);
+  Alcotest.(check int) "optimized for point_select" 1 (Daemon.replacements d);
+  (* Shift the input; throughput under the stale C1 layout drops, and the
+     daemon must produce C2. *)
+  Workload.set_input w proc (Workload.find_input w "write_only");
+  ignore (run_daemon d proc ~from:8 ~seconds:12);
+  Alcotest.(check bool) "re-optimized after shift" true (Daemon.replacements d >= 2);
+  Alcotest.(check bool) "version advanced" true (Ocolos_core.Ocolos.version oc >= 2)
+
+let test_perf_report_finds_hot_function () =
+  (* Under the original layout, the parser should rank among the top L1i
+     missers (the MYSQLparse effect); under OCOLOS it should fade. *)
+  let w = Apps.mysql_like () in
+  let input = Workload.find_input w "read_only" in
+  let proc = Workload.launch w ~input in
+  Ocolos_proc.Proc.run ~cycle_limit:200_000.0 proc;
+  let session = Ocolos_profiler.Perf_report.start ~period:3 proc in
+  Ocolos_proc.Proc.run ~cycle_limit:600_000.0 proc;
+  let report = Ocolos_profiler.Perf_report.stop session in
+  let rows = Ocolos_profiler.Perf_report.by_function report w.Workload.binary in
+  Alcotest.(check bool) "samples collected" true (List.length rows > 5);
+  let parser_fid =
+    match w.Workload.gen.Gen.parser_fid with Some f -> f | None -> assert false
+  in
+  let top20 = List.filteri (fun i _ -> i < 20) rows in
+  Alcotest.(check bool) "parser in top-20 missers" true
+    (List.exists (fun r -> r.Ocolos_profiler.Perf_report.fr_fid = parser_fid) top20);
+  (* Annotate: per-address counts of the parser sum to its total. *)
+  let annotated = Ocolos_profiler.Perf_report.annotate report w.Workload.binary parser_fid in
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 annotated in
+  Alcotest.(check int) "annotate sums"
+    (Ocolos_profiler.Perf_report.samples_of_func report w.Workload.binary parser_fid)
+    total;
+  (* Sampling stops after detach. *)
+  let before = List.length rows in
+  Ocolos_proc.Proc.run ~cycle_limit:700_000.0 proc;
+  Alcotest.(check int) "no more samples" before
+    (List.length (Ocolos_profiler.Perf_report.by_function report w.Workload.binary))
+
+let suite =
+  [ Alcotest.test_case "daemon optimizes frontend-bound" `Quick
+      test_daemon_optimizes_frontend_bound;
+    Alcotest.test_case "daemon steady state no churn" `Quick test_daemon_steady_state_no_churn;
+    Alcotest.test_case "daemon reoptimizes on input shift" `Slow
+      test_daemon_reoptimizes_on_input_shift;
+    Alcotest.test_case "perf report finds hot function" `Quick
+      test_perf_report_finds_hot_function ]

@@ -1,0 +1,76 @@
+(* Tests for the compiler-PGO analog. *)
+
+open Ocolos_workloads
+
+let profile_of w input_name =
+  let input = Workload.find_input w input_name in
+  let proc = Workload.launch w ~input in
+  let session = Ocolos_profiler.Perf.start proc in
+  Ocolos_proc.Proc.run ~cycle_limit:200_000.0 proc;
+  Ocolos_profiler.Perf2bolt.convert ~binary:w.Workload.binary
+    (Ocolos_profiler.Perf.stop session)
+
+let test_pgo_drops_edges () =
+  let w = Apps.tiny () in
+  let profile = profile_of w "a" in
+  let r =
+    Ocolos_pgo.Pgo.run ~program:w.Workload.program ~binary:w.Workload.binary ~profile
+      ~name:"t.pgo" ()
+  in
+  Alcotest.(check bool) "some edges mapped" true (r.Ocolos_pgo.Pgo.edges_mapped > 0);
+  Alcotest.(check bool) "mapping is lossy" true
+    (r.Ocolos_pgo.Pgo.edges_mapped < r.Ocolos_pgo.Pgo.edges_total)
+
+let test_pgo_binary_semantics () =
+  let wp = Apps.tiny ~tx_limit:(Some 150) () in
+  let profile =
+    let input = Workload.find_input wp "a" in
+    let proc = Workload.launch wp ~input in
+    let session = Ocolos_profiler.Perf.start proc in
+    Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:5_000_000 proc;
+    Ocolos_profiler.Perf2bolt.convert ~binary:wp.Workload.binary
+      (Ocolos_profiler.Perf.stop session)
+  in
+  let r =
+    Ocolos_pgo.Pgo.run ~program:wp.Workload.program ~binary:wp.Workload.binary ~profile
+      ~name:"t.pgo" ()
+  in
+  let run binary =
+    let proc = Workload.launch wp ~binary ~input:(Workload.find_input wp "a") in
+    Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:50_000_000 proc;
+    Workload.checksums proc
+  in
+  Alcotest.(check (list int)) "pgo binary behaves identically"
+    (run wp.Workload.binary)
+    (run r.Ocolos_pgo.Pgo.binary)
+
+let test_pgo_reorders_hot_functions () =
+  let w = Apps.tiny () in
+  let profile = profile_of w "a" in
+  let r =
+    Ocolos_pgo.Pgo.run ~program:w.Workload.program ~binary:w.Workload.binary ~profile
+      ~name:"t.pgo" ()
+  in
+  Alcotest.(check bool) "hot funcs reordered" true (r.Ocolos_pgo.Pgo.funcs_reordered > 0);
+  (* Whole-program recompilation: same function count, single text. *)
+  Alcotest.(check int) "all symbols"
+    (Array.length w.Workload.binary.Ocolos_binary.Binary.symbols)
+    (Array.length r.Ocolos_pgo.Pgo.binary.Ocolos_binary.Binary.symbols);
+  Alcotest.(check bool) "no bolt.org.text" true
+    (Ocolos_binary.Binary.section_named r.Ocolos_pgo.Pgo.binary "bolt.org.text" = None)
+
+let test_pgo_deterministic () =
+  let w = Apps.tiny () in
+  let profile = profile_of w "a" in
+  let run () =
+    (Ocolos_pgo.Pgo.run ~program:w.Workload.program ~binary:w.Workload.binary ~profile
+       ~name:"t.pgo" ())
+      .Ocolos_pgo.Pgo.edges_mapped
+  in
+  Alcotest.(check int) "same mapping both times" (run ()) (run ())
+
+let suite =
+  [ Alcotest.test_case "pgo drops edges" `Quick test_pgo_drops_edges;
+    Alcotest.test_case "pgo binary semantics" `Slow test_pgo_binary_semantics;
+    Alcotest.test_case "pgo reorders hot functions" `Quick test_pgo_reorders_hot_functions;
+    Alcotest.test_case "pgo deterministic" `Quick test_pgo_deterministic ]

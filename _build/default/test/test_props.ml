@@ -1,0 +1,198 @@
+(* Property-based tests (qcheck): the load-bearing invariants of the whole
+   system, checked over randomly generated programs, layouts and replacement
+   points. *)
+
+open Ocolos_workloads
+
+(* Random small application configurations: every program the generator can
+   produce, at test-friendly scale. *)
+let gen_config_arbitrary =
+  QCheck.make
+    ~print:(fun (seed, tx, fpt, shared, cold, parser, jts, lim) ->
+      Printf.sprintf "seed=%d tx=%d fpt=%d shared=%d cold=%d parser=%d jts=%d lim=%d" seed tx
+        fpt shared cold parser jts lim)
+    QCheck.Gen.(
+      tup8 (int_bound 10_000) (int_range 1 3) (int_range 1 4) (int_range 2 6) (int_bound 4)
+        (int_range 0 16) (int_bound 2) (int_range 8 25))
+
+let workload_of (seed, tx, fpt, shared, cold, parser, jts, lim) =
+  let cfg =
+    { Gen.default with
+      Gen.seed;
+      n_tx_types = tx;
+      funcs_per_type = fpt;
+      shared_funcs = shared;
+      cold_funcs = cold;
+      parser_blocks = parser;
+      jump_table_sites = jts;
+      blocks_per_func = (2, 5);
+      tx_limit = Some lim;
+      use_vtable_dispatch = seed mod 2 = 0;
+      fp_sites_per_type = seed mod 3 <> 0;
+      scan_tx = None }
+  in
+  let gen = Gen.generate cfg in
+  let inputs =
+    [ Input.make ~name:"p" ~mix:(Array.make tx (1.0 /. float_of_int tx)) ~bias_seed:(seed + 1) () ]
+  in
+  Workload.build ~name:"prop" ~inputs ~nthreads:2 gen
+
+let run_to_completion ?binary w =
+  let input = List.hd w.Workload.inputs in
+  let proc = Workload.launch ?binary w ~input in
+  Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:30_000_000 proc;
+  let halted =
+    Array.for_all
+      (fun (t : Ocolos_proc.Thread.t) -> t.Ocolos_proc.Thread.state = Ocolos_proc.Thread.Halted)
+      proc.Ocolos_proc.Proc.threads
+  in
+  (halted, Workload.checksums proc, Ocolos_proc.Proc.transactions proc)
+
+(* 1. Generated programs always validate, emit, and terminate. *)
+let prop_programs_terminate =
+  QCheck.Test.make ~name:"generated programs terminate" ~count:25 gen_config_arbitrary
+    (fun params ->
+      let w = workload_of params in
+      let halted, _, tx = run_to_completion w in
+      halted && tx > 0)
+
+(* 2. Code layout never changes semantics. *)
+let prop_layout_invariance =
+  QCheck.Test.make ~name:"random layouts preserve semantics" ~count:15 gen_config_arbitrary
+    (fun params ->
+      let w = workload_of params in
+      let reference = run_to_completion w in
+      let rng = Ocolos_util.Rng.create (Hashtbl.hash params) in
+      let layout = Ocolos_binary.Layout.randomize rng w.Workload.program in
+      let e = Ocolos_binary.Emit.emit ~name:"prop.rand" w.Workload.program layout in
+      run_to_completion ~binary:e.Ocolos_binary.Emit.binary w = reference)
+
+(* 3. The full BOLT pipeline preserves semantics. *)
+let prop_bolt_preserves_semantics =
+  QCheck.Test.make ~name:"BOLT pipeline preserves semantics" ~count:12 gen_config_arbitrary
+    (fun params ->
+      let w = workload_of params in
+      let reference = run_to_completion w in
+      (* Collect a partial-run profile. *)
+      let input = List.hd w.Workload.inputs in
+      let proc = Workload.launch w ~input in
+      let session = Ocolos_profiler.Perf.start proc in
+      Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:40_000 proc;
+      let profile =
+        Ocolos_profiler.Perf2bolt.convert ~binary:w.Workload.binary
+          (Ocolos_profiler.Perf.stop session)
+      in
+      let r = Ocolos_bolt.Bolt.run ~binary:w.Workload.binary ~profile () in
+      run_to_completion ~binary:r.Ocolos_bolt.Bolt.merged w = reference)
+
+(* 4. OCOLOS replacement at an arbitrary execution point preserves
+   semantics (including the stop point being mid-transaction, mid-call). *)
+let prop_ocolos_replacement_preserves_semantics =
+  QCheck.Test.make ~name:"OCOLOS replacement preserves semantics" ~count:12
+    (QCheck.pair gen_config_arbitrary (QCheck.make QCheck.Gen.(int_range 1_000 80_000)))
+    (fun (params, stop_point) ->
+      let w = workload_of params in
+      let reference = run_to_completion w in
+      let input = List.hd w.Workload.inputs in
+      let proc = Workload.launch w ~input in
+      let oc = Ocolos_core.Ocolos.attach proc in
+      Ocolos_core.Ocolos.start_profiling oc;
+      Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:stop_point proc;
+      let profile, _ = Ocolos_core.Ocolos.stop_profiling oc in
+      let result, _ = Ocolos_core.Ocolos.run_bolt oc profile in
+      ignore (Ocolos_core.Ocolos.replace_code oc result);
+      Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:30_000_000 proc;
+      let halted =
+        Array.for_all
+          (fun (t : Ocolos_proc.Thread.t) ->
+            t.Ocolos_proc.Thread.state = Ocolos_proc.Thread.Halted)
+          proc.Ocolos_proc.Proc.threads
+      in
+      (halted, Workload.checksums proc, Ocolos_proc.Proc.transactions proc) = reference)
+
+(* 5. Cache invariants. *)
+let prop_cache_hit_after_access =
+  QCheck.Test.make ~name:"cache: resident after access" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (QCheck.int_bound 100_000))
+    (fun addrs ->
+      let c = Ocolos_uarch.Cache.of_size ~name:"p" ~size_bytes:4096 ~ways:4 ~line_bytes:64 in
+      List.for_all
+        (fun a ->
+          ignore (Ocolos_uarch.Cache.access c a);
+          Ocolos_uarch.Cache.probe c a)
+        addrs)
+
+let prop_cache_capacity_bound =
+  QCheck.Test.make ~name:"cache: residency bounded by capacity" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (QCheck.int_bound 1_000_000))
+    (fun addrs ->
+      let c = Ocolos_uarch.Cache.of_size ~name:"p" ~size_bytes:1024 ~ways:2 ~line_bytes:64 in
+      List.iter (fun a -> ignore (Ocolos_uarch.Cache.access c a)) addrs;
+      let distinct_lines = List.sort_uniq compare (List.map (fun a -> a / 64) addrs) in
+      let resident = List.filter (fun l -> Ocolos_uarch.Cache.probe c (l * 64)) distinct_lines in
+      List.length resident <= 16)
+
+(* 6. Profile merge is order-insensitive. *)
+let prop_profile_merge_commutes =
+  QCheck.Test.make ~name:"profile merge commutes" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 0 30) (pair small_nat small_nat))
+        (list_of_size (QCheck.Gen.int_range 0 30) (pair small_nat small_nat)))
+    (fun (e1, e2) ->
+      let mk edges =
+        let p = Ocolos_profiler.Profile.create () in
+        List.iter (fun (f, t) -> Ocolos_profiler.Profile.add_branch p ~from_addr:f ~to_addr:t 1) edges;
+        p
+      in
+      let a = Ocolos_profiler.Profile.merge [ mk e1; mk e2 ] in
+      let b = Ocolos_profiler.Profile.merge [ mk e2; mk e1 ] in
+      List.for_all
+        (fun key ->
+          Ocolos_profiler.Profile.branch_count a key = Ocolos_profiler.Profile.branch_count b key)
+        (e1 @ e2))
+
+(* 7. Block layout output is always a permutation with the entry first. *)
+let prop_layout_func_permutation =
+  QCheck.Test.make ~name:"bb layout is a permutation, entry first" ~count:100
+    QCheck.(pair (QCheck.make QCheck.Gen.(int_range 1 12)) (QCheck.make QCheck.Gen.(int_bound 10_000)))
+    (fun (n, seed) ->
+      let rng = Ocolos_util.Rng.create seed in
+      let rc =
+        { Ocolos_bolt.Cfg.rc_fid = 0;
+          rc_func = { Ocolos_isa.Ir.fid = 0; fname = "p"; blocks = [||] };
+          rc_block_addr = Array.init n (fun i -> i * 20);
+          rc_block_end = Array.init n (fun i -> (i * 20) + 20);
+          rc_counts = Array.init n (fun _ -> Ocolos_util.Rng.int rng 100);
+          rc_edges = Hashtbl.create 16;
+          rc_instr_count = n * 4 }
+      in
+      for _ = 1 to n * 2 do
+        let u = Ocolos_util.Rng.int rng n and v = Ocolos_util.Rng.int rng n in
+        Hashtbl.replace rc.Ocolos_bolt.Cfg.rc_edges (u, v) (1 + Ocolos_util.Rng.int rng 50)
+      done;
+      let hot, cold = Ocolos_bolt.Bb_reorder.layout_func ~split:(seed mod 2 = 0) rc in
+      let all = List.sort compare (hot @ cold) in
+      all = List.init n (fun i -> i) && (hot = [] || List.hd hot = 0))
+
+(* 8. Emission is deterministic. *)
+let prop_emit_deterministic =
+  QCheck.Test.make ~name:"emission deterministic" ~count:10 gen_config_arbitrary
+    (fun params ->
+      let a = workload_of params and b = workload_of params in
+      Ocolos_binary.Binary.instr_count a.Workload.binary
+      = Ocolos_binary.Binary.instr_count b.Workload.binary
+      && a.Workload.binary.Ocolos_binary.Binary.entry
+         = b.Workload.binary.Ocolos_binary.Binary.entry)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_programs_terminate;
+      prop_layout_invariance;
+      prop_bolt_preserves_semantics;
+      prop_ocolos_replacement_preserves_semantics;
+      prop_cache_hit_after_access;
+      prop_cache_capacity_bound;
+      prop_profile_merge_commutes;
+      prop_layout_func_permutation;
+      prop_emit_deterministic ]

@@ -1,0 +1,114 @@
+(* Unit tests for ocolos_util: PRNG, statistics, table rendering. *)
+
+open Ocolos_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in bounds" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng 3 9 in
+    Alcotest.(check bool) "in range" true (v >= 3 && v <= 9)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_bool_bias () =
+  let rng = Rng.create 9 in
+  let n = 10000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool rng 0.8 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "close to 0.8" true (frac > 0.77 && frac < 0.83)
+
+let test_rng_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_weighted_index () =
+  let rng = Rng.create 3 in
+  let w = [| 0.0; 5.0; 0.0; 5.0 |] in
+  for _ = 1 to 500 do
+    let i = Rng.weighted_index rng w in
+    Alcotest.(check bool) "only nonzero weights" true (i = 1 || i = 3)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_stats_basics () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.5) (Stats.stddev xs);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0)
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+let test_linear_regression () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 3.0; 5.0; 7.0; 9.0 |] in
+  let fit = Stats.linear_regression xs ys in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 fit.Stats.slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 fit.Stats.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 fit.Stats.r2
+
+let test_perceptron_separable () =
+  (* Linearly separable: label = x1 > x2. *)
+  let points =
+    List.init 40 (fun i ->
+        let x1 = float_of_int (i mod 7) /. 7.0 and x2 = float_of_int (i mod 5) /. 5.0 in
+        (x1, x2, x1 > x2))
+  in
+  let c = Stats.train_perceptron points in
+  Alcotest.(check bool) "high accuracy" true (Stats.accuracy c points >= 0.9)
+
+let test_table_render () =
+  let out =
+    Table.render ~headers:[| "a"; "b" |] [ [| "xx"; "1" |]; [| "y"; "23" |] ]
+  in
+  Alcotest.(check bool) "has header" true (String.length out > 0);
+  Alcotest.(check bool) "aligned rows" true
+    (List.length (String.split_on_char '\n' out) >= 4)
+
+let test_fmt_int () =
+  Alcotest.(check string) "thousands" "31,677" (Table.fmt_int 31677);
+  Alcotest.(check string) "small" "42" (Table.fmt_int 42);
+  Alcotest.(check string) "million" "1,234,567" (Table.fmt_int 1234567)
+
+let suite =
+  [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng bool bias" `Quick test_rng_bool_bias;
+    Alcotest.test_case "rng invalid bound" `Quick test_rng_invalid;
+    Alcotest.test_case "weighted index" `Quick test_weighted_index;
+    Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "geomean" `Quick test_stats_geomean;
+    Alcotest.test_case "linear regression" `Quick test_linear_regression;
+    Alcotest.test_case "perceptron separable" `Quick test_perceptron_separable;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "fmt_int" `Quick test_fmt_int ]

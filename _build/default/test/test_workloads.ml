@@ -1,0 +1,156 @@
+(* Tests for the workload generator and driver. *)
+
+open Ocolos_workloads
+open Ocolos_isa
+
+let test_generation_validates () =
+  List.iter
+    (fun (w : Workload.t) -> Ir.validate w.Workload.program)
+    [ Apps.tiny (); Apps.memcached_like () ]
+
+let test_generation_deterministic () =
+  let a = Apps.tiny () and b = Apps.tiny () in
+  Alcotest.(check int) "same instr count"
+    (Ocolos_binary.Binary.instr_count a.Workload.binary)
+    (Ocolos_binary.Binary.instr_count b.Workload.binary);
+  Alcotest.(check int) "same entry" a.Workload.binary.Ocolos_binary.Binary.entry
+    b.Workload.binary.Ocolos_binary.Binary.entry
+
+let test_no_jump_tables_lowered () =
+  let w = Apps.tiny () in
+  (* The OCOLOS target binary is compiled -fno-jump-tables: no JumpInd in
+     the image even though the source had switches. *)
+  Alcotest.(check bool) "source had tables" true
+    (Ir.has_jump_tables w.Workload.gen.Gen.program);
+  Alcotest.(check bool) "lowered" false (Ir.has_jump_tables w.Workload.program)
+
+let test_params_in_range () =
+  let w = Apps.tiny () in
+  List.iter
+    (fun input ->
+      List.iter
+        (fun (slot, v) ->
+          Alcotest.(check bool) "slot positive" true (slot >= 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "value %d in range" v)
+            true
+            (v >= 0 && v <= 1000 + (Gen.scan_stride_words * 100000)))
+        (Gen.make_params w.Workload.gen input))
+    w.Workload.inputs
+
+let test_params_input_dependent () =
+  let w = Apps.tiny () in
+  let a = Gen.make_params w.Workload.gen (Workload.find_input w "a") in
+  let b = Gen.make_params w.Workload.gen (Workload.find_input w "b") in
+  Alcotest.(check bool) "different inputs differ" true (a <> b);
+  (* Same input twice: identical. *)
+  let a' = Gen.make_params w.Workload.gen (Workload.find_input w "a") in
+  Alcotest.(check bool) "deterministic" true (a = a')
+
+let test_error_sites_always_cold () =
+  let w = Apps.tiny () in
+  let params = Gen.make_params w.Workload.gen (Workload.find_input w "a") in
+  Array.iter
+    (fun (site : Gen.site) ->
+      if site.Gen.kind = Gen.Error then
+        Alcotest.(check int) "error threshold tiny" 2 (List.assoc site.Gen.slot params))
+    w.Workload.gen.Gen.sites
+
+let test_tx_mix_respected () =
+  (* Input "a" biases type 0 at 80%: the observed tx counts should skew the
+     same way; we verify indirectly through the cumulative slots. *)
+  let w = Apps.tiny () in
+  let input = Workload.find_input w "a" in
+  let params = Gen.make_params w.Workload.gen input in
+  let cum0 = List.assoc w.Workload.gen.Gen.tx_cum_slots.(0) params in
+  let cum1 = List.assoc w.Workload.gen.Gen.tx_cum_slots.(1) params in
+  Alcotest.(check int) "cum0 = 800" 800 cum0;
+  Alcotest.(check int) "last cum = 1000" 1000 cum1
+
+let test_finite_run_halts () =
+  let w = Apps.tiny ~tx_limit:(Some 25) () in
+  let input = Workload.find_input w "a" in
+  let proc = Workload.launch w ~input in
+  Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:20_000_000 proc;
+  Array.iter
+    (fun (t : Ocolos_proc.Thread.t) ->
+      Alcotest.(check bool) "halted" true (t.Ocolos_proc.Thread.state = Ocolos_proc.Thread.Halted))
+    proc.Ocolos_proc.Proc.threads;
+  (* Each of the two threads runs its own 25-transaction loop. *)
+  Alcotest.(check int) "transaction count" 50 (Ocolos_proc.Proc.transactions proc)
+
+let test_server_run_never_halts () =
+  let w = Apps.tiny ~tx_limit:None () in
+  let input = Workload.find_input w "a" in
+  let proc = Workload.launch w ~input in
+  Ocolos_proc.Proc.run ~cycle_limit:50_000.0 proc;
+  Alcotest.(check bool) "still running" true (Ocolos_proc.Proc.runnable proc);
+  Alcotest.(check bool) "transactions flowing" true (Ocolos_proc.Proc.transactions proc > 10)
+
+let test_input_switch_at_runtime () =
+  (* OCOLOS's premise: inputs shift under a running server. Switching the
+     input changes the transaction mix without relaunching. *)
+  let w = Apps.tiny ~tx_limit:None () in
+  let proc = Workload.launch w ~input:(Workload.find_input w "a") in
+  Ocolos_proc.Proc.run ~cycle_limit:50_000.0 proc;
+  Workload.set_input w proc (Workload.find_input w "b");
+  let from = Ocolos_proc.Proc.max_cycles proc in
+  Ocolos_proc.Proc.run ~cycle_limit:(from +. 50_000.0) proc;
+  Alcotest.(check bool) "survived the switch" true (Ocolos_proc.Proc.transactions proc > 20)
+
+let test_checksums_layout_invariant () =
+  (* The core semantic property: emitting the same program under a random
+     layout cannot change its observable behaviour. *)
+  let w = Apps.tiny ~tx_limit:(Some 120) () in
+  let input = Workload.find_input w "a" in
+  let run binary =
+    let proc = Workload.launch w ~binary ~input in
+    Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:50_000_000 proc;
+    (Workload.checksums proc, Ocolos_proc.Proc.transactions proc)
+  in
+  let reference = run w.Workload.binary in
+  let rng = Ocolos_util.Rng.create 2024 in
+  for _ = 1 to 3 do
+    let layout = Ocolos_binary.Layout.randomize rng w.Workload.program in
+    let e = Ocolos_binary.Emit.emit ~name:"rand" w.Workload.program layout in
+    Alcotest.(check (pair (list int) int)) "same behaviour" reference
+      (run e.Ocolos_binary.Emit.binary)
+  done
+
+let test_scan_workload_touches_dram () =
+  let w = Apps.mongodb_like () in
+  let input = Workload.find_input w "scan95_insert5" in
+  let proc = Workload.launch w ~input in
+  Ocolos_proc.Proc.run ~cycle_limit:200_000.0 proc;
+  let c = Ocolos_proc.Proc.total_counters proc in
+  Alcotest.(check bool) "significant DRAM traffic" true (c.Ocolos_uarch.Counters.l2_misses > 200);
+  let td = Ocolos_uarch.Counters.topdown c in
+  Alcotest.(check bool) "backend-bound-ish" true (td.Ocolos_uarch.Counters.backend > 0.15)
+
+let test_clang_per_file_variation () =
+  let w = Apps.clang_like ~tx_per_file:30 ~n_files:3 () in
+  Alcotest.(check int) "3 files" 3 (List.length w.Workload.inputs);
+  (* Different files have different bias seeds -> different checksums. *)
+  let run input =
+    let proc = Workload.launch w ~input in
+    Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:20_000_000 proc;
+    Workload.checksums proc
+  in
+  let c0 = run (List.nth w.Workload.inputs 0) in
+  let c1 = run (List.nth w.Workload.inputs 1) in
+  Alcotest.(check bool) "files differ" true (c0 <> c1)
+
+let suite =
+  [ Alcotest.test_case "generation validates" `Quick test_generation_validates;
+    Alcotest.test_case "generation deterministic" `Quick test_generation_deterministic;
+    Alcotest.test_case "jump tables lowered" `Quick test_no_jump_tables_lowered;
+    Alcotest.test_case "params in range" `Quick test_params_in_range;
+    Alcotest.test_case "params input dependent" `Quick test_params_input_dependent;
+    Alcotest.test_case "error sites cold" `Quick test_error_sites_always_cold;
+    Alcotest.test_case "tx mix respected" `Quick test_tx_mix_respected;
+    Alcotest.test_case "finite run halts" `Quick test_finite_run_halts;
+    Alcotest.test_case "server run persists" `Quick test_server_run_never_halts;
+    Alcotest.test_case "input switch at runtime" `Quick test_input_switch_at_runtime;
+    Alcotest.test_case "checksums layout-invariant" `Slow test_checksums_layout_invariant;
+    Alcotest.test_case "scan workload hits DRAM" `Quick test_scan_workload_touches_dram;
+    Alcotest.test_case "clang per-file variation" `Quick test_clang_per_file_variation ]
