@@ -6,6 +6,9 @@
      run      -w W -i I [-s SEC]   steady-state throughput of the original
      bolt     -w W -i I            offline BOLT: profile, optimize, compare
      ocolos   -w W -i I            online OCOLOS: attach, replace, compare
+                                   (--fault POINT[:SPEC] injects deterministic
+                                   faults into the replacement transaction)
+     faults                        list fault-injection points
      timeline -w W -i I            per-second Fig.7-style timeline
      topdown  -w W -i I            stage-1 TopDown bottleneck analysis *)
 
@@ -100,27 +103,88 @@ let bolt_cmd =
     (Cmd.info "bolt" ~doc:"Offline BOLT: profile, optimize, compare")
     Term.(const run $ workload_arg $ input_arg $ seconds_arg)
 
+let fault_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "fault" ] ~docv:"POINT[:SPEC]"
+        ~doc:
+          "Arm a fault at a named injection point (repeatable; see $(b,faults)). SPEC is \
+           $(i,N) (fire on the Nth hit; default 1), $(b,every:)$(i,K), or $(b,p:)$(i,P).")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for probabilistic fault schedules; reruns reproduce exactly.")
+
 let ocolos_cmd =
-  let run name input_name seconds =
+  let run name input_name seconds fault_specs fault_seed =
     let w = load_workload name in
     let input = Workload.find_input w input_name in
+    let fault =
+      match fault_specs with
+      | [] -> None
+      | specs ->
+        let f = Ocolos_util.Fault.create ~seed:fault_seed () in
+        List.iter
+          (fun spec ->
+            match Ocolos_util.Fault.parse_arm f spec with
+            | Ok point when not (List.mem point Ocolos_core.Ocolos.injection_points) ->
+              Fmt.failwith "bad --fault %S: unknown point %S (see `ocolos_cli faults`)"
+                spec point
+            | Ok _ -> ()
+            | Error msg -> Fmt.failwith "bad --fault %S: %s" spec msg)
+          specs;
+        Some f
+    in
+    let config = { Ocolos_core.Ocolos.default_config with Ocolos_core.Ocolos.fault } in
     let orig = Measure.steady ~measure:seconds w ~input in
-    let r = Measure.ocolos_steady ~measure:seconds w ~input in
-    let s = r.Measure.stats in
-    Fmt.pr "original: %.0f tps@." orig.Measure.tps;
-    Fmt.pr "OCOLOS:   %.0f tps (%.2fx)@." r.Measure.post.Measure.tps
-      (r.Measure.post.Measure.tps /. orig.Measure.tps);
-    Fmt.pr
-      "replacement: %d funcs optimized, %d v-table entries + %d call sites patched, %d on stack, pause %.3f s@."
-      s.Ocolos_core.Ocolos.funcs_optimized s.Ocolos_core.Ocolos.vtable_entries_patched
-      s.Ocolos_core.Ocolos.call_sites_patched s.Ocolos_core.Ocolos.stack_live_funcs
-      s.Ocolos_core.Ocolos.pause_seconds;
-    Fmt.pr "background: perf2bolt %.2f s, llvm-bolt %.2f s@." r.Measure.perf2bolt_seconds
-      r.Measure.bolt_seconds
+    (match Measure.ocolos_steady ~config ~measure:seconds w ~input with
+    | r ->
+      let s = r.Measure.stats in
+      Fmt.pr "original: %.0f tps@." orig.Measure.tps;
+      Fmt.pr "OCOLOS:   %.0f tps (%.2fx)@." r.Measure.post.Measure.tps
+        (r.Measure.post.Measure.tps /. orig.Measure.tps);
+      Fmt.pr
+        "replacement: %d funcs optimized, %d v-table entries + %d call sites patched, %d on stack, pause %.3f s@."
+        s.Ocolos_core.Ocolos.funcs_optimized s.Ocolos_core.Ocolos.vtable_entries_patched
+        s.Ocolos_core.Ocolos.call_sites_patched s.Ocolos_core.Ocolos.stack_live_funcs
+        s.Ocolos_core.Ocolos.pause_seconds;
+      Fmt.pr "background: perf2bolt %.2f s, llvm-bolt %.2f s@." r.Measure.perf2bolt_seconds
+        r.Measure.bolt_seconds;
+      if r.Measure.attempts > 1 then
+        Fmt.pr "transactions: %d attempts, %d rolled back, committed on attempt %d@."
+          r.Measure.attempts r.Measure.rollbacks r.Measure.attempts
+    | exception Measure.Replacement_failed msg ->
+      Fmt.pr "original: %.0f tps@." orig.Measure.tps;
+      Fmt.pr "OCOLOS:   replacement failed — %s@." msg;
+      Fmt.pr "process continues on the original layout (all attempts rolled back)@.");
+    match fault with
+    | None -> ()
+    | Some f ->
+      Fmt.pr "fault points (seed %d):@." fault_seed;
+      List.iter
+        (fun p ->
+          Fmt.pr "  %-14s %d hits, %d fired@." p (Ocolos_util.Fault.hits f p)
+            (Ocolos_util.Fault.fired f p))
+        (Ocolos_util.Fault.points f)
   in
   Cmd.v
     (Cmd.info "ocolos" ~doc:"Online OCOLOS: attach, profile, replace, compare")
-    Term.(const run $ workload_arg $ input_arg $ seconds_arg)
+    Term.(const run $ workload_arg $ input_arg $ seconds_arg $ fault_arg $ fault_seed_arg)
+
+let faults_cmd =
+  let run () =
+    Fmt.pr "injection points in replace_code, in order of first reachability:@.";
+    List.iter (fun p -> Fmt.pr "  %s@." p) Ocolos_core.Ocolos.injection_points;
+    Fmt.pr
+      "@.arm with: ocolos_cli ocolos -w W -i I --fault POINT[:N|:every:K|:p:P] \
+       [--fault-seed S]@.";
+    Fmt.pr "a firing fault rolls the replacement back; the run retries with backoff@."
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"List fault-injection points for transactional replacement")
+    Term.(const run $ const ())
 
 let out_arg =
   Arg.(
@@ -248,5 +312,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ocolos_cli" ~doc)
-          [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; timeline_cmd; topdown_cmd;
-            save_cmd; load_cmd; report_cmd; disasm_cmd ]))
+          [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; faults_cmd; timeline_cmd;
+            topdown_cmd; save_cmd; load_cmd; report_cmd; disasm_cmd ]))

@@ -1,1 +1,1 @@
-lib/core/daemon.ml: Counters Float Fmt Ocolos Ocolos_proc Ocolos_uarch Proc
+lib/core/daemon.ml: Counters Float Fmt Ocolos Ocolos_bolt Ocolos_proc Ocolos_uarch Proc Txn

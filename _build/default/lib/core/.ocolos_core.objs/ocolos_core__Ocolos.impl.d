@@ -1,1 +1,1 @@
-lib/core/ocolos.ml: Addr_space Array Binary Bolt Cost Fmt Hashtbl Instr List Ocolos_binary Ocolos_bolt Ocolos_isa Ocolos_proc Ocolos_profiler Option Perf Perf2bolt Proc
+lib/core/ocolos.ml: Addr_space Array Binary Bolt Cost Fmt Hashtbl Instr List Ocolos_binary Ocolos_bolt Ocolos_isa Ocolos_proc Ocolos_profiler Ocolos_util Option Perf Perf2bolt Proc

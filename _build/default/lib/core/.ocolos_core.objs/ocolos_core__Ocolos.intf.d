@@ -1,1 +1,1 @@
-lib/core/ocolos.mli: Cost Hashtbl Ocolos_binary Ocolos_bolt Ocolos_proc Ocolos_profiler
+lib/core/ocolos.mli: Cost Hashtbl Ocolos_binary Ocolos_bolt Ocolos_proc Ocolos_profiler Ocolos_util

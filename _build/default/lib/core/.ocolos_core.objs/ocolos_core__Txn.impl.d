@@ -1,0 +1,1 @@
+lib/core/txn.ml: Addr_space Array Fmt Ocolos Ocolos_bolt Ocolos_proc Ocolos_util Proc Thread

@@ -1,0 +1,1 @@
+lib/core/txn.mli: Format Ocolos Ocolos_bolt

@@ -9,6 +9,11 @@
    mix shifted and the layout went stale — it re-profiles and replaces
    C_i with C_{i+1}.
 
+   Replacement runs transactionally ({!Txn}): a fault firing mid-replacement
+   rolls the process back to C_i, and the controller retries the same BOLT
+   result after an exponential backoff, up to [max_retries] extra attempts,
+   before giving up and returning to monitoring.
+
    The controller is driven by periodic ticks from whoever owns the
    process's execution loop; it keeps no thread of its own. *)
 
@@ -21,6 +26,8 @@ type config = {
   min_interval_s : float; (* amortization guard between replacements *)
   profile_s : float; (* LBR profiling duration per optimization *)
   warmup_s : float; (* ignore ticks before this *)
+  max_retries : int; (* extra replacement attempts after a rollback *)
+  retry_backoff_s : float; (* backoff before the first retry; doubles per retry *)
 }
 
 let default_config =
@@ -28,20 +35,29 @@ let default_config =
     regression_tolerance = 0.12;
     min_interval_s = 10.0;
     profile_s = 2.0;
-    warmup_s = 1.0 }
+    warmup_s = 1.0;
+    max_retries = 3;
+    retry_backoff_s = 1.0 }
 
-type phase = Monitoring | Profiling of float (* profiling since *)
+type phase =
+  | Monitoring
+  | Profiling of float (* profiling since *)
+  | Backoff of { until_s : float; attempt : int } (* waiting to retry *)
+  | Retry_pending of { attempt : int } (* retry announced; replace on next tick *)
 
 type t = {
   oc : Ocolos.t;
   proc : Proc.t;
   config : config;
   mutable phase : phase;
+  mutable pending : Ocolos_bolt.Bolt.result option; (* BOLT result awaiting retry *)
   mutable last_counters : Counters.t;
   mutable last_tick_s : float;
   mutable best_tps : float; (* best throughput since the last replacement *)
   mutable last_replacement_s : float;
   mutable replacements : int;
+  mutable rollbacks : int;
+  mutable retries : int;
 }
 
 let create ?(config = default_config) (oc : Ocolos.t) (proc : Proc.t) =
@@ -49,21 +65,79 @@ let create ?(config = default_config) (oc : Ocolos.t) (proc : Proc.t) =
     proc;
     config;
     phase = Monitoring;
+    pending = None;
     last_counters = Proc.total_counters proc;
     last_tick_s = 0.0;
     best_tps = 0.0;
     last_replacement_s = neg_infinity;
-    replacements = 0 }
+    replacements = 0;
+    rollbacks = 0;
+    retries = 0 }
 
 type action =
   | Idle (* nothing to do *)
   | Started_profiling of string (* reason *)
   | Replaced of Ocolos.replacement_stats
+  | Rolled_back of { point : string; attempt : int; giving_up : bool }
+  | Retrying of { attempt : int }
 
 let action_to_string = function
   | Idle -> "idle"
   | Started_profiling reason -> "profiling: " ^ reason
   | Replaced s -> Fmt.str "replaced (C%d)" s.Ocolos.version
+  | Rolled_back { point; attempt; giving_up } ->
+    Fmt.str "rolled back at %s (attempt %d%s)" point attempt
+      (if giving_up then ", giving up" else ", will retry")
+  | Retrying { attempt } -> Fmt.str "retrying (attempt %d)" attempt
+
+(* Pure monitoring decision: should a (re-)profile start now? Exposed so the
+   boundary conditions — regression exactly at tolerance, the >= amortization
+   gate, the >= front-end gate — are directly testable. *)
+let decide config ~replacements ~version ~now_s ~last_replacement_s ~tps ~best_tps ~frontend =
+  if replacements = 0 then
+    if frontend >= config.frontend_threshold then
+      Some
+        (Fmt.str "front-end bound (%.0f%% >= %.0f%%)" (100.0 *. frontend)
+           (100.0 *. config.frontend_threshold))
+    else None
+  else if
+    now_s -. last_replacement_s >= config.min_interval_s
+    && tps < (1.0 -. config.regression_tolerance) *. best_tps
+  then
+    Some
+      (Fmt.str "throughput regressed to %.0f (best since C%d: %.0f) — stale layout" tps
+         version best_tps)
+  else None
+
+(* One replacement attempt (attempt 1 = the original try). Commits advance
+   the version; rollbacks schedule an exponential-backoff retry of the same
+   BOLT result until [max_retries] extra attempts are spent. *)
+let attempt_replace t ~now_s ~attempt result =
+  match Txn.replace_code t.oc result with
+  | Txn.Committed stats ->
+    t.pending <- None;
+    t.phase <- Monitoring;
+    t.best_tps <- 0.0;
+    t.last_replacement_s <- now_s;
+    t.replacements <- t.replacements + 1;
+    Replaced stats
+  | Txn.Rolled_back rb ->
+    t.rollbacks <- t.rollbacks + 1;
+    if attempt > t.config.max_retries then begin
+      t.pending <- None;
+      t.phase <- Monitoring;
+      (* The failed campaign still spent a pause; re-arm the amortization
+         guard so the next try is not immediate. *)
+      t.best_tps <- 0.0;
+      t.last_replacement_s <- now_s;
+      Rolled_back { point = rb.Txn.rb_point; attempt; giving_up = true }
+    end
+    else begin
+      t.pending <- Some result;
+      let delay = t.config.retry_backoff_s *. (2.0 ** float_of_int (attempt - 1)) in
+      t.phase <- Backoff { until_s = now_s +. delay; attempt = attempt + 1 };
+      Rolled_back { point = rb.Txn.rb_point; attempt; giving_up = false }
+    end
 
 (* One controller tick at simulated time [now_s]. The caller advances the
    process between ticks. *)
@@ -82,32 +156,29 @@ let tick t ~now_s =
       if now_s -. since >= t.config.profile_s then begin
         let profile, _ = Ocolos.stop_profiling t.oc in
         let result, _ = Ocolos.run_bolt t.oc profile in
-        let stats = Ocolos.replace_code t.oc result in
-        t.phase <- Monitoring;
-        t.best_tps <- 0.0;
-        t.last_replacement_s <- now_s;
-        t.replacements <- t.replacements + 1;
-        Replaced stats
+        attempt_replace t ~now_s ~attempt:1 result
       end
       else Idle
+    | Backoff { until_s; attempt } ->
+      if now_s >= until_s then begin
+        t.retries <- t.retries + 1;
+        t.phase <- Retry_pending { attempt };
+        Retrying { attempt }
+      end
+      else Idle
+    | Retry_pending { attempt } -> (
+      match t.pending with
+      | Some result -> attempt_replace t ~now_s ~attempt result
+      | None ->
+        (* unreachable: pending is set whenever a retry is scheduled *)
+        t.phase <- Monitoring;
+        Idle)
     | Monitoring ->
       t.best_tps <- Float.max t.best_tps tps;
-      let amortized = now_s -. t.last_replacement_s >= t.config.min_interval_s in
       let reason =
-        if t.replacements = 0 then
-          if td.Counters.frontend >= t.config.frontend_threshold then
-            Some
-              (Fmt.str "front-end bound (%.0f%% >= %.0f%%)" (100.0 *. td.Counters.frontend)
-                 (100.0 *. t.config.frontend_threshold))
-          else None
-        else if
-          amortized
-          && tps < (1.0 -. t.config.regression_tolerance) *. t.best_tps
-        then
-          Some
-            (Fmt.str "throughput regressed to %.0f (best since C%d: %.0f) — stale layout"
-               tps (Ocolos.version t.oc) t.best_tps)
-        else None
+        decide t.config ~replacements:t.replacements ~version:(Ocolos.version t.oc) ~now_s
+          ~last_replacement_s:t.last_replacement_s ~tps ~best_tps:t.best_tps
+          ~frontend:td.Counters.frontend
       in
       (match reason with
       | Some why ->
@@ -118,4 +189,6 @@ let tick t ~now_s =
   end
 
 let replacements t = t.replacements
+let rollbacks t = t.rollbacks
+let retries t = t.retries
 let phase t = t.phase

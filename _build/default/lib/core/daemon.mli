@@ -5,6 +5,10 @@
     the post-optimization steady state — a stale layout after an input
     shift — triggers re-profiling and replacement of C_i by C_{i+1}.
 
+    Replacements run transactionally ({!Txn}): a fault mid-replacement
+    rolls the process back to C_i and the controller retries the same BOLT
+    result after exponential backoff, up to [max_retries] extra attempts.
+
     Driven by periodic {!tick}s from whoever owns the process's execution
     loop; the controller keeps no thread of its own. *)
 
@@ -14,23 +18,57 @@ type config = {
   min_interval_s : float;
   profile_s : float;
   warmup_s : float;
+  max_retries : int;  (** extra replacement attempts after a rollback *)
+  retry_backoff_s : float;
+      (** backoff before the first retry; doubles on each further retry *)
 }
 
 val default_config : config
 
-type phase = Monitoring | Profiling of float
+type phase =
+  | Monitoring
+  | Profiling of float
+  | Backoff of { until_s : float; attempt : int }
+  | Retry_pending of { attempt : int }
 
 type t
 
 val create : ?config:config -> Ocolos.t -> Ocolos_proc.Proc.t -> t
 
-type action = Idle | Started_profiling of string | Replaced of Ocolos.replacement_stats
+type action =
+  | Idle
+  | Started_profiling of string
+  | Replaced of Ocolos.replacement_stats
+  | Rolled_back of { point : string; attempt : int; giving_up : bool }
+  | Retrying of { attempt : int }
 
 val action_to_string : action -> string
+
+(** Pure monitoring decision: the reason to start (re-)profiling now, if
+    any. Exposed so the gate boundaries — a regression exactly at
+    [regression_tolerance], the [>=] amortization gate at exactly
+    [min_interval_s], the [>=] front-end gate — are directly testable. *)
+val decide :
+  config ->
+  replacements:int ->
+  version:int ->
+  now_s:float ->
+  last_replacement_s:float ->
+  tps:float ->
+  best_tps:float ->
+  frontend:float ->
+  string option
 
 (** One controller tick at simulated time [now_s]; the caller advances the
     process between ticks. *)
 val tick : t -> now_s:float -> action
 
 val replacements : t -> int
+
+(** Rolled-back replacement attempts since creation. *)
+val rollbacks : t -> int
+
+(** Retry attempts announced (each preceded by a backoff) since creation. *)
+val retries : t -> int
+
 val phase : t -> phase

@@ -31,6 +31,7 @@ type config = {
   cost : Cost.t;
   patch_all_direct_calls : bool; (* ablation: paper found this useless *)
   verify_gc : bool; (* scan for dangling pointers after GC *)
+  fault : Ocolos_util.Fault.t option; (* injection registry consulted by replace_code *)
 }
 
 let default_config =
@@ -38,7 +39,8 @@ let default_config =
     perf = Perf.default_config;
     cost = Cost.default;
     patch_all_direct_calls = false;
-    verify_gc = true }
+    verify_gc = true;
+    fault = None }
 
 type replacement_stats = {
   version : int; (* the new code version number (C_version) *)
@@ -159,6 +161,28 @@ let run_bolt t profile =
   (result, seconds)
 
 (* ---- code replacement ---- *)
+
+(* Every named fault-injection point in [replace_code], in the order the
+   stop-the-world phase reaches them. Points inside loops are hit once per
+   iteration, so an [Nth] schedule can fire mid-mutation; the gc_* points,
+   [thread_patch] and [verify] are reachable only in continuous rounds. *)
+let injection_points =
+  [ "pause";
+    "inject_code";
+    "inject_data";
+    "sym_index";
+    "fp_pin";
+    "vtable_patch";
+    "call_patch";
+    "gc_copy";
+    "thread_patch";
+    "gc_unmap";
+    "gc_reap";
+    "verify";
+    "commit" ]
+
+let cut t point =
+  match t.config.fault with Some f -> Ocolos_util.Fault.cut f point | None -> ()
 
 let in_range (s, e) addr = addr >= s && addr < e
 
@@ -359,13 +383,20 @@ let refresh_current t (new_text : Binary.t) =
 let replace_code t (result : Bolt.result) : replacement_stats =
   let proc = t.proc in
   Proc.pause proc;
+  cut t "pause";
   let new_text = result.Bolt.new_text in
   (* 1. Inject the optimized code and its jump-table data. *)
   Array.iter
     (fun addr ->
+      cut t "inject_code";
       Addr_space.write_code proc.Proc.mem addr (Hashtbl.find new_text.Binary.code addr))
     new_text.Binary.code_order;
-  List.iter (fun (a, v) -> Addr_space.write_data proc.Proc.mem a v) new_text.Binary.global_init;
+  List.iter
+    (fun (a, v) ->
+      cut t "inject_data";
+      Addr_space.write_data proc.Proc.mem a v)
+    new_text.Binary.global_init;
+  cut t "sym_index";
   Addr_space.add_sym_ranges proc.Proc.mem
     (Array.to_list new_text.Binary.symbols
     |> List.concat_map (fun (s : Binary.func_sym) ->
@@ -393,12 +424,15 @@ let replace_code t (result : Bolt.result) : replacement_stats =
   (* Function pointers must keep referring to C0: register the new entries
      in the translation map consulted by wrapFuncPtrCreation. *)
   Hashtbl.iter
-    (fun fid entry -> Hashtbl.replace t.to_c0 entry (Hashtbl.find t.c0_entry fid))
+    (fun fid entry ->
+      cut t "fp_pin";
+      Hashtbl.replace t.to_c0 entry (Hashtbl.find t.c0_entry fid))
     new_entries;
   (* 3. Patch v-tables. *)
   let vt_patched = ref 0 in
   Array.iter
     (fun (vid, slot, fid) ->
+      cut t "vtable_patch";
       let addr = Addr_space.vtable_base proc.Proc.mem vid + slot in
       let cur = Addr_space.read_data proc.Proc.mem addr in
       let want = desired_entry fid in
@@ -414,6 +448,7 @@ let replace_code t (result : Bolt.result) : replacement_stats =
   let sites_patched = ref 0 in
   Array.iter
     (fun (site, owner, callee) ->
+      cut t "call_patch";
       let cur_target =
         match Addr_space.read_code proc.Proc.mem site with
         | Some (Instr.Call cur) -> Some cur
@@ -455,17 +490,20 @@ let replace_code t (result : Bolt.result) : replacement_stats =
     let addr_map = Hashtbl.create 256 in
     Hashtbl.iter
       (fun fid () ->
+        cut t "gc_copy";
         let cp, map = copy_stack_live_func t ~doomed ~old_entry_fid ~desired_entry fid in
         t.copies <- cp :: t.copies;
         incr copied;
         Hashtbl.iter (fun k v -> Hashtbl.replace addr_map k v) map)
       doomed_live;
+    cut t "thread_patch";
     patch_thread_code_pointers t addr_map;
     (* Unmap the doomed text. *)
     Array.iter
       (fun addr ->
         match Addr_space.read_code proc.Proc.mem addr with
         | Some instr ->
+          cut t "gc_unmap";
           gc_bytes := !gc_bytes + Instr.size instr;
           Addr_space.remove_code proc.Proc.mem addr
         | None -> ())
@@ -504,6 +542,7 @@ let replace_code t (result : Bolt.result) : replacement_stats =
       keep;
     List.iter
       (fun cp ->
+        cut t "gc_reap";
         List.iter
           (fun (s, e) ->
             let addr = ref s in
@@ -520,8 +559,12 @@ let replace_code t (result : Bolt.result) : replacement_stats =
           cp.cp_ranges)
       reap;
     t.copies <- keep;
-    if t.config.verify_gc then verify_no_dangling t ~freed:doomed);
+    if t.config.verify_gc then begin
+      cut t "verify";
+      verify_no_dangling t ~freed:doomed
+    end);
   (* 6. Update version state and the live binary view. *)
+  cut t "commit";
   t.version <- t.version + 1;
   let sec =
     match Binary.section_named new_text ".text" with
@@ -552,3 +595,43 @@ let replace_code t (result : Bolt.result) : replacement_stats =
 
 let version t = t.version
 let current_binary t = t.current
+let proc t = t.proc
+let config t = t.config
+
+(* ---- controller-state snapshots (for transactional replacement) ----
+
+   [replace_code] mutates, besides the address space and thread stacks, the
+   controller's own view of the live code version. A snapshot captures
+   exactly the fields [replace_code] touches so that {!Txn} can roll the
+   controller back to C_i alongside the address-space undo log. Hash tables
+   are copied on both capture and restore, so one snapshot can back any
+   number of rollbacks. *)
+
+type snapshot = {
+  sn_version : int;
+  sn_current : Binary.t;
+  sn_current_entry : (int, int) Hashtbl.t;
+  sn_live_text : (int * int) option;
+  sn_live_text_addrs : int array;
+  sn_copies : copy list;
+  sn_to_c0 : (int, int) Hashtbl.t;
+}
+
+let snapshot t =
+  { sn_version = t.version;
+    sn_current = t.current;
+    sn_current_entry = Hashtbl.copy t.current_entry;
+    sn_live_text = t.live_text;
+    sn_live_text_addrs = t.live_text_addrs;
+    sn_copies = t.copies;
+    sn_to_c0 = Hashtbl.copy t.to_c0 }
+
+let restore t s =
+  t.version <- s.sn_version;
+  t.current <- s.sn_current;
+  t.current_entry <- Hashtbl.copy s.sn_current_entry;
+  t.live_text <- s.sn_live_text;
+  t.live_text_addrs <- s.sn_live_text_addrs;
+  t.copies <- s.sn_copies;
+  Hashtbl.reset t.to_c0;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.to_c0 k v) s.sn_to_c0

@@ -22,6 +22,10 @@ type config = {
       (** ablation: the paper found patching non-stack-live calls does not
           help and only slows replacement *)
   verify_gc : bool;  (** scan for dangling pointers after each GC *)
+  fault : Ocolos_util.Fault.t option;
+      (** fault-injection registry consulted at every {!injection_points}
+          cut inside [replace_code]; [None] (the default) compiles the cuts
+          down to counter-free no-ops *)
 }
 
 val default_config : config
@@ -74,3 +78,21 @@ val verify_no_dangling : t -> freed:(int * int) -> unit
 
 (** Stack-live function set (by return addresses and PCs), as fids. *)
 val stack_live_fids : t -> (int, unit) Hashtbl.t
+
+val proc : t -> Ocolos_proc.Proc.t
+val config : t -> config
+
+(** Every named fault-injection point inside [replace_code], in the order
+    the stop-the-world phase reaches them. Points inside mutation loops are
+    hit once per iteration, so an [Nth] schedule lands mid-mutation; the
+    [gc_*] points, [thread_patch] and [verify] are reachable only in
+    continuous (C_i -> C_{i+1}) rounds. *)
+val injection_points : string list
+
+(** Controller-state snapshot: exactly the fields [replace_code] mutates.
+    Used by {!Txn} to roll the controller back to C_i together with the
+    address-space undo journal. One snapshot can back multiple restores. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

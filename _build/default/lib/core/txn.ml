@@ -1,0 +1,82 @@
+(* Transactional code replacement.
+
+   OCOLOS's stop-the-world phase mutates the target's address space (code
+   injection, v-table and call-site patches, GC unmapping), the thread
+   stacks (return-address / PC redirection in continuous rounds) and the
+   controller's own version state. The paper assumes the
+   pause/inject/patch/resume sequence never fails; here every mutation is
+   journaled so that a fault firing anywhere mid-replacement rolls the
+   process back to a consistent C_i — the managed process resumes on the
+   previous code version instead of crashing on a half-applied patch.
+
+   Mechanics: the address space records an undo log (Addr_space journal),
+   thread PCs and frames are snapshotted up front (replace_code never
+   pushes or pops frames, only rewrites them in place), and the controller
+   state is captured via Ocolos.snapshot. On any exception the three are
+   restored in reverse dependency order and the process is resumed; an
+   injected fault becomes a [Rolled_back] outcome, anything else is
+   re-raised after the rollback. *)
+
+open Ocolos_proc
+
+type rollback = {
+  rb_point : string; (* injection point that fired *)
+  rb_hit : int; (* hit count at which it fired *)
+  rb_undone : int; (* address-space mutations undone *)
+}
+
+type outcome = Committed of Ocolos.replacement_stats | Rolled_back of rollback
+
+let injection_points = Ocolos.injection_points
+
+type thread_snap = { th_pc : int; th_frames : (int * int) array }
+
+let snapshot_threads (proc : Proc.t) =
+  Array.map
+    (fun (th : Thread.t) ->
+      { th_pc = th.Thread.pc;
+        th_frames =
+          Array.init th.Thread.depth (fun i ->
+              let f = th.Thread.frames.(i) in
+              (f.Thread.ret_addr, f.Thread.callee_entry)) })
+    proc.Proc.threads
+
+let restore_threads (proc : Proc.t) snaps =
+  Array.iteri
+    (fun i snap ->
+      let th = proc.Proc.threads.(i) in
+      th.Thread.pc <- snap.th_pc;
+      Array.iteri
+        (fun j (ra, ce) ->
+          let f = th.Thread.frames.(j) in
+          f.Thread.ret_addr <- ra;
+          f.Thread.callee_entry <- ce)
+        snap.th_frames)
+    snaps
+
+let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
+  let proc = Ocolos.proc oc in
+  let mem = proc.Proc.mem in
+  let was_paused = proc.Proc.paused in
+  let oc_snap = Ocolos.snapshot oc in
+  let th_snap = snapshot_threads proc in
+  Addr_space.begin_journal mem;
+  match Ocolos.replace_code oc result with
+  | stats ->
+    ignore (Addr_space.commit_journal mem);
+    Committed stats
+  | exception e ->
+    let undone = Addr_space.rollback_journal mem in
+    restore_threads proc th_snap;
+    Ocolos.restore oc oc_snap;
+    if not was_paused then Proc.resume proc;
+    (match e with
+    | Ocolos_util.Fault.Injected (point, hit) ->
+      Rolled_back { rb_point = point; rb_hit = hit; rb_undone = undone }
+    | e -> raise e)
+
+let pp_outcome fmt = function
+  | Committed stats -> Fmt.pf fmt "committed C%d" stats.Ocolos.version
+  | Rolled_back rb ->
+    Fmt.pf fmt "rolled back at %s (hit %d, %d mutations undone)" rb.rb_point rb.rb_hit
+      rb.rb_undone

@@ -1,0 +1,30 @@
+(** Transactional code replacement: {!Ocolos.replace_code} wrapped in an
+    undo journal so that a fault firing anywhere mid-replacement rolls the
+    address space, thread stacks and controller state back to the previous
+    code version C_i — the managed process degrades to running unoptimized
+    code instead of crashing on a half-applied patch.
+
+    The rollback invariant (checked by the property suite): after any
+    single injected fault, the process resumes on a consistent code version
+    with zero dangling pointers and an execution trace identical to a run
+    that never attempted the replacement. *)
+
+type rollback = {
+  rb_point : string;  (** injection point that fired *)
+  rb_hit : int;  (** hit count at which it fired *)
+  rb_undone : int;  (** address-space mutations undone *)
+}
+
+type outcome = Committed of Ocolos.replacement_stats | Rolled_back of rollback
+
+(** = {!Ocolos.injection_points}. *)
+val injection_points : string list
+
+(** Run the stop-the-world phase transactionally. Commits iff the
+    underlying [replace_code] returns; on {!Ocolos_util.Fault.Injected} the
+    transaction rolls back and reports the firing point. Any other
+    exception (e.g. {!Ocolos.Dangling_pointer} from the GC verifier) also
+    triggers a full rollback and is then re-raised. *)
+val replace_code : Ocolos.t -> Ocolos_bolt.Bolt.result -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -11,6 +11,22 @@ open Ocolos_binary
 
 type sym_range = { sr_start : int; sr_end : int; sr_fid : int }
 
+(* Undo journal for transactional mutation (OCOLOS's code replacement).
+   Each entry records the *previous* contents of a touched location; the
+   symbol index, byte count and mmap cursor are snapshotted wholesale at
+   [begin_journal] since the index is rebuilt (never mutated in place). *)
+type journal_entry =
+  | J_code of int * Instr.t option
+  | J_data of int * int option
+
+type journal = {
+  mutable entries : journal_entry list; (* most recent first *)
+  mutable n_entries : int;
+  j_sym_index : sym_range array;
+  j_code_bytes : int;
+  j_next_map_base : int;
+}
+
 type t = {
   code : (int, Instr.t) Hashtbl.t;
   data : (int, int) Hashtbl.t; (* word address -> value; absent = 0 *)
@@ -18,15 +34,30 @@ type t = {
   mutable sym_index : sym_range array; (* sorted by sr_start *)
   mutable code_bytes : int; (* total bytes of mapped code *)
   mutable next_map_base : int; (* first free code address for injection *)
+  mutable journal : journal option;
 }
 
 let read_data t addr = match Hashtbl.find_opt t.data addr with Some v -> v | None -> 0
 
-let write_data t addr v = Hashtbl.replace t.data addr v
+let write_data t addr v =
+  (match t.journal with
+  | None -> ()
+  | Some j ->
+    j.entries <- J_data (addr, Hashtbl.find_opt t.data addr) :: j.entries;
+    j.n_entries <- j.n_entries + 1);
+  Hashtbl.replace t.data addr v
 
 let read_code t addr = Hashtbl.find_opt t.code addr
 
+let journal_code t addr =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    j.entries <- J_code (addr, Hashtbl.find_opt t.code addr) :: j.entries;
+    j.n_entries <- j.n_entries + 1
+
 let write_code t addr instr =
+  journal_code t addr;
   (match Hashtbl.find_opt t.code addr with
   | Some old -> t.code_bytes <- t.code_bytes - Instr.size old
   | None -> ());
@@ -36,9 +67,48 @@ let write_code t addr instr =
 let remove_code t addr =
   match Hashtbl.find_opt t.code addr with
   | Some old ->
+    journal_code t addr;
     t.code_bytes <- t.code_bytes - Instr.size old;
     Hashtbl.remove t.code addr
   | None -> ()
+
+let journaling t = t.journal <> None
+
+let begin_journal t =
+  if t.journal <> None then invalid_arg "Addr_space.begin_journal: journal already open";
+  t.journal <-
+    Some
+      { entries = [];
+        n_entries = 0;
+        j_sym_index = t.sym_index;
+        j_code_bytes = t.code_bytes;
+        j_next_map_base = t.next_map_base }
+
+let commit_journal t =
+  match t.journal with
+  | None -> invalid_arg "Addr_space.commit_journal: no open journal"
+  | Some j ->
+    t.journal <- None;
+    j.n_entries
+
+(* Replay the undo log most-recent-first: the oldest entry for an address
+   holds its pre-transaction contents and is applied last. *)
+let rollback_journal t =
+  match t.journal with
+  | None -> invalid_arg "Addr_space.rollback_journal: no open journal"
+  | Some j ->
+    t.journal <- None;
+    List.iter
+      (function
+        | J_code (addr, Some i) -> Hashtbl.replace t.code addr i
+        | J_code (addr, None) -> Hashtbl.remove t.code addr
+        | J_data (addr, Some v) -> Hashtbl.replace t.data addr v
+        | J_data (addr, None) -> Hashtbl.remove t.data addr)
+      j.entries;
+    t.sym_index <- j.j_sym_index;
+    t.code_bytes <- j.j_code_bytes;
+    t.next_map_base <- j.j_next_map_base;
+    j.n_entries
 
 let rebuild_sym_index t ranges =
   let arr = Array.of_list ranges in
@@ -76,7 +146,8 @@ let load (binary : Binary.t) =
       vtable_addr = Array.map (fun vt -> vt.Binary.vt_addr) binary.Binary.vtables;
       sym_index = [||];
       code_bytes = 0;
-      next_map_base = 0 }
+      next_map_base = 0;
+      journal = None }
   in
   Array.iter
     (fun addr -> write_code t addr (Hashtbl.find binary.Binary.code addr))

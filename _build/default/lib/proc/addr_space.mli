@@ -8,6 +8,9 @@
 
 type sym_range = { sr_start : int; sr_end : int; sr_fid : int }
 
+(** Open undo journal; see {!begin_journal}. *)
+type journal
+
 type t = {
   code : (int, Ocolos_isa.Instr.t) Hashtbl.t;
   data : (int, int) Hashtbl.t;
@@ -15,6 +18,7 @@ type t = {
   mutable sym_index : sym_range array;
   mutable code_bytes : int;
   mutable next_map_base : int;
+  mutable journal : journal option;
 }
 
 val read_data : t -> int -> int
@@ -22,6 +26,23 @@ val write_data : t -> int -> int -> unit
 val read_code : t -> int -> Ocolos_isa.Instr.t option
 val write_code : t -> int -> Ocolos_isa.Instr.t -> unit
 val remove_code : t -> int -> unit
+
+(** Start recording an undo log: every subsequent code/data mutation saves
+    the previous contents, and the symbol index, code byte count and mmap
+    cursor are snapshotted. Raises [Invalid_argument] if a journal is
+    already open. *)
+val begin_journal : t -> unit
+
+(** Discard the open journal, keeping all mutations. Returns the number of
+    journaled mutations. *)
+val commit_journal : t -> int
+
+(** Undo every journaled mutation (most recent first) and restore the
+    symbol index, code byte count and mmap cursor to their
+    [begin_journal]-time values. Returns the number of mutations undone. *)
+val rollback_journal : t -> int
+
+val journaling : t -> bool
 
 val add_sym_ranges : t -> sym_range list -> unit
 val remove_sym_ranges : t -> pred:(sym_range -> bool) -> unit

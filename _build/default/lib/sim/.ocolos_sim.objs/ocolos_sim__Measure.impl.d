@@ -1,1 +1,1 @@
-lib/sim/measure.ml: Clock Counters Float Ocolos_bolt Ocolos_core Ocolos_pgo Ocolos_proc Ocolos_profiler Ocolos_uarch Ocolos_workloads Proc Workload
+lib/sim/measure.ml: Clock Counters Float Fmt Ocolos_bolt Ocolos_core Ocolos_pgo Ocolos_proc Ocolos_profiler Ocolos_uarch Ocolos_workloads Proc Workload

@@ -62,14 +62,21 @@ type ocolos_run = {
   perf2bolt_seconds : float;
   bolt_seconds : float;
   profile : Ocolos_profiler.Profile.t;
+  rollbacks : int; (* replacement attempts rolled back by injected faults *)
+  attempts : int; (* total replacement attempts (rollbacks + the commit) *)
 }
+
+exception Replacement_failed of string
 
 (* A full online OCOLOS cycle on a freshly launched process: warm up,
    profile the running process for [profile_s], BOLT in the background
    (charging contention stalls to the target), replace code (charging the
-   stop-the-world pause), then measure steady state. *)
+   stop-the-world pause), then measure steady state. Replacement runs
+   transactionally: a rolled-back attempt charges its aborted pause to the
+   target and is retried, up to [max_attempts] in total. *)
 let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
-    ?(profile_s = 2.0) ?(measure = default_measure) (w : Workload.t) ~input =
+    ?(profile_s = 2.0) ?(measure = default_measure) ?(max_attempts = 4) (w : Workload.t)
+    ~input =
   let proc = Workload.launch ?nthreads ~seed w ~input in
   let oc = Ocolos_core.Ocolos.attach ?config proc in
   let cost =
@@ -96,7 +103,28 @@ let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
   Proc.stall_all proc
     ~cycles:(Clock.seconds_to_cycles (bg_sim *. cost.Ocolos_core.Cost.background_contention))
     ~category:`Backend;
-  let stats = Ocolos_core.Ocolos.replace_code oc result in
+  (* Transactional replacement with bounded retries: each rolled-back
+     attempt still pauses the target (the aborted mutations plus their
+     undo), modeled as a pause over the journal entries undone. *)
+  let rollbacks = ref 0 in
+  let rec attempt n =
+    match Ocolos_core.Txn.replace_code oc result with
+    | Ocolos_core.Txn.Committed stats -> stats
+    | Ocolos_core.Txn.Rolled_back rb ->
+      incr rollbacks;
+      Proc.stall_all proc
+        ~cycles:
+          (Clock.seconds_to_cycles
+             (Ocolos_core.Cost.pause_seconds cost ~sites:rb.Ocolos_core.Txn.rb_undone ~bytes:0))
+        ~category:`Backend;
+      if n >= max_attempts then
+        raise
+          (Replacement_failed
+             (Fmt.str "all %d attempts rolled back (last at %s, hit %d)" max_attempts
+                rb.Ocolos_core.Txn.rb_point rb.Ocolos_core.Txn.rb_hit))
+      else attempt (n + 1)
+  in
+  let stats = attempt 1 in
   Proc.stall_all proc
     ~cycles:(Clock.seconds_to_cycles stats.Ocolos_core.Ocolos.pause_seconds)
     ~category:`Backend;
@@ -110,4 +138,6 @@ let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
     stats;
     perf2bolt_seconds;
     bolt_seconds;
-    profile }
+    profile;
+    rollbacks = !rollbacks;
+    attempts = !rollbacks + 1 }

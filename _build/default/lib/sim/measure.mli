@@ -57,11 +57,19 @@ type ocolos_run = {
   perf2bolt_seconds : float;
   bolt_seconds : float;
   profile : Ocolos_profiler.Profile.t;
+  rollbacks : int;  (** replacement attempts rolled back by injected faults *)
+  attempts : int;  (** total replacement attempts (rollbacks + the commit) *)
 }
+
+(** Raised by {!ocolos_steady} when every replacement attempt rolled back. *)
+exception Replacement_failed of string
 
 (** A full online OCOLOS cycle on a freshly launched process: warm up,
     profile the running process, BOLT in the background (charging
-    contention stalls), replace code (charging the pause), then measure. *)
+    contention stalls), replace code (charging the pause), then measure.
+    Replacement runs transactionally ({!Ocolos_core.Txn}): rolled-back
+    attempts charge their aborted pause and are retried up to
+    [max_attempts] times in total before {!Replacement_failed}. *)
 val ocolos_steady :
   ?config:Ocolos_core.Ocolos.config ->
   ?nthreads:int ->
@@ -69,6 +77,7 @@ val ocolos_steady :
   ?warmup:float ->
   ?profile_s:float ->
   ?measure:float ->
+  ?max_attempts:int ->
   Ocolos_workloads.Workload.t ->
   input:Ocolos_workloads.Input.t ->
   ocolos_run

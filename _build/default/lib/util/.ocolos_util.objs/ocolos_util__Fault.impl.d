@@ -1,0 +1,1 @@
+lib/util/fault.ml: Fmt Hashtbl List Rng String

@@ -1,0 +1,105 @@
+(* Deterministic, seed-driven fault injection.
+
+   A registry of named injection points. Code under test calls [cut] at
+   each point; armed schedules decide — as a pure function of the seed and
+   the per-point hit count — whether the hit raises [Injected]. All
+   randomness flows through {!Rng}, so a failing run replays exactly from
+   (seed, point, schedule).
+
+   The registry never perturbs execution when a point is unarmed: [cut] on
+   an unarmed (or unknown) point only bumps a counter. *)
+
+type schedule =
+  | Never
+  | Nth of int (* fire exactly once, on the nth hit (1-based) *)
+  | Every of int (* fire on every kth hit *)
+  | Prob of float (* each hit fires with probability p, seeded *)
+
+type point = {
+  mutable schedule : schedule;
+  mutable hits : int;
+  mutable fired : int;
+  rng : Rng.t; (* private stream for [Prob]; a pure function of (seed, name) *)
+}
+
+type t = { seed : int; table : (string, point) Hashtbl.t }
+
+exception Injected of string * int
+
+let create ?(seed = 0) () = { seed; table = Hashtbl.create 16 }
+
+let state t name =
+  match Hashtbl.find_opt t.table name with
+  | Some p -> p
+  | None ->
+    let p =
+      { schedule = Never;
+        hits = 0;
+        fired = 0;
+        rng = Rng.create (t.seed lxor Hashtbl.hash name) }
+    in
+    Hashtbl.add t.table name p;
+    p
+
+let arm t name schedule = (state t name).schedule <- schedule
+let disarm t name = (state t name).schedule <- Never
+
+let reset t =
+  Hashtbl.iter
+    (fun _ p ->
+      p.hits <- 0;
+      p.fired <- 0)
+    t.table
+
+let should_fire p =
+  match p.schedule with
+  | Never -> false
+  | Nth n -> p.hits = n && p.fired = 0
+  | Every k -> k > 0 && p.hits mod k = 0
+  | Prob pr -> Rng.bool p.rng pr
+
+let cut t name =
+  let p = state t name in
+  p.hits <- p.hits + 1;
+  if should_fire p then begin
+    p.fired <- p.fired + 1;
+    raise (Injected (name, p.hits))
+  end
+
+let hits t name = (state t name).hits
+let fired t name = (state t name).fired
+let total_fired t = Hashtbl.fold (fun _ p acc -> acc + p.fired) t.table 0
+let points t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+
+let pp_schedule fmt = function
+  | Never -> Fmt.string fmt "never"
+  | Nth n -> Fmt.pf fmt "nth:%d" n
+  | Every k -> Fmt.pf fmt "every:%d" k
+  | Prob p -> Fmt.pf fmt "p:%g" p
+
+(* "point", "point:N", "point:every:K", "point:p:P" *)
+let parse_arm t spec =
+  let fail () = Error (Fmt.str "bad fault spec %S (want POINT[:N|:every:K|:p:P])" spec) in
+  match String.split_on_char ':' spec with
+  | [ point ] when point <> "" ->
+    arm t point (Nth 1);
+    Ok point
+  | [ point; n ] when point <> "" -> (
+    match int_of_string_opt n with
+    | Some n when n >= 1 ->
+      arm t point (Nth n);
+      Ok point
+    | Some _ | None -> fail ())
+  | [ point; "every"; k ] when point <> "" -> (
+    match int_of_string_opt k with
+    | Some k when k >= 1 ->
+      arm t point (Every k);
+      Ok point
+    | Some _ | None -> fail ())
+  | [ point; "p"; p ] when point <> "" -> (
+    match float_of_string_opt p with
+    | Some p when p >= 0.0 && p <= 1.0 ->
+      arm t point (Prob p);
+      Ok point
+    | Some _ | None -> fail ())
+  | _ -> fail ()

@@ -1,0 +1,44 @@
+(** Deterministic, seed-driven fault injection.
+
+    A registry of named injection points. Instrumented code calls {!cut} at
+    each point; an armed schedule decides — as a pure function of the seed
+    and the per-point hit count — whether that hit raises {!Injected}.
+    Unarmed points cost one counter increment and nothing else, so
+    instrumentation can stay on in production code paths. *)
+
+type schedule =
+  | Never
+  | Nth of int  (** fire exactly once, on the nth hit (1-based) *)
+  | Every of int  (** fire on every kth hit *)
+  | Prob of float  (** each hit fires with probability p, seeded *)
+
+type t
+
+(** Raised by {!cut} when the point's schedule fires: point name and the hit
+    count at which it fired. *)
+exception Injected of string * int
+
+val create : ?seed:int -> unit -> t
+
+val arm : t -> string -> schedule -> unit
+val disarm : t -> string -> unit
+
+(** Zero all hit/fired counters; schedules stay armed. *)
+val reset : t -> unit
+
+(** Register a hit at a named point; raises {!Injected} when the armed
+    schedule fires. *)
+val cut : t -> string -> unit
+
+val hits : t -> string -> int
+val fired : t -> string -> int
+val total_fired : t -> int
+
+(** Every point ever armed or hit, sorted. *)
+val points : t -> string list
+
+val pp_schedule : Format.formatter -> schedule -> unit
+
+(** Parse-and-arm a CLI spec: ["point"] (= nth 1), ["point:N"],
+    ["point:every:K"] or ["point:p:P"]. Returns the point name. *)
+val parse_arm : t -> string -> (string, string) result

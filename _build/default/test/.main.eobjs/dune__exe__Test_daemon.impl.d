@@ -1,1 +1,1 @@
-test/test_daemon.ml: Alcotest Apps Gen List Ocolos_core Ocolos_proc Ocolos_profiler Ocolos_sim Ocolos_workloads Workload
+test/test_daemon.ml: Alcotest Apps Gen List Ocolos_core Ocolos_proc Ocolos_profiler Ocolos_sim Ocolos_util Ocolos_workloads Workload

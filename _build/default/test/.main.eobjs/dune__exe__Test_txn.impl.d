@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Apps Array Hashtbl List Ocolos_bolt Ocolos_core Ocolos_isa Ocolos_proc Ocolos_util Ocolos_workloads Printf Sys Workload

@@ -13,6 +13,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("pgo", Test_pgo.suite);
       ("core", Test_core.suite);
+      ("txn", Test_txn.suite);
       ("bam", Test_bam.suite);
       ("daemon", Test_daemon.suite);
       ("sim", Test_sim.suite);

@@ -70,6 +70,130 @@ let test_daemon_reoptimizes_on_input_shift () =
   Alcotest.(check bool) "re-optimized after shift" true (Daemon.replacements d >= 2);
   Alcotest.(check bool) "version advanced" true (Ocolos_core.Ocolos.version oc >= 2)
 
+(* ---- decision-boundary tests on the pure gate ---- *)
+
+let test_decide_frontend_gate_boundary () =
+  let c = { Daemon.default_config with Daemon.frontend_threshold = 0.25 } in
+  let decide frontend =
+    Daemon.decide c ~replacements:0 ~version:0 ~now_s:10.0 ~last_replacement_s:neg_infinity
+      ~tps:100.0 ~best_tps:100.0 ~frontend
+  in
+  Alcotest.(check bool) "exactly at threshold fires" true (decide 0.25 <> None);
+  Alcotest.(check bool) "just below is quiet" true (decide 0.2499 = None);
+  Alcotest.(check bool) "well above fires" true (decide 0.9 <> None)
+
+let test_decide_regression_tolerance_boundary () =
+  (* tol = 0.5 so (1 - tol) * best is exact in floating point. *)
+  let c =
+    { Daemon.default_config with
+      Daemon.regression_tolerance = 0.5;
+      min_interval_s = 5.0 }
+  in
+  let decide ~tps =
+    Daemon.decide c ~replacements:1 ~version:1 ~now_s:20.0 ~last_replacement_s:10.0 ~tps
+      ~best_tps:1000.0 ~frontend:0.9
+  in
+  Alcotest.(check bool) "exactly at (1-tol)*best is quiet" true (decide ~tps:500.0 = None);
+  Alcotest.(check bool) "strictly below fires" true (decide ~tps:499.9 <> None);
+  Alcotest.(check bool) "above is quiet" true (decide ~tps:900.0 = None);
+  (* Once replaced, the front-end gate no longer applies: only drift does. *)
+  Alcotest.(check bool) "no drift, no churn" true (decide ~tps:1000.0 = None)
+
+let test_decide_min_interval_boundary () =
+  let c =
+    { Daemon.default_config with
+      Daemon.regression_tolerance = 0.5;
+      min_interval_s = 5.0 }
+  in
+  let decide ~now_s =
+    Daemon.decide c ~replacements:1 ~version:1 ~now_s ~last_replacement_s:10.0 ~tps:10.0
+      ~best_tps:1000.0 ~frontend:0.9
+  in
+  Alcotest.(check bool) "amortization gate closed just before" true (decide ~now_s:14.999 = None);
+  Alcotest.(check bool) "open exactly at min_interval_s" true (decide ~now_s:15.0 <> None);
+  Alcotest.(check bool) "open after" true (decide ~now_s:16.0 <> None)
+
+(* ---- rollback / retry actions through the tick loop ---- *)
+
+let fault_setup schedule_point schedule =
+  let w = Apps.tiny ~tx_limit:None () in
+  let input = Workload.find_input w "a" in
+  let proc = Workload.launch w ~input in
+  let fault = Ocolos_util.Fault.create ~seed:5 () in
+  Ocolos_util.Fault.arm fault schedule_point schedule;
+  let oc =
+    Ocolos_core.Ocolos.attach
+      ~config:{ Ocolos_core.Ocolos.default_config with Ocolos_core.Ocolos.fault = Some fault }
+      proc
+  in
+  (proc, oc)
+
+let test_daemon_rolls_back_then_retries () =
+  (* An Nth 1 fault fires on the first attempt only: the daemon must report
+     Rolled_back (will retry), back off, announce Retrying, and commit on
+     the second attempt. *)
+  let proc, oc = fault_setup "vtable_patch" (Ocolos_util.Fault.Nth 1) in
+  let config =
+    { Daemon.default_config with
+      Daemon.profile_s = 1.0;
+      warmup_s = 0.5;
+      max_retries = 3;
+      retry_backoff_s = 1.0 }
+  in
+  let d = Daemon.create ~config oc proc in
+  let actions = List.map snd (run_daemon d proc ~from:0 ~seconds:10) in
+  let has p = List.exists p actions in
+  Alcotest.(check bool) "rolled back at the armed point, not giving up" true
+    (has (function
+      | Daemon.Rolled_back { point = "vtable_patch"; attempt = 1; giving_up = false } -> true
+      | _ -> false));
+  Alcotest.(check bool) "announced the retry" true
+    (has (function Daemon.Retrying { attempt = 2 } -> true | _ -> false));
+  Alcotest.(check bool) "then committed" true
+    (has (function Daemon.Replaced _ -> true | _ -> false));
+  Alcotest.(check int) "one rollback counted" 1 (Daemon.rollbacks d);
+  Alcotest.(check int) "one retry counted" 1 (Daemon.retries d);
+  Alcotest.(check int) "one replacement" 1 (Daemon.replacements d);
+  Alcotest.(check int) "version advanced" 1 (Ocolos_core.Ocolos.version oc)
+
+let test_daemon_gives_up_after_max_retries () =
+  (* Every 1: the fault fires on every attempt; after max_retries extra
+     tries the daemon reports giving_up and the process stays on C0. *)
+  let proc, oc = fault_setup "pause" (Ocolos_util.Fault.Every 1) in
+  let config =
+    { Daemon.default_config with
+      Daemon.profile_s = 1.0;
+      warmup_s = 0.5;
+      min_interval_s = 30.0;
+      max_retries = 2;
+      retry_backoff_s = 1.0 }
+  in
+  let d = Daemon.create ~config oc proc in
+  (* Tick until the first giving-up action; after it the daemon would start
+     a fresh campaign (replacements is still 0), so stop right there to
+     keep the counters exact. *)
+  let gave_up = ref false in
+  let now = ref 0 in
+  while (not !gave_up) && !now < 20 do
+    incr now;
+    drive proc (float_of_int !now);
+    match Daemon.tick d ~now_s:(float_of_int !now) with
+    | Daemon.Rolled_back { attempt = 3; giving_up = true; point = "pause" } -> gave_up := true
+    | Daemon.Rolled_back { giving_up = true; _ } -> Alcotest.fail "gave up early"
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "gave up after exhausting retries" true !gave_up;
+  Alcotest.(check int) "three attempts rolled back" 3 (Daemon.rollbacks d);
+  Alcotest.(check int) "two retries" 2 (Daemon.retries d);
+  Alcotest.(check int) "nothing replaced" 0 (Daemon.replacements d);
+  Alcotest.(check int) "still on C0" 0 (Ocolos_core.Ocolos.version oc);
+  Alcotest.(check bool) "back to monitoring" true (Daemon.phase d = Daemon.Monitoring);
+  (* The managed process survived three aborted attempts. *)
+  let tx = Ocolos_proc.Proc.transactions proc in
+  drive proc (float_of_int !now +. 2.0);
+  Alcotest.(check bool) "process still making progress" true
+    (Ocolos_proc.Proc.transactions proc > tx)
+
 let test_perf_report_finds_hot_function () =
   (* Under the original layout, the parser should rank among the top L1i
      missers (the MYSQLparse effect); under OCOLOS it should fade. *)
@@ -106,5 +230,14 @@ let suite =
     Alcotest.test_case "daemon steady state no churn" `Quick test_daemon_steady_state_no_churn;
     Alcotest.test_case "daemon reoptimizes on input shift" `Slow
       test_daemon_reoptimizes_on_input_shift;
+    Alcotest.test_case "decide: front-end gate boundary" `Quick
+      test_decide_frontend_gate_boundary;
+    Alcotest.test_case "decide: regression tolerance boundary" `Quick
+      test_decide_regression_tolerance_boundary;
+    Alcotest.test_case "decide: min-interval boundary" `Quick test_decide_min_interval_boundary;
+    Alcotest.test_case "daemon rolls back then retries" `Quick
+      test_daemon_rolls_back_then_retries;
+    Alcotest.test_case "daemon gives up after max retries" `Quick
+      test_daemon_gives_up_after_max_retries;
     Alcotest.test_case "perf report finds hot function" `Quick
       test_perf_report_finds_hot_function ]

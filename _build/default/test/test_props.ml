@@ -110,7 +110,68 @@ let prop_ocolos_replacement_preserves_semantics =
       in
       (halted, Workload.checksums proc, Ocolos_proc.Proc.transactions proc) = reference)
 
-(* 5. Cache invariants. *)
+(* 5. Differential execution equivalence: the full online cycle
+   (profile -> BOLT -> replace -> run) leaves each thread's control flow —
+   the per-thread sequence of calls and returns, resolved to function ids —
+   exactly what a never-optimized run produces. Checksums catch corrupted
+   data; this catches control-flow divergence at instruction granularity
+   (every call/return edge) even when the data happens to survive. The
+   profile comes from a twin process so the recording hook stays installed
+   across the whole subject run. *)
+let record_call_trace (proc : Ocolos_proc.Proc.t) =
+  let buf = ref [] in
+  proc.Ocolos_proc.Proc.hooks.Ocolos_proc.Proc.on_taken_branch <-
+    Some
+      (fun ~tid ~from_addr ~to_addr ~kind ~cycles ->
+        ignore from_addr;
+        ignore cycles;
+        match kind with
+        | Ocolos_proc.Proc.DirectCall | Ocolos_proc.Proc.IndCall | Ocolos_proc.Proc.Return
+          ->
+          buf :=
+            (tid, kind, Ocolos_proc.Addr_space.fid_of_addr proc.Ocolos_proc.Proc.mem to_addr)
+            :: !buf
+        | Ocolos_proc.Proc.Cond | Ocolos_proc.Proc.Jump | Ocolos_proc.Proc.IndJump -> ());
+  buf
+
+let per_tid_traces buf nthreads =
+  List.init nthreads (fun tid ->
+      List.rev (List.filter_map (fun (t, k, f) -> if t = tid then Some (k, f) else None) !buf))
+
+let prop_differential_c0_c1 =
+  QCheck.Test.make ~name:"differential: C0/C1 per-thread call traces equal" ~count:10
+    (QCheck.pair gen_config_arbitrary (QCheck.make QCheck.Gen.(int_range 2_000 40_000)))
+    (fun (params, stop_point) ->
+      let w = workload_of params in
+      let input = List.hd w.Workload.inputs in
+      let run ~replace =
+        let proc = Workload.launch w ~input in
+        let buf = record_call_trace proc in
+        if replace then begin
+          let twin = Workload.launch w ~input in
+          let session = Ocolos_profiler.Perf.start twin in
+          Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:stop_point twin;
+          let profile =
+            Ocolos_profiler.Perf2bolt.convert ~binary:w.Workload.binary
+              (Ocolos_profiler.Perf.stop session)
+          in
+          let r = Ocolos_bolt.Bolt.run ~binary:w.Workload.binary ~profile () in
+          let oc = Ocolos_core.Ocolos.attach proc in
+          Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:stop_point proc;
+          ignore (Ocolos_core.Ocolos.replace_code oc r)
+        end;
+        Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:30_000_000 proc;
+        ( per_tid_traces buf (Array.length proc.Ocolos_proc.Proc.threads),
+          Workload.checksums proc,
+          Ocolos_proc.Proc.transactions proc )
+      in
+      let traces_c1, sums_c1, tx_c1 = run ~replace:true in
+      let traces_c0, sums_c0, tx_c0 = run ~replace:false in
+      traces_c1 = traces_c0
+      && List.exists (fun t -> t <> []) traces_c0
+      && sums_c1 = sums_c0 && tx_c1 = tx_c0)
+
+(* 6. Cache invariants. *)
 let prop_cache_hit_after_access =
   QCheck.Test.make ~name:"cache: resident after access" ~count:200
     QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (QCheck.int_bound 100_000))
@@ -132,7 +193,7 @@ let prop_cache_capacity_bound =
       let resident = List.filter (fun l -> Ocolos_uarch.Cache.probe c (l * 64)) distinct_lines in
       List.length resident <= 16)
 
-(* 6. Profile merge is order-insensitive. *)
+(* 7. Profile merge is order-insensitive. *)
 let prop_profile_merge_commutes =
   QCheck.Test.make ~name:"profile merge commutes" ~count:100
     QCheck.(
@@ -152,7 +213,7 @@ let prop_profile_merge_commutes =
           Ocolos_profiler.Profile.branch_count a key = Ocolos_profiler.Profile.branch_count b key)
         (e1 @ e2))
 
-(* 7. Block layout output is always a permutation with the entry first. *)
+(* 8. Block layout output is always a permutation with the entry first. *)
 let prop_layout_func_permutation =
   QCheck.Test.make ~name:"bb layout is a permutation, entry first" ~count:100
     QCheck.(pair (QCheck.make QCheck.Gen.(int_range 1 12)) (QCheck.make QCheck.Gen.(int_bound 10_000)))
@@ -175,7 +236,7 @@ let prop_layout_func_permutation =
       let all = List.sort compare (hot @ cold) in
       all = List.init n (fun i -> i) && (hot = [] || List.hd hot = 0))
 
-(* 8. Emission is deterministic. *)
+(* 9. Emission is deterministic. *)
 let prop_emit_deterministic =
   QCheck.Test.make ~name:"emission deterministic" ~count:10 gen_config_arbitrary
     (fun params ->
@@ -191,6 +252,7 @@ let suite =
       prop_layout_invariance;
       prop_bolt_preserves_semantics;
       prop_ocolos_replacement_preserves_semantics;
+      prop_differential_c0_c1;
       prop_cache_hit_after_access;
       prop_cache_capacity_bound;
       prop_profile_merge_commutes;

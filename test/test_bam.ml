@@ -68,6 +68,59 @@ let test_over_profiling_hurts () =
     (k_all.Bam.total_seconds > k_small.Bam.total_seconds);
   Alcotest.(check int) "nothing optimized" 0 k_all.Bam.optimized_runs
 
+(* ---- scheduler edge cases ---- *)
+
+let test_more_jobs_than_files () =
+  (* Slots beyond the file count must idle harmlessly: everything launches
+     at t=0 and the makespan is one slowed profile run. *)
+  let out =
+    Bam.simulate_build ~config:(cfg ~jobs:16 ~k:2 ()) ~n_files:3
+      ~t_orig:(fun _ -> 10.0)
+      ~t_opt:(fun _ -> 7.0)
+      ~bolt_seconds:5.0 ()
+  in
+  Alcotest.(check int) "all three ran" 3
+    (out.Bam.profiled_runs + out.Bam.original_runs + out.Bam.optimized_runs);
+  Alcotest.(check int) "profiled capped by k" 2 out.Bam.profiled_runs;
+  Alcotest.(check int) "nothing optimized (all launched at t=0)" 0 out.Bam.optimized_runs;
+  Alcotest.(check (float 1e-6)) "makespan = one profiled run" (10.0 *. 1.10)
+    out.Bam.total_seconds
+
+let test_bolt_finishes_mid_build () =
+  (* Serial schedule so BOLT readiness lands at a known time: the profiled
+     run ends at 12.1, BOLT is ready at 14.1 — while file 2 (launched at
+     12.1, still original) is compiling — so files 3..5 run optimized. *)
+  let out =
+    Bam.simulate_build ~config:(cfg ~jobs:1 ~k:1 ()) ~n_files:5
+      ~t_orig:(fun _ -> 11.0)
+      ~t_opt:(fun _ -> 6.0)
+      ~bolt_seconds:2.0 ()
+  in
+  (match out.Bam.bolt_ready_at with
+  | Some t -> Alcotest.(check (float 1e-6)) "bolt ready mid-build" (11.0 *. 1.10 +. 2.0) t
+  | None -> Alcotest.fail "bolt never ready");
+  Alcotest.(check int) "one profiled" 1 out.Bam.profiled_runs;
+  (* File 2 launches before readiness, files 3..5 after. *)
+  Alcotest.(check int) "one original" 1 out.Bam.original_runs;
+  Alcotest.(check int) "rest optimized" 3 out.Bam.optimized_runs;
+  Alcotest.(check (float 1e-6)) "makespan accounts for the switch"
+    ((11.0 *. 1.10) +. 11.0 +. (3.0 *. 6.0))
+    out.Bam.total_seconds
+
+let test_profiles_wanted_zero () =
+  (* k = 0: BOLT can never start (no profiles), so every run is original
+     and the state machine never transitions. *)
+  let out =
+    Bam.simulate_build ~config:(cfg ~jobs:2 ~k:0 ()) ~n_files:10
+      ~t_orig:(fun _ -> 4.0)
+      ~t_opt:(fun _ -> 1.0)
+      ~bolt_seconds:1.0 ()
+  in
+  Alcotest.(check int) "nothing profiled" 0 out.Bam.profiled_runs;
+  Alcotest.(check int) "all original" 10 out.Bam.original_runs;
+  Alcotest.(check int) "nothing optimized" 0 out.Bam.optimized_runs;
+  Alcotest.(check (float 1e-6)) "plain 2-slot makespan" 20.0 out.Bam.total_seconds
+
 let test_makespan_consistency () =
   (* With 1 job slot the makespan is the serial sum. *)
   let out =
@@ -84,4 +137,7 @@ let suite =
     Alcotest.test_case "simulate build counts" `Quick test_simulate_build_counts;
     Alcotest.test_case "bam beats baseline" `Quick test_build_faster_than_original_when_speedup_real;
     Alcotest.test_case "over-profiling hurts" `Quick test_over_profiling_hurts;
+    Alcotest.test_case "more jobs than files" `Quick test_more_jobs_than_files;
+    Alcotest.test_case "bolt finishes mid-build" `Quick test_bolt_finishes_mid_build;
+    Alcotest.test_case "profiles-wanted zero" `Quick test_profiles_wanted_zero;
     Alcotest.test_case "makespan consistency" `Quick test_makespan_consistency ]
