@@ -10,12 +10,20 @@
                                    faults into the replacement transaction)
      faults                        list fault-injection points
      timeline -w W -i I            per-second Fig.7-style timeline
-     topdown  -w W -i I            stage-1 TopDown bottleneck analysis *)
+     topdown  -w W -i I            stage-1 TopDown bottleneck analysis
+     stats    -w W -i I            pipeline phase + TopDown attribution tables
+
+   run/bolt/ocolos/timeline/stats accept --trace FILE (Chrome/Perfetto
+   trace-event JSON of the run's span tree) and --metrics FILE (Prometheus
+   text dump of the run's metrics registry); both are byte-deterministic
+   for identical invocations. *)
 
 open Cmdliner
 open Ocolos_workloads
 module Measure = Ocolos_sim.Measure
 module Timeline = Ocolos_sim.Timeline
+module Obs = Ocolos_obs
+module Table = Ocolos_util.Table
 
 let workloads () =
   [ ("mysql", fun () -> Apps.mysql_like ());
@@ -47,6 +55,60 @@ let seconds_arg =
     value & opt float 2.0
     & info [ "s"; "seconds" ] ~docv:"SEC" ~doc:"Measurement duration in simulated seconds.")
 
+(* ---- observability plumbing (--trace / --metrics) ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run and write it as Chrome/Perfetto \
+           trace-event JSON to $(docv) (load in ui.perfetto.dev or chrome://tracing).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect the run's metrics registry and write it in Prometheus text \
+           format to $(docv).")
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+(* Run [f] with an ambient trace and metrics registry installed when the
+   user asked for either (or [force]), then dump the requested outputs.
+   Emission uses only the simulated clock, so identical invocations write
+   byte-identical files. *)
+let with_obs ?(force = false) trace_path metrics_path f =
+  if (not force) && trace_path = None && metrics_path = None then f ()
+  else begin
+    let tr = Obs.Trace.create () in
+    let reg = Obs.Metrics.create () in
+    Obs.Trace.install tr;
+    Obs.Metrics.install reg;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.uninstall ();
+        Obs.Metrics.uninstall ())
+      f;
+    (match trace_path with
+    | Some p ->
+      Obs.Chrome.save p tr;
+      Fmt.pr "wrote trace-event JSON (%d spans, %d events) to %s@." (Obs.Trace.span_count tr)
+        (List.length (Obs.Trace.events tr))
+        p
+    | None -> ());
+    match metrics_path with
+    | Some p ->
+      write_file p (Obs.Metrics.to_prometheus reg);
+      Fmt.pr "wrote metrics to %s@." p
+    | None -> ()
+  end
+
 let list_cmd =
   let run () =
     List.iter
@@ -75,7 +137,8 @@ let inspect_cmd =
   Cmd.v (Cmd.info "inspect" ~doc:"Binary summary") Term.(const run $ workload_arg)
 
 let run_cmd =
-  let run name input_name seconds =
+  let run name input_name seconds trace metrics =
+    with_obs trace metrics @@ fun () ->
     let w = load_workload name in
     let input = Workload.find_input w input_name in
     let s = Measure.steady ~measure:seconds w ~input in
@@ -84,10 +147,11 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Steady-state throughput of the original binary")
-    Term.(const run $ workload_arg $ input_arg $ seconds_arg)
+    Term.(const run $ workload_arg $ input_arg $ seconds_arg $ trace_arg $ metrics_arg)
 
 let bolt_cmd =
-  let run name input_name seconds =
+  let run name input_name seconds trace metrics =
+    with_obs trace metrics @@ fun () ->
     let w = load_workload name in
     let input = Workload.find_input w input_name in
     let orig = Measure.steady ~measure:seconds w ~input in
@@ -101,7 +165,7 @@ let bolt_cmd =
   in
   Cmd.v
     (Cmd.info "bolt" ~doc:"Offline BOLT: profile, optimize, compare")
-    Term.(const run $ workload_arg $ input_arg $ seconds_arg)
+    Term.(const run $ workload_arg $ input_arg $ seconds_arg $ trace_arg $ metrics_arg)
 
 let fault_arg =
   Arg.(
@@ -118,7 +182,8 @@ let fault_seed_arg =
         ~doc:"Seed for probabilistic fault schedules; reruns reproduce exactly.")
 
 let ocolos_cmd =
-  let run name input_name seconds fault_specs fault_seed =
+  let run name input_name seconds fault_specs fault_seed trace metrics =
+    with_obs trace metrics @@ fun () ->
     let w = load_workload name in
     let input = Workload.find_input w input_name in
     let fault =
@@ -171,7 +236,9 @@ let ocolos_cmd =
   in
   Cmd.v
     (Cmd.info "ocolos" ~doc:"Online OCOLOS: attach, profile, replace, compare")
-    Term.(const run $ workload_arg $ input_arg $ seconds_arg $ fault_arg $ fault_seed_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ seconds_arg $ fault_arg $ fault_seed_arg
+      $ trace_arg $ metrics_arg)
 
 let faults_cmd =
   let run () =
@@ -267,7 +334,8 @@ let report_cmd =
     Term.(const run $ workload_arg $ input_arg $ seconds_arg)
 
 let timeline_cmd =
-  let run name input_name =
+  let run name input_name trace metrics =
+    with_obs trace metrics @@ fun () ->
     let w = load_workload name in
     let input = Workload.find_input w input_name in
     let t = Timeline.run ~warmup_s:5 ~profile_s:3 ~post_s:8 w ~input in
@@ -280,7 +348,7 @@ let timeline_cmd =
   in
   Cmd.v
     (Cmd.info "timeline" ~doc:"Fig.7-style replacement timeline")
-    Term.(const run $ workload_arg $ input_arg)
+    Term.(const run $ workload_arg $ input_arg $ trace_arg $ metrics_arg)
 
 let topdown_cmd =
   let run name input_name seconds =
@@ -307,10 +375,84 @@ let topdown_cmd =
     (Cmd.info "topdown" ~doc:"Stage-1 TopDown bottleneck analysis (DMon-style)")
     Term.(const run $ workload_arg $ input_arg $ seconds_arg)
 
+(* Full pipeline run with observability on, reported as attribution
+   tables: where the pipeline's wall-clock went, and what the replacement
+   did to the TopDown cycle breakdown and front-end miss rates. *)
+let stats_cmd =
+  let run name input_name seconds trace metrics =
+    with_obs ~force:true trace metrics @@ fun () ->
+    let w = load_workload name in
+    let input = Workload.find_input w input_name in
+    let profile_s = 2.0 in
+    let orig = Measure.steady ~measure:seconds w ~input in
+    let r = Measure.ocolos_steady ~profile_s ~measure:seconds w ~input in
+    let s = r.Measure.stats in
+    let post = r.Measure.post in
+    Table.section (Fmt.str "pipeline attribution — %s/%s" name input_name);
+    let pause = s.Ocolos_core.Ocolos.pause_seconds in
+    let phases =
+      [ ("LBR profiling", profile_s, "target runs at full speed");
+        ("perf2bolt", r.Measure.perf2bolt_seconds, "background, contends with target");
+        ("llvm-bolt", r.Measure.bolt_seconds, "background, contends with target");
+        ("stop-the-world replace", pause, "target fully paused") ]
+    in
+    let total = List.fold_left (fun acc (_, sec, _) -> acc +. sec) 0.0 phases in
+    Table.print
+      ~headers:[| "phase"; "seconds"; "share"; "notes" |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Left |]
+      (List.map
+         (fun (ph, sec, note) ->
+           [| ph; Table.fmt_f ~digits:3 sec; Table.fmt_pct (sec /. total); note |])
+         phases);
+    if r.Measure.attempts > 1 then
+      Fmt.pr "replacement committed on attempt %d (%d rolled back)@." r.Measure.attempts
+        r.Measure.rollbacks;
+    Table.section "TopDown attribution (share of cycles)";
+    let td_o = orig.Measure.topdown and td_p = post.Measure.topdown in
+    let row label o p = [| label; Table.fmt_pct o; Table.fmt_pct p; Table.fmt_pct (p -. o) |] in
+    Table.print
+      ~headers:[| "category"; "original"; "ocolos"; "delta" |]
+      [ row "retiring" td_o.Ocolos_uarch.Counters.retiring td_p.Ocolos_uarch.Counters.retiring;
+        row "front-end bound" td_o.Ocolos_uarch.Counters.frontend
+          td_p.Ocolos_uarch.Counters.frontend;
+        row "bad speculation" td_o.Ocolos_uarch.Counters.bad_speculation
+          td_p.Ocolos_uarch.Counters.bad_speculation;
+        row "back-end bound" td_o.Ocolos_uarch.Counters.backend
+          td_p.Ocolos_uarch.Counters.backend ];
+    Table.section "front-end effects";
+    let frow label f =
+      let o = f orig.Measure.counters and p = f post.Measure.counters in
+      [| label;
+         Table.fmt_f ~digits:2 o;
+         Table.fmt_f ~digits:2 p;
+         (* a near-zero baseline makes the ratio meaningless *)
+         (if o < 0.005 then "n/a" else Table.fmt_speedup (p /. o)) |]
+    in
+    Table.print
+      ~headers:[| "metric"; "original"; "ocolos"; "ocolos/orig" |]
+      (frow "IPC" Ocolos_uarch.Counters.ipc
+      :: [ frow "L1i MPKI" Ocolos_uarch.Counters.l1i_mpki;
+           frow "iTLB MPKI" Ocolos_uarch.Counters.itlb_mpki;
+           frow "BTB misses/Ki" Ocolos_uarch.Counters.btb_misses_pki;
+           frow "taken branches/Ki" Ocolos_uarch.Counters.taken_branches_pki ]);
+    Fmt.pr "throughput: %.0f -> %.0f tps (%.2fx)@." orig.Measure.tps post.Measure.tps
+      (post.Measure.tps /. orig.Measure.tps);
+    match Obs.Trace.installed () with
+    | Some tr ->
+      Fmt.pr "trace: %d spans, %d point events (use --trace FILE to export)@."
+        (Obs.Trace.span_count tr)
+        (List.length (Obs.Trace.events tr))
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run the online pipeline and print phase + TopDown attribution tables")
+    Term.(const run $ workload_arg $ input_arg $ seconds_arg $ trace_arg $ metrics_arg)
+
 let () =
   let doc = "OCOLOS: online code layout optimization (simulated reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ocolos_cli" ~doc)
           [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; faults_cmd; timeline_cmd;
-            topdown_cmd; save_cmd; load_cmd; report_cmd; disasm_cmd ]))
+            topdown_cmd; stats_cmd; save_cmd; load_cmd; report_cmd; disasm_cmd ]))

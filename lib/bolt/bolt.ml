@@ -96,7 +96,10 @@ let select_hot_funcs config (binary : Binary.t) (profile : Profile.t) =
   let hot = match config.max_hot_funcs with None -> hot | Some n -> List.filteri (fun i _ -> i < n) hot in
   List.map fst hot
 
+module Trace = Ocolos_obs.Trace
+
 let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile : Profile.t) () =
+  Trace.span "bolt.run" ~attrs:[ ("binary", Trace.S binary.Binary.name) ] @@ fun run_sp ->
   let extern_entry =
     match extern_entry with
     | Some f -> f
@@ -108,33 +111,47 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
   let work_instrs = ref 0 in
   (* Reconstruct, attach counts, peephole. *)
   let reconstructed =
-    List.filter_map
-      (fun fid ->
-        match Cfg.of_binary binary fid with
-        | rc ->
-          Cfg.attach_profile rc
-            ~branches:(Option.value ~default:[] (Hashtbl.find_opt branches_by_fid fid))
-            ~ranges:(Option.value ~default:[] (Hashtbl.find_opt ranges_by_fid fid));
-          work_instrs := !work_instrs + rc.Cfg.rc_instr_count;
-          Some (fid, rc)
-        | exception Cfg.Unsupported _ ->
-          incr skipped;
-          None)
-      hot_candidates
+    Trace.span "bolt.cfg" @@ fun sp ->
+    let r =
+      List.filter_map
+        (fun fid ->
+          match Cfg.of_binary binary fid with
+          | rc ->
+            Cfg.attach_profile rc
+              ~branches:(Option.value ~default:[] (Hashtbl.find_opt branches_by_fid fid))
+              ~ranges:(Option.value ~default:[] (Hashtbl.find_opt ranges_by_fid fid));
+            work_instrs := !work_instrs + rc.Cfg.rc_instr_count;
+            Some (fid, rc)
+          | exception Cfg.Unsupported _ ->
+            incr skipped;
+            None)
+        hot_candidates
+    in
+    Trace.set_attr sp "funcs" (Trace.I (List.length r));
+    Trace.set_attr sp "skipped" (Trace.I !skipped);
+    r
   in
   let hot_fids = List.map fst reconstructed in
   let hot_set = Hashtbl.create 64 in
   List.iter (fun f -> Hashtbl.replace hot_set f ()) hot_fids;
   (* Per-function block layout. *)
   let block_layouts =
-    List.map
-      (fun (fid, rc) ->
-        let hot_order, cold =
-          if config.reorder_blocks then Bb_reorder.layout_func ~split:config.split_functions rc
-          else (List.init (Array.length rc.Cfg.rc_block_addr) (fun i -> i), [])
-        in
-        (fid, hot_order, cold))
-      reconstructed
+    Trace.span "bolt.bb_reorder"
+      ~attrs:[ ("split", Trace.B config.split_functions) ]
+    @@ fun sp ->
+    let layouts =
+      List.map
+        (fun (fid, rc) ->
+          let hot_order, cold =
+            if config.reorder_blocks then Bb_reorder.layout_func ~split:config.split_functions rc
+            else (List.init (Array.length rc.Cfg.rc_block_addr) (fun i -> i), [])
+          in
+          (fid, hot_order, cold))
+        reconstructed
+    in
+    Trace.set_attr sp "cold_blocks"
+      (Trace.I (List.fold_left (fun acc (_, _, cold) -> acc + List.length cold) 0 layouts));
+    layouts
   in
   (* Function order over the hot set. *)
   let call_graph =
@@ -150,6 +167,16 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
       node_heat = (fun fid -> Profile.func_records profile fid) }
   in
   let func_order =
+    Trace.span "bolt.func_reorder"
+      ~attrs:
+        [ ( "algorithm",
+            Trace.S
+              (match config.func_order with
+              | C3 -> "c3"
+              | Pettis_hansen -> "pettis_hansen"
+              | Original_order -> "original") );
+          ("nodes", Trace.I (List.length hot_fids)) ]
+    @@ fun _ ->
     match config.func_order with
     | C3 -> Func_reorder.c3 call_graph
     | Pettis_hansen -> Func_reorder.pettis_hansen call_graph
@@ -160,6 +187,7 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
   let rc_by_fid = Hashtbl.create 64 in
   List.iter (fun (fid, rc) -> Hashtbl.replace rc_by_fid fid rc) reconstructed;
   let funcs =
+    Trace.span "bolt.peephole" ~attrs:[ ("enabled", Trace.B config.peephole) ] @@ fun _ ->
     Array.init (Array.length binary.Binary.symbols) (fun fid ->
         match Hashtbl.find_opt rc_by_fid fid with
         | Some rc ->
@@ -187,6 +215,7 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
   let bolt_base = align_up (sections_end binary + 0x100000) 0x100000 in
   let table_base = fresh_data_base binary in
   let emitted =
+    Trace.span "bolt.emit" ~attrs:[ ("text_base", Trace.I bolt_base) ] @@ fun _ ->
     Emit.emit ~text_base:bolt_base ~globals_base:table_base ~extern_entry
       ~section_name:".text" ~emit_vtables:false ~name:(binary.Binary.name ^ ".bolt.text")
       program layout
@@ -256,6 +285,10 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
       entry = tr binary.Binary.entry;
       debug }
   in
+  Trace.set_attr run_sp "funcs_reordered" (Trace.I (List.length hot_fids));
+  Trace.set_attr run_sp "work_instrs" (Trace.I !work_instrs);
+  Ocolos_obs.Metrics.count "ocolos_bolt_runs_total" 1;
+  Ocolos_obs.Metrics.count "ocolos_bolt_funcs_reordered_total" (List.length hot_fids);
   { merged;
     new_text;
     translation;

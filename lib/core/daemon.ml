@@ -56,6 +56,7 @@ type t = {
   mutable best_tps : float; (* best throughput since the last replacement *)
   mutable last_replacement_s : float;
   mutable replacements : int;
+  mutable attempts : int; (* every call into Txn.replace_code *)
   mutable rollbacks : int;
   mutable retries : int;
 }
@@ -71,6 +72,7 @@ let create ?(config = default_config) (oc : Ocolos.t) (proc : Proc.t) =
     best_tps = 0.0;
     last_replacement_s = neg_infinity;
     replacements = 0;
+    attempts = 0;
     rollbacks = 0;
     retries = 0 }
 
@@ -111,8 +113,19 @@ let decide config ~replacements ~version ~now_s ~last_replacement_s ~tps ~best_t
 
 (* One replacement attempt (attempt 1 = the original try). Commits advance
    the version; rollbacks schedule an exponential-backoff retry of the same
-   BOLT result until [max_retries] extra attempts are spent. *)
+   BOLT result until [max_retries] extra attempts are spent.
+
+   All attempt accounting lives here so each counter moves exactly once per
+   attempt: [attempts] on every entry, [retries] only for attempts > 1 (the
+   Backoff -> Retrying transition merely announces the retry; counting it
+   there double-counted retries against attempts whenever a scheduled retry
+   never reached [Txn.replace_code]), and [rollbacks] once per rolled-back
+   attempt. *)
 let attempt_replace t ~now_s ~attempt result =
+  t.attempts <- t.attempts + 1;
+  if attempt > 1 then t.retries <- t.retries + 1;
+  Ocolos_obs.Metrics.count "ocolos_daemon_attempts_total" 1;
+  if attempt > 1 then Ocolos_obs.Metrics.count "ocolos_daemon_retries_total" 1;
   match Txn.replace_code t.oc result with
   | Txn.Committed stats ->
     t.pending <- None;
@@ -120,9 +133,11 @@ let attempt_replace t ~now_s ~attempt result =
     t.best_tps <- 0.0;
     t.last_replacement_s <- now_s;
     t.replacements <- t.replacements + 1;
+    Ocolos_obs.Metrics.count "ocolos_daemon_replacements_total" 1;
     Replaced stats
   | Txn.Rolled_back rb ->
     t.rollbacks <- t.rollbacks + 1;
+    Ocolos_obs.Metrics.count "ocolos_daemon_rollbacks_total" 1;
     if attempt > t.config.max_retries then begin
       t.pending <- None;
       t.phase <- Monitoring;
@@ -161,7 +176,8 @@ let tick t ~now_s =
       else Idle
     | Backoff { until_s; attempt } ->
       if now_s >= until_s then begin
-        t.retries <- t.retries + 1;
+        (* The retry is only announced here; [attempt_replace] counts it
+           when it actually runs. *)
         t.phase <- Retry_pending { attempt };
         Retrying { attempt }
       end
@@ -184,11 +200,14 @@ let tick t ~now_s =
       | Some why ->
         Ocolos.start_profiling t.oc;
         t.phase <- Profiling now_s;
+        Ocolos_obs.Trace.mark "daemon.profiling_started"
+          ~attrs:[ ("reason", Ocolos_obs.Trace.S why) ];
         Started_profiling why
       | None -> Idle)
   end
 
 let replacements t = t.replacements
+let attempts t = t.attempts
 let rollbacks t = t.rollbacks
 let retries t = t.retries
 let phase t = t.phase

@@ -65,10 +65,19 @@ val tick : t -> now_s:float -> action
 
 val replacements : t -> int
 
-(** Rolled-back replacement attempts since creation. *)
+(** Replacement attempts since creation: every entry into
+    [Txn.replace_code], i.e. [replacements + rollbacks] at quiescence.
+    Also exported as the [ocolos_daemon_attempts_total] counter through the
+    ambient metrics registry ({!Ocolos_obs.Metrics}). *)
+val attempts : t -> int
+
+(** Rolled-back replacement attempts since creation; incremented exactly
+    once per rolled-back attempt. *)
 val rollbacks : t -> int
 
-(** Retry attempts announced (each preceded by a backoff) since creation. *)
+(** Retry attempts actually executed (attempts beyond the first of a
+    campaign); incremented exactly once per retry, when the retry runs —
+    not when it is announced by the backoff timer. *)
 val retries : t -> int
 
 val phase : t -> phase

@@ -181,8 +181,22 @@ let injection_points =
     "verify";
     "commit" ]
 
+module Trace = Ocolos_obs.Trace
+module Metrics = Ocolos_obs.Metrics
+
+(* Register a hit at a fault-injection point. Hits are counted per point in
+   the ambient metrics registry; a firing fault additionally leaves an
+   instant event on the trace before the exception unwinds into {!Txn}. *)
 let cut t point =
-  match t.config.fault with Some f -> Ocolos_util.Fault.cut f point | None -> ()
+  match t.config.fault with
+  | None -> ()
+  | Some f -> (
+    Metrics.count ~labels:[ ("point", point) ] "ocolos_fault_cuts_total" 1;
+    try Ocolos_util.Fault.cut f point
+    with Ocolos_util.Fault.Injected (p, hit) as e ->
+      Trace.mark "fault.fired" ~attrs:[ ("point", Trace.S p); ("hit", Trace.I hit) ];
+      Metrics.count ~labels:[ ("point", p) ] "ocolos_fault_fired_total" 1;
+      raise e)
 
 let in_range (s, e) addr = addr >= s && addr < e
 
@@ -381,31 +395,35 @@ let refresh_current t (new_text : Binary.t) =
 (* The stop-the-world phase. Pauses the target, injects C_{i+1}, patches
    code pointers, garbage-collects C_i (when continuous), resumes. *)
 let replace_code t (result : Bolt.result) : replacement_stats =
+  Trace.span "replace.stw" ~attrs:[ ("incoming_version", Trace.I (t.version + 1)) ]
+  @@ fun stw_sp ->
   let proc = t.proc in
   Proc.pause proc;
   cut t "pause";
   let new_text = result.Bolt.new_text in
   (* 1. Inject the optimized code and its jump-table data. *)
-  Array.iter
-    (fun addr ->
-      cut t "inject_code";
-      Addr_space.write_code proc.Proc.mem addr (Hashtbl.find new_text.Binary.code addr))
-    new_text.Binary.code_order;
-  List.iter
-    (fun (a, v) ->
-      cut t "inject_data";
-      Addr_space.write_data proc.Proc.mem a v)
-    new_text.Binary.global_init;
-  cut t "sym_index";
-  Addr_space.add_sym_ranges proc.Proc.mem
-    (Array.to_list new_text.Binary.symbols
-    |> List.concat_map (fun (s : Binary.func_sym) ->
-           List.map
-             (fun (r : Binary.range) ->
-               { Addr_space.sr_start = r.Binary.r_start;
-                 sr_end = r.Binary.r_start + r.Binary.r_size;
-                 sr_fid = s.Binary.fs_fid })
-             s.Binary.fs_ranges));
+  Trace.span "replace.inject" (fun sp ->
+      Array.iter
+        (fun addr ->
+          cut t "inject_code";
+          Addr_space.write_code proc.Proc.mem addr (Hashtbl.find new_text.Binary.code addr))
+        new_text.Binary.code_order;
+      List.iter
+        (fun (a, v) ->
+          cut t "inject_data";
+          Addr_space.write_data proc.Proc.mem a v)
+        new_text.Binary.global_init;
+      cut t "sym_index";
+      Addr_space.add_sym_ranges proc.Proc.mem
+        (Array.to_list new_text.Binary.symbols
+        |> List.concat_map (fun (s : Binary.func_sym) ->
+               List.map
+                 (fun (r : Binary.range) ->
+                   { Addr_space.sr_start = r.Binary.r_start;
+                     sr_end = r.Binary.r_start + r.Binary.r_size;
+                     sr_fid = s.Binary.fs_fid })
+                 s.Binary.fs_ranges));
+      Trace.set_attr sp "instrs" (Trace.I (Array.length new_text.Binary.code_order)));
   let bytes_injected = Binary.text_bytes new_text in
   (* Keep the mmap cursor above the injected section. *)
   let new_end = Bolt.sections_end new_text in
@@ -423,56 +441,63 @@ let replace_code t (result : Bolt.result) : replacement_stats =
   in
   (* Function pointers must keep referring to C0: register the new entries
      in the translation map consulted by wrapFuncPtrCreation. *)
-  Hashtbl.iter
-    (fun fid entry ->
-      cut t "fp_pin";
-      Hashtbl.replace t.to_c0 entry (Hashtbl.find t.c0_entry fid))
-    new_entries;
+  Trace.span "replace.fp_pin" (fun _ ->
+      Hashtbl.iter
+        (fun fid entry ->
+          cut t "fp_pin";
+          Hashtbl.replace t.to_c0 entry (Hashtbl.find t.c0_entry fid))
+        new_entries);
   (* 3. Patch v-tables. *)
   let vt_patched = ref 0 in
-  Array.iter
-    (fun (vid, slot, fid) ->
-      cut t "vtable_patch";
-      let addr = Addr_space.vtable_base proc.Proc.mem vid + slot in
-      let cur = Addr_space.read_data proc.Proc.mem addr in
-      let want = desired_entry fid in
-      if cur <> want then begin
-        Addr_space.write_data proc.Proc.mem addr want;
-        incr vt_patched
-      end)
-    t.vtable_slots;
+  Trace.span "replace.vtable_patch" (fun sp ->
+      Array.iter
+        (fun (vid, slot, fid) ->
+          cut t "vtable_patch";
+          let addr = Addr_space.vtable_base proc.Proc.mem vid + slot in
+          let cur = Addr_space.read_data proc.Proc.mem addr in
+          let want = desired_entry fid in
+          if cur <> want then begin
+            Addr_space.write_data proc.Proc.mem addr want;
+            incr vt_patched
+          end)
+        t.vtable_slots;
+      Trace.set_attr sp "patched" (Trace.I !vt_patched));
   (* 4. Patch direct calls in stack-live C0 functions (or all, under the
      ablation flag). In continuous rounds, any C0 site still targeting the
      doomed C_i region must also be redirected so that GC is safe. *)
   let live = stack_live_fids t in
   let sites_patched = ref 0 in
-  Array.iter
-    (fun (site, owner, callee) ->
-      cut t "call_patch";
-      let cur_target =
-        match Addr_space.read_code proc.Proc.mem site with
-        | Some (Instr.Call cur) -> Some cur
-        | Some _ | None -> None
-      in
-      let target_doomed =
-        match (cur_target, t.live_text) with
-        | Some cur, Some doomed -> in_range doomed cur
-        | _, _ -> false
-      in
-      if t.config.patch_all_direct_calls || Hashtbl.mem live owner || target_doomed then begin
-        let want = desired_entry callee in
-        match cur_target with
-        | Some cur when cur <> want ->
-          Addr_space.write_code proc.Proc.mem site (Instr.Call want);
-          incr sites_patched
-        | Some _ | None -> ()
-      end)
-    t.offline_sites;
+  Trace.span "replace.call_patch" (fun sp ->
+      Array.iter
+        (fun (site, owner, callee) ->
+          cut t "call_patch";
+          let cur_target =
+            match Addr_space.read_code proc.Proc.mem site with
+            | Some (Instr.Call cur) -> Some cur
+            | Some _ | None -> None
+          in
+          let target_doomed =
+            match (cur_target, t.live_text) with
+            | Some cur, Some doomed -> in_range doomed cur
+            | _, _ -> false
+          in
+          if t.config.patch_all_direct_calls || Hashtbl.mem live owner || target_doomed then begin
+            let want = desired_entry callee in
+            match cur_target with
+            | Some cur when cur <> want ->
+              Addr_space.write_code proc.Proc.mem site (Instr.Call want);
+              incr sites_patched
+            | Some _ | None -> ()
+          end)
+        t.offline_sites;
+      Trace.set_attr sp "stack_live_funcs" (Trace.I (Hashtbl.length live));
+      Trace.set_attr sp "patched" (Trace.I !sites_patched));
   (* 5. Continuous optimization: evacuate and GC the previous version. *)
   let copied = ref 0 and gc_bytes = ref 0 in
   (match t.live_text with
   | None -> ()
   | Some doomed ->
+    Trace.span "replace.gc" @@ fun gc_sp ->
     let old_entry_fid = Hashtbl.create 64 in
     Hashtbl.iter
       (fun fid entry -> if in_range doomed entry then Hashtbl.replace old_entry_fid entry fid)
@@ -561,27 +586,40 @@ let replace_code t (result : Bolt.result) : replacement_stats =
     t.copies <- keep;
     if t.config.verify_gc then begin
       cut t "verify";
-      verify_no_dangling t ~freed:doomed
-    end);
+      Trace.span "replace.verify" (fun _ -> verify_no_dangling t ~freed:doomed)
+    end;
+    Trace.set_attr gc_sp "copied_funcs" (Trace.I !copied);
+    Trace.set_attr gc_sp "bytes_freed" (Trace.I !gc_bytes));
   (* 6. Update version state and the live binary view. *)
   cut t "commit";
-  t.version <- t.version + 1;
-  let sec =
-    match Binary.section_named new_text ".text" with
-    | Some s -> (s.Binary.sec_base, s.Binary.sec_base + s.Binary.sec_size)
-    | None -> (result.Bolt.bolt_base, result.Bolt.bolt_base)
-  in
-  t.live_text <- Some sec;
-  t.live_text_addrs <- Array.copy new_text.Binary.code_order;
-  let current_entry = Hashtbl.create 256 in
-  Hashtbl.iter (fun fid _ -> Hashtbl.replace current_entry fid (desired_entry fid)) t.c0_entry;
-  t.current_entry <- current_entry;
-  refresh_current t new_text;
+  Trace.span "replace.commit" (fun _ ->
+      t.version <- t.version + 1;
+      let sec =
+        match Binary.section_named new_text ".text" with
+        | Some s -> (s.Binary.sec_base, s.Binary.sec_base + s.Binary.sec_size)
+        | None -> (result.Bolt.bolt_base, result.Bolt.bolt_base)
+      in
+      t.live_text <- Some sec;
+      t.live_text_addrs <- Array.copy new_text.Binary.code_order;
+      let current_entry = Hashtbl.create 256 in
+      Hashtbl.iter
+        (fun fid _ -> Hashtbl.replace current_entry fid (desired_entry fid))
+        t.c0_entry;
+      t.current_entry <- current_entry;
+      refresh_current t new_text);
   (* 7. Stop-the-world cost, then resume. *)
   let sites = !vt_patched + !sites_patched in
   let pause_seconds =
     Cost.pause_seconds t.config.cost ~sites ~bytes:bytes_injected
   in
+  Trace.set_attr stw_sp "version" (Trace.I t.version);
+  Trace.set_attr stw_sp "pause_seconds" (Trace.F pause_seconds);
+  Metrics.count "ocolos_replacements_total" 1;
+  Metrics.count "ocolos_vtable_entries_patched_total" !vt_patched;
+  Metrics.count "ocolos_call_sites_patched_total" !sites_patched;
+  Metrics.count "ocolos_code_bytes_injected_total" bytes_injected;
+  Metrics.count "ocolos_gc_bytes_freed_total" !gc_bytes;
+  Metrics.sample ~buckets:Metrics.pause_buckets "ocolos_replace_pause_seconds" pause_seconds;
   Proc.resume proc;
   { version = t.version;
     vtable_entries_patched = !vt_patched;

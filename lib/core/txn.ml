@@ -54,7 +54,11 @@ let restore_threads (proc : Proc.t) snaps =
         snap.th_frames)
     snaps
 
+module Trace = Ocolos_obs.Trace
+module Metrics = Ocolos_obs.Metrics
+
 let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
+  Trace.span "txn.replace" @@ fun txn_sp ->
   let proc = Ocolos.proc oc in
   let mem = proc.Proc.mem in
   let was_paused = proc.Proc.paused in
@@ -63,7 +67,11 @@ let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
   Addr_space.begin_journal mem;
   match Ocolos.replace_code oc result with
   | stats ->
-    ignore (Addr_space.commit_journal mem);
+    let journaled = Addr_space.commit_journal mem in
+    Trace.set_attr txn_sp "outcome" (Trace.S "committed");
+    Trace.set_attr txn_sp "version" (Trace.I stats.Ocolos.version);
+    Trace.set_attr txn_sp "journaled" (Trace.I journaled);
+    Metrics.count "ocolos_txn_commits_total" 1;
     Committed stats
   | exception e ->
     let undone = Addr_space.rollback_journal mem in
@@ -72,6 +80,12 @@ let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
     if not was_paused then Proc.resume proc;
     (match e with
     | Ocolos_util.Fault.Injected (point, hit) ->
+      Trace.set_attr txn_sp "outcome" (Trace.S "rolled_back");
+      Trace.mark "txn.rollback"
+        ~attrs:
+          [ ("point", Trace.S point); ("hit", Trace.I hit); ("undone", Trace.I undone) ];
+      Metrics.count "ocolos_txn_rollbacks_total" 1;
+      Metrics.count "ocolos_txn_mutations_undone_total" undone;
       Rolled_back { rb_point = point; rb_hit = hit; rb_undone = undone }
     | e -> raise e)
 

@@ -1,0 +1,70 @@
+(* Chrome trace-event JSON export (see chrome.mli). *)
+
+let value_json = function
+  | Trace.S s -> Json.String s
+  | Trace.I i -> Json.Int i
+  | Trace.F f -> Json.Float f
+  | Trace.B b -> Json.Bool b
+
+let args_json args = Json.Obj (List.map (fun (k, v) -> (k, value_json v)) args)
+
+let pid = 1
+let tid = 1
+
+let span_event now_us (sp : Trace.span) =
+  let end_us = match sp.Trace.sp_end_us with Some e -> e | None -> max now_us (sp.Trace.sp_begin_us + 1) in
+  ( sp.Trace.sp_begin_us,
+    Json.Obj
+      [ ("name", Json.String sp.Trace.sp_name);
+        ("cat", Json.String "ocolos");
+        ("ph", Json.String "X");
+        ("ts", Json.Int sp.Trace.sp_begin_us);
+        ("dur", Json.Int (end_us - sp.Trace.sp_begin_us));
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", args_json sp.Trace.sp_attrs) ] )
+
+let point_event (ev : Trace.event) =
+  let common =
+    [ ("name", Json.String ev.Trace.ev_name);
+      ("cat", Json.String "ocolos");
+      ("ts", Json.Int ev.Trace.ev_ts_us);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", args_json ev.Trace.ev_args) ]
+  in
+  match ev.Trace.ev_kind with
+  | Trace.Instant ->
+    (ev.Trace.ev_ts_us, Json.Obj (("ph", Json.String "i") :: ("s", Json.String "t") :: common))
+  | Trace.Counter -> (ev.Trace.ev_ts_us, Json.Obj (("ph", Json.String "C") :: common))
+
+let of_trace ?(process_name = "ocolos") tr =
+  let meta name value =
+    Json.Obj
+      [ ("name", Json.String name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String value) ]) ]
+  in
+  let now = Trace.now_us tr in
+  let timed =
+    List.map (span_event now) (Trace.spans tr) @ List.map point_event (Trace.events tr)
+  in
+  (* Timestamps are unique (the trace clock ticks per event), so sorting by
+     ts alone is a total, deterministic order. *)
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) timed in
+  Json.Obj
+    [ ( "traceEvents",
+        Json.List
+          (meta "process_name" process_name :: meta "thread_name" "pipeline"
+          :: List.map snd sorted) );
+      ("displayTimeUnit", Json.String "ms") ]
+
+let to_string ?process_name tr = Json.to_string (of_trace ?process_name tr)
+
+let save ?process_name path tr =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string ?process_name tr);
+      output_char oc '\n')

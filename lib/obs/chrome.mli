@@ -1,0 +1,15 @@
+(** Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing).
+
+    Spans become complete ("ph":"X") events with microsecond [ts]/[dur],
+    instants become "i" events, and counter samples become "C" events whose
+    args render as counter tracks. All timestamps are integers from the
+    trace's simulated clock and events are sorted by timestamp (which is
+    unique per event), so the output is byte-deterministic. *)
+
+(** Still-open spans are closed at the trace's current time. *)
+val of_trace : ?process_name:string -> Trace.t -> Json.t
+
+val to_string : ?process_name:string -> Trace.t -> string
+
+(** Write the trace-event JSON to [path]. *)
+val save : ?process_name:string -> string -> Trace.t -> unit

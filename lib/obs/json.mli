@@ -1,0 +1,27 @@
+(** Minimal JSON values with a byte-deterministic emitter.
+
+    The observability exporters ({!Chrome}, {!Metrics}) must produce
+    byte-identical output for identical-seed runs, so this module owns the
+    one float-formatting policy they all share: integers print without a
+    fractional part, other finite floats print with at most six fractional
+    digits and no trailing zeros, and non-finite floats print as [null]
+    (they never occur in well-formed traces). No parser is provided; tests
+    carry their own. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Deterministic decimal rendering of a finite float (used for JSON
+    numbers and Prometheus sample values / bucket labels). *)
+val number : float -> string
+
+(** Compact (no whitespace) rendering; object fields keep insertion order. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

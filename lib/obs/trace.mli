@@ -1,0 +1,107 @@
+(** Span tracing for the online-BOLT pipeline.
+
+    A trace is a tree of named spans (with begin/end timestamps and typed
+    attributes) plus point events: instants (e.g. a fault firing) and
+    counter samples (e.g. the per-second throughput track of a timeline
+    run). Timestamps come from a {e simulated} microsecond clock, never
+    from the wall clock, so traces are byte-stable across identical-seed
+    runs: drivers anchor the clock to simulated seconds (as produced by
+    [Ocolos_sim.Clock]) with {!set_time_s}, and every recorded event then
+    advances it by exactly one microsecond. The auto-tick gives every event
+    a unique timestamp and guarantees strict nesting (a child span begins
+    after and ends before its parent), which is what the Chrome/Perfetto
+    exporter ({!Chrome}) relies on.
+
+    Instrumented code does not thread a trace handle through every call:
+    one trace can be {!install}ed as the ambient current trace, and the
+    lower-case helpers ({!span}, {!open_span}, {!mark}, {!plot}, {!clock})
+    write to it — or do nothing, cheaply, when no trace is installed. *)
+
+type value = S of string | I of int | F of float | B of bool
+
+type span = {
+  sp_id : int;
+  sp_name : string;
+  sp_parent : int option;  (** enclosing span id at begin time *)
+  sp_begin_us : int;
+  mutable sp_end_us : int option;  (** [None] while the span is open *)
+  mutable sp_attrs : (string * value) list;  (** insertion order *)
+}
+
+type event_kind = Instant | Counter
+
+type event = {
+  ev_name : string;
+  ev_ts_us : int;
+  ev_kind : event_kind;
+  ev_args : (string * value) list;
+}
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time in microseconds. *)
+val now_us : t -> int
+
+(** Anchor the clock at [seconds] of simulated time. The clock is
+    monotonic: anchoring into the past is a no-op. *)
+val set_time_s : t -> float -> unit
+
+val advance_s : t -> float -> unit
+
+(** [begin_span t name] opens a span as a child of the innermost open
+    span. Spans opened and closed across separate calls (e.g. a profiling
+    window bracketed by [Perf.start]/[Perf.stop]) are supported; closing is
+    order-insensitive. *)
+val begin_span : t -> ?attrs:(string * value) list -> string -> span
+
+(** Idempotent; [attrs] are appended to the span's attribute list. *)
+val end_span : t -> ?attrs:(string * value) list -> span -> unit
+
+(** [with_span t name f] runs [f span] inside a fresh span, closing it on
+    both normal return and exception (recording the exception as an
+    ["error"] attribute before re-raising). *)
+val with_span : t -> ?attrs:(string * value) list -> string -> (span -> 'a) -> 'a
+
+val add_attr : span -> string -> value -> unit
+
+(** A zero-duration point event at the current time. *)
+val instant : t -> ?attrs:(string * value) list -> string -> unit
+
+(** A sample on a named counter track (one value per series). *)
+val counter : t -> string -> (string * float) list -> unit
+
+(** All spans in begin order (begin timestamps are strictly increasing). *)
+val spans : t -> span list
+
+(** Instants and counter samples in record order. *)
+val events : t -> event list
+
+val span_count : t -> int
+
+(** Spans currently open, innermost first. *)
+val open_spans : t -> span list
+
+(** {2 Ambient current trace} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val installed : unit -> t option
+
+(** {!with_span} against the ambient trace; [f] receives [None] (and the
+    helpers below become no-ops) when no trace is installed. *)
+val span : ?attrs:(string * value) list -> string -> (span option -> 'a) -> 'a
+
+val open_span : ?attrs:(string * value) list -> string -> span option
+val close_span : ?attrs:(string * value) list -> span option -> unit
+val set_attr : span option -> string -> value -> unit
+
+(** Ambient {!instant}. *)
+val mark : ?attrs:(string * value) list -> string -> unit
+
+(** Ambient {!counter}. *)
+val plot : string -> (string * float) list -> unit
+
+(** Ambient {!set_time_s}. *)
+val clock : float -> unit

@@ -26,6 +26,7 @@ type session = {
     (tid:int -> from_addr:int -> to_addr:int -> kind:Ocolos_proc.Proc.branch_kind ->
     cycles:float -> unit)
     option;
+  sp : Ocolos_obs.Trace.span option; (* open span over the sampling window *)
 }
 
 (* Start sampling. The process keeps running under the caller's control;
@@ -42,7 +43,12 @@ let start ?(cfg = default_config) proc =
             +. float_of_int cfg.sample_period);
       samples = [];
       nsamples = 0;
-      saved_hook = proc.Ocolos_proc.Proc.hooks.on_taken_branch }
+      saved_hook = proc.Ocolos_proc.Proc.hooks.on_taken_branch;
+      sp =
+        Ocolos_obs.Trace.open_span "profiler.sample_window"
+          ~attrs:
+            [ ("sample_period", Ocolos_obs.Trace.I cfg.sample_period);
+              ("threads", Ocolos_obs.Trace.I n) ] }
   in
   let hook ~tid ~from_addr ~to_addr ~kind:_ ~cycles =
     Lbr.record session.rings.(tid) ~from_addr ~to_addr;
@@ -62,6 +68,9 @@ let start ?(cfg = default_config) proc =
 (* Detach and return the collected samples, oldest first. *)
 let stop session =
   session.proc.Ocolos_proc.Proc.hooks.on_taken_branch <- session.saved_hook;
+  Ocolos_obs.Trace.close_span session.sp
+    ~attrs:[ ("samples", Ocolos_obs.Trace.I session.nsamples) ];
+  Ocolos_obs.Metrics.count "ocolos_perf_samples_total" session.nsamples;
   List.rev session.samples
 
 let sample_count session = session.nsamples

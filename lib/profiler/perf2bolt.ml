@@ -9,6 +9,7 @@
 open Ocolos_binary
 
 let convert ~(binary : Binary.t) (samples : Perf.sample list) : Profile.t =
+  Ocolos_obs.Trace.span "perf2bolt.convert" @@ fun conv_sp ->
   let profile = Profile.create () in
   let index = Binary.build_addr_index binary in
   let fid_of addr = Binary.index_lookup index addr in
@@ -53,4 +54,11 @@ let convert ~(binary : Binary.t) (samples : Perf.sample list) : Profile.t =
           end)
         entries)
     samples;
+  let records = Perf.record_count samples in
+  Ocolos_obs.Trace.set_attr conv_sp "records" (Ocolos_obs.Trace.I records);
+  Ocolos_obs.Trace.set_attr conv_sp "branch_edges"
+    (Ocolos_obs.Trace.I (Hashtbl.length profile.Profile.branches));
+  Ocolos_obs.Trace.set_attr conv_sp "fallthrough_ranges"
+    (Ocolos_obs.Trace.I (Hashtbl.length profile.Profile.ranges));
+  Ocolos_obs.Metrics.count "ocolos_perf2bolt_records_total" records;
   profile

@@ -8,6 +8,8 @@
 open Ocolos_workloads
 open Ocolos_proc
 open Ocolos_uarch
+module Trace = Ocolos_obs.Trace
+module Metrics = Ocolos_obs.Metrics
 
 type sample = {
   tps : float; (* transactions per simulated second *)
@@ -26,12 +28,18 @@ let interval_sample ~seconds counters =
 (* Steady-state throughput of [binary] running [input]. *)
 let steady ?binary ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
     ?(measure = default_measure) (w : Workload.t) ~input =
+  Trace.span "measure.steady" ~attrs:[ ("workload", Trace.S w.Workload.name) ] @@ fun sp ->
   let proc = Workload.launch ?binary ?nthreads ~seed w ~input in
   Proc.run ~cycle_limit:(Clock.seconds_to_cycles warmup) proc;
+  Trace.clock warmup;
   let before = Proc.total_counters proc in
   Proc.run ~cycle_limit:(Clock.seconds_to_cycles (warmup +. measure)) proc;
+  Trace.clock (warmup +. measure);
   let counters = Counters.diff (Proc.total_counters proc) before in
-  interval_sample ~seconds:measure counters
+  let s = interval_sample ~seconds:measure counters in
+  Trace.set_attr sp "tps" (Trace.F s.tps);
+  Counters.observe_metrics ~prefix:"ocolos_steady" counters;
+  s
 
 (* Collect an LBR profile of [binary] (default: original) running [input]
    for [seconds], after a short warmup. This is the offline-profiling path
@@ -77,17 +85,26 @@ exception Replacement_failed of string
 let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
     ?(profile_s = 2.0) ?(measure = default_measure) ?(max_attempts = 4) (w : Workload.t)
     ~input =
+  Trace.span "ocolos.run"
+    ~attrs:[ ("workload", Trace.S w.Workload.name); ("seed", Trace.I seed) ]
+  @@ fun run_sp ->
   let proc = Workload.launch ?nthreads ~seed w ~input in
   let oc = Ocolos_core.Ocolos.attach ?config proc in
   let cost =
     (match config with Some c -> c | None -> Ocolos_core.Ocolos.default_config).Ocolos_core.Ocolos.cost
   in
   let horizon = ref warmup in
+  (* Keep the trace clock anchored to simulated seconds: every phase
+     boundary below advances it, so span timestamps read as Sim.Clock
+     time (plus the per-event microsecond tick). *)
   let advance s =
     horizon := !horizon +. s;
-    Proc.run ~cycle_limit:(Clock.seconds_to_cycles !horizon) proc
+    Proc.run ~cycle_limit:(Clock.seconds_to_cycles !horizon) proc;
+    Trace.clock !horizon
   in
-  Proc.run ~cycle_limit:(Clock.seconds_to_cycles !horizon) proc;
+  Trace.span "ocolos.warmup" (fun _ ->
+      Proc.run ~cycle_limit:(Clock.seconds_to_cycles !horizon) proc;
+      Trace.clock !horizon);
   Ocolos_core.Ocolos.start_profiling oc;
   advance profile_s;
   let profile, perf2bolt_seconds = Ocolos_core.Ocolos.stop_profiling oc in
@@ -99,10 +116,16 @@ let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
      simulates the full region when the region itself is the subject. *)
   let background = perf2bolt_seconds +. bolt_seconds in
   let bg_sim = Float.min background 1.5 in
-  advance bg_sim;
-  Proc.stall_all proc
-    ~cycles:(Clock.seconds_to_cycles (bg_sim *. cost.Ocolos_core.Cost.background_contention))
-    ~category:`Backend;
+  Trace.span "ocolos.background"
+    ~attrs:
+      [ ("perf2bolt_seconds", Trace.F perf2bolt_seconds);
+        ("bolt_seconds", Trace.F bolt_seconds) ]
+    (fun _ ->
+      advance bg_sim;
+      Proc.stall_all proc
+        ~cycles:
+          (Clock.seconds_to_cycles (bg_sim *. cost.Ocolos_core.Cost.background_contention))
+        ~category:`Backend);
   (* Transactional replacement with bounded retries: each rolled-back
      attempt still pauses the target (the aborted mutations plus their
      undo), modeled as a pause over the journal entries undone. *)
@@ -112,11 +135,11 @@ let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
     | Ocolos_core.Txn.Committed stats -> stats
     | Ocolos_core.Txn.Rolled_back rb ->
       incr rollbacks;
-      Proc.stall_all proc
-        ~cycles:
-          (Clock.seconds_to_cycles
-             (Ocolos_core.Cost.pause_seconds cost ~sites:rb.Ocolos_core.Txn.rb_undone ~bytes:0))
-        ~category:`Backend;
+      let rb_pause =
+        Ocolos_core.Cost.pause_seconds cost ~sites:rb.Ocolos_core.Txn.rb_undone ~bytes:0
+      in
+      Metrics.sample ~buckets:Metrics.pause_buckets "ocolos_replace_pause_seconds" rb_pause;
+      Proc.stall_all proc ~cycles:(Clock.seconds_to_cycles rb_pause) ~category:`Backend;
       if n >= max_attempts then
         raise
           (Replacement_failed
@@ -131,10 +154,25 @@ let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
   (* Re-anchor the clock after the injected stalls so the measurement
      window is a full [measure] seconds of post-replacement execution. *)
   horizon := Float.max !horizon (Clock.cycles_to_seconds (Proc.max_cycles proc));
+  Trace.clock !horizon;
   let before = Proc.total_counters proc in
-  advance measure;
-  let counters = Counters.diff (Proc.total_counters proc) before in
-  { post = interval_sample ~seconds:measure counters;
+  let counters =
+    Trace.span "ocolos.measure" @@ fun sp ->
+    advance measure;
+    let counters = Counters.diff (Proc.total_counters proc) before in
+    Trace.set_attr sp "tps"
+      (Trace.F (float_of_int counters.Counters.transactions /. measure));
+    counters
+  in
+  let post = interval_sample ~seconds:measure counters in
+  (* Per-round IPC: one observation per completed OCOLOS round, so a
+     continuous-reoptimization driver accumulates a distribution. *)
+  Metrics.sample ~buckets:Metrics.ipc_buckets "ocolos_round_ipc" (Counters.ipc counters);
+  Counters.observe_metrics ~prefix:"ocolos_post" counters;
+  Trace.set_attr run_sp "attempts" (Trace.I (!rollbacks + 1));
+  Trace.set_attr run_sp "rollbacks" (Trace.I !rollbacks);
+  Trace.set_attr run_sp "post_tps" (Trace.F post.tps);
+  { post;
     stats;
     perf2bolt_seconds;
     bolt_seconds;

@@ -6,6 +6,7 @@
 
 open Ocolos_workloads
 open Ocolos_proc
+module Trace = Ocolos_obs.Trace
 
 type region = Warmup | Profiling | Background | Pause | Optimized
 
@@ -34,6 +35,9 @@ let p95_of ~nthreads ~tps ~extra_stall =
 
 let run ?config ?(seed = 1234) ?(warmup_s = 8) ?(profile_s = 4) ?(post_s = 12)
     (w : Workload.t) ~input =
+  Trace.span "timeline.run"
+    ~attrs:[ ("workload", Trace.S w.Workload.name); ("seed", Trace.I seed) ]
+  @@ fun _ ->
   let proc = Workload.launch ~seed w ~input in
   let nthreads = Array.length proc.Proc.threads in
   let oc = Ocolos_core.Ocolos.attach ?config proc in
@@ -44,45 +48,64 @@ let run ?config ?(seed = 1234) ?(warmup_s = 8) ?(profile_s = 4) ?(post_s = 12)
   let points = ref [] in
   let second = ref 0 in
   let horizon = ref 0.0 in
+  (* Each window anchors the trace clock at its end and plots the window's
+     throughput/latency as counter tracks, so the exported trace shows the
+     Fig. 7 curve alongside the span tree. *)
   let window ?(extra_stall = 0.0) region =
     let before = Proc.total_counters proc in
     horizon := !horizon +. 1.0;
     Proc.run ~cycle_limit:(Clock.seconds_to_cycles !horizon) proc;
+    Trace.clock !horizon;
     let c = Ocolos_uarch.Counters.diff (Proc.total_counters proc) before in
     let tps = float_of_int c.Ocolos_uarch.Counters.transactions in
-    points :=
-      { second = !second; tps; p95_ms = p95_of ~nthreads ~tps ~extra_stall; region }
-      :: !points;
+    let p95_ms = p95_of ~nthreads ~tps ~extra_stall in
+    Trace.plot "timeline.tps" [ ("tps", tps) ];
+    Trace.plot "timeline.p95_ms" [ ("p95_ms", p95_ms) ];
+    points := { second = !second; tps; p95_ms; region } :: !points;
     incr second
   in
-  for _ = 1 to warmup_s do
-    window Warmup
-  done;
+  let region_span region n body =
+    Trace.span ("timeline." ^ region_name region)
+      ~attrs:[ ("windows", Trace.I n) ]
+      (fun _ -> body ())
+  in
+  region_span Warmup warmup_s (fun () ->
+      for _ = 1 to warmup_s do
+        window Warmup
+      done);
   Ocolos_core.Ocolos.start_profiling oc;
-  for _ = 1 to profile_s do
-    window Profiling
-  done;
+  region_span Profiling profile_s (fun () ->
+      for _ = 1 to profile_s do
+        window Profiling
+      done);
   let profile, perf2bolt_seconds = Ocolos_core.Ocolos.stop_profiling oc in
   let result, bolt_seconds = Ocolos_core.Ocolos.run_bolt oc profile in
   (* Region 3: the background work contends with the target. We charge the
      contention stall at the start of each affected window. *)
   let background = perf2bolt_seconds +. bolt_seconds in
   let bg_windows = int_of_float (ceil background) in
-  for i = 1 to bg_windows do
-    let share = Float.min 1.0 (background -. float_of_int (i - 1)) in
-    Proc.stall_all proc
-      ~cycles:(Clock.seconds_to_cycles (share *. cost.Ocolos_core.Cost.background_contention))
-      ~category:`Backend;
-    window Background
-  done;
+  region_span Background bg_windows (fun () ->
+      for i = 1 to bg_windows do
+        let share = Float.min 1.0 (background -. float_of_int (i - 1)) in
+        Proc.stall_all proc
+          ~cycles:
+            (Clock.seconds_to_cycles (share *. cost.Ocolos_core.Cost.background_contention))
+          ~category:`Backend;
+        window Background
+      done);
   (* Region 4: stop-the-world replacement. *)
-  let stats = Ocolos_core.Ocolos.replace_code oc result in
-  Proc.stall_all proc
-    ~cycles:(Clock.seconds_to_cycles stats.Ocolos_core.Ocolos.pause_seconds)
-    ~category:`Backend;
-  window ~extra_stall:stats.Ocolos_core.Ocolos.pause_seconds Pause;
+  let stats =
+    region_span Pause 1 (fun () ->
+        let stats = Ocolos_core.Ocolos.replace_code oc result in
+        Proc.stall_all proc
+          ~cycles:(Clock.seconds_to_cycles stats.Ocolos_core.Ocolos.pause_seconds)
+          ~category:`Backend;
+        window ~extra_stall:stats.Ocolos_core.Ocolos.pause_seconds Pause;
+        stats)
+  in
   (* Region 5: optimized steady state. *)
-  for _ = 1 to post_s do
-    window Optimized
-  done;
+  region_span Optimized post_s (fun () ->
+      for _ = 1 to post_s do
+        window Optimized
+      done);
   { points = List.rev !points; stats; perf2bolt_seconds; bolt_seconds }

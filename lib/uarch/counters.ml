@@ -110,6 +110,31 @@ let topdown t =
       bad_speculation = t.bs_cycles /. t.cycles;
       backend = t.be_cycles /. t.cycles }
 
+(* Publish a snapshot into the ambient metrics registry ({!Ocolos_obs}):
+   derived rates as gauges under [prefix], raw event counts as counters.
+   No-op when no registry is installed. *)
+let observe_metrics ?(prefix = "ocolos") t =
+  let g name v = Ocolos_obs.Metrics.record (prefix ^ "_" ^ name) v in
+  g "ipc" (ipc t);
+  g "l1i_mpki" (l1i_mpki t);
+  g "itlb_mpki" (itlb_mpki t);
+  g "l1d_mpki" (l1d_mpki t);
+  g "taken_branches_pki" (taken_branches_pki t);
+  g "mispredicts_pki" (mispredicts_pki t);
+  g "btb_misses_pki" (btb_misses_pki t);
+  let td = topdown t in
+  g "topdown_retiring" td.retiring;
+  g "topdown_frontend" td.frontend;
+  g "topdown_bad_speculation" td.bad_speculation;
+  g "topdown_backend" td.backend;
+  let c name v = Ocolos_obs.Metrics.count (prefix ^ "_" ^ name) v in
+  c "instructions_total" t.instructions;
+  c "transactions_total" t.transactions;
+  c "l1i_misses_total" t.l1i_misses;
+  c "itlb_misses_total" t.itlb_misses;
+  c "mispredicts_total" t.mispredicts;
+  c "btb_misses_total" t.btb_misses
+
 let pp fmt t =
   let td = topdown t in
   Fmt.pf fmt

@@ -44,4 +44,10 @@ type topdown = { retiring : float; frontend : float; bad_speculation : float; ba
 (** TopDown level-1 attribution as fractions of total cycles. *)
 val topdown : t -> topdown
 
+(** Publish a snapshot into the ambient {!Ocolos_obs.Metrics} registry:
+    derived rates (IPC, MPKIs, TopDown fractions) as gauges named
+    [<prefix>_*], raw event counts as counters. No-op when no registry is
+    installed. *)
+val observe_metrics : ?prefix:string -> t -> unit
+
 val pp : Format.formatter -> t -> unit

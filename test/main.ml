@@ -17,5 +17,6 @@ let () =
       ("bam", Test_bam.suite);
       ("daemon", Test_daemon.suite);
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
       ("disasm", Test_disasm.suite);
       ("properties", Test_props.suite) ]

@@ -1,0 +1,477 @@
+(* Tests for the observability layer (Ocolos_obs): span tracing on the
+   simulated clock, the metrics registry with its deterministic exporters,
+   the Chrome trace-event emitter, and end-to-end byte-stable emission of a
+   fixed-seed pipeline run. *)
+
+open Ocolos_workloads
+module Trace = Ocolos_obs.Trace
+module Metrics = Ocolos_obs.Metrics
+module Chrome = Ocolos_obs.Chrome
+module Json = Ocolos_obs.Json
+module Measure = Ocolos_sim.Measure
+module Timeline = Ocolos_sim.Timeline
+module Clock = Ocolos_sim.Clock
+module Daemon = Ocolos_core.Daemon
+
+(* ---- span tracing ---- *)
+
+(* Build a random span tree (shape a pure function of the seed) through
+   [with_span], interleaving instants, then check the structural invariants
+   the Chrome exporter relies on. *)
+let prop_span_tree_well_formed =
+  QCheck.Test.make ~name:"span tree well-formed" ~count:50
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      let rng = Ocolos_util.Rng.create seed in
+      let tr = Trace.create () in
+      let rec grow depth =
+        let children = if depth >= 4 then 0 else Ocolos_util.Rng.int rng 4 in
+        for i = 1 to children do
+          Trace.with_span tr (Printf.sprintf "s%d.%d" depth i) (fun _ ->
+              if Ocolos_util.Rng.int rng 3 = 0 then Trace.instant tr "tick";
+              grow (depth + 1))
+        done
+      in
+      Trace.with_span tr "root" (fun _ -> grow 0);
+      let spans = Trace.spans tr in
+      let by_id = Hashtbl.create 64 in
+      List.iter (fun (s : Trace.span) -> Hashtbl.replace by_id s.Trace.sp_id s) spans;
+      (* ids unique, all closed *)
+      Hashtbl.length by_id = List.length spans
+      && List.for_all (fun (s : Trace.span) -> s.Trace.sp_end_us <> None) spans
+      && Trace.open_spans tr = []
+      (* begin timestamps strictly increasing in begin order *)
+      && (let rec incr_begin = function
+            | (a : Trace.span) :: (b : Trace.span) :: rest ->
+              a.Trace.sp_begin_us < b.Trace.sp_begin_us && incr_begin (b :: rest)
+            | _ -> true
+          in
+          incr_begin spans)
+      (* every child strictly nested inside its parent *)
+      && List.for_all
+           (fun (s : Trace.span) ->
+             match s.Trace.sp_parent with
+             | None -> true
+             | Some pid -> (
+               match Hashtbl.find_opt by_id pid with
+               | None -> false
+               | Some p ->
+                 let e s =
+                   match s.Trace.sp_end_us with Some e -> e | None -> max_int
+                 in
+                 p.Trace.sp_begin_us < s.Trace.sp_begin_us && e s < e p))
+           spans)
+
+let test_span_close_out_of_order () =
+  (* Spans opened/closed across separate calls (the Perf.start/stop shape):
+     closing the outer one first must not orphan or close the inner one. *)
+  let tr = Trace.create () in
+  let a = Trace.begin_span tr "a" in
+  let b = Trace.begin_span tr "b" in
+  Trace.end_span tr a;
+  Alcotest.(check bool) "a closed" true (a.Trace.sp_end_us <> None);
+  Alcotest.(check bool) "b still open" true (b.Trace.sp_end_us = None);
+  Alcotest.(check (list string)) "only b open" [ "b" ]
+    (List.map (fun (s : Trace.span) -> s.Trace.sp_name) (Trace.open_spans tr));
+  Alcotest.(check bool) "b's parent is a" true (b.Trace.sp_parent = Some a.Trace.sp_id);
+  Trace.end_span tr b;
+  Trace.end_span tr b (* idempotent *);
+  Alcotest.(check int) "two spans" 2 (Trace.span_count tr);
+  Alcotest.(check (list Alcotest.reject)) "nothing open" [] (Trace.open_spans tr)
+
+let test_with_span_exception () =
+  let tr = Trace.create () in
+  (try Trace.with_span tr "boom" (fun _ -> failwith "kaput") with Failure _ -> ());
+  match Trace.spans tr with
+  | [ s ] ->
+    Alcotest.(check bool) "closed" true (s.Trace.sp_end_us <> None);
+    Alcotest.(check bool) "error attr recorded" true
+      (List.exists
+         (function "error", Trace.S m -> m = "Failure(\"kaput\")" | _ -> false)
+         s.Trace.sp_attrs)
+  | l -> Alcotest.failf "expected one span, got %d" (List.length l)
+
+let test_clock_monotonic () =
+  let tr = Trace.create () in
+  Trace.set_time_s tr 1.0;
+  Alcotest.(check int) "anchored at 1s" 1_000_000 (Trace.now_us tr);
+  Trace.set_time_s tr 0.5;
+  Alcotest.(check int) "anchoring into the past is a no-op" 1_000_000 (Trace.now_us tr);
+  Trace.instant tr "e1";
+  Trace.instant tr "e2";
+  (match Trace.events tr with
+  | [ e1; e2 ] ->
+    Alcotest.(check int) "first event at anchor" 1_000_000 e1.Trace.ev_ts_us;
+    Alcotest.(check int) "one-microsecond tick" 1_000_001 e2.Trace.ev_ts_us
+  | _ -> Alcotest.fail "expected two events");
+  Trace.advance_s tr 0.25;
+  Alcotest.(check int) "advance is relative" 1_250_002 (Trace.now_us tr)
+
+let test_ambient_helpers_noop_when_uninstalled () =
+  Trace.uninstall ();
+  Metrics.uninstall ();
+  let got = Trace.span "x" (fun sp -> sp) in
+  Alcotest.(check bool) "span passes None" true (got = None);
+  Trace.mark "nothing";
+  Trace.plot "nothing" [ ("v", 1.0) ];
+  Trace.clock 5.0;
+  Metrics.count "c" 1;
+  Metrics.record "g" 1.0;
+  Metrics.sample ~buckets:[| 1.0 |] "h" 0.5;
+  Alcotest.(check bool) "nothing installed" true
+    (Trace.installed () = None && Metrics.installed () = None)
+
+(* ---- metrics registry ---- *)
+
+let test_histogram_bucket_boundaries () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r ~buckets:[| 1.0; 2.0; 5.0 |] "h" in
+  (* Prometheus [le] semantics: v lands in the first bucket with v <= bound,
+     so an observation exactly on a bound belongs to that bucket. *)
+  Metrics.observe h 1.0;
+  Metrics.observe h 1.0000001;
+  Metrics.observe h 2.0;
+  Metrics.observe h 5.0;
+  Metrics.observe h 5.0000001;
+  Metrics.observe h 0.0;
+  Alcotest.(check bool) "per-bucket counts" true
+    (Metrics.hist_buckets h = [| (1.0, 2); (2.0, 2); (5.0, 1); (Float.infinity, 1) |]);
+  Alcotest.(check int) "count" 6 (Metrics.hist_count h);
+  Alcotest.(check bool) "sum" true (Float.abs (Metrics.hist_sum h -. 14.0000002) < 1e-6);
+  Alcotest.check_raises "empty buckets rejected"
+    (Invalid_argument "Metrics.histogram: empty buckets") (fun () ->
+      ignore (Metrics.histogram r ~buckets:[||] "h_empty"));
+  Alcotest.check_raises "non-increasing buckets rejected"
+    (Invalid_argument "Metrics.histogram: buckets must be strictly increasing") (fun () ->
+      ignore (Metrics.histogram r ~buckets:[| 1.0; 1.0 |] "h_flat"))
+
+let test_metric_identity_and_kinds () =
+  let r = Metrics.create () in
+  let c1 = Metrics.counter r ~labels:[ ("b", "2"); ("a", "1") ] "m" in
+  (* label order does not create a new identity *)
+  let c2 = Metrics.counter r ~labels:[ ("a", "1"); ("b", "2") ] "m" in
+  Metrics.inc c1 3;
+  Metrics.inc c2 4;
+  Alcotest.(check int) "same underlying counter" 7 (Metrics.counter_value c1);
+  (* different labels are a different time series *)
+  let c3 = Metrics.counter r ~labels:[ ("a", "9") ] "m" in
+  Metrics.inc c3 1;
+  Alcotest.(check int) "distinct series" 1 (Metrics.counter_value c3);
+  Alcotest.(check bool) "kind mismatch raises" true
+    (try
+       ignore (Metrics.gauge r ~labels:[ ("a", "1"); ("b", "2") ] "m");
+       false
+     with Invalid_argument _ -> true);
+  let _h = Metrics.histogram r ~buckets:[| 1.0 |] "h" in
+  Alcotest.(check bool) "histogram rebucket raises" true
+    (try
+       ignore (Metrics.histogram r ~buckets:[| 2.0 |] "h");
+       false
+     with Invalid_argument _ -> true)
+
+let populate_registry order r =
+  (* Insert the same families in the given order; exporters must not care. *)
+  List.iter
+    (fun i ->
+      match i with
+      | 0 -> Metrics.inc (Metrics.counter r ~help:"transactions" "app_tx_total") 41
+      | 1 -> Metrics.set (Metrics.gauge r "app_ipc") 1.75
+      | 2 ->
+        let h = Metrics.histogram r ~buckets:[| 0.001; 0.01; 0.1 |] "app_pause_seconds" in
+        Metrics.observe h 0.005;
+        Metrics.observe h 0.05;
+        Metrics.observe h 0.5
+      | _ -> Metrics.inc (Metrics.counter r ~labels:[ ("point", "pause") ] "app_cuts") 2)
+    order
+
+let test_export_insertion_order_independent () =
+  let a = Metrics.create () and b = Metrics.create () in
+  populate_registry [ 0; 1; 2; 3 ] a;
+  populate_registry [ 3; 2; 1; 0 ] b;
+  Alcotest.(check string) "prometheus text equal" (Metrics.to_prometheus a)
+    (Metrics.to_prometheus b);
+  Alcotest.(check string) "json equal"
+    (Json.to_string (Metrics.to_json a))
+    (Json.to_string (Metrics.to_json b))
+
+let test_prometheus_format () =
+  let r = Metrics.create () in
+  populate_registry [ 0; 1; 2; 3 ] r;
+  let text = Metrics.to_prometheus r in
+  let expect =
+    "# TYPE app_cuts counter\n\
+     app_cuts{point=\"pause\"} 2\n\
+     # TYPE app_ipc gauge\n\
+     app_ipc 1.75\n\
+     # TYPE app_pause_seconds histogram\n\
+     app_pause_seconds_bucket{le=\"0.001\"} 0\n\
+     app_pause_seconds_bucket{le=\"0.01\"} 1\n\
+     app_pause_seconds_bucket{le=\"0.1\"} 2\n\
+     app_pause_seconds_bucket{le=\"+Inf\"} 3\n\
+     app_pause_seconds_sum 0.555\n\
+     app_pause_seconds_count 3\n\
+     # HELP app_tx_total transactions\n\
+     # TYPE app_tx_total counter\n\
+     app_tx_total 41\n"
+  in
+  Alcotest.(check string) "prometheus golden" expect text
+
+(* ---- Chrome trace-event exporter ---- *)
+
+let test_chrome_golden () =
+  (* A hand-checked golden of the exact bytes Chrome.to_string emits for a
+     tiny trace: one span wrapping an instant, then a counter sample. Locks
+     the event format (key order, clock ticking, sorting, number
+     rendering). *)
+  let tr = Trace.create () in
+  Trace.with_span tr "a" (fun sp ->
+      Trace.add_attr sp "n" (Trace.I 7);
+      Trace.instant tr "i");
+  Trace.counter tr "c" [ ("v", 1.5) ];
+  let expect =
+    "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"ocolos\"}},{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"pipeline\"}},{\"name\":\"a\",\"cat\":\"ocolos\",\"ph\":\"X\",\"ts\":0,\"dur\":2,\"pid\":1,\"tid\":1,\"args\":{\"n\":7}},{\"ph\":\"i\",\"s\":\"t\",\"name\":\"i\",\"cat\":\"ocolos\",\"ts\":1,\"pid\":1,\"tid\":1,\"args\":{}},{\"ph\":\"C\",\"name\":\"c\",\"cat\":\"ocolos\",\"ts\":3,\"pid\":1,\"tid\":1,\"args\":{\"v\":1.5}}],\"displayTimeUnit\":\"ms\"}"
+  in
+  Alcotest.(check string) "chrome golden" expect (Chrome.to_string tr)
+
+let test_json_number_rendering () =
+  Alcotest.(check string) "integer-valued float" "3" (Json.number 3.0);
+  Alcotest.(check string) "trailing zeros trimmed" "1.5" (Json.number 1.5);
+  Alcotest.(check string) "keeps one fractional digit" "1.1" (Json.number 1.10000);
+  Alcotest.(check string) "six digits max" "0.333333" (Json.number (1.0 /. 3.0));
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "escaping" "\"a\\\"b\\n\"" (Json.to_string (Json.String "a\"b\n"))
+
+(* ---- end-to-end: fixed-seed runs emit byte-identical artifacts ---- *)
+
+let traced_ocolos_run () =
+  let tr = Trace.create () in
+  let reg = Metrics.create () in
+  Trace.install tr;
+  Metrics.install reg;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.uninstall ();
+      Metrics.uninstall ())
+    (fun () ->
+      let w = Apps.tiny ~tx_limit:None () in
+      let input = Workload.find_input w "a" in
+      let fault = Ocolos_util.Fault.create ~seed:5 () in
+      Ocolos_util.Fault.arm fault "vtable_patch" (Ocolos_util.Fault.Nth 1);
+      let config =
+        { Ocolos_core.Ocolos.default_config with Ocolos_core.Ocolos.fault = Some fault }
+      in
+      let r = Measure.ocolos_steady ~config ~profile_s:1.0 ~measure:0.5 w ~input in
+      (r, Chrome.to_string tr, Metrics.to_prometheus reg, Json.to_string (Metrics.to_json reg)))
+
+let test_end_to_end_deterministic () =
+  let r1, trace1, prom1, json1 = traced_ocolos_run () in
+  let r2, trace2, prom2, json2 = traced_ocolos_run () in
+  Alcotest.(check bool) "run replays" true
+    (r1.Measure.post.Measure.tps = r2.Measure.post.Measure.tps
+    && r1.Measure.attempts = r2.Measure.attempts);
+  Alcotest.(check string) "trace.json byte-identical" trace1 trace2;
+  Alcotest.(check string) "prometheus dump byte-identical" prom1 prom2;
+  Alcotest.(check string) "json dump byte-identical" json1 json2;
+  Alcotest.(check bool) "one rollback, committed on attempt 2" true
+    (r1.Measure.rollbacks = 1 && r1.Measure.attempts = 2)
+
+let test_end_to_end_span_coverage () =
+  let tr = Trace.create () in
+  let reg = Metrics.create () in
+  Trace.install tr;
+  Metrics.install reg;
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.uninstall ();
+        Metrics.uninstall ())
+      (fun () ->
+        let w = Apps.tiny ~tx_limit:None () in
+        let input = Workload.find_input w "a" in
+        let fault = Ocolos_util.Fault.create ~seed:5 () in
+        Ocolos_util.Fault.arm fault "vtable_patch" (Ocolos_util.Fault.Nth 1);
+        let config =
+          { Ocolos_core.Ocolos.default_config with Ocolos_core.Ocolos.fault = Some fault }
+        in
+        Measure.ocolos_steady ~config ~profile_s:1.0 ~measure:0.5 w ~input)
+  in
+  Alcotest.(check bool) "rolled back once then committed" true
+    (r.Measure.rollbacks = 1 && r.Measure.attempts = 2);
+  let span_names =
+    List.map (fun (s : Trace.span) -> s.Trace.sp_name) (Trace.spans tr)
+  in
+  let event_names = List.map (fun (e : Trace.event) -> e.Trace.ev_name) (Trace.events tr) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " span present") true (List.mem n span_names))
+    [ "ocolos.run";
+      "ocolos.warmup";
+      "profiler.sample_window";
+      "perf2bolt.convert";
+      "bolt.run";
+      "bolt.cfg";
+      "bolt.bb_reorder";
+      "bolt.func_reorder";
+      "bolt.peephole";
+      "bolt.emit";
+      "ocolos.background";
+      "txn.replace";
+      "replace.stw";
+      "replace.inject";
+      "replace.vtable_patch";
+      "replace.call_patch";
+      "replace.commit";
+      "ocolos.measure" ];
+  Alcotest.(check bool) "rollback instant present" true (List.mem "txn.rollback" event_names);
+  Alcotest.(check bool) "fault instant present" true (List.mem "fault.fired" event_names);
+  (* the rolled-back and the committed attempt are two txn.replace spans *)
+  Alcotest.(check int) "two replacement attempts traced" 2
+    (List.length (List.filter (( = ) "txn.replace") span_names));
+  (* nothing left open once the run returns *)
+  Alcotest.(check (list Alcotest.reject)) "no dangling spans" [] (Trace.open_spans tr);
+  (* the metrics registry saw both the rollback and the commit *)
+  let cval name = Metrics.counter_value (Metrics.counter reg name) in
+  Alcotest.(check int) "txn commit counted" 1 (cval "ocolos_txn_commits_total");
+  Alcotest.(check int) "txn rollback counted" 1 (cval "ocolos_txn_rollbacks_total");
+  (* both attempts' pauses land in the histogram *)
+  let h =
+    Metrics.histogram reg ~buckets:Metrics.pause_buckets "ocolos_replace_pause_seconds"
+  in
+  Alcotest.(check int) "pause histogram has both attempts" 2 (Metrics.hist_count h);
+  let ipc = Metrics.histogram reg ~buckets:Metrics.ipc_buckets "ocolos_round_ipc" in
+  Alcotest.(check int) "one round IPC observation" 1 (Metrics.hist_count ipc)
+
+let test_timeline_trace_integration () =
+  let tr = Trace.create () in
+  Trace.install tr;
+  let t =
+    Fun.protect
+      ~finally:(fun () -> Trace.uninstall ())
+      (fun () ->
+        let w = Apps.tiny ~tx_limit:None () in
+        let input = Workload.find_input w "a" in
+        Timeline.run ~warmup_s:2 ~profile_s:1 ~post_s:2 w ~input)
+  in
+  let windows = List.length t.Timeline.points in
+  let span_names =
+    List.map (fun (s : Trace.span) -> s.Trace.sp_name) (Trace.spans tr)
+  in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " present") true (List.mem n span_names))
+    [ "timeline.run";
+      "timeline.warmup";
+      "timeline.profiling";
+      "timeline.perf2bolt+bolt";
+      "timeline.replace";
+      "timeline.optimized" ];
+  let tps_samples =
+    List.filter
+      (fun (e : Trace.event) ->
+        e.Trace.ev_kind = Trace.Counter && e.Trace.ev_name = "timeline.tps")
+      (Trace.events tr)
+  in
+  Alcotest.(check int) "one tps sample per window" windows (List.length tps_samples);
+  (* counter samples ride the anchored clock: strictly increasing, about one
+     simulated second apart *)
+  let ts = List.map (fun (e : Trace.event) -> e.Trace.ev_ts_us) tps_samples in
+  let rec increasing = function
+    | a :: b :: rest -> a < b && increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "sample timestamps increase" true (increasing ts);
+  Alcotest.(check bool) "first window ends at ~1 simulated second" true
+    (match ts with t0 :: _ -> t0 >= 1_000_000 && t0 < 1_100_000 | [] -> false)
+
+(* ---- daemon attempt accounting through the registry ---- *)
+
+let run_daemon_with_fault schedule ~max_retries ~seconds =
+  let reg = Metrics.create () in
+  Metrics.install reg;
+  Fun.protect
+    ~finally:(fun () -> Metrics.uninstall ())
+    (fun () ->
+      let w = Apps.tiny ~tx_limit:None () in
+      let input = Workload.find_input w "a" in
+      let proc = Workload.launch w ~input in
+      let fault = Ocolos_util.Fault.create ~seed:5 () in
+      Ocolos_util.Fault.arm fault "vtable_patch" schedule;
+      let oc =
+        Ocolos_core.Ocolos.attach
+          ~config:
+            { Ocolos_core.Ocolos.default_config with Ocolos_core.Ocolos.fault = Some fault }
+          proc
+      in
+      let config =
+        { Daemon.default_config with
+          Daemon.profile_s = 1.0;
+          warmup_s = 0.5;
+          max_retries;
+          retry_backoff_s = 1.0;
+          min_interval_s = 30.0 }
+      in
+      let d = Daemon.create ~config oc proc in
+      (* Stop at the first give-up: after it the daemon starts a fresh
+         campaign, which would blur the per-campaign counters. *)
+      let s = ref 0 and gave_up = ref false in
+      while (not !gave_up) && !s < seconds do
+        incr s;
+        Ocolos_proc.Proc.run ~cycle_limit:(Clock.seconds_to_cycles (float_of_int !s)) proc;
+        match Daemon.tick d ~now_s:(float_of_int !s) with
+        | Daemon.Rolled_back { giving_up = true; _ } -> gave_up := true
+        | _ -> ()
+      done;
+      (d, reg))
+
+let counter_of reg name = Metrics.counter_value (Metrics.counter reg name)
+
+let test_daemon_attempt_accounting_commit () =
+  (* Nth 1: attempt 1 rolls back, attempt 2 commits. Each counter must move
+     exactly once per event: 2 attempts, 1 retry, 1 rollback, 1 commit. *)
+  let d, reg = run_daemon_with_fault (Ocolos_util.Fault.Nth 1) ~max_retries:3 ~seconds:10 in
+  Alcotest.(check int) "attempts" 2 (Daemon.attempts d);
+  Alcotest.(check int) "retries = attempts - 1" 1 (Daemon.retries d);
+  Alcotest.(check int) "rollbacks" 1 (Daemon.rollbacks d);
+  Alcotest.(check int) "replacements" 1 (Daemon.replacements d);
+  Alcotest.(check int) "registry attempts" 2 (counter_of reg "ocolos_daemon_attempts_total");
+  Alcotest.(check int) "registry retries" 1 (counter_of reg "ocolos_daemon_retries_total");
+  Alcotest.(check int) "registry rollbacks" 1 (counter_of reg "ocolos_daemon_rollbacks_total");
+  Alcotest.(check int) "registry replacements" 1
+    (counter_of reg "ocolos_daemon_replacements_total")
+
+let test_daemon_attempt_accounting_giving_up () =
+  (* Every 1 with max_retries 2: attempts 1..3 all roll back, then the
+     daemon gives up. attempts = 3, retries = 2 (announced AND executed),
+     rollbacks = 3 — the old announce-time counting would have drifted had
+     any scheduled retry been skipped. *)
+  let d, reg = run_daemon_with_fault (Ocolos_util.Fault.Every 1) ~max_retries:2 ~seconds:12 in
+  Alcotest.(check int) "attempts" 3 (Daemon.attempts d);
+  Alcotest.(check int) "retries" 2 (Daemon.retries d);
+  Alcotest.(check int) "rollbacks" 3 (Daemon.rollbacks d);
+  Alcotest.(check int) "nothing replaced" 0 (Daemon.replacements d);
+  Alcotest.(check int) "attempts = rollbacks + replacements" (Daemon.attempts d)
+    (Daemon.rollbacks d + Daemon.replacements d);
+  Alcotest.(check int) "registry attempts" 3 (counter_of reg "ocolos_daemon_attempts_total");
+  Alcotest.(check int) "registry retries" 2 (counter_of reg "ocolos_daemon_retries_total")
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_span_tree_well_formed;
+    Alcotest.test_case "span close out of order" `Quick test_span_close_out_of_order;
+    Alcotest.test_case "with_span closes on exception" `Quick test_with_span_exception;
+    Alcotest.test_case "clock is monotonic and ticks" `Quick test_clock_monotonic;
+    Alcotest.test_case "ambient helpers no-op when uninstalled" `Quick
+      test_ambient_helpers_noop_when_uninstalled;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_bucket_boundaries;
+    Alcotest.test_case "metric identity and kinds" `Quick test_metric_identity_and_kinds;
+    Alcotest.test_case "export ignores insertion order" `Quick
+      test_export_insertion_order_independent;
+    Alcotest.test_case "prometheus format golden" `Quick test_prometheus_format;
+    Alcotest.test_case "chrome trace golden" `Quick test_chrome_golden;
+    Alcotest.test_case "json number rendering" `Quick test_json_number_rendering;
+    Alcotest.test_case "fixed-seed run emits identical bytes" `Quick
+      test_end_to_end_deterministic;
+    Alcotest.test_case "span tree covers the pipeline" `Quick test_end_to_end_span_coverage;
+    Alcotest.test_case "timeline feeds the trace" `Quick test_timeline_trace_integration;
+    Alcotest.test_case "daemon attempt accounting (commit)" `Quick
+      test_daemon_attempt_accounting_commit;
+    Alcotest.test_case "daemon attempt accounting (giving up)" `Quick
+      test_daemon_attempt_accounting_giving_up ]
