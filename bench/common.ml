@@ -15,6 +15,34 @@ let mongodb = lazy (Apps.mongodb_like ())
 let memcached = lazy (Apps.memcached_like ())
 let verilator = lazy (Apps.verilator_like ())
 
+(* Dispatch-bound microbenchmark for the engine comparison: long
+   straight-line bodies, no parser, no v-table or function-pointer
+   dispatch, minimal branching. Per-instruction dispatch overhead — the
+   cost the decoded-block engine removes — dominates here, while the app
+   workloads above measure the mixed case. *)
+let straightline =
+  lazy
+    (let cfg =
+       { Gen.default with
+         Gen.seed = 7;
+         n_tx_types = 2;
+         funcs_per_type = 10;
+         shared_funcs = 24;
+         cold_funcs = 16;
+         parser_blocks = 0;
+         blocks_per_func = (2, 3);
+         body_instrs = (48, 64);
+         calls_per_func = (0, 1);
+         error_prob = 0.05;
+         loop_prob = 0.0;
+         use_vtable_dispatch = false;
+         fp_sites_per_type = false }
+     in
+     let inputs =
+       [ Input.make ~name:"hot" ~mix:(Input.pure ~n_types:2 0) ~bias_seed:201 () ]
+     in
+     Workload.build ~name:"straightline" ~inputs ~nthreads:4 (Gen.generate cfg))
+
 let all_apps () =
   [ Lazy.force mysql; Lazy.force mongodb; Lazy.force memcached; Lazy.force verilator ]
 

@@ -19,6 +19,7 @@ let experiments =
     ("fig9", "TopDown benefit classifier", Exp_fig9.run);
     ("fig10", "BAM on a Clang build", Exp_fig10.run);
     ("ablations", "design-choice ablations + continuous optimization", Exp_ablations.run);
+    ("engines", "decoded-block engine vs reference interpreter throughput", Exp_engines.run);
     ("micro", "Bechamel microbenchmarks of the toolchain", Micro.run) ]
 
 let usage () =

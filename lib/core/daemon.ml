@@ -96,16 +96,20 @@ let action_to_string = function
    boundary conditions — regression exactly at tolerance, the >= amortization
    gate, the >= front-end gate — are directly testable. *)
 let decide config ~replacements ~version ~now_s ~last_replacement_s ~tps ~best_tps ~frontend =
-  if replacements = 0 then
+  (* The amortization gate applies to every campaign, including the first:
+     a given-up campaign re-arms [last_replacement_s], and without this
+     gate the [replacements = 0] branch would re-enter profiling on the
+     very next tick, looping profile/rollback/give-up back to back.
+     Fresh daemons start with [last_replacement_s = neg_infinity], so the
+     first-ever profile is never delayed. *)
+  if now_s -. last_replacement_s < config.min_interval_s then None
+  else if replacements = 0 then
     if frontend >= config.frontend_threshold then
       Some
         (Fmt.str "front-end bound (%.0f%% >= %.0f%%)" (100.0 *. frontend)
            (100.0 *. config.frontend_threshold))
     else None
-  else if
-    now_s -. last_replacement_s >= config.min_interval_s
-    && tps < (1.0 -. config.regression_tolerance) *. best_tps
-  then
+  else if tps < (1.0 -. config.regression_tolerance) *. best_tps then
     Some
       (Fmt.str "throughput regressed to %.0f (best since C%d: %.0f) — stale layout" tps
          version best_tps)

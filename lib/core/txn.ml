@@ -57,6 +57,16 @@ let restore_threads (proc : Proc.t) snaps =
 module Trace = Ocolos_obs.Trace
 module Metrics = Ocolos_obs.Metrics
 
+(* The decoded-block engine invalidates its cache through the address-space
+   code watcher, which replace_code exercises on both the forward path and
+   the journal replay of a rollback. An incoherent entry after either means
+   the invalidation feed missed a write — fail loudly rather than let the
+   process resume on stale decoded code. Deliberately not a metric or trace
+   attribute: exports must stay byte-identical across engines. *)
+let check_block_cache proc ~after =
+  if not (Proc.validate_code_cache proc) then
+    failwith ("Txn.replace_code: decoded-block cache incoherent after " ^ after)
+
 let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
   Trace.span "txn.replace" @@ fun txn_sp ->
   let proc = Ocolos.proc oc in
@@ -68,6 +78,7 @@ let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
   match Ocolos.replace_code oc result with
   | stats ->
     let journaled = Addr_space.commit_journal mem in
+    check_block_cache proc ~after:"commit";
     Trace.set_attr txn_sp "outcome" (Trace.S "committed");
     Trace.set_attr txn_sp "version" (Trace.I stats.Ocolos.version);
     Trace.set_attr txn_sp "journaled" (Trace.I journaled);
@@ -78,6 +89,7 @@ let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
     restore_threads proc th_snap;
     Ocolos.restore oc oc_snap;
     if not was_paused then Proc.resume proc;
+    check_block_cache proc ~after:"rollback";
     (match e with
     | Ocolos_util.Fault.Injected (point, hit) ->
       Trace.set_attr txn_sp "outcome" (Trace.S "rolled_back");

@@ -52,6 +52,20 @@ let size = function
   | TxMark -> 1
   | Halt -> 1
 
+(* Every register operand is in [0, num_regs). [Addr_space.write_code]
+   rejects instructions that fail this, which is what lets the interpreter
+   access register files unchecked. *)
+let valid_regs instr =
+  let ok r = r >= 0 && r < num_regs in
+  match instr with
+  | Nop | TxMark | Halt | Ret | Jump _ | Call _ -> true
+  | Alu (_, d, a, b) -> ok d && ok a && ok b
+  | Alui (_, d, a, _) -> ok d && ok a
+  | Movi (d, _) | Rand (d, _) | FpCreate (d, _) | VtLoad (d, _, _) -> ok d
+  | Load (d, b, _) -> ok d && ok b
+  | Store (s, b, _) -> ok s && ok b
+  | Branch (_, r, _) | JumpInd r | CallInd r -> ok r
+
 let is_control_flow = function
   | Branch _ | Jump _ | JumpInd _ | Call _ | CallInd _ | Ret | Halt -> true
   | Nop | Alu _ | Alui _ | Movi _ | Load _ | Store _ | FpCreate _ | VtLoad _ | Rand _
@@ -91,7 +105,9 @@ let with_target instr target =
   | VtLoad _ | Rand _ | TxMark | Halt ->
     invalid_arg "Instr.with_target: instruction has no static target"
 
-let eval_cond cond v =
+(* [@inline] on the two evaluators: both sit on the interpreter's
+   per-instruction path and are small dispatch tables. *)
+let[@inline] eval_cond cond v =
   match cond with
   | Eq -> v = 0
   | Ne -> v <> 0
@@ -100,7 +116,7 @@ let eval_cond cond v =
   | Gt -> v > 0
   | Le -> v <= 0
 
-let eval_alu op a b =
+let[@inline] eval_alu op a b =
   match op with
   | Add -> a + b
   | Sub -> a - b

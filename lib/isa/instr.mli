@@ -42,6 +42,11 @@ type t =
 (** Encoded size in bytes (x86-64-like). *)
 val size : t -> int
 
+(** Every register operand is in [0, num_regs). Checked once per
+    instruction at code-map write time ([Addr_space.write_code]), which is
+    what lets the interpreter access register files unchecked. *)
+val valid_regs : t -> bool
+
 val is_control_flow : t -> bool
 
 (** True for instructions that end a basic block (calls do not). *)

@@ -29,23 +29,31 @@ type journal = {
 
 type t = {
   code : (int, Instr.t) Hashtbl.t;
-  data : (int, int) Hashtbl.t; (* word address -> value; absent = 0 *)
+  data : Ocolos_util.Itbl.t; (* word address -> value; absent = 0 *)
   vtable_addr : int array; (* vid -> base address in data memory *)
   mutable sym_index : sym_range array; (* sorted by sr_start *)
   mutable code_bytes : int; (* total bytes of mapped code *)
   mutable next_map_base : int; (* first free code address for injection *)
   mutable journal : journal option;
+  mutable on_code_write : (int -> unit) option;
+      (* observer of every code-map mutation (write, removal, rollback
+         replay); the decoded-block engine's invalidation feed *)
 }
 
-let read_data t addr = match Hashtbl.find_opt t.data addr with Some v -> v | None -> 0
+let set_code_watcher t f = t.on_code_write <- f
+
+let notify_code_write t addr =
+  match t.on_code_write with None -> () | Some f -> f addr
+
+let read_data t addr = Ocolos_util.Itbl.find_default t.data addr ~default:0
 
 let write_data t addr v =
   (match t.journal with
   | None -> ()
   | Some j ->
-    j.entries <- J_data (addr, Hashtbl.find_opt t.data addr) :: j.entries;
+    j.entries <- J_data (addr, Ocolos_util.Itbl.find_opt t.data addr) :: j.entries;
     j.n_entries <- j.n_entries + 1);
-  Hashtbl.replace t.data addr v
+  Ocolos_util.Itbl.replace t.data addr v
 
 let read_code t addr = Hashtbl.find_opt t.code addr
 
@@ -57,19 +65,23 @@ let journal_code t addr =
     j.n_entries <- j.n_entries + 1
 
 let write_code t addr instr =
+  if not (Instr.valid_regs instr) then
+    invalid_arg (Printf.sprintf "Addr_space.write_code: bad register operand at 0x%x" addr);
   journal_code t addr;
   (match Hashtbl.find_opt t.code addr with
   | Some old -> t.code_bytes <- t.code_bytes - Instr.size old
   | None -> ());
   Hashtbl.replace t.code addr instr;
-  t.code_bytes <- t.code_bytes + Instr.size instr
+  t.code_bytes <- t.code_bytes + Instr.size instr;
+  notify_code_write t addr
 
 let remove_code t addr =
   match Hashtbl.find_opt t.code addr with
   | Some old ->
     journal_code t addr;
     t.code_bytes <- t.code_bytes - Instr.size old;
-    Hashtbl.remove t.code addr
+    Hashtbl.remove t.code addr;
+    notify_code_write t addr
   | None -> ()
 
 let journaling t = t.journal <> None
@@ -100,10 +112,14 @@ let rollback_journal t =
     t.journal <- None;
     List.iter
       (function
-        | J_code (addr, Some i) -> Hashtbl.replace t.code addr i
-        | J_code (addr, None) -> Hashtbl.remove t.code addr
-        | J_data (addr, Some v) -> Hashtbl.replace t.data addr v
-        | J_data (addr, None) -> Hashtbl.remove t.data addr)
+        | J_code (addr, Some i) ->
+          Hashtbl.replace t.code addr i;
+          notify_code_write t addr
+        | J_code (addr, None) ->
+          Hashtbl.remove t.code addr;
+          notify_code_write t addr
+        | J_data (addr, Some v) -> Ocolos_util.Itbl.replace t.data addr v
+        | J_data (addr, None) -> Ocolos_util.Itbl.remove t.data addr)
       j.entries;
     t.sym_index <- j.j_sym_index;
     t.code_bytes <- j.j_code_bytes;
@@ -142,12 +158,13 @@ let fid_of_addr t addr =
 let load (binary : Binary.t) =
   let t =
     { code = Hashtbl.create (Array.length binary.Binary.code_order * 2);
-      data = Hashtbl.create 4096;
+      data = Ocolos_util.Itbl.create 4096;
       vtable_addr = Array.map (fun vt -> vt.Binary.vt_addr) binary.Binary.vtables;
       sym_index = [||];
       code_bytes = 0;
       next_map_base = 0;
-      journal = None }
+      journal = None;
+      on_code_write = None }
   in
   Array.iter
     (fun addr -> write_code t addr (Hashtbl.find binary.Binary.code addr))

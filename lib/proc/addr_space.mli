@@ -13,13 +13,21 @@ type journal
 
 type t = {
   code : (int, Ocolos_isa.Instr.t) Hashtbl.t;
-  data : (int, int) Hashtbl.t;
+  data : Ocolos_util.Itbl.t;  (** word address -> value; absent reads as 0 *)
   vtable_addr : int array;  (** vid -> base address in data memory *)
   mutable sym_index : sym_range array;
   mutable code_bytes : int;
   mutable next_map_base : int;
   mutable journal : journal option;
+  mutable on_code_write : (int -> unit) option;
+      (** observer of every code-map mutation; see {!set_code_watcher} *)
 }
+
+(** Install (or clear) the code-write watcher. The callback fires on every
+    code-map mutation — {!write_code}, an effective {!remove_code}, and each
+    code entry replayed by {!rollback_journal} — with the mutated address.
+    The decoded-block engine uses this as its invalidation feed. *)
+val set_code_watcher : t -> (int -> unit) option -> unit
 
 val read_data : t -> int -> int
 val write_data : t -> int -> int -> unit

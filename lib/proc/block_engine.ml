@@ -1,0 +1,324 @@
+(* Decoded basic-block execution engine.
+
+   The reference interpreter in [Proc.step] pays a hash-table lookup and a
+   dispatch per instruction. This engine predecodes straight-line runs into
+   flat arrays ({!Ocolos_isa.Predecode.block}) keyed by entry address and
+   executes a whole block per dispatch. Semantics are shared with the
+   reference path through a single kernel ({!execute}): both engines make
+   the same [Core.fetch] / [Core.on_mem] / branch-event / hook calls in the
+   same order, so uarch counters, LBR samples and taken-branch traces are
+   bit-identical between them.
+
+   Correctness under OCOLOS-style code replacement comes from a precise
+   invalidation feed: the engine registers itself as the address space's
+   code watcher, so every [Addr_space.write_code]/[remove_code] — including
+   the journal replay of a rolled-back [Txn.replace_code] — invalidates
+   exactly the cached blocks covering the written address. A generation
+   counter guards the in-flight block: if a hook patches code mid-block,
+   the inner loop bails out and re-dispatches at the current pc, exactly as
+   the reference interpreter would re-fetch. *)
+
+open Ocolos_isa
+
+type branch_kind = Cond | Jump | IndJump | DirectCall | IndCall | Return
+
+type hooks = {
+  mutable on_taken_branch :
+    (tid:int -> from_addr:int -> to_addr:int -> kind:branch_kind -> cycles:float -> unit) option;
+  mutable translate_fp : (int -> int) option;
+      (* wrapFuncPtrCreation: rewrites the value materialized by FpCreate *)
+}
+
+exception Fault of string
+
+let fault_unmapped (thread : Thread.t) ~pc =
+  let msg =
+    Printf.sprintf "thread %d: fetch from unmapped address 0x%x" thread.Thread.tid pc
+  in
+  thread.Thread.state <- Thread.Faulted msg;
+  raise (Fault msg)
+
+let notify_branch hooks (thread : Thread.t) ~from_addr ~to_addr ~kind =
+  match hooks.on_taken_branch with
+  | None -> ()
+  | Some f ->
+    f ~tid:thread.Thread.tid ~from_addr ~to_addr ~kind
+      ~cycles:(Ocolos_uarch.Core.cycles thread.Thread.core)
+
+(* The shared semantic kernel: execute exactly one already-fetched-and-sized
+   instruction on [thread]. Event order is the contract both engines rely on
+   for bit-identical counters and traces: fetch, retire, then per-instruction
+   semantics with their memory/branch events.
+
+   Register operands are validated by [Addr_space.write_code] before an
+   instruction can reach either engine, so the register file is accessed
+   unchecked; [@inline] removes the per-instruction call from both
+   engines' dispatch loops. *)
+let[@inline] execute mem hooks (thread : Thread.t) ~pc ~size instr =
+  let core = thread.Thread.core in
+  let regs = thread.Thread.regs in
+  Ocolos_uarch.Core.fetch core ~addr:pc ~size;
+  thread.Thread.instret <- thread.Thread.instret + 1;
+  let next = pc + size in
+  match instr with
+  | Instr.Nop | Instr.TxMark ->
+    if instr = Instr.TxMark then Ocolos_uarch.Core.on_tx core;
+    thread.Thread.pc <- next
+  | Instr.Alu (op, d, a, b) ->
+    Array.unsafe_set regs d
+      (Instr.eval_alu op (Array.unsafe_get regs a) (Array.unsafe_get regs b));
+    thread.Thread.pc <- next
+  | Instr.Alui (op, d, a, imm) ->
+    Array.unsafe_set regs d (Instr.eval_alu op (Array.unsafe_get regs a) imm);
+    thread.Thread.pc <- next
+  | Instr.Movi (d, imm) ->
+    Array.unsafe_set regs d imm;
+    thread.Thread.pc <- next
+  | Instr.Load (d, b, off) ->
+    let addr = Array.unsafe_get regs b + off in
+    Ocolos_uarch.Core.on_mem core ~addr:(addr lsl 3);
+    Array.unsafe_set regs d (Addr_space.read_data mem addr);
+    thread.Thread.pc <- next
+  | Instr.Store (s, b, off) ->
+    let addr = Array.unsafe_get regs b + off in
+    Ocolos_uarch.Core.on_mem core ~addr:(addr lsl 3);
+    Addr_space.write_data mem addr (Array.unsafe_get regs s);
+    thread.Thread.pc <- next
+  | Instr.Branch (c, r, target) ->
+    let taken = Instr.eval_cond c (Array.unsafe_get regs r) in
+    Ocolos_uarch.Core.on_cond_branch core ~pc ~taken ~target;
+    if taken then begin
+      notify_branch hooks thread ~from_addr:pc ~to_addr:target ~kind:Cond;
+      thread.Thread.pc <- target
+    end
+    else thread.Thread.pc <- next
+  | Instr.Jump target ->
+    Ocolos_uarch.Core.on_jump core ~pc ~target;
+    notify_branch hooks thread ~from_addr:pc ~to_addr:target ~kind:Jump;
+    thread.Thread.pc <- target
+  | Instr.JumpInd r ->
+    let target = Array.unsafe_get regs r in
+    Ocolos_uarch.Core.on_indirect_jump core ~pc ~target;
+    notify_branch hooks thread ~from_addr:pc ~to_addr:target ~kind:IndJump;
+    thread.Thread.pc <- target
+  | Instr.Call target ->
+    Thread.push_frame thread ~ret_addr:next ~callee_entry:target;
+    Ocolos_uarch.Core.on_call core ~pc ~target ~return_addr:next ~indirect:false;
+    notify_branch hooks thread ~from_addr:pc ~to_addr:target ~kind:DirectCall;
+    thread.Thread.pc <- target
+  | Instr.CallInd r ->
+    let target = Array.unsafe_get regs r in
+    Thread.push_frame thread ~ret_addr:next ~callee_entry:target;
+    Ocolos_uarch.Core.on_call core ~pc ~target ~return_addr:next ~indirect:true;
+    notify_branch hooks thread ~from_addr:pc ~to_addr:target ~kind:IndCall;
+    thread.Thread.pc <- target
+  | Instr.Ret ->
+    if thread.Thread.depth = 0 then thread.Thread.state <- Thread.Halted
+    else begin
+      let target = Thread.pop_ret thread in
+      Ocolos_uarch.Core.on_ret core ~pc ~target;
+      notify_branch hooks thread ~from_addr:pc ~to_addr:target ~kind:Return;
+      thread.Thread.pc <- target
+    end
+  | Instr.FpCreate (d, target) ->
+    let v = match hooks.translate_fp with None -> target | Some f -> f target in
+    Array.unsafe_set regs d v;
+    thread.Thread.pc <- next
+  | Instr.VtLoad (d, vid, slot) ->
+    let addr = Addr_space.vtable_base mem vid + slot in
+    Ocolos_uarch.Core.on_mem core ~addr:(addr lsl 3);
+    Array.unsafe_set regs d (Addr_space.read_data mem addr);
+    thread.Thread.pc <- next
+  | Instr.Rand (d, bound) ->
+    Array.unsafe_set regs d (Ocolos_util.Rng.int thread.Thread.rng bound);
+    thread.Thread.pc <- next
+  | Instr.Halt -> thread.Thread.state <- Thread.Halted
+
+(* ------------------------------------------------------------------ *)
+(* The block cache. *)
+
+type stats = {
+  decodes : int;
+  dispatches : int;
+  invalidations : int;
+  resident : int;
+}
+
+type t = {
+  mem : Addr_space.t;
+  blocks : (int, Predecode.block) Hashtbl.t; (* entry address -> block *)
+  cover : (int, int list) Hashtbl.t;
+      (* instruction address -> entry addresses of blocks containing it;
+         the index that makes invalidation precise *)
+  memo : Predecode.block array; (* per-tid in-flight block ([no_block] = none) ... *)
+  memo_idx : int array; (* ... and the entry index to resume at *)
+  mutable gen : int; (* bumped on every code write; guards in-flight blocks *)
+  mutable decodes : int;
+  mutable dispatches : int;
+  mutable invalidations : int;
+}
+
+(* Sentinel for "no in-flight block": empty entry array and an impossible
+   start address, so both memo checks in [lookup] fail without a branch on
+   an option (and without allocating a [Some] per dispatch). *)
+let no_block =
+  { Predecode.b_start = -1; b_end = -1; b_addrs = [||]; b_sizes = [||]; b_instrs = [||] }
+
+let register t (b : Predecode.block) =
+  Hashtbl.replace t.blocks b.Predecode.b_start b;
+  Array.iter
+    (fun addr ->
+      let starts =
+        match Hashtbl.find_opt t.cover addr with Some l -> l | None -> []
+      in
+      if not (List.mem b.Predecode.b_start starts) then
+        Hashtbl.replace t.cover addr (b.Predecode.b_start :: starts))
+    b.Predecode.b_addrs
+
+let unregister t (b : Predecode.block) =
+  Hashtbl.remove t.blocks b.Predecode.b_start;
+  Array.iter
+    (fun addr ->
+      match Hashtbl.find_opt t.cover addr with
+      | None -> ()
+      | Some starts -> (
+        match List.filter (fun s -> s <> b.Predecode.b_start) starts with
+        | [] -> Hashtbl.remove t.cover addr
+        | rest -> Hashtbl.replace t.cover addr rest))
+    b.Predecode.b_addrs
+
+(* A code write at [addr]: drop every cached block whose decoded entries
+   include [addr], bump the generation so any in-flight block re-dispatches,
+   and clear the per-thread memos (they may point at dropped blocks). *)
+let invalidate t addr =
+  t.gen <- t.gen + 1;
+  (match Hashtbl.find_opt t.cover addr with
+  | None -> ()
+  | Some starts ->
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt t.blocks s with
+        | None -> ()
+        | Some b ->
+          t.invalidations <- t.invalidations + 1;
+          unregister t b)
+      starts);
+  Array.fill t.memo 0 (Array.length t.memo) no_block
+
+let create ~nthreads mem =
+  let t =
+    { mem;
+      blocks = Hashtbl.create 1024;
+      cover = Hashtbl.create 4096;
+      memo = Array.make (max 1 nthreads) no_block;
+      memo_idx = Array.make (max 1 nthreads) 0;
+      gen = 0;
+      decodes = 0;
+      dispatches = 0;
+      invalidations = 0 }
+  in
+  Addr_space.set_code_watcher mem (Some (fun addr -> invalidate t addr));
+  t
+
+(* Find the block to run at [pc], leaving the entry index to start from in
+   [memo_idx]. The memo holds the thread's in-flight block: resuming
+   mid-block (a quantum boundary landed inside it) or looping back to its
+   start skips the table; anything else goes through the table, decoding on
+   miss. Decoding at a mid-block address is merely a cache miss, not an
+   error — the decoded entries are correct for that pc. *)
+let lookup t (thread : Thread.t) pc =
+  let tid = thread.Thread.tid in
+  let m = Array.unsafe_get t.memo tid in
+  let k = Array.unsafe_get t.memo_idx tid in
+  if k < Array.length m.Predecode.b_addrs && Array.unsafe_get m.Predecode.b_addrs k = pc
+  then m
+  else if m.Predecode.b_start = pc then begin
+    Array.unsafe_set t.memo_idx tid 0;
+    m
+  end
+  else begin
+    let b =
+      match Hashtbl.find_opt t.blocks pc with
+      | Some b -> b
+      | None -> (
+        match Predecode.decode ~read:(fun a -> Addr_space.read_code t.mem a) pc with
+        | Some b ->
+          t.decodes <- t.decodes + 1;
+          register t b;
+          b
+        | None -> fault_unmapped thread ~pc)
+    in
+    t.memo.(tid) <- b;
+    Array.unsafe_set t.memo_idx tid 0;
+    b
+  end
+
+(* Run [thread] for up to [max_steps] instructions or until it stops being
+   runnable or reaches [cycle_limit]. Returns the number of instructions
+   executed. An instruction executes here iff the reference inner loop
+   (Proc.run) would execute it: the same three conditions are re-checked
+   before every single instruction, block boundaries notwithstanding. *)
+let exec t hooks (thread : Thread.t) ~max_steps ~cycle_limit =
+  let core = thread.Thread.core in
+  (* With an infinite horizon the cycle condition is vacuously true (cycle
+     counts stay finite), so the per-instruction [Core.cycles] sum can be
+     skipped without changing which instructions execute. *)
+  let check_cycles = cycle_limit <> infinity in
+  let n = ref 0 in
+  while
+    !n < max_steps
+    && Thread.is_running thread
+    && ((not check_cycles) || Ocolos_uarch.Core.cycles core < cycle_limit)
+  do
+    let block = lookup t thread thread.Thread.pc in
+    t.dispatches <- t.dispatches + 1;
+    let gen0 = t.gen in
+    (* Hoisted so the loop body reads locals, not block fields, across the
+       [execute] calls. *)
+    let addrs = block.Predecode.b_addrs in
+    let sizes = block.Predecode.b_sizes in
+    let instrs = block.Predecode.b_instrs in
+    let len = Array.length instrs in
+    let k = ref (Array.unsafe_get t.memo_idx thread.Thread.tid) in
+    let live = ref true in
+    (* [n] and [k] advance in lockstep, so one bound covers both the block
+       end and the step budget. *)
+    let stop = min (!n + (len - !k)) max_steps in
+    (* By the decode invariant, only the last entry can be a control
+       transfer, so pc always equals the next entry's address inside the
+       loop; a mid-block code write bumps [gen] and forces re-dispatch. *)
+    while
+      !live
+      && !n < stop
+      && t.gen = gen0
+      && ((not check_cycles) || Ocolos_uarch.Core.cycles core < cycle_limit)
+    do
+      let i = !k in
+      execute t.mem hooks thread ~pc:(Array.unsafe_get addrs i)
+        ~size:(Array.unsafe_get sizes i)
+        (Array.unsafe_get instrs i);
+      incr n;
+      incr k;
+      if not (Thread.is_running thread) then live := false
+    done;
+    (* Remember where this block was left so a quantum boundary resumes
+       instead of re-decoding. [lookup] already left the memo pointing at
+       this block, so only the index needs storing — and never after an
+       invalidation, which cleared the memo precisely because blocks like
+       this one may be stale. *)
+    if t.gen = gen0 then Array.unsafe_set t.memo_idx thread.Thread.tid !k
+  done;
+  !n
+
+let stats t =
+  { decodes = t.decodes;
+    dispatches = t.dispatches;
+    invalidations = t.invalidations;
+    resident = Hashtbl.length t.blocks }
+
+(* Every cached block must still match the code map. [Txn.replace_code]
+   checks this after both commit and rollback: an incoherent entry here
+   means the invalidation feed missed a write. *)
+let validate t =
+  let read a = Addr_space.read_code t.mem a in
+  Hashtbl.fold (fun _ b acc -> acc && Predecode.coherent ~read b) t.blocks true

@@ -9,9 +9,18 @@
 
 open Ocolos_isa
 
-type branch_kind = Cond | Jump | IndJump | DirectCall | IndCall | Return
+(* Control-flow vocabulary, execution hooks and the fault exception live in
+   Block_engine (the shared semantic kernel); re-export them so existing
+   users of [Proc.Cond], [Proc.Fault] etc. are unaffected. *)
+type branch_kind = Block_engine.branch_kind =
+  | Cond
+  | Jump
+  | IndJump
+  | DirectCall
+  | IndCall
+  | Return
 
-type hooks = {
+type hooks = Block_engine.hooks = {
   mutable on_taken_branch :
     (tid:int -> from_addr:int -> to_addr:int -> kind:branch_kind -> cycles:float -> unit) option;
   mutable translate_fp : (int -> int) option;
@@ -25,6 +34,7 @@ type t = {
   hooks : hooks;
   mutable instret : int; (* total instructions retired, all threads *)
   mutable paused : bool;
+  mutable block_engine : Block_engine.t option; (* created on first `Blocks run *)
 }
 
 let load ?(nthreads = 1) ?(cfg = Ocolos_uarch.Config.broadwell) ?(seed = 42) binary =
@@ -39,121 +49,39 @@ let load ?(nthreads = 1) ?(cfg = Ocolos_uarch.Config.broadwell) ?(seed = 42) bin
     binary;
     hooks = { on_taken_branch = None; translate_fp = None };
     instret = 0;
-    paused = false }
+    paused = false;
+    block_engine = None }
 
-exception Fault of string
+exception Fault = Block_engine.Fault
 
-let fault t (thread : Thread.t) fmt =
-  Fmt.kstr
-    (fun msg ->
-      thread.Thread.state <- Thread.Faulted msg;
-      ignore t;
-      raise (Fault msg))
-    fmt
-
-let notify_branch t (thread : Thread.t) ~from_addr ~to_addr ~kind =
-  match t.hooks.on_taken_branch with
-  | None -> ()
-  | Some f ->
-    f ~tid:thread.Thread.tid ~from_addr ~to_addr ~kind
-      ~cycles:(Ocolos_uarch.Core.cycles thread.Thread.core)
-
-(* Execute exactly one instruction on [thread]. *)
+(* Execute exactly one instruction on [thread], via the shared kernel. *)
 let step t (thread : Thread.t) =
   let pc = thread.Thread.pc in
-  let instr =
-    match Addr_space.read_code t.mem pc with
-    | Some i -> i
-    | None -> fault t thread "thread %d: fetch from unmapped address 0x%x" thread.Thread.tid pc
-  in
-  let size = Instr.size instr in
-  let core = thread.Thread.core in
-  let regs = thread.Thread.regs in
-  Ocolos_uarch.Core.fetch core ~addr:pc ~size;
-  thread.Thread.instret <- thread.Thread.instret + 1;
-  t.instret <- t.instret + 1;
-  let next = pc + size in
-  (match instr with
-  | Instr.Nop | Instr.TxMark ->
-    if instr = Instr.TxMark then Ocolos_uarch.Core.on_tx core;
-    thread.Thread.pc <- next
-  | Instr.Alu (op, d, a, b) ->
-    regs.(d) <- Instr.eval_alu op regs.(a) regs.(b);
-    thread.Thread.pc <- next
-  | Instr.Alui (op, d, a, imm) ->
-    regs.(d) <- Instr.eval_alu op regs.(a) imm;
-    thread.Thread.pc <- next
-  | Instr.Movi (d, imm) ->
-    regs.(d) <- imm;
-    thread.Thread.pc <- next
-  | Instr.Load (d, b, off) ->
-    let addr = regs.(b) + off in
-    Ocolos_uarch.Core.on_mem core ~addr:(addr lsl 3);
-    regs.(d) <- Addr_space.read_data t.mem addr;
-    thread.Thread.pc <- next
-  | Instr.Store (s, b, off) ->
-    let addr = regs.(b) + off in
-    Ocolos_uarch.Core.on_mem core ~addr:(addr lsl 3);
-    Addr_space.write_data t.mem addr regs.(s);
-    thread.Thread.pc <- next
-  | Instr.Branch (c, r, target) ->
-    let taken = Instr.eval_cond c regs.(r) in
-    Ocolos_uarch.Core.on_cond_branch core ~pc ~taken ~target;
-    if taken then begin
-      notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:Cond;
-      thread.Thread.pc <- target
-    end
-    else thread.Thread.pc <- next
-  | Instr.Jump target ->
-    Ocolos_uarch.Core.on_jump core ~pc ~target;
-    notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:Jump;
-    thread.Thread.pc <- target
-  | Instr.JumpInd r ->
-    let target = regs.(r) in
-    Ocolos_uarch.Core.on_indirect_jump core ~pc ~target;
-    notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:IndJump;
-    thread.Thread.pc <- target
-  | Instr.Call target ->
-    Thread.push_frame thread ~ret_addr:next ~callee_entry:target;
-    Ocolos_uarch.Core.on_call core ~pc ~target ~return_addr:next ~indirect:false;
-    notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:DirectCall;
-    thread.Thread.pc <- target
-  | Instr.CallInd r ->
-    let target = regs.(r) in
-    Thread.push_frame thread ~ret_addr:next ~callee_entry:target;
-    Ocolos_uarch.Core.on_call core ~pc ~target ~return_addr:next ~indirect:true;
-    notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:IndCall;
-    thread.Thread.pc <- target
-  | Instr.Ret -> (
-    match Thread.pop_frame thread with
-    | Some target ->
-      Ocolos_uarch.Core.on_ret core ~pc ~target;
-      notify_branch t thread ~from_addr:pc ~to_addr:target ~kind:Return;
-      thread.Thread.pc <- target
-    | None -> thread.Thread.state <- Thread.Halted)
-  | Instr.FpCreate (d, target) ->
-    let v = match t.hooks.translate_fp with None -> target | Some f -> f target in
-    regs.(d) <- v;
-    thread.Thread.pc <- next
-  | Instr.VtLoad (d, vid, slot) ->
-    let addr = Addr_space.vtable_base t.mem vid + slot in
-    Ocolos_uarch.Core.on_mem core ~addr:(addr lsl 3);
-    regs.(d) <- Addr_space.read_data t.mem addr;
-    thread.Thread.pc <- next
-  | Instr.Rand (d, bound) ->
-    regs.(d) <- Ocolos_util.Rng.int thread.Thread.rng bound;
-    thread.Thread.pc <- next
-  | Instr.Halt -> thread.Thread.state <- Thread.Halted)
+  match Addr_space.read_code t.mem pc with
+  | None -> Block_engine.fault_unmapped thread ~pc
+  | Some instr ->
+    t.instret <- t.instret + 1;
+    Block_engine.execute t.mem t.hooks thread ~pc ~size:(Instr.size instr) instr
 
 let runnable t = Array.exists Thread.is_running t.threads
 
-(* Round-robin execution until every running thread's core has reached the
-   cycle horizon, all threads halt, or the global instruction budget is
-   exhausted. The cycle horizon is the simulated wall clock: running every
-   core to the same cycle count models threads running concurrently on
-   dedicated cores for the same duration. *)
-let run ?(quantum = 64) ?(max_instrs = max_int) ~cycle_limit t =
-  if t.paused then invalid_arg "Proc.run: process is paused";
+(* [t.instret] equals the sum of per-thread retire counts at all times; the
+   block engine maintains only the per-thread counts, so the blocks path
+   restores the invariant by summation (including when unwinding a fault). *)
+let sync_instret t =
+  t.instret <-
+    Array.fold_left (fun acc (th : Thread.t) -> acc + th.Thread.instret) 0 t.threads
+
+let engine_of t =
+  match t.block_engine with
+  | Some e -> e
+  | None ->
+    let e = Block_engine.create ~nthreads:(Array.length t.threads) t.mem in
+    t.block_engine <- Some e;
+    e
+
+(* The reference interpreter loop: one [step] per inner iteration. *)
+let run_reference ~quantum ~max_instrs ~cycle_limit t =
   let budget = ref max_instrs in
   let progress = ref true in
   while !progress && !budget > 0 do
@@ -178,6 +106,52 @@ let run ?(quantum = 64) ?(max_instrs = max_int) ~cycle_limit t =
         end)
       t.threads
   done
+
+(* The decoded-block loop: identical scheduling (each thread turn executes up
+   to [min quantum budget] instructions under the same per-instruction limit
+   checks), so multi-threaded interleaving over shared data memory matches
+   the reference exactly. *)
+let run_blocks ~quantum ~max_instrs ~cycle_limit t =
+  let e = engine_of t in
+  let budget = ref max_instrs in
+  let progress = ref true in
+  (try
+     while !progress && !budget > 0 do
+       progress := false;
+       Array.iter
+         (fun thread ->
+           if Thread.is_running thread
+              && Ocolos_uarch.Core.cycles thread.Thread.core < cycle_limit
+           then begin
+             let steps = min quantum !budget in
+             let n = Block_engine.exec e t.hooks thread ~max_steps:steps ~cycle_limit in
+             budget := !budget - n;
+             if n > 0 then progress := true
+           end)
+         t.threads
+     done
+   with exn ->
+     sync_instret t;
+     raise exn);
+  sync_instret t
+
+(* Round-robin execution until every running thread's core has reached the
+   cycle horizon, all threads halt, or the global instruction budget is
+   exhausted. The cycle horizon is the simulated wall clock: running every
+   core to the same cycle count models threads running concurrently on
+   dedicated cores for the same duration. *)
+let run ?(engine = `Blocks) ?(quantum = 64) ?(max_instrs = max_int) ~cycle_limit t =
+  if t.paused then invalid_arg "Proc.run: process is paused";
+  match engine with
+  | `Reference -> run_reference ~quantum ~max_instrs ~cycle_limit t
+  | `Blocks -> run_blocks ~quantum ~max_instrs ~cycle_limit t
+
+let code_cache_stats t = Option.map Block_engine.stats t.block_engine
+
+(* True when every cached block matches the code map (vacuously true before
+   the first `Blocks run). Txn checks this after commit and rollback. *)
+let validate_code_cache t =
+  match t.block_engine with None -> true | Some e -> Block_engine.validate e
 
 (* ptrace-style control: pause stops execution at an instruction boundary
    (callers may then inspect and patch state); resume allows run again. *)

@@ -25,6 +25,8 @@ type t = {
   hooks : hooks;
   mutable instret : int;
   mutable paused : bool;
+  mutable block_engine : Block_engine.t option;
+      (** decoded-block cache, created lazily on the first [`Blocks] run *)
 }
 
 (** Launch a process from a binary image with [nthreads] worker threads, all
@@ -43,8 +45,27 @@ val runnable : t -> bool
 (** Round-robin execution until every running thread's core reaches
     [cycle_limit], all threads halt, or [max_instrs] is exhausted. Running
     every core to a common cycle horizon models concurrent execution on
-    dedicated cores. Raises [Invalid_argument] if the process is paused. *)
-val run : ?quantum:int -> ?max_instrs:int -> cycle_limit:float -> t -> unit
+    dedicated cores. Raises [Invalid_argument] if the process is paused.
+
+    [engine] selects the execution engine: [`Blocks] (the default) runs the
+    decoded basic-block engine ({!Block_engine}); [`Reference] runs the
+    one-instruction-at-a-time interpreter. Both produce bit-identical
+    counters, traces and hook calls — the reference path is kept for
+    differential testing. *)
+val run :
+  ?engine:[ `Reference | `Blocks ] ->
+  ?quantum:int ->
+  ?max_instrs:int ->
+  cycle_limit:float ->
+  t ->
+  unit
+
+(** Decoded-block cache statistics, once a [`Blocks] run has created it. *)
+val code_cache_stats : t -> Block_engine.stats option
+
+(** True when every cached decoded block matches the code map (vacuously
+    true before the first [`Blocks] run). *)
+val validate_code_cache : t -> bool
 
 val pause : t -> unit
 val resume : t -> unit

@@ -52,10 +52,16 @@ let pop_frame t =
     Some t.frames.(t.depth).ret_addr
   end
 
+(* [pop_frame] for the interpreter's Ret path, without the option: requires
+   [depth > 0]. *)
+let pop_ret t =
+  t.depth <- t.depth - 1;
+  (Array.unsafe_get t.frames t.depth).ret_addr
+
 (* Return addresses innermost-first; this is what a stack walk sees. *)
 let return_addresses t = List.init t.depth (fun i -> t.frames.(t.depth - 1 - i).ret_addr)
 
 (* Frames as mutable records, for OCOLOS's return-address patching. *)
 let live_frames t = List.init t.depth (fun i -> t.frames.(i))
 
-let is_running t = match t.state with Running -> true | Halted | Faulted _ -> false
+let[@inline] is_running t = match t.state with Running -> true | Halted | Faulted _ -> false

@@ -25,6 +25,10 @@ val push_frame : t -> ret_addr:int -> callee_entry:int -> unit
 (** Pop and return the return address, [None] on an empty stack. *)
 val pop_frame : t -> int option
 
+(** {!pop_frame} without the option, for the interpreter's Ret path.
+    Requires [depth > 0]. *)
+val pop_ret : t -> int
+
 (** Return addresses, innermost first. *)
 val return_addresses : t -> int list
 

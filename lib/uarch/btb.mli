@@ -12,6 +12,12 @@ val create : entries:int -> ways:int -> t
 (** Predicted target for a taken transfer at [pc]; [None] counts a miss. *)
 val lookup : t -> int -> int option
 
+(** [lookup] specialized for the interpreter's hot path: classify the
+    prediction for a taken transfer at [pc] that actually went to [target]
+    without allocating. Identical counter/stamp effects as {!lookup}.
+    Returns 0 on miss, 1 on a correct hit, 2 on a wrong-target hit. *)
+val lookup_class : t -> int -> target:int -> int
+
 (** Record that the transfer at [pc] went to [target]. *)
 val update : t -> int -> int -> unit
 

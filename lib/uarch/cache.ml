@@ -13,6 +13,17 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  (* Way memo for the last line touched by [access]: a verified hint that
+     skips the associative probe on consecutive same-line accesses. Since a
+     line resides in at most one way, confirming [tags.(set_of m_line).(m_way)
+     = m_line] proves the probe would land on [m_way]. *)
+  mutable m_line : int;
+  mutable m_way : int;
+  (* Same idea for [prefetch]'s residency check, kept separate so the
+     access/prefetch pairs a loop body re-issues each iteration both keep
+     their hints. *)
+  mutable p_line : int;
+  mutable p_way : int;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -34,12 +45,22 @@ let create ~name ~sets ~ways ~line_bytes =
     stamp = Array.init sets (fun _ -> Array.make ways 0);
     tick = 0;
     hits = 0;
-    misses = 0 }
+    misses = 0;
+    m_line = -1;
+    m_way = 0;
+    p_line = -1;
+    p_way = 0 }
 
+(* Reject inexact geometry rather than silently modeling a cache of the
+   wrong size: [size_bytes] must factor exactly into sets * ways * line. *)
 let of_size ~name ~size_bytes ~ways ~line_bytes =
+  if ways <= 0 then invalid_arg "Cache.of_size: ways must be positive";
+  if line_bytes <= 0 || size_bytes mod line_bytes <> 0 then
+    invalid_arg "Cache.of_size: size_bytes must be a positive multiple of line_bytes";
   let lines = size_bytes / line_bytes in
-  let sets = max 1 (lines / ways) in
-  create ~name ~sets ~ways ~line_bytes
+  if lines = 0 || lines mod ways <> 0 then
+    invalid_arg "Cache.of_size: size_bytes must be a multiple of ways * line_bytes";
+  create ~name ~sets:(lines / ways) ~ways ~line_bytes
 
 let line_of t addr = addr lsr t.line_bits
 
@@ -47,45 +68,84 @@ let set_of t line = line land (t.sets - 1)
 
 (* Access a byte address; returns true on hit. Miss fills the line, evicting
    the least-recently-used way. *)
+(* [set] is masked into range and the way loops are bounded by the row
+   length, so the unchecked array reads below are safe; this path runs
+   once or more per simulated instruction. *)
+let find_way tags ways line =
+  let rec go w =
+    if w >= ways then -1 else if Array.unsafe_get tags w = line then w else go (w + 1)
+  in
+  go 0
+
+(* Victim: first invalid way if any, else least-recently-used (ties go to
+   the lowest way index, matching the strict-< scan). *)
+let victim_way tags stamp ways =
+  let rec go v w =
+    if w >= ways then v
+    else if Array.unsafe_get tags w = -1 then w
+    else go (if Array.unsafe_get stamp w < Array.unsafe_get stamp v then w else v) (w + 1)
+  in
+  if Array.unsafe_get tags 0 = -1 then 0 else go 0 1
+
 let access t addr =
   t.tick <- t.tick + 1;
   let line = line_of t addr in
   let set = set_of t line in
-  let tags = t.tags.(set) and stamp = t.stamp.(set) in
-  let rec find w = if w >= t.ways then -1 else if tags.(w) = line then w else find (w + 1) in
-  let w = find 0 in
-  if w >= 0 then begin
-    stamp.(w) <- t.tick;
+  let tags = Array.unsafe_get t.tags set and stamp = Array.unsafe_get t.stamp set in
+  if line = t.m_line && Array.unsafe_get tags t.m_way = line then begin
+    (* Verified memo hit: same effects the probe's hit path has. *)
+    Array.unsafe_set stamp t.m_way t.tick;
     t.hits <- t.hits + 1;
     true
   end
   else begin
-    t.misses <- t.misses + 1;
-    (* Victim: first invalid way if any, else least-recently-used. *)
-    let victim = ref 0 in
-    (try
-       for i = 0 to t.ways - 1 do
-         if tags.(i) = -1 then begin
-           victim := i;
-           raise Exit
-         end;
-         if stamp.(i) < stamp.(!victim) then victim := i
-       done
-     with Exit -> ());
-    let victim = !victim in
-    tags.(victim) <- line;
-    stamp.(victim) <- t.tick;
-    false
+    let w = find_way tags t.ways line in
+    if w >= 0 then begin
+      Array.unsafe_set stamp w t.tick;
+      t.hits <- t.hits + 1;
+      t.m_line <- line;
+      t.m_way <- w;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      let victim = victim_way tags stamp t.ways in
+      Array.unsafe_set tags victim line;
+      Array.unsafe_set stamp victim t.tick;
+      t.m_line <- line;
+      t.m_way <- victim;
+      false
+    end
   end
 
-(* Fill a line without touching the hit/miss counters: hardware prefetch.
-   Returns true if the line was already resident. *)
+(* Hardware prefetch. A prefetch of a resident line is a no-op: it touches
+   neither recency nor the clock, so prefetch-hits cannot reorder demand
+   evictions. A prefetch of an absent line fills the LRU/invalid way and
+   becomes MRU, like a demand fill. Hit/miss counters never move. Returns
+   true if the line was already resident. *)
 let prefetch t addr =
-  let hits = t.hits and misses = t.misses in
-  let hit = access t addr in
-  t.hits <- hits;
-  t.misses <- misses;
-  hit
+  let line = line_of t addr in
+  let set = set_of t line in
+  let tags = Array.unsafe_get t.tags set in
+  if line = t.p_line && Array.unsafe_get tags t.p_way = line then true
+  else begin
+    let w = find_way tags t.ways line in
+    if w >= 0 then begin
+      t.p_line <- line;
+      t.p_way <- w;
+      true
+    end
+    else begin
+      t.tick <- t.tick + 1;
+      let stamp = Array.unsafe_get t.stamp set in
+      let victim = victim_way tags stamp t.ways in
+      Array.unsafe_set tags victim line;
+      Array.unsafe_set stamp victim t.tick;
+      t.p_line <- line;
+      t.p_way <- victim;
+      false
+    end
+  end
 
 (* Probe without updating state or counters. *)
 let probe t addr =
@@ -101,6 +161,8 @@ let reset_counters t =
 
 let flush t =
   Array.iter (fun set -> Array.fill set 0 (Array.length set) (-1)) t.tags;
+  t.m_line <- -1;
+  t.p_line <- -1;
   reset_counters t
 
 let accesses t = t.hits + t.misses

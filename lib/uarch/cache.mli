@@ -13,13 +13,20 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable m_line : int;  (** way memo: last line touched by {!access} ... *)
+  mutable m_way : int;  (** ... and the way it resolved to (a verified hint) *)
+  mutable p_line : int;  (** the same memo for {!prefetch}'s residency check *)
+  mutable p_way : int;
 }
 
 (** [create ~name ~sets ~ways ~line_bytes]. [sets] and [line_bytes] must be
     powers of two. *)
 val create : name:string -> sets:int -> ways:int -> line_bytes:int -> t
 
-(** [of_size ~name ~size_bytes ~ways ~line_bytes] derives the set count. *)
+(** [of_size ~name ~size_bytes ~ways ~line_bytes] derives the set count.
+    Raises [Invalid_argument] unless [size_bytes] factors exactly as
+    [sets * ways * line_bytes] (with [sets] a power of two): a cache of the
+    wrong size is never modeled silently. *)
 val of_size : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
 
 val line_of : t -> int -> int
@@ -28,8 +35,11 @@ val line_of : t -> int -> int
     LRU way. *)
 val access : t -> int -> bool
 
-(** Fill a line without touching hit/miss counters (hardware prefetch);
-    true if it was already resident. *)
+(** Hardware prefetch; never moves the hit/miss counters. A prefetch of a
+    resident line is a complete no-op (recency and the LRU clock are
+    untouched, so prefetch-hits cannot reorder demand evictions); a
+    prefetch of an absent line fills the LRU/invalid way and becomes MRU,
+    like a demand fill. Returns true if the line was already resident. *)
 val prefetch : t -> int -> bool
 
 (** Check residency without updating LRU state or counters. *)

@@ -5,8 +5,29 @@
    Each simulated thread owns one core (the paper's testbed has at least as
    many cores as steady-state worker threads). *)
 
+(* All-float record: OCaml stores these fields flat and unboxed, so the
+   per-instruction cycle accounting allocates nothing. Keeping them in a
+   mixed record would box every [<-] on a float field. *)
+type cyc = {
+  mutable base : float;
+  mutable fe : float;
+  mutable bs : float;
+  mutable be : float;
+  mutable dram_next_free : float;
+  mutable dram_last_arrival : float;
+}
+
 type t = {
   cfg : Config.t;
+  issue_cost : float; (* 1 / issue_width, precomputed for the fetch path *)
+  exact_base : bool;
+      (* [issue_width] is a power of two, so [issue_cost] is an exact binary
+         fraction and [instructions * issue_cost] equals the per-fetch
+         incremental sum bit-for-bit; base cycles are then computed lazily
+         instead of accumulated on every fetch *)
+  line_bits : int; (* log2 line_bytes; line math by shift, not division *)
+  page_bits : int; (* log2 page_bytes *)
+  cyc : cyc;
   l1i : Cache.t;
   l1d : Cache.t;
   l2 : Cache.t; (* unified, private *)
@@ -19,10 +40,6 @@ type t = {
   mutable last_page : int;
   mutable instructions : int;
   mutable transactions : int;
-  mutable base_cycles : float;
-  mutable fe_cycles : float;
-  mutable bs_cycles : float;
-  mutable be_cycles : float;
   mutable l1i_accesses : int;
   mutable l1i_misses : int;
   mutable itlb_accesses : int;
@@ -33,14 +50,30 @@ type t = {
   mutable taken_branches : int;
   mutable cond_branches : int;
   mutable mispredicts : int;
-  mutable dram_next_free : float;
-  mutable dram_last_arrival : float;
   mutable on_l1i_miss : (int -> unit) option;
       (* observer for L1i miss addresses (the perf-annotate analog) *)
 }
 
+(* Exact log2; caches already validate these geometries as powers of two. *)
+let log2_exact what v =
+  if v <= 0 || v land (v - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Core.create: %s (%d) must be a power of two" what v);
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
 let create ?(cfg = Config.broadwell) () =
   { cfg;
+    issue_cost = 1.0 /. float_of_int cfg.issue_width;
+    exact_base = cfg.issue_width land (cfg.issue_width - 1) = 0;
+    line_bits = log2_exact "line_bytes" cfg.line_bytes;
+    page_bits = log2_exact "page_bytes" cfg.page_bytes;
+    cyc =
+      { base = 0.0;
+        fe = 0.0;
+        bs = 0.0;
+        be = 0.0;
+        dram_next_free = 0.0;
+        dram_last_arrival = neg_infinity };
     l1i = Cache.of_size ~name:"L1i" ~size_bytes:cfg.l1i_bytes ~ways:cfg.l1i_ways
             ~line_bytes:cfg.line_bytes;
     l1d = Cache.of_size ~name:"L1d" ~size_bytes:cfg.l1d_bytes ~ways:cfg.l1d_ways
@@ -58,10 +91,6 @@ let create ?(cfg = Config.broadwell) () =
     last_page = -1;
     instructions = 0;
     transactions = 0;
-    base_cycles = 0.0;
-    fe_cycles = 0.0;
-    bs_cycles = 0.0;
-    be_cycles = 0.0;
     l1i_accesses = 0;
     l1i_misses = 0;
     itlb_accesses = 0;
@@ -72,16 +101,20 @@ let create ?(cfg = Config.broadwell) () =
     taken_branches = 0;
     cond_branches = 0;
     mispredicts = 0;
-    dram_next_free = 0.0;
-    dram_last_arrival = neg_infinity;
     on_l1i_miss = None }
 
-let cycles t = t.base_cycles +. t.fe_cycles +. t.bs_cycles +. t.be_cycles
+(* Issue ("base") cycles. With [exact_base] the stored accumulator stays 0
+   and the product below is bit-identical to what the accumulator would
+   hold; otherwise [cyc.base] carries the per-fetch sum. *)
+let base_cycles t =
+  if t.exact_base then float_of_int t.instructions *. t.issue_cost else t.cyc.base
+
+let cycles t = base_cycles t +. t.cyc.fe +. t.cyc.bs +. t.cyc.be
 
 (* Core-issue ("demand") time: cycles excluding back-end memory stalls.
    Measures how bursty the core's memory demand is independent of the
    backpressure those requests later suffer. *)
-let demand_cycles t = t.base_cycles +. t.fe_cycles +. t.bs_cycles
+let demand_cycles t = base_cycles t +. t.cyc.fe +. t.cyc.bs
 
 (* DRAM for instruction fetch: blocking, full latency (the front-end cannot
    overlap a fetch miss). *)
@@ -99,61 +132,74 @@ let dram_ifetch t =
 let dram_data t =
   let now = cycles t in
   let demand = demand_cycles t in
-  let bursty = demand -. t.dram_last_arrival < float_of_int t.cfg.dram_burst_window in
+  let bursty = demand -. t.cyc.dram_last_arrival < float_of_int t.cfg.dram_burst_window in
   let interval =
     if bursty then float_of_int t.cfg.dram_burst_interval
     else float_of_int t.cfg.dram_base_interval
   in
-  t.dram_last_arrival <- demand;
-  let wait = Float.max 0.0 (t.dram_next_free -. now) in
-  t.dram_next_free <- Float.max now t.dram_next_free +. interval;
+  t.cyc.dram_last_arrival <- demand;
+  let wait = Float.max 0.0 (t.cyc.dram_next_free -. now) in
+  t.cyc.dram_next_free <- Float.max now t.cyc.dram_next_free +. interval;
   t.l2_misses <- t.l2_misses + 1;
   wait +. (float_of_int t.cfg.dram_latency /. float_of_int t.cfg.dram_mlp)
 
 (* Instruction fetch: charge L1i and iTLB effects once per line / page
-   transition, covering lines an instruction straddles. *)
-let fetch t ~addr ~size =
-  t.instructions <- t.instructions + 1;
-  t.base_cycles <- t.base_cycles +. (1.0 /. float_of_int t.cfg.issue_width);
-  let line_bytes = t.cfg.line_bytes in
-  let first_line = addr / line_bytes and last_line = (addr + size - 1) / line_bytes in
+   transition, covering lines an instruction straddles. The [fetch] wrapper
+   below inlines the no-transition fast path into the dispatch loops; this
+   slow path runs on any line or page change. *)
+let fetch_slow t ~addr ~size =
+  let line_bits = t.line_bits in
+  let first_line = addr lsr line_bits and last_line = (addr + size - 1) lsr line_bits in
   for line = first_line to last_line do
     if line <> t.last_line then begin
       t.last_line <- line;
       t.l1i_accesses <- t.l1i_accesses + 1;
-      let byte = line * line_bytes in
+      let byte = line lsl line_bits in
       if not (Cache.access t.l1i byte) then begin
         t.l1i_misses <- t.l1i_misses + 1;
         (match t.on_l1i_miss with Some f -> f addr | None -> ());
         if Cache.access t.l2 byte then
-          t.fe_cycles <- t.fe_cycles +. float_of_int t.cfg.l2_latency
+          t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.l2_latency
         else if Cache.access t.l3 byte then
-          t.fe_cycles <- t.fe_cycles +. float_of_int t.cfg.l3_latency
-        else t.fe_cycles <- t.fe_cycles +. dram_ifetch t
+          t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.l3_latency
+        else t.cyc.fe <- t.cyc.fe +. dram_ifetch t
       end;
       (* Next-line prefetcher: straight-line code streams hide their own
          fetch misses, which is a large part of why packed layouts win. *)
-      if t.cfg.next_line_prefetch then ignore (Cache.prefetch t.l1i (byte + line_bytes))
+      if t.cfg.next_line_prefetch then
+        ignore (Cache.prefetch t.l1i (byte + (1 lsl line_bits)))
     end
   done;
-  let page = addr / t.cfg.page_bytes in
+  let page = addr lsr t.page_bits in
   if page <> t.last_page then begin
     t.last_page <- page;
     t.itlb_accesses <- t.itlb_accesses + 1;
     if not (Cache.access t.itlb addr) then begin
       t.itlb_misses <- t.itlb_misses + 1;
-      t.fe_cycles <- t.fe_cycles +. float_of_int t.cfg.itlb_walk_latency
+      t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.itlb_walk_latency
     end
   end
+
+let[@inline] fetch t ~addr ~size =
+  t.instructions <- t.instructions + 1;
+  if not t.exact_base then t.cyc.base <- t.cyc.base +. t.issue_cost;
+  (* Fast path: the instruction sits wholly on the line fetched last time
+     and on the same page, so [fetch_slow]'s loop and page check would
+     touch nothing. *)
+  let first_line = addr lsr t.line_bits in
+  if
+    first_line = t.last_line
+    && (addr + size - 1) lsr t.line_bits = first_line
+    && addr lsr t.page_bits = t.last_page
+  then ()
+  else fetch_slow t ~addr ~size
 
 (* Common cost of any taken control transfer: fetch bubble plus BTB. *)
 let taken_transfer t ~pc ~target =
   t.taken_branches <- t.taken_branches + 1;
-  t.fe_cycles <- t.fe_cycles +. float_of_int t.cfg.taken_bubble;
-  let predicted = Btb.lookup t.btb pc in
-  (match predicted with
-  | Some p when p = target -> ()
-  | Some _ | None -> t.fe_cycles <- t.fe_cycles +. float_of_int t.cfg.btb_miss_penalty);
+  t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.taken_bubble;
+  if Btb.lookup_class t.btb pc ~target <> 1 then
+    t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.btb_miss_penalty;
   Btb.update t.btb pc target;
   (* Force the next fetch to re-access the cache at the target. *)
   t.last_line <- -1
@@ -163,7 +209,7 @@ let on_cond_branch t ~pc ~taken ~target =
   let correct = Predictor.predict_and_update t.pred pc ~taken in
   if not correct then begin
     t.mispredicts <- t.mispredicts + 1;
-    t.bs_cycles <- t.bs_cycles +. float_of_int t.cfg.mispredict_penalty
+    t.cyc.bs <- t.cyc.bs +. float_of_int t.cfg.mispredict_penalty
   end;
   if taken then taken_transfer t ~pc ~target
 
@@ -171,14 +217,14 @@ let on_jump t ~pc ~target = taken_transfer t ~pc ~target
 
 let on_indirect_jump t ~pc ~target =
   (* Target prediction through the BTB; a wrong target is a flush. *)
-  (match Btb.lookup t.btb pc with
-  | Some p when p = target -> ()
-  | Some _ ->
+  (match Btb.lookup_class t.btb pc ~target with
+  | 1 -> ()
+  | 2 ->
     t.mispredicts <- t.mispredicts + 1;
-    t.bs_cycles <- t.bs_cycles +. float_of_int t.cfg.mispredict_penalty
-  | None -> t.fe_cycles <- t.fe_cycles +. float_of_int t.cfg.btb_miss_penalty);
+    t.cyc.bs <- t.cyc.bs +. float_of_int t.cfg.mispredict_penalty
+  | _ -> t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.btb_miss_penalty);
   t.taken_branches <- t.taken_branches + 1;
-  t.fe_cycles <- t.fe_cycles +. float_of_int t.cfg.taken_bubble;
+  t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.taken_bubble;
   Btb.update t.btb pc target;
   t.last_line <- -1
 
@@ -187,25 +233,24 @@ let on_call t ~pc ~target ~return_addr ~indirect =
   if indirect then on_indirect_jump t ~pc ~target else taken_transfer t ~pc ~target
 
 let on_ret t ~pc ~target =
-  (match Predictor.Ras.pop t.ras with
-  | Some p when p = target -> ()
-  | Some _ | None ->
+  if not (Predictor.Ras.pop_correct t.ras ~target) then begin
     t.mispredicts <- t.mispredicts + 1;
-    t.bs_cycles <- t.bs_cycles +. float_of_int t.cfg.mispredict_penalty);
+    t.cyc.bs <- t.cyc.bs +. float_of_int t.cfg.mispredict_penalty
+  end;
   t.taken_branches <- t.taken_branches + 1;
-  t.fe_cycles <- t.fe_cycles +. float_of_int t.cfg.taken_bubble;
+  t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.taken_bubble;
   ignore pc;
   t.last_line <- -1
 
-let on_mem t ~addr =
+let on_mem_miss t ~addr =
+  t.l1d_misses <- t.l1d_misses + 1;
+  if Cache.access t.l2 addr then t.cyc.be <- t.cyc.be +. float_of_int t.cfg.l2_latency
+  else if Cache.access t.l3 addr then t.cyc.be <- t.cyc.be +. float_of_int t.cfg.l3_latency
+  else t.cyc.be <- t.cyc.be +. dram_data t
+
+let[@inline] on_mem t ~addr =
   t.l1d_accesses <- t.l1d_accesses + 1;
-  if not (Cache.access t.l1d addr) then begin
-    t.l1d_misses <- t.l1d_misses + 1;
-    if Cache.access t.l2 addr then t.be_cycles <- t.be_cycles +. float_of_int t.cfg.l2_latency
-    else if Cache.access t.l3 addr then
-      t.be_cycles <- t.be_cycles +. float_of_int t.cfg.l3_latency
-    else t.be_cycles <- t.be_cycles +. dram_data t
-  end
+  if not (Cache.access t.l1d addr) then on_mem_miss t ~addr
 
 let on_tx t = t.transactions <- t.transactions + 1
 
@@ -213,18 +258,18 @@ let on_tx t = t.transactions <- t.transactions + 1
    profiling overhead). Attributed to the given TopDown bucket. *)
 let stall t ~cycles:c ~category =
   match category with
-  | `Frontend -> t.fe_cycles <- t.fe_cycles +. c
-  | `Backend -> t.be_cycles <- t.be_cycles +. c
-  | `BadSpec -> t.bs_cycles <- t.bs_cycles +. c
+  | `Frontend -> t.cyc.fe <- t.cyc.fe +. c
+  | `Backend -> t.cyc.be <- t.cyc.be +. c
+  | `BadSpec -> t.cyc.bs <- t.cyc.bs +. c
 
 let snapshot t : Counters.t =
   { Counters.instructions = t.instructions;
     transactions = t.transactions;
     cycles = cycles t;
-    base_cycles = t.base_cycles;
-    fe_cycles = t.fe_cycles;
-    bs_cycles = t.bs_cycles;
-    be_cycles = t.be_cycles;
+    base_cycles = base_cycles t;
+    fe_cycles = t.cyc.fe;
+    bs_cycles = t.cyc.bs;
+    be_cycles = t.cyc.be;
     l1i_accesses = t.l1i_accesses;
     l1i_misses = t.l1i_misses;
     itlb_accesses = t.itlb_accesses;

@@ -65,6 +65,17 @@ module Ras = struct
       Some t.slots.(t.top)
     end
 
+  (* [pop]-and-compare for the interpreter's hot path: true iff the stack
+     was nonempty and predicted [target]. State effects identical to
+     [pop]. *)
+  let pop_correct t ~target =
+    if t.depth = 0 then false
+    else begin
+      t.top <- (t.top + Array.length t.slots - 1) mod Array.length t.slots;
+      t.depth <- t.depth - 1;
+      Array.unsafe_get t.slots t.top = target
+    end
+
   let clear t =
     t.top <- 0;
     t.depth <- 0

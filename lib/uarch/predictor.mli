@@ -26,5 +26,9 @@ module Ras : sig
   (** Predicted return address; [None] when empty. *)
   val pop : t -> int option
 
+  (** {!pop}-and-compare without allocating: true iff the stack was
+      nonempty and predicted [target]. Same state effects as {!pop}. *)
+  val pop_correct : t -> target:int -> bool
+
   val clear : t -> unit
 end

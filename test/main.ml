@@ -8,6 +8,7 @@ let () =
       ("uarch", Test_uarch.suite);
       ("binary", Test_binary.suite);
       ("proc", Test_proc.suite);
+      ("block_engine", Test_block_engine.suite);
       ("profiler", Test_profiler.suite);
       ("bolt", Test_bolt.suite);
       ("workloads", Test_workloads.suite);

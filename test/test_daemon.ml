@@ -113,6 +113,31 @@ let test_decide_min_interval_boundary () =
   Alcotest.(check bool) "open exactly at min_interval_s" true (decide ~now_s:15.0 <> None);
   Alcotest.(check bool) "open after" true (decide ~now_s:16.0 <> None)
 
+let test_decide_min_interval_gates_first_campaign () =
+  (* Regression: the amortization gate must apply to the [replacements = 0]
+     branch too. A campaign that gives up re-arms [last_replacement_s] while
+     leaving [replacements] at 0; if the front-end check ran first, the
+     daemon would re-enter profiling on the very next tick and loop
+     profile / rollback / give-up back to back. *)
+  let c =
+    { Daemon.default_config with Daemon.frontend_threshold = 0.25; min_interval_s = 10.0 }
+  in
+  let decide ~now_s =
+    Daemon.decide c ~replacements:0 ~version:0 ~now_s ~last_replacement_s:100.0 ~tps:100.0
+      ~best_tps:100.0 ~frontend:0.9
+  in
+  Alcotest.(check bool) "front-end bound but inside the interval: quiet" true
+    (decide ~now_s:100.1 = None);
+  Alcotest.(check bool) "still quiet just before the interval" true
+    (decide ~now_s:109.999 = None);
+  Alcotest.(check bool) "re-profiles once the interval elapses" true
+    (decide ~now_s:110.0 <> None);
+  (* A fresh daemon (last_replacement_s = -inf) is never delayed. *)
+  Alcotest.(check bool) "first-ever profile immediate" true
+    (Daemon.decide c ~replacements:0 ~version:0 ~now_s:0.0 ~last_replacement_s:neg_infinity
+       ~tps:100.0 ~best_tps:100.0 ~frontend:0.9
+    <> None)
+
 (* ---- rollback / retry actions through the tick loop ---- *)
 
 let fault_setup schedule_point schedule =
@@ -235,6 +260,8 @@ let suite =
     Alcotest.test_case "decide: regression tolerance boundary" `Quick
       test_decide_regression_tolerance_boundary;
     Alcotest.test_case "decide: min-interval boundary" `Quick test_decide_min_interval_boundary;
+    Alcotest.test_case "decide: min-interval gates the first campaign" `Quick
+      test_decide_min_interval_gates_first_campaign;
     Alcotest.test_case "daemon rolls back then retries" `Quick
       test_daemon_rolls_back_then_retries;
     Alcotest.test_case "daemon gives up after max retries" `Quick

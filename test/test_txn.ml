@@ -103,7 +103,9 @@ let capture (proc : Proc.t) oc =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
   in
   { st_code = sorted_bindings mem.Addr_space.code;
-    st_data = sorted_bindings mem.Addr_space.data;
+    st_data =
+      Ocolos_util.Itbl.fold (fun k v acc -> (k, v) :: acc) mem.Addr_space.data []
+      |> List.sort compare;
     st_sym = List.sort compare (Array.to_list mem.Addr_space.sym_index);
     st_code_bytes = mem.Addr_space.code_bytes;
     st_map_base = mem.Addr_space.next_map_base;
