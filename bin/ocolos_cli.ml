@@ -7,8 +7,9 @@
      bolt     -w W -i I            offline BOLT: profile, optimize, compare
      ocolos   -w W -i I            online OCOLOS: attach, replace, compare
                                    (--fault POINT[:SPEC] injects deterministic
-                                   faults into the replacement transaction)
-     faults                        list fault-injection points
+                                   faults anywhere in the pipeline)
+     faults                        list fault domains and injection points
+     chaos                         kill/restart crash-recovery sweep
      timeline -w W -i I            per-second Fig.7-style timeline
      topdown  -w W -i I            stage-1 TopDown bottleneck analysis
      stats    -w W -i I            pipeline phase + TopDown attribution tables
@@ -194,7 +195,7 @@ let ocolos_cmd =
         List.iter
           (fun spec ->
             match Ocolos_util.Fault.parse_arm f spec with
-            | Ok point when not (List.mem point Ocolos_core.Ocolos.injection_points) ->
+            | Ok point when not (List.mem point Ocolos_core.Ocolos.fault_catalog) ->
               Fmt.failwith "bad --fault %S: unknown point %S (see `ocolos_cli faults`)"
                 spec point
             | Ok _ -> ()
@@ -219,7 +220,11 @@ let ocolos_cmd =
         r.Measure.bolt_seconds;
       if r.Measure.attempts > 1 then
         Fmt.pr "transactions: %d attempts, %d rolled back, committed on attempt %d@."
-          r.Measure.attempts r.Measure.rollbacks r.Measure.attempts
+          r.Measure.attempts r.Measure.rollbacks r.Measure.attempts;
+      if r.Measure.quarantined <> [] || r.Measure.breaker <> Ocolos_core.Guard.Closed then
+        Fmt.pr "guard: breaker %s, quarantined fids [%s]@."
+          (Ocolos_core.Guard.breaker_state_to_string r.Measure.breaker)
+          (String.concat "; " (List.map string_of_int r.Measure.quarantined))
     | exception Measure.Replacement_failed msg ->
       Fmt.pr "original: %.0f tps@." orig.Measure.tps;
       Fmt.pr "OCOLOS:   replacement failed — %s@." msg;
@@ -241,17 +246,123 @@ let ocolos_cmd =
       $ trace_arg $ metrics_arg)
 
 let faults_cmd =
+  let domain_blurb = function
+    | "perf" -> "LBR sampling; injected faults degrade the profile, sampling continues"
+    | "perf2bolt" -> "profile aggregation; a fault aborts the campaign (layout kept)"
+    | "bolt" ->
+      "optimizer passes; cfg/bb_reorder/peephole failures skip that function, \
+       func_reorder aborts the campaign"
+    | "proc" -> "process control (pause timeout); rolls the transaction back"
+    | "mem" -> "address-space exhaustion at injection; rolls the transaction back"
+    | "txn" -> "stop-the-world replacement; a fault rolls back, the daemon retries"
+    | _ -> ""
+  in
   let run () =
-    Fmt.pr "injection points in replace_code, in order of first reachability:@.";
-    List.iter (fun p -> Fmt.pr "  %s@." p) Ocolos_core.Ocolos.injection_points;
+    Fmt.pr "fault domains and injection points (domains in order of first reachability):@.";
+    let catalog = Ocolos_core.Ocolos.fault_catalog in
+    let domains =
+      List.fold_left
+        (fun acc p ->
+          let d = Ocolos_util.Fault.domain_of p in
+          if List.mem d acc then acc else acc @ [ d ])
+        [] catalog
+    in
+    List.iter
+      (fun d ->
+        Fmt.pr "@.%s — %s@." d (domain_blurb d);
+        List.iter
+          (fun p -> if Ocolos_util.Fault.domain_of p = d then Fmt.pr "  %s@." p)
+          catalog)
+      domains;
     Fmt.pr
       "@.arm with: ocolos_cli ocolos -w W -i I --fault POINT[:N|:every:K|:p:P] \
        [--fault-seed S]@.";
-    Fmt.pr "a firing fault rolls the replacement back; the run retries with backoff@."
+    Fmt.pr
+      "kill/restart the daemon at any point with: ocolos_cli chaos [--points P,..] [--seeds \
+       S,..]@."
   in
   Cmd.v
-    (Cmd.info "faults" ~doc:"List fault-injection points for transactional replacement")
+    (Cmd.info "faults" ~doc:"List pipeline fault domains and injection points")
     Term.(const run $ const ())
+
+(* Kill/restart crash-recovery sweep: for each (seed, point), kill the
+   daemon at that point, check the orphaned target's trace against an
+   uninterrupted reference, and check a restarted daemon converges. *)
+let chaos_cmd =
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int) Ocolos_sim.Chaos.default_seeds
+      & info [ "seeds" ] ~docv:"S,.." ~doc:"Fault seeds to sweep.")
+  in
+  let points_arg =
+    Arg.(
+      value & opt (list string) []
+      & info [ "points" ] ~docv:"P,.."
+          ~doc:"Fault points to kill at (default: the whole catalog, see $(b,faults)).")
+  in
+  let trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "On failure, re-run each failing scenario with tracing on and write its \
+             Chrome/Perfetto trace-event JSON to $(docv)/chaos-seed$(i,S)-$(i,POINT).json.")
+  in
+  let run seeds points trace_dir =
+    let points = if points = [] then Ocolos_sim.Chaos.default_points else points in
+    List.iter
+      (fun p ->
+        if not (List.mem p Ocolos_core.Ocolos.fault_catalog) then
+          Fmt.failwith "unknown fault point %S (see `ocolos_cli faults`)" p)
+      points;
+    let failures = ref [] in
+    let unreached = ref 0 in
+    List.iter
+      (fun seed ->
+        let cache = Ocolos_sim.Chaos.new_cache () in
+        List.iter
+          (fun point ->
+            let r = Ocolos_sim.Chaos.scenario ~cache ~seed ~point () in
+            (match Ocolos_sim.Chaos.verdict r with
+            | `Pass -> ()
+            | `Unreached -> incr unreached
+            | `Fail -> failures := (seed, point) :: !failures);
+            Fmt.pr "%s@." (Ocolos_sim.Chaos.result_to_string r))
+          points)
+      seeds;
+    let total = List.length seeds * List.length points in
+    Fmt.pr "@.%d scenarios: %d passed, %d failed, %d unreached@." total
+      (total - List.length !failures - !unreached)
+      (List.length !failures) !unreached;
+    (match (trace_dir, !failures) with
+    | Some dir, (_ :: _ as fails) ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      List.iter
+        (fun (seed, point) ->
+          (* Deterministic: the re-run fails identically, now traced. *)
+          let tr = Obs.Trace.create () in
+          Obs.Trace.install tr;
+          Fun.protect
+            ~finally:(fun () -> Obs.Trace.uninstall ())
+            (fun () -> ignore (Ocolos_sim.Chaos.scenario ~seed ~point ()));
+          let path =
+            Filename.concat dir
+              (Fmt.str "chaos-seed%d-%s.json" seed
+                 (String.map (function '.' -> '_' | c -> c) point))
+          in
+          Obs.Chrome.save path tr;
+          Fmt.pr "wrote failing-scenario trace to %s@." path)
+        (List.rev fails)
+    | _ -> ());
+    if !failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Kill the daemon at every fault point; verify trace equality and restart \
+             convergence")
+    Term.(const run $ seeds_arg $ points_arg $ trace_dir_arg)
 
 let out_arg =
   Arg.(
@@ -407,6 +518,9 @@ let stats_cmd =
     if r.Measure.attempts > 1 then
       Fmt.pr "replacement committed on attempt %d (%d rolled back)@." r.Measure.attempts
         r.Measure.rollbacks;
+    Fmt.pr "supervision: breaker %s, %d quarantined@."
+      (Ocolos_core.Guard.breaker_state_to_string r.Measure.breaker)
+      (List.length r.Measure.quarantined);
     Table.section "TopDown attribution (share of cycles)";
     let td_o = orig.Measure.topdown and td_p = post.Measure.topdown in
     let row label o p = [| label; Table.fmt_pct o; Table.fmt_pct p; Table.fmt_pct (p -. o) |] in
@@ -454,5 +568,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ocolos_cli" ~doc)
-          [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; faults_cmd; timeline_cmd;
-            topdown_cmd; stats_cmd; save_cmd; load_cmd; report_cmd; disasm_cmd ]))
+          [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; faults_cmd; chaos_cmd;
+            timeline_cmd; topdown_cmd; stats_cmd; save_cmd; load_cmd; report_cmd;
+            disasm_cmd ]))

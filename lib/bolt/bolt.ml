@@ -21,6 +21,7 @@ type config = {
   hot_threshold : int; (* min LBR records for a function to be optimized *)
   max_hot_funcs : int option;
   peephole : bool;
+  exclude : int list; (* fids never optimized (supervisor quarantine) *)
 }
 
 let default_config =
@@ -29,7 +30,8 @@ let default_config =
     func_order = C3;
     hot_threshold = 8;
     max_hot_funcs = None;
-    peephole = true }
+    peephole = true;
+    exclude = [] }
 
 type result = {
   merged : Binary.t; (* original + optimized sections: the BOLTed binary *)
@@ -39,6 +41,7 @@ type result = {
   funcs_reordered : int;
   work_instrs : int; (* volume processed, for the cost model *)
   skipped : int; (* functions whose reconstruction was refused *)
+  failed : (int * string) list; (* (fid, fault point) degraded per-function *)
   bolt_base : int;
 }
 
@@ -89,8 +92,11 @@ let select_hot_funcs config (binary : Binary.t) (profile : Profile.t) =
   let hot =
     Array.to_list binary.Binary.symbols
     |> List.filter_map (fun s ->
-           let records = Profile.func_records profile s.Binary.fs_fid in
-           if records >= config.hot_threshold then Some (s.Binary.fs_fid, records) else None)
+           let fid = s.Binary.fs_fid in
+           let records = Profile.func_records profile fid in
+           if records >= config.hot_threshold && not (List.mem fid config.exclude) then
+             Some (fid, records)
+           else None)
     |> List.sort (fun (_, a) (_, b) -> compare b a)
   in
   let hot = match config.max_hot_funcs with None -> hot | Some n -> List.filteri (fun i _ -> i < n) hot in
@@ -98,8 +104,19 @@ let select_hot_funcs config (binary : Binary.t) (profile : Profile.t) =
 
 module Trace = Ocolos_obs.Trace
 
-let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile : Profile.t) () =
+(* Per-function fault points of the bolt domain — [bolt.cfg],
+   [bolt.bb_reorder] and [bolt.peephole] are cut once per hot function and
+   absorb [Injected] as "skip this function" / "keep the unoptimized form"
+   degradation (the partial-CFG contract: a pass failing on one function
+   must not cost the rest of the layout). [bolt.func_reorder] is cut once
+   per run and *raises*: a broken global order has no per-function
+   fallback, so the supervisor drops a degradation tier instead. Every
+   absorbed firing is attributed to its fid in [result.failed], which feeds
+   the supervisor's quarantine. *)
+let run ?(config = default_config) ?extern_entry ?fault ~(binary : Binary.t)
+    ~(profile : Profile.t) () =
   Trace.span "bolt.run" ~attrs:[ ("binary", Trace.S binary.Binary.name) ] @@ fun run_sp ->
+  let cut name = match fault with None -> () | Some f -> Ocolos_util.Fault.cut f name in
   let extern_entry =
     match extern_entry with
     | Some f -> f
@@ -109,13 +126,18 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
   let branches_by_fid, ranges_by_fid = partition_profile binary profile in
   let skipped = ref 0 in
   let work_instrs = ref 0 in
+  let failed = ref [] in
+  let fail fid point = failed := (fid, point) :: !failed in
   (* Reconstruct, attach counts, peephole. *)
   let reconstructed =
     Trace.span "bolt.cfg" @@ fun sp ->
     let r =
       List.filter_map
         (fun fid ->
-          match Cfg.of_binary binary fid with
+          match
+            cut "bolt.cfg";
+            Cfg.of_binary binary fid
+          with
           | rc ->
             Cfg.attach_profile rc
               ~branches:(Option.value ~default:[] (Hashtbl.find_opt branches_by_fid fid))
@@ -124,6 +146,9 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
             Some (fid, rc)
           | exception Cfg.Unsupported _ ->
             incr skipped;
+            None
+          | exception Ocolos_util.Fault.Injected (point, _) ->
+            fail fid point;
             None)
         hot_candidates
     in
@@ -142,9 +167,18 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
     let layouts =
       List.map
         (fun (fid, rc) ->
+          let original () = (List.init (Array.length rc.Cfg.rc_block_addr) (fun i -> i), []) in
           let hot_order, cold =
-            if config.reorder_blocks then Bb_reorder.layout_func ~split:config.split_functions rc
-            else (List.init (Array.length rc.Cfg.rc_block_addr) (fun i -> i), [])
+            if config.reorder_blocks then
+              match
+                cut "bolt.bb_reorder";
+                Bb_reorder.layout_func ~split:config.split_functions rc
+              with
+              | layout -> layout
+              | exception Ocolos_util.Fault.Injected (point, _) ->
+                fail fid point;
+                original ()
+            else original ()
           in
           (fid, hot_order, cold))
         reconstructed
@@ -177,6 +211,7 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
               | Original_order -> "original") );
           ("nodes", Trace.I (List.length hot_fids)) ]
     @@ fun _ ->
+    cut "bolt.func_reorder";
     match config.func_order with
     | C3 -> Func_reorder.c3 call_graph
     | Pettis_hansen -> Func_reorder.pettis_hansen call_graph
@@ -190,9 +225,18 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
     Trace.span "bolt.peephole" ~attrs:[ ("enabled", Trace.B config.peephole) ] @@ fun _ ->
     Array.init (Array.length binary.Binary.symbols) (fun fid ->
         match Hashtbl.find_opt rc_by_fid fid with
-        | Some rc ->
+        | Some rc -> (
           let f = rc.Cfg.rc_func in
-          if config.peephole then fst (Peephole.run_func f) else f
+          if not config.peephole then f
+          else
+            match
+              cut "bolt.peephole";
+              fst (Peephole.run_func f)
+            with
+            | g -> g
+            | exception Ocolos_util.Fault.Injected (point, _) ->
+              fail fid point;
+              f)
         | None ->
           { Ir.fid;
             fname = binary.Binary.symbols.(fid).Binary.fs_name;
@@ -285,10 +329,13 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
       entry = tr binary.Binary.entry;
       debug }
   in
+  let failed = List.sort compare !failed in
   Trace.set_attr run_sp "funcs_reordered" (Trace.I (List.length hot_fids));
   Trace.set_attr run_sp "work_instrs" (Trace.I !work_instrs);
+  Trace.set_attr run_sp "failed" (Trace.I (List.length failed));
   Ocolos_obs.Metrics.count "ocolos_bolt_runs_total" 1;
   Ocolos_obs.Metrics.count "ocolos_bolt_funcs_reordered_total" (List.length hot_fids);
+  Ocolos_obs.Metrics.count "ocolos_bolt_func_failures_total" (List.length failed);
   { merged;
     new_text;
     translation;
@@ -296,4 +343,5 @@ let run ?(config = default_config) ?extern_entry ~(binary : Binary.t) ~(profile 
     funcs_reordered = List.length hot_fids;
     work_instrs = !work_instrs;
     skipped = !skipped;
+    failed;
     bolt_base }

@@ -16,6 +16,8 @@ type config = {
   hot_threshold : int;  (** min LBR records for a function to be optimized *)
   max_hot_funcs : int option;
   peephole : bool;
+  exclude : int list;
+      (** fids never selected for optimization (supervisor quarantine) *)
 }
 
 val default_config : config
@@ -31,6 +33,10 @@ type result = {
   funcs_reordered : int;
   work_instrs : int;  (** processed volume, for the time model *)
   skipped : int;  (** functions whose reconstruction was refused *)
+  failed : (int * string) list;
+      (** (fid, fault point) pairs degraded per-function by an injected
+          fault — excluded from (cfg) or left unoptimized by (bb_reorder,
+          peephole) this run; feeds the supervisor's quarantine *)
   bolt_base : int;
 }
 
@@ -42,10 +48,19 @@ val fresh_data_base : Ocolos_binary.Binary.t -> int
     [extern_entry] overrides how calls to non-optimized functions are
     resolved (OCOLOS's continuous mode pins them to the original C0 entries
     so that old versions can be garbage-collected); it defaults to the input
-    binary's symbol entries. *)
+    binary's symbol entries.
+
+    With [?fault], the [bolt.*] domain is exercised: [bolt.cfg],
+    [bolt.bb_reorder] and [bolt.peephole] are cut once per hot function and
+    absorb {!Ocolos_util.Fault.Injected} as per-function degradation
+    (skip / original block order / no peephole), attributed in
+    [result.failed]; [bolt.func_reorder] is cut once per run and raises —
+    no per-function fallback exists for a broken global order.
+    {!Ocolos_util.Fault.Killed} always escapes. *)
 val run :
   ?config:config ->
   ?extern_entry:(int -> int option) ->
+  ?fault:Ocolos_util.Fault.t ->
   binary:Ocolos_binary.Binary.t ->
   profile:Ocolos_profiler.Profile.t ->
   unit ->

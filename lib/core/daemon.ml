@@ -11,8 +11,23 @@
 
    Replacement runs transactionally ({!Txn}): a fault firing mid-replacement
    rolls the process back to C_i, and the controller retries the same BOLT
-   result after an exponential backoff, up to [max_retries] extra attempts,
-   before giving up and returning to monitoring.
+   result after an exponential backoff (with seeded +/-25% jitter so
+   campaigns never synchronize), up to [max_retries] extra attempts, before
+   giving up and returning to monitoring.
+
+   The controller is also a supervisor over the whole pipeline ({!Guard}):
+   faults escaping perf2bolt or BOLT's function-reorder pass, and watchdog
+   deadline trips on modeled phase durations, abort the campaign cleanly
+   (the target keeps its current layout); per-function BOLT failures feed a
+   quarantine that excludes repeat offenders from future reordering; and
+   consecutive failed campaigns open a circuit breaker that refuses new
+   campaigns until a cooldown, then probes half-open. A campaign after a
+   failure runs at a degraded BOLT tier (function reorder only).
+
+   [Fault.Killed] — the daemon dying — is deliberately NOT handled
+   anywhere here: it must escape [tick] so the crash-recovery harness
+   ({!Supervisor}) can observe the death and restart against the live
+   process.
 
    The controller is driven by periodic ticks from whoever owns the
    process's execution loop; it keeps no thread of its own. *)
@@ -49,6 +64,7 @@ type t = {
   oc : Ocolos.t;
   proc : Proc.t;
   config : config;
+  guard : Guard.t;
   mutable phase : phase;
   mutable pending : Ocolos_bolt.Bolt.result option; (* BOLT result awaiting retry *)
   mutable last_counters : Counters.t;
@@ -61,10 +77,12 @@ type t = {
   mutable retries : int;
 }
 
-let create ?(config = default_config) (oc : Ocolos.t) (proc : Proc.t) =
+let create ?(config = default_config) ?guard (oc : Ocolos.t) (proc : Proc.t) =
+  let guard = match guard with Some g -> g | None -> Guard.create () in
   { oc;
     proc;
     config;
+    guard;
     phase = Monitoring;
     pending = None;
     last_counters = Proc.total_counters proc;
@@ -82,6 +100,8 @@ type action =
   | Replaced of Ocolos.replacement_stats
   | Rolled_back of { point : string; attempt : int; giving_up : bool }
   | Retrying of { attempt : int }
+  | Campaign_aborted of string (* pipeline fault / watchdog; layout kept *)
+  | Breaker_open of { until_s : float } (* campaign wanted, breaker refused *)
 
 let action_to_string = function
   | Idle -> "idle"
@@ -91,6 +111,8 @@ let action_to_string = function
     Fmt.str "rolled back at %s (attempt %d%s)" point attempt
       (if giving_up then ", giving up" else ", will retry")
   | Retrying { attempt } -> Fmt.str "retrying (attempt %d)" attempt
+  | Campaign_aborted reason -> Fmt.str "campaign aborted (%s), layout kept" reason
+  | Breaker_open { until_s } -> Fmt.str "breaker open until %.1fs" until_s
 
 (* Pure monitoring decision: should a (re-)profile start now? Exposed so the
    boundary conditions — regression exactly at tolerance, the >= amortization
@@ -137,6 +159,7 @@ let attempt_replace t ~now_s ~attempt result =
     t.best_tps <- 0.0;
     t.last_replacement_s <- now_s;
     t.replacements <- t.replacements + 1;
+    Guard.campaign_succeeded t.guard;
     Ocolos_obs.Metrics.count "ocolos_daemon_replacements_total" 1;
     Replaced stats
   | Txn.Rolled_back rb ->
@@ -149,14 +172,34 @@ let attempt_replace t ~now_s ~attempt result =
          guard so the next try is not immediate. *)
       t.best_tps <- 0.0;
       t.last_replacement_s <- now_s;
+      Guard.campaign_failed t.guard ~now_s;
       Rolled_back { point = rb.Txn.rb_point; attempt; giving_up = true }
     end
     else begin
       t.pending <- Some result;
-      let delay = t.config.retry_backoff_s *. (2.0 ** float_of_int (attempt - 1)) in
+      let delay =
+        Guard.jittered t.guard
+          (t.config.retry_backoff_s *. (2.0 ** float_of_int (attempt - 1)))
+      in
       t.phase <- Backoff { until_s = now_s +. delay; attempt = attempt + 1 };
       Rolled_back { point = rb.Txn.rb_point; attempt; giving_up = false }
     end
+
+(* A campaign that died before reaching [Txn.replace_code] — a fault
+   escaped perf2bolt or BOLT's function-reorder pass, or a watchdog
+   deadline tripped. The target never paused, so there is nothing to roll
+   back; the current layout stays, the amortization guard re-arms, and the
+   breaker hears about the failure. *)
+let campaign_aborted t ~now_s ~reason =
+  t.pending <- None;
+  t.phase <- Monitoring;
+  t.best_tps <- 0.0;
+  t.last_replacement_s <- now_s;
+  Guard.campaign_failed t.guard ~now_s;
+  Ocolos_obs.Metrics.count "ocolos_daemon_campaigns_aborted_total" 1;
+  Ocolos_obs.Trace.mark "daemon.campaign_aborted"
+    ~attrs:[ ("reason", Ocolos_obs.Trace.S reason) ];
+  Campaign_aborted reason
 
 (* One controller tick at simulated time [now_s]. The caller advances the
    process between ticks. *)
@@ -173,9 +216,29 @@ let tick t ~now_s =
     match t.phase with
     | Profiling since ->
       if now_s -. since >= t.config.profile_s then begin
-        let profile, _ = Ocolos.stop_profiling t.oc in
-        let result, _ = Ocolos.run_bolt t.oc profile in
-        attempt_replace t ~now_s ~attempt:1 result
+        (* The background pipeline. [Fault.Injected] escaping any stage is
+           a survivable campaign failure; [Fault.Killed] is the daemon
+           dying and must NOT be caught here. *)
+        match
+          let profile, perf2bolt_s = Ocolos.stop_profiling t.oc in
+          if Guard.check_deadline t.guard ~phase:`Perf2bolt ~seconds:perf2bolt_s then
+            `Watchdog "perf2bolt"
+          else begin
+            let result, bolt_s =
+              Ocolos.run_bolt ~tier:(Guard.tier t.guard)
+                ~exclude:(Guard.quarantined t.guard) t.oc profile
+            in
+            Guard.record_func_failures t.guard result.Ocolos_bolt.Bolt.failed;
+            if Guard.check_deadline t.guard ~phase:`Bolt ~seconds:bolt_s then
+              `Watchdog "bolt"
+            else `Bolted result
+          end
+        with
+        | `Bolted result -> attempt_replace t ~now_s ~attempt:1 result
+        | `Watchdog phase ->
+          campaign_aborted t ~now_s ~reason:(Fmt.str "watchdog: %s deadline" phase)
+        | exception Ocolos_util.Fault.Injected (point, _) ->
+          campaign_aborted t ~now_s ~reason:(Fmt.str "fault at %s" point)
       end
       else Idle
     | Backoff { until_s; attempt } ->
@@ -202,11 +265,18 @@ let tick t ~now_s =
       in
       (match reason with
       | Some why ->
-        Ocolos.start_profiling t.oc;
-        t.phase <- Profiling now_s;
-        Ocolos_obs.Trace.mark "daemon.profiling_started"
-          ~attrs:[ ("reason", Ocolos_obs.Trace.S why) ];
-        Started_profiling why
+        if Guard.allow_campaign t.guard ~now_s then begin
+          Ocolos.start_profiling t.oc;
+          t.phase <- Profiling now_s;
+          Ocolos_obs.Trace.mark "daemon.profiling_started"
+            ~attrs:[ ("reason", Ocolos_obs.Trace.S why) ];
+          Started_profiling why
+        end
+        else begin
+          match Guard.breaker_state t.guard with
+          | Guard.Open { until_s } -> Breaker_open { until_s }
+          | Guard.Closed | Guard.Half_open -> Idle (* unreachable *)
+        end
       | None -> Idle)
   end
 
@@ -215,3 +285,6 @@ let attempts t = t.attempts
 let rollbacks t = t.rollbacks
 let retries t = t.retries
 let phase t = t.phase
+let guard t = t.guard
+let breaker_state t = Guard.breaker_state t.guard
+let quarantined t = Guard.quarantined t.guard

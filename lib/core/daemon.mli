@@ -7,7 +7,17 @@
 
     Replacements run transactionally ({!Txn}): a fault mid-replacement
     rolls the process back to C_i and the controller retries the same BOLT
-    result after exponential backoff, up to [max_retries] extra attempts.
+    result after exponential backoff (with seeded +/-25% jitter), up to
+    [max_retries] extra attempts.
+
+    The controller also supervises the whole pipeline through a {!Guard}:
+    faults escaping perf2bolt or BOLT's function-reorder pass and watchdog
+    deadline trips abort the campaign cleanly (current layout kept);
+    per-function BOLT failures feed a quarantine excluding repeat offenders
+    from reordering; consecutive failed campaigns open a circuit breaker.
+    Post-failure campaigns run at a degraded BOLT tier.
+    {!Ocolos_util.Fault.Killed} is never caught: it escapes {!tick} so the
+    {!Supervisor} crash harness can observe the daemon's death.
 
     Driven by periodic {!tick}s from whoever owns the process's execution
     loop; the controller keeps no thread of its own. *)
@@ -33,7 +43,10 @@ type phase =
 
 type t
 
-val create : ?config:config -> Ocolos.t -> Ocolos_proc.Proc.t -> t
+(** [create oc proc] builds a controller; [guard] (default: a fresh
+    {!Guard.create}) carries the supervision state, and may be shared with
+    a restarted daemon to keep quarantine/breaker memory across a crash. *)
+val create : ?config:config -> ?guard:Guard.t -> Ocolos.t -> Ocolos_proc.Proc.t -> t
 
 type action =
   | Idle
@@ -41,6 +54,11 @@ type action =
   | Replaced of Ocolos.replacement_stats
   | Rolled_back of { point : string; attempt : int; giving_up : bool }
   | Retrying of { attempt : int }
+  | Campaign_aborted of string
+      (** a fault escaped the background pipeline or a watchdog tripped;
+          the target kept its current layout, nothing was rolled back *)
+  | Breaker_open of { until_s : float }
+      (** a campaign was warranted but the circuit breaker refused it *)
 
 val action_to_string : action -> string
 
@@ -81,3 +99,11 @@ val rollbacks : t -> int
 val retries : t -> int
 
 val phase : t -> phase
+
+(** The supervision state (breaker, quarantine, watchdog, jitter stream). *)
+val guard : t -> Guard.t
+
+val breaker_state : t -> Guard.breaker_state
+
+(** Quarantined fids, sorted ascending. *)
+val quarantined : t -> int list

@@ -1,0 +1,84 @@
+(** Supervision state for the OCOLOS daemon: per-function quarantine, a
+    circuit breaker over optimization campaigns, watchdog deadlines on
+    modeled phase durations, and deterministic seeded jitter for backoffs.
+
+    A {e campaign} is one profile -> aggregate -> BOLT -> replace cycle.
+    Consecutive campaigns ending without a committed replacement trip the
+    breaker ([breaker_threshold]); an open breaker refuses campaigns until
+    its simulated cooldown elapses, then admits one half-open probe whose
+    outcome closes or re-opens it. Campaign failures also degrade the next
+    campaign's BOLT {!Ocolos.tier}; a commit restores [`Full].
+
+    Quarantine is per function and monotone: a function whose BOLT pass
+    degraded it [quarantine_after] times (cumulative) is excluded from all
+    future reordering in this run — fids are never un-quarantined.
+
+    All state changes are exported through {!Ocolos_obs} metrics
+    ([ocolos_guard_*]) and trace marks. *)
+
+type breaker_state = Closed | Open of { until_s : float } | Half_open
+
+type config = {
+  quarantine_after : int;  (** per-function pass failures before exclusion *)
+  breaker_threshold : int;  (** consecutive failed campaigns before opening *)
+  breaker_cooldown_s : float;  (** Open duration before the half-open probe *)
+  jitter : float;  (** backoff jitter fraction (0.25 = +/-25%) *)
+  perf2bolt_deadline_s : float option;  (** watchdog on modeled perf2bolt time *)
+  bolt_deadline_s : float option;  (** watchdog on modeled BOLT time *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ?seed:int -> unit -> t
+
+val breaker_state : t -> breaker_state
+val breaker_state_to_string : breaker_state -> string
+
+(** Consecutive campaigns without a commit, as currently counted. *)
+val consecutive_failures : t -> int
+
+val breaker_opens : t -> int
+val watchdog_trips : t -> int
+
+(** The BOLT tier the next campaign should run at. *)
+val tier : t -> Ocolos.tier
+
+(** Deterministic +/-[jitter] fraction around [delay], from the seeded
+    stream. *)
+val jittered : t -> float -> float
+
+(** May a new campaign start at [now_s]? Transitions an expired Open
+    breaker to Half_open (admitting this campaign as the probe). *)
+val allow_campaign : t -> now_s:float -> bool
+
+(** Record a campaign that ended without a commit: bumps the consecutive
+    count, degrades the tier, and opens the breaker at the threshold or on
+    a failed half-open probe (cooldown is jittered). *)
+val campaign_failed : t -> now_s:float -> unit
+
+(** Record a committed replacement: closes the breaker, zeroes the
+    consecutive count, restores the [`Full] tier. *)
+val campaign_succeeded : t -> unit
+
+(** Fold one BOLT round's per-function failures ({!Ocolos_bolt.Bolt.result}
+    [.failed]) into the cumulative counts, quarantining functions that
+    reach [quarantine_after]. *)
+val record_func_failures : t -> (int * string) list -> unit
+
+(** Quarantined fids, sorted ascending. *)
+val quarantined : t -> int list
+
+val quarantined_count : t -> int
+val is_quarantined : t -> int -> bool
+
+(** Check one phase's modeled duration against its configured deadline;
+    [true] means the watchdog tripped and the campaign must be abandoned. *)
+val check_deadline : t -> phase:[ `Perf2bolt | `Bolt ] -> seconds:float -> bool
+
+(** Push the current breaker/quarantine state to the ambient metrics
+    registry (gauges [ocolos_guard_breaker_state], [ocolos_guard_quarantined],
+    [ocolos_guard_consecutive_failures]). Called internally on every state
+    change; exposed for end-of-run exports. *)
+val export : t -> unit

@@ -137,7 +137,7 @@ let attach ?(config = default_config) (proc : Proc.t) =
 
 let start_profiling t =
   if t.session <> None then invalid_arg "Ocolos.start_profiling: already profiling";
-  t.session <- Some (Perf.start ~cfg:t.config.perf t.proc)
+  t.session <- Some (Perf.start ~cfg:t.config.perf ?fault:t.config.fault t.proc)
 
 (* Returns the aggregated profile and the modeled perf2bolt time. *)
 let stop_profiling t =
@@ -146,7 +146,7 @@ let stop_profiling t =
   | Some session ->
     t.session <- None;
     let samples = Perf.stop session in
-    let profile = Perf2bolt.convert ~binary:t.current samples in
+    let profile = Perf2bolt.convert ~binary:t.current ?fault:t.config.fault samples in
     let seconds =
       Cost.perf2bolt_seconds t.config.cost ~records:(Perf.record_count samples)
     in
@@ -154,9 +154,29 @@ let stop_profiling t =
 
 (* ---- BOLT (background) ---- *)
 
-let run_bolt t profile =
+(* Degradation tiers (supervisor-driven): [`Full] is the configured BOLT;
+   [`Func_reorder_only] drops block reordering, hot/cold splitting and
+   peephole so only the C3/PH function order remains — the cheapest layout
+   that still captures most of the paper's i-cache benefit, used after a
+   full campaign has failed. *)
+type tier = [ `Full | `Func_reorder_only ]
+
+let run_bolt ?(tier : tier = `Full) ?(exclude = []) t profile =
+  let config =
+    let base = t.config.bolt in
+    let base =
+      if exclude = [] then base
+      else { base with Bolt.exclude = exclude @ base.Bolt.exclude }
+    in
+    match tier with
+    | `Full -> base
+    | `Func_reorder_only ->
+      { base with Bolt.reorder_blocks = false; split_functions = false; peephole = false }
+  in
   let extern_entry fid = Hashtbl.find_opt t.c0_entry fid in
-  let result = Bolt.run ~config:t.config.bolt ~binary:t.current ~extern_entry ~profile () in
+  let result =
+    Bolt.run ~config ~binary:t.current ~extern_entry ?fault:t.config.fault ~profile ()
+  in
   let seconds = Cost.bolt_seconds t.config.cost ~work_instrs:result.Bolt.work_instrs in
   (result, seconds)
 
@@ -165,9 +185,15 @@ let run_bolt t profile =
 (* Every named fault-injection point in [replace_code], in the order the
    stop-the-world phase reaches them. Points inside loops are hit once per
    iteration, so an [Nth] schedule can fire mid-mutation; the gc_* points,
-   [thread_patch] and [verify] are reachable only in continuous rounds. *)
+   [thread_patch] and [verify] are reachable only in continuous rounds.
+   [proc.pause_timeout] models a thread that cannot reach a safe pause
+   point within the deadline; [mem.exhausted] an address space with no room
+   for the incoming text — both abort the transaction like any other
+   injected fault. *)
 let injection_points =
-  [ "pause";
+  [ "proc.pause_timeout";
+    "pause";
+    "mem.exhausted";
     "inject_code";
     "inject_data";
     "sym_index";
@@ -181,6 +207,23 @@ let injection_points =
     "verify";
     "commit" ]
 
+(* The full pipeline-wide catalog, grouped by fault domain, in pipeline
+   order: profiling, aggregation, BOLT, then the stop-the-world points
+   above. This is what the CLI validates [--fault] specs against and what
+   the chaos harness sweeps. *)
+let fault_catalog =
+  [ "perf.detach";
+    "perf.sample_drop";
+    "perf.sample_truncate";
+    "perf.sample_corrupt";
+    "perf2bolt.stale_syms";
+    "perf2bolt.aggregate";
+    "bolt.cfg";
+    "bolt.bb_reorder";
+    "bolt.func_reorder";
+    "bolt.peephole" ]
+  @ injection_points
+
 module Trace = Ocolos_obs.Trace
 module Metrics = Ocolos_obs.Metrics
 
@@ -192,10 +235,14 @@ let cut t point =
   | None -> ()
   | Some f -> (
     Metrics.count ~labels:[ ("point", point) ] "ocolos_fault_cuts_total" 1;
-    try Ocolos_util.Fault.cut f point
-    with Ocolos_util.Fault.Injected (p, hit) as e ->
+    try Ocolos_util.Fault.cut f point with
+    | Ocolos_util.Fault.Injected (p, hit) as e ->
       Trace.mark "fault.fired" ~attrs:[ ("point", Trace.S p); ("hit", Trace.I hit) ];
       Metrics.count ~labels:[ ("point", p) ] "ocolos_fault_fired_total" 1;
+      raise e
+    | Ocolos_util.Fault.Killed (p, hit) as e ->
+      Trace.mark "fault.killed" ~attrs:[ ("point", Trace.S p); ("hit", Trace.I hit) ];
+      Metrics.count ~labels:[ ("point", p) ] "ocolos_fault_killed_total" 1;
       raise e)
 
 let in_range (s, e) addr = addr >= s && addr < e
@@ -399,10 +446,12 @@ let replace_code t (result : Bolt.result) : replacement_stats =
   @@ fun stw_sp ->
   let proc = t.proc in
   Proc.pause proc;
+  cut t "proc.pause_timeout";
   cut t "pause";
   let new_text = result.Bolt.new_text in
   (* 1. Inject the optimized code and its jump-table data. *)
   Trace.span "replace.inject" (fun sp ->
+      cut t "mem.exhausted";
       Array.iter
         (fun addr ->
           cut t "inject_code";
@@ -635,6 +684,108 @@ let version t = t.version
 let current_binary t = t.current
 let proc t = t.proc
 let config t = t.config
+
+(* ---- crash recovery ---- *)
+
+(* Re-attach a fresh controller to a process whose previous OCOLOS daemon
+   died. Everything a committed replacement did survives in the target —
+   injected text, patched v-tables and call sites, the extended symbol
+   index, and the target-resident wrapFuncPtrCreation pin table — while an
+   aborted transaction left no trace at all ({!Txn} rolled back before the
+   old daemon died). So the daemon-side state is reconstructed from the
+   target as ground truth:
+
+   - code the symbol index places at or above the original image's end
+     belongs to injected versions; a function's live entry is the lowest
+     such address it owns (emission lays the hot part first), falling back
+     to its C0 entry;
+   - the live-text span is the hull of all injected ranges — exact when at
+     most one version is committed (the chaos harness's case), conservative
+     once continuous rounds have left evacuation copies behind (the hull
+     then also dooms the copies, which the next GC round evacuates again
+     like any stack-live code);
+   - the C0 pin table is rebuilt by mapping every injected range start back
+     to its function's C0 entry: a superset of the true entry set, harmless
+     because only entries are ever created as function pointers. *)
+let reattach ?(config = default_config) (proc : Proc.t) =
+  Trace.span "ocolos.reattach" @@ fun sp ->
+  let t = attach ~config proc in
+  let orig_end = Bolt.sections_end t.original in
+  let injected =
+    Array.to_list proc.Proc.mem.Addr_space.sym_index
+    |> List.filter (fun r -> r.Addr_space.sr_start >= orig_end)
+  in
+  Trace.set_attr sp "injected_ranges" (Trace.I (List.length injected));
+  (match injected with
+  | [] -> ()
+  | _ :: _ ->
+    let entry = Hashtbl.create 64 in
+    List.iter
+      (fun (r : Addr_space.sym_range) ->
+        let fid = r.Addr_space.sr_fid in
+        (match Hashtbl.find_opt entry fid with
+        | Some e when e <= r.Addr_space.sr_start -> ()
+        | Some _ | None -> Hashtbl.replace entry fid r.Addr_space.sr_start);
+        Hashtbl.replace t.to_c0 r.Addr_space.sr_start (Hashtbl.find t.c0_entry fid))
+      injected;
+    Hashtbl.iter (fun fid e -> Hashtbl.replace t.current_entry fid e) entry;
+    let lo = List.fold_left (fun acc r -> min acc r.Addr_space.sr_start) max_int injected in
+    let hi = List.fold_left (fun acc r -> max acc r.Addr_space.sr_end) 0 injected in
+    let addrs =
+      Hashtbl.fold
+        (fun a _ acc -> if a >= lo && a < hi then a :: acc else acc)
+        proc.Proc.mem.Addr_space.code []
+    in
+    let live_addrs = Array.of_list addrs in
+    Array.sort compare live_addrs;
+    t.version <- 1;
+    t.live_text <- Some (lo, hi);
+    t.live_text_addrs <- live_addrs;
+    (* A synthetic new_text view of the recovered region, so the normal
+       refresh builds the live binary (and the next BOLT round allocates
+       above it). Only symbols and sections matter to the refresh; the
+       recovered version's jump-table data is not recoverable and is
+       omitted — its code is doomed at the next replacement anyway. *)
+    let recovered_syms =
+      Hashtbl.fold
+        (fun fid e acc ->
+          let ranges =
+            List.filter_map
+              (fun (r : Addr_space.sym_range) ->
+                if r.Addr_space.sr_fid = fid then
+                  Some { Binary.r_start = r.Addr_space.sr_start;
+                         r_size = r.Addr_space.sr_end - r.Addr_space.sr_start }
+                else None)
+              injected
+          in
+          { Binary.fs_fid = fid;
+            fs_name = t.original.Binary.symbols.(fid).Binary.fs_name;
+            fs_entry = e;
+            fs_ranges = ranges }
+          :: acc)
+        entry []
+      |> List.sort (fun a b -> compare a.Binary.fs_fid b.Binary.fs_fid)
+      |> Array.of_list
+    in
+    let new_text =
+      { Binary.name = t.original.Binary.name ^ ".recovered";
+        sections = [ { Binary.sec_name = ".text"; sec_base = lo; sec_size = hi - lo } ];
+        code = Hashtbl.create 0;
+        code_order = [||];
+        symbols = recovered_syms;
+        vtables = [||];
+        globals_base = t.original.Binary.globals_base;
+        globals_words = 0;
+        global_init = [];
+        entry = t.original.Binary.entry;
+        debug = Hashtbl.create 0 }
+    in
+    refresh_current t new_text;
+    Trace.set_attr sp "live_text"
+      (Trace.S (Fmt.str "0x%x-0x%x" lo hi)));
+  Trace.set_attr sp "version" (Trace.I t.version);
+  Metrics.count "ocolos_reattach_total" 1;
+  t
 
 (* ---- controller-state snapshots (for transactional replacement) ----
 

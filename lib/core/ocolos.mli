@@ -23,9 +23,11 @@ type config = {
           help and only slows replacement *)
   verify_gc : bool;  (** scan for dangling pointers after each GC *)
   fault : Ocolos_util.Fault.t option;
-      (** fault-injection registry consulted at every {!injection_points}
-          cut inside [replace_code]; [None] (the default) compiles the cuts
-          down to counter-free no-ops *)
+      (** fault-injection registry consulted at every {!fault_catalog} cut
+          across the pipeline — profiling ([perf.*]), aggregation
+          ([perf2bolt.*]), BOLT ([bolt.*]) and the stop-the-world points of
+          {!injection_points}; [None] (the default) compiles the cuts down
+          to counter-free no-ops *)
 }
 
 val default_config : config
@@ -48,6 +50,16 @@ type t
     call-site analysis and installs the function-pointer creation hook. *)
 val attach : ?config:config -> Ocolos_proc.Proc.t -> t
 
+(** Crash recovery: attach to a process whose previous OCOLOS daemon died,
+    reconstructing the controller state from the target as ground truth —
+    injected code above the original image's end, live entries (lowest
+    injected address per function), the live-text span (exact for one
+    committed version, a conservative hull once continuous rounds have left
+    copies), and the C0 function-pointer pin table. An aborted transaction
+    left no trace, so reattaching after a mid-transaction kill is identical
+    to a plain {!attach}. *)
+val reattach : ?config:config -> Ocolos_proc.Proc.t -> t
+
 val version : t -> int
 
 (** The live binary view (C0 plus the current optimized version): symbol
@@ -62,9 +74,19 @@ val start_profiling : t -> unit
     conversion time in seconds. *)
 val stop_profiling : t -> Ocolos_profiler.Profile.t * float
 
+(** Supervisor-driven degradation tier for a BOLT round: [`Full] is the
+    configured pipeline; [`Func_reorder_only] disables block reordering,
+    hot/cold splitting and peephole, keeping only the function order — the
+    cheapest layout still worth committing, used after a full campaign has
+    already failed. *)
+type tier = [ `Full | `Func_reorder_only ]
+
 (** Run BOLT on the current code version. Returns the result and the
-    modeled optimization time in seconds. *)
-val run_bolt : t -> Ocolos_profiler.Profile.t -> Ocolos_bolt.Bolt.result * float
+    modeled optimization time in seconds. [exclude] adds quarantined fids
+    to the config's exclusion list for this round. *)
+val run_bolt :
+  ?tier:tier -> ?exclude:int list -> t -> Ocolos_profiler.Profile.t ->
+  Ocolos_bolt.Bolt.result * float
 
 (** The stop-the-world phase: pause, inject, patch pointers, GC the
     previous version (continuous mode), resume. *)
@@ -86,8 +108,16 @@ val config : t -> config
     the stop-the-world phase reaches them. Points inside mutation loops are
     hit once per iteration, so an [Nth] schedule lands mid-mutation; the
     [gc_*] points, [thread_patch] and [verify] are reachable only in
-    continuous (C_i -> C_{i+1}) rounds. *)
+    continuous (C_i -> C_{i+1}) rounds. Includes the [proc.pause_timeout]
+    (a thread missing the safe-point deadline) and [mem.exhausted] (no
+    address space for the incoming text) points. *)
 val injection_points : string list
+
+(** The pipeline-wide fault catalog, in pipeline order: [perf.*] sampling
+    faults, [perf2bolt.*] aggregation faults, [bolt.*] per-pass faults,
+    then {!injection_points}. The CLI validates [--fault] specs against
+    this list and the chaos harness sweeps it. *)
+val fault_catalog : string list
 
 (** Controller-state snapshot: exactly the fields [replace_code] mutates.
     Used by {!Txn} to roll the controller back to C_i together with the

@@ -1,0 +1,95 @@
+(* Crash-recovery harness: simulated daemon death and restart.
+
+   [kill_at] arms a fault point *lethally* ([Fault.kill]) and drives the
+   daemon's tick loop until [Fault.Killed] escapes — the moment the OCOLOS
+   daemon process dies. By construction the target is never corrupted by a
+   death: perf kills detach the sampling hook before the exception
+   surfaces, perf2bolt/BOLT kills happen in background work that never
+   touched the target, and kills inside the stop-the-world transaction are
+   rolled back (and the target resumed) by {!Txn} before the exception
+   re-raises. So at death the target runs exactly the code version that
+   last committed.
+
+   [restart] then stands up a fresh daemon against the live process via
+   {!Ocolos.reattach}, optionally inheriting the dead daemon's {!Guard}
+   (quarantine and breaker memory survive the way an on-disk sidecar
+   would). [run_to_convergence] drives the new daemon until it commits a
+   replacement or cleanly gives up — the restart contract the chaos
+   property test asserts for every fault point. *)
+
+type death = {
+  d_point : string; (* the lethally armed point that fired *)
+  d_hit : int; (* hit count at which it fired *)
+  d_tick : int; (* tick index during which the daemon died *)
+}
+
+type kill_outcome = Died of death | Survived (* point never reached *)
+
+let kill_at ~(fault : Ocolos_util.Fault.t) ~point ?(schedule = Ocolos_util.Fault.Nth 1)
+    (daemon : Daemon.t) ~step ~max_ticks =
+  Ocolos_util.Fault.kill fault point schedule;
+  let rec loop i =
+    if i >= max_ticks then begin
+      Ocolos_util.Fault.disarm fault point;
+      Survived
+    end
+    else
+      let now_s = step i in
+      match Daemon.tick daemon ~now_s with
+      | _ -> loop (i + 1)
+      | exception Ocolos_util.Fault.Killed (p, hit) ->
+        Ocolos_util.Fault.disarm fault point;
+        Ocolos_obs.Trace.mark "supervisor.daemon_died"
+          ~attrs:
+            [ ("point", Ocolos_obs.Trace.S p);
+              ("hit", Ocolos_obs.Trace.I hit);
+              ("tick", Ocolos_obs.Trace.I i) ];
+        Ocolos_obs.Metrics.count "ocolos_supervisor_deaths_total" 1;
+        Died { d_point = p; d_hit = hit; d_tick = i }
+  in
+  loop 0
+
+(* Stand up a replacement daemon against the live process. The dead
+   daemon's in-memory state is gone; {!Ocolos.reattach} rebuilds the
+   controller view from the target, and [guard] optionally carries the old
+   supervision memory across the restart. *)
+let restart ?config ?ocolos_config ?guard (proc : Ocolos_proc.Proc.t) =
+  let oc = Ocolos.reattach ?config:ocolos_config proc in
+  Ocolos_obs.Metrics.count "ocolos_supervisor_restarts_total" 1;
+  Daemon.create ?config ?guard oc proc
+
+type convergence =
+  | Converged_replaced of { version : int; ticks : int }
+  | Converged_gave_up of { reason : string; ticks : int }
+  | Diverged (* neither outcome within the tick budget *)
+
+let convergence_to_string = function
+  | Converged_replaced { version; ticks } ->
+    Fmt.str "replaced (C%d after %d ticks)" version ticks
+  | Converged_gave_up { reason; ticks } ->
+    Fmt.str "gave up (%s after %d ticks)" reason ticks
+  | Diverged -> "diverged"
+
+(* Drive [daemon] until it commits a replacement or cleanly gives up.
+   "Cleanly gives up" is any terminal no-replacement outcome: exhausting
+   the transaction retry budget, aborting the campaign on a pipeline fault
+   or watchdog, or the breaker refusing further campaigns. *)
+let run_to_convergence (daemon : Daemon.t) ~step ~max_ticks =
+  let rec loop i =
+    if i >= max_ticks then Diverged
+    else
+      let now_s = step i in
+      match Daemon.tick daemon ~now_s with
+      | Daemon.Replaced stats ->
+        Converged_replaced { version = stats.Ocolos.version; ticks = i + 1 }
+      | Daemon.Rolled_back { point; attempt; giving_up = true } ->
+        Converged_gave_up
+          { reason = Fmt.str "rolled back at %s, attempt %d" point attempt; ticks = i + 1 }
+      | Daemon.Campaign_aborted reason -> Converged_gave_up { reason; ticks = i + 1 }
+      | Daemon.Breaker_open { until_s } ->
+        Converged_gave_up { reason = Fmt.str "breaker open until %.1fs" until_s; ticks = i + 1 }
+      | Daemon.Idle | Daemon.Started_profiling _ | Daemon.Retrying _
+      | Daemon.Rolled_back { giving_up = false; _ } ->
+        loop (i + 1)
+  in
+  loop 0

@@ -1,0 +1,56 @@
+(** Crash-recovery harness: simulated daemon death at an armed fault point,
+    restart against the live process, and convergence checking.
+
+    The safety contract (paper Section VII "can fail at any point"): a
+    daemon death never corrupts the target. Perf kills detach the sampling
+    hook before surfacing; perf2bolt/BOLT kills abort background work that
+    never touched the target; kills inside the stop-the-world transaction
+    are rolled back and the target resumed by {!Txn} before the exception
+    escapes. At death the target runs exactly the last committed version —
+    which is what the chaos property test asserts byte-for-byte. *)
+
+type death = {
+  d_point : string;  (** the lethally armed point that fired *)
+  d_hit : int;  (** hit count at which it fired *)
+  d_tick : int;  (** tick index during which the daemon died *)
+}
+
+type kill_outcome = Died of death | Survived  (** point never reached *)
+
+(** [kill_at ~fault ~point daemon ~step ~max_ticks] arms [point] lethally
+    ([schedule] defaults to [Nth 1]) and drives [daemon] — [step i]
+    advances the target and returns the simulated time for tick [i] —
+    until {!Ocolos_util.Fault.Killed} escapes a tick or the tick budget is
+    spent. The point is disarmed on exit either way. *)
+val kill_at :
+  fault:Ocolos_util.Fault.t ->
+  point:string ->
+  ?schedule:Ocolos_util.Fault.schedule ->
+  Daemon.t ->
+  step:(int -> float) ->
+  max_ticks:int ->
+  kill_outcome
+
+(** Stand up a replacement daemon against the live process:
+    {!Ocolos.reattach} rebuilds the controller state from the target;
+    [guard] optionally carries the dead daemon's quarantine/breaker memory
+    across the restart (as an on-disk sidecar would). *)
+val restart :
+  ?config:Daemon.config ->
+  ?ocolos_config:Ocolos.config ->
+  ?guard:Guard.t ->
+  Ocolos_proc.Proc.t ->
+  Daemon.t
+
+type convergence =
+  | Converged_replaced of { version : int; ticks : int }
+  | Converged_gave_up of { reason : string; ticks : int }
+      (** terminal no-replacement outcome: retry budget exhausted, campaign
+          aborted on a pipeline fault or watchdog, or breaker refusal *)
+  | Diverged  (** neither outcome within the tick budget *)
+
+val convergence_to_string : convergence -> string
+
+(** Drive [daemon] until it commits a replacement or cleanly gives up. *)
+val run_to_convergence :
+  Daemon.t -> step:(int -> float) -> max_ticks:int -> convergence

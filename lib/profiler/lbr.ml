@@ -29,3 +29,25 @@ let snapshot t =
 let clear t =
   t.head <- 0;
   t.filled <- 0
+
+(* ---- sample-batch degradation (fault-injection support) ----
+
+   Models what a flaky PMI delivery does to a snapshot: a truncated batch
+   keeps only the newest half of the ring, and a corrupted batch has its
+   entry addresses scrambled deterministically. Both are pure so the
+   profiler's fault handling stays replayable from the seed. *)
+
+(* Keep the newest [ceil (n/2)] entries (the oldest transfers are the ones
+   a short read loses first). *)
+let truncate_batch (entries : entry array) =
+  let n = Array.length entries in
+  let keep = (n + 1) / 2 in
+  Array.sub entries (n - keep) keep
+
+(* Scramble every entry's addresses with a fixed involution; corrupted
+   records land outside any mapped symbol and must be dropped downstream. *)
+let corrupt_batch (entries : entry array) =
+  Array.map
+    (fun e ->
+      { from_addr = e.from_addr lxor 0x5A5A_5A5A; to_addr = e.to_addr lxor 0x5A5A_5A5A })
+    entries

@@ -12,3 +12,11 @@ val record : t -> from_addr:int -> to_addr:int -> unit
 val snapshot : t -> entry array
 
 val clear : t -> unit
+
+(** Degraded snapshot of a sample batch: only the newest half survives (a
+    short PMI read). Pure; used by the profiler's fault handling. *)
+val truncate_batch : entry array -> entry array
+
+(** Degraded snapshot of a sample batch: every address scrambled by a fixed
+    involution, so corrupted records resolve to no symbol downstream. *)
+val corrupt_batch : entry array -> entry array

@@ -16,10 +16,21 @@ type sample = { s_tid : int; entries : Lbr.entry array }
 type session
 
 (** Attach to a (running or about-to-run) process. The caller keeps driving
-    the process; branch events flow into the session until {!stop}. *)
-val start : ?cfg:config -> Ocolos_proc.Proc.t -> session
+    the process; branch events flow into the session until {!stop}. A
+    previously installed taken-branch hook keeps receiving every event
+    (perf observes the branch stream, it does not consume it).
 
-(** Detach, restoring any previous hook; returns samples oldest first. *)
+    With [?fault], the [perf.*] fault domain is cut once per PMI, after the
+    PMI overhead stall, in this order: [perf.detach] (lose the rest of the
+    session), [perf.sample_drop] (lose this batch), [perf.sample_truncate]
+    (keep the newest half), [perf.sample_corrupt] (scramble addresses).
+    [Fault.Injected] is absorbed as profile degradation; [Fault.Killed]
+    detaches immediately and is re-raised by {!stop} — the daemon dies at
+    that PMI, the target keeps running untouched. *)
+val start : ?cfg:config -> ?fault:Ocolos_util.Fault.t -> Ocolos_proc.Proc.t -> session
+
+(** Detach, restoring any previous hook; returns samples oldest first.
+    Re-raises a {!Ocolos_util.Fault.Killed} stashed by the sampling hook. *)
 val stop : session -> sample list
 
 val sample_count : session -> int

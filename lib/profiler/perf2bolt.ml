@@ -8,8 +8,19 @@
 
 open Ocolos_binary
 
-let convert ~(binary : Binary.t) (samples : Perf.sample list) : Profile.t =
+(* Fault points of the perf2bolt domain — both *raise* out of [convert]
+   rather than degrade in place (a failed aggregation yields no usable
+   profile; the supervisor treats it as a failed campaign and retries or
+   trips the breaker):
+     perf2bolt.stale_syms  cut once per convert, before any aggregation —
+                           the paper's C2 problem: samples resolved against
+                           symbols from a layout a prior replacement retired
+     perf2bolt.aggregate   cut once per sample batch *)
+
+let convert ~(binary : Binary.t) ?fault (samples : Perf.sample list) : Profile.t =
   Ocolos_obs.Trace.span "perf2bolt.convert" @@ fun conv_sp ->
+  let cut name = match fault with None -> () | Some f -> Ocolos_util.Fault.cut f name in
+  cut "perf2bolt.stale_syms";
   let profile = Profile.create () in
   let index = Binary.build_addr_index binary in
   let fid_of addr = Binary.index_lookup index addr in
@@ -19,6 +30,7 @@ let convert ~(binary : Binary.t) (samples : Perf.sample list) : Profile.t =
     binary.Binary.symbols;
   List.iter
     (fun (s : Perf.sample) ->
+      cut "perf2bolt.aggregate";
       let entries = s.Perf.entries in
       Array.iteri
         (fun i (e : Lbr.entry) ->

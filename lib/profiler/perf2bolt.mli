@@ -1,6 +1,13 @@
 (** perf2bolt analog: convert raw LBR samples into an aggregated profile.
 
     Classifies each LBR entry against the binary (call edge vs. branch edge)
-    and derives straight-line fallthrough ranges from consecutive entries. *)
+    and derives straight-line fallthrough ranges from consecutive entries.
 
-val convert : binary:Ocolos_binary.Binary.t -> Perf.sample list -> Profile.t
+    With [?fault], the [perf2bolt.*] domain cuts raise out of the
+    conversion ({!Ocolos_util.Fault.Injected} is {e not} absorbed — a failed
+    aggregation yields no profile, so the campaign fails): [stale_syms] once
+    per convert (the paper's C2 stale-symbolization problem), [aggregate]
+    once per sample batch. *)
+
+val convert :
+  binary:Ocolos_binary.Binary.t -> ?fault:Ocolos_util.Fault.t -> Perf.sample list -> Profile.t

@@ -1,0 +1,266 @@
+(* Kill/restart chaos harness: the executable form of the paper's Section
+   VII claim that the OCOLOS daemon "can fail at any point" without harming
+   the target.
+
+   Each scenario arms one fault point *lethally* (seeded, deterministic) and
+   runs three coordinated experiments:
+
+   - a KILL run on a finite workload: the daemon dies at the armed point,
+     then the orphaned target runs to termination with its full taken-branch
+     trace recorded;
+   - a REFERENCE run, same seed: an identical daemon commits exactly the
+     replacements the dead daemon had committed, is then stopped (no death,
+     no further interference), and the target runs to termination;
+   - a CONVERGENCE run on an endless workload: after the kill, a fresh
+     daemon is stood up with {!Ocolos_core.Supervisor.restart} and must
+     reach a committed replacement or a clean give-up.
+
+   The trace property needs the two runs' target-visible histories to match
+   instruction-for-instruction up to the death. Two mechanisms make that
+   exact rather than approximate. First, all driving is by *instruction*
+   budget ([cycle_limit = infinity]): the round-robin scheduler then
+   interleaves threads in instruction space, so profiling stalls (PMI
+   overhead, pause windows) shift cycle time but cannot reorder the branch
+   stream. Second, the recorder hook is installed before {!Ocolos.attach}
+   and the profiler *chains* to it, so the recorder sees every branch
+   whether or not sampling is attached on either side. What remains is
+   exactly the safety contract: perf/perf2bolt/BOLT deaths never touched
+   the target, and a death inside the replacement transaction rolled back
+   to the last committed version — so both runs retire the same
+   transactions through the same layouts, byte-identically. *)
+
+module F = Ocolos_util.Fault
+module O = Ocolos_core.Ocolos
+module Daemon = Ocolos_core.Daemon
+module Supervisor = Ocolos_core.Supervisor
+module Proc = Ocolos_proc.Proc
+module Workload = Ocolos_workloads.Workload
+module Apps = Ocolos_workloads.Apps
+
+type config = {
+  step_instrs : int; (* instructions the target advances between ticks *)
+  max_ticks : int; (* tick budget for the kill and convergence runs *)
+  trace_tx_limit : int; (* finite workload size for the trace runs *)
+  drain_instrs : int; (* instruction budget to run a trace run to halt *)
+  jump_tables : bool; (* keep jump tables so inject_data is reachable *)
+  daemon : Daemon.config;
+}
+
+(* [regression_tolerance < 0] turns the drift gate into "always re-optimize
+   once the amortization interval passes": continuous rounds (C1 -> C2 ->
+   ...) happen on the tiny workload without needing an input shift, which is
+   what makes the gc_*/thread_patch/verify points reachable here. *)
+let default_config =
+  { step_instrs = 12_000;
+    max_ticks = 60;
+    trace_tx_limit = 1_500;
+    drain_instrs = 50_000_000;
+    jump_tables = true;
+    daemon =
+      { Daemon.default_config with
+        Daemon.profile_s = 1.0;
+        warmup_s = 0.5;
+        min_interval_s = 2.0;
+        regression_tolerance = -0.5;
+        retry_backoff_s = 0.5 } }
+
+type outcome =
+  | Verified of {
+      death : Supervisor.death;
+      survivor_version : int; (* committed version running at death *)
+      trace_equal : bool;
+      trace_len : int; (* branches recorded in the kill run *)
+      terminated : bool; (* both trace runs drained to a halt *)
+      convergence : Supervisor.convergence;
+    }
+  | Not_reached (* the armed point never fired within the tick budget *)
+
+type result = { r_seed : int; r_point : string; r_outcome : outcome }
+
+let verdict r =
+  match r.r_outcome with
+  | Not_reached -> `Unreached
+  | Verified { trace_equal; convergence; terminated; _ } ->
+    if
+      trace_equal && terminated
+      && (match convergence with
+         | Supervisor.Converged_replaced _ | Supervisor.Converged_gave_up _ -> true
+         | Supervisor.Diverged -> false)
+    then `Pass
+    else `Fail
+
+let passed r = verdict r = `Pass
+
+let outcome_to_string = function
+  | Not_reached -> "not reached"
+  | Verified { death; survivor_version; trace_equal; trace_len; terminated; convergence } ->
+    Fmt.str "died at %s hit %d tick %d (C%d live): trace %s (%d branches%s), restart %s"
+      death.Supervisor.d_point death.Supervisor.d_hit death.Supervisor.d_tick
+      survivor_version
+      (if trace_equal then "identical" else "DIVERGED")
+      trace_len
+      (if terminated then "" else ", NOT drained")
+      (Supervisor.convergence_to_string convergence)
+
+let result_to_string r =
+  Fmt.str "seed %d %-22s %s" r.r_seed r.r_point (outcome_to_string r.r_outcome)
+
+(* ---- the three runs ---- *)
+
+(* The tiny workload, optionally rebuilt with its jump tables kept (the
+   default lowers them away, which leaves BOLT's output with no table data
+   and makes the inject_data point unreachable). *)
+let tiny_workload cfg ~tx_limit =
+  let base = Apps.tiny ~tx_limit () in
+  if not cfg.jump_tables then base
+  else
+    Workload.build ~no_jump_tables:false ~name:"tiny-jt" ~inputs:base.Workload.inputs
+      ~nthreads:2 base.Workload.gen
+
+(* A trace-run process: tiny workload, finite, recorder installed before
+   attach so every later hook (the profiler's) chains to it. *)
+let launch_traced cfg ~seed =
+  let w = tiny_workload cfg ~tx_limit:(Some cfg.trace_tx_limit) in
+  let proc = Workload.launch w ~input:(Workload.find_input w "a") in
+  let buf = ref [] in
+  proc.Proc.hooks.Proc.on_taken_branch <-
+    Some
+      (fun ~tid ~from_addr ~to_addr ~kind ~cycles ->
+        ignore cycles;
+        buf := (tid, from_addr, to_addr, kind) :: !buf);
+  let fault = F.create ~seed () in
+  let oc = O.attach ~config:{ O.default_config with O.fault = Some fault } proc in
+  (proc, oc, fault, buf)
+
+(* Advance the target one tick's worth of instructions; tick i is simulated
+   second i+1. Instruction driving, never cycle driving — see the module
+   comment. *)
+let make_step cfg proc i =
+  Proc.run ~cycle_limit:infinity ~max_instrs:cfg.step_instrs proc;
+  float_of_int (i + 1)
+
+let drain cfg proc = Proc.run ~cycle_limit:infinity ~max_instrs:cfg.drain_instrs proc
+
+(* Everything the equality check compares: the full recorded branch trace
+   plus the workload's own end-state summary. *)
+type tail = {
+  t_trace : (int * int * int * Proc.branch_kind) list;
+  t_checksums : int list;
+  t_transactions : int;
+  t_halted : bool;
+}
+
+let finish cfg proc buf =
+  drain cfg proc;
+  { t_trace = List.rev !buf;
+    t_checksums = Workload.checksums proc;
+    t_transactions = Proc.transactions proc;
+    t_halted = not (Proc.runnable proc) }
+
+(* Kill run: die at [point], then run the orphan to termination. Returns the
+   death, the version that survived it, and the recorded tail. *)
+let kill_run cfg ~seed ~point =
+  let proc, oc, fault, buf = launch_traced cfg ~seed in
+  let d = Daemon.create ~config:cfg.daemon oc proc in
+  match
+    Supervisor.kill_at ~fault ~point d ~step:(make_step cfg proc) ~max_ticks:cfg.max_ticks
+  with
+  | Supervisor.Survived -> None
+  | Supervisor.Died death -> Some (death, O.version oc, finish cfg proc buf)
+
+(* Reference run: same seed, nothing armed. The scheduler hands out quantum
+   turns from thread 0 at the start of every [Proc.run] call, so the merged
+   branch order is only comparable if both runs chunk execution identically
+   — the reference replays the kill run's step schedule exactly
+   ([pre_steps] = steps executed before the death tick finished), ticking
+   its daemon only until it has committed [version] replacements (the kill
+   run's campaigns 1..v were fault-free, so they replay identically; its
+   later profiling and rolled-back final transaction shift cycle time
+   only). Then the daemon is stopped cold and the target drains. *)
+let reference_run cfg ~seed ~version ~pre_steps =
+  let proc, oc, _fault, buf = launch_traced cfg ~seed in
+  let d = Daemon.create ~config:cfg.daemon oc proc in
+  for i = 0 to pre_steps - 1 do
+    let now_s = make_step cfg proc i in
+    if O.version oc < version then ignore (Daemon.tick d ~now_s)
+  done;
+  if O.version oc <> version then None else Some (finish cfg proc buf)
+
+(* Convergence run: endless workload, die at [point], restart against the
+   live process ({!Ocolos.reattach} under the hood, the old daemon's guard
+   carried across like an on-disk sidecar), drive to a terminal outcome. *)
+let convergence_run cfg ~seed ~point =
+  let w = tiny_workload cfg ~tx_limit:None in
+  let proc = Workload.launch w ~input:(Workload.find_input w "a") in
+  let fault = F.create ~seed () in
+  let oc = O.attach ~config:{ O.default_config with O.fault = Some fault } proc in
+  let d = Daemon.create ~config:cfg.daemon oc proc in
+  match
+    Supervisor.kill_at ~fault ~point d ~step:(make_step cfg proc) ~max_ticks:cfg.max_ticks
+  with
+  | Supervisor.Survived -> None
+  | Supervisor.Died _ ->
+    let d' = Supervisor.restart ~config:cfg.daemon ~guard:(Daemon.guard d) proc in
+    Some
+      (Supervisor.run_to_convergence d' ~step:(make_step cfg proc)
+         ~max_ticks:cfg.max_ticks)
+
+(* ---- scenarios and sweeps ---- *)
+
+(* References are shared: one per (seed, survivor version, step schedule),
+   not per point. *)
+type ref_cache = (int * int * int, tail option) Hashtbl.t
+
+let new_cache () : ref_cache = Hashtbl.create 4
+
+let scenario ?(config = default_config) ?cache ~seed ~point () =
+  let cache = match cache with Some c -> c | None -> new_cache () in
+  match kill_run config ~seed ~point with
+  | None -> { r_seed = seed; r_point = point; r_outcome = Not_reached }
+  | Some (death, survivor_version, killed_tail) ->
+    let pre_steps = death.Supervisor.d_tick + 1 in
+    let reference =
+      match Hashtbl.find_opt cache (seed, survivor_version, pre_steps) with
+      | Some r -> r
+      | None ->
+        let r = reference_run config ~seed ~version:survivor_version ~pre_steps in
+        Hashtbl.add cache (seed, survivor_version, pre_steps) r;
+        r
+    in
+    let trace_equal, terminated =
+      match reference with
+      | None -> (false, false) (* reference could not reach the survivor version *)
+      | Some ref_tail ->
+        ( killed_tail.t_trace = ref_tail.t_trace
+          && killed_tail.t_checksums = ref_tail.t_checksums
+          && killed_tail.t_transactions = ref_tail.t_transactions,
+          killed_tail.t_halted && ref_tail.t_halted )
+    in
+    let convergence =
+      match convergence_run config ~seed ~point with
+      | Some c -> c
+      | None -> Supervisor.Diverged (* died in the trace run but not here *)
+    in
+    Ocolos_obs.Metrics.count "ocolos_chaos_scenarios_total" 1;
+    if not trace_equal then Ocolos_obs.Metrics.count "ocolos_chaos_divergence_total" 1;
+    { r_seed = seed;
+      r_point = point;
+      r_outcome =
+        Verified
+          { death;
+            survivor_version;
+            trace_equal;
+            trace_len = List.length killed_tail.t_trace;
+            terminated;
+            convergence } }
+
+let default_points = O.fault_catalog
+let default_seeds = [ 1; 2 ]
+
+let sweep ?(config = default_config) ?(seeds = default_seeds) ?(points = default_points) ()
+    =
+  List.concat_map
+    (fun seed ->
+      let cache = new_cache () in
+      List.map (fun point -> scenario ~config ~cache ~seed ~point ()) points)
+    seeds

@@ -1,0 +1,70 @@
+(** Kill/restart chaos harness: for every pipeline fault point, kill the
+    daemon there, assert the orphaned target's taken-branch trace is
+    byte-identical to an uninterrupted run of the code version that
+    survived, and assert a restarted daemon ({!Ocolos_core.Supervisor})
+    converges to a committed replacement or a clean give-up.
+
+    All target driving is by instruction budget (never cycle horizon), so
+    profiling stalls shift cycle time without reordering the branch stream
+    — that is what makes full-trace byte equality the right check rather
+    than an approximation. *)
+
+type config = {
+  step_instrs : int;  (** instructions the target advances between ticks *)
+  max_ticks : int;  (** tick budget for the kill and convergence runs *)
+  trace_tx_limit : int;  (** finite workload size for the trace runs *)
+  drain_instrs : int;  (** instruction budget to run a trace run to halt *)
+  jump_tables : bool;  (** keep jump tables so [inject_data] is reachable *)
+  daemon : Ocolos_core.Daemon.config;
+}
+
+(** Tuned so continuous rounds (C1 → C2 → ...) occur on the tiny workload:
+    [regression_tolerance < 0] makes the drift gate fire every
+    amortization interval, which is how gc_*/thread_patch/verify points
+    become reachable without an input shift. *)
+val default_config : config
+
+type outcome =
+  | Verified of {
+      death : Ocolos_core.Supervisor.death;
+      survivor_version : int;  (** committed version running at death *)
+      trace_equal : bool;
+      trace_len : int;  (** branches recorded in the kill run *)
+      terminated : bool;  (** both trace runs drained to a halt *)
+      convergence : Ocolos_core.Supervisor.convergence;
+    }
+  | Not_reached  (** the armed point never fired within the tick budget *)
+
+type result = { r_seed : int; r_point : string; r_outcome : outcome }
+
+(** [`Pass]: the daemon died, the traces matched on drained runs, and the
+    restart converged. [`Fail]: it died but a check failed. [`Unreached]:
+    the armed point never fired (e.g. [inject_data] on a workload whose
+    jump tables were lowered away — there is no data to inject). *)
+val verdict : result -> [ `Pass | `Unreached | `Fail ]
+
+(** [verdict r = `Pass]. *)
+val passed : result -> bool
+
+val outcome_to_string : outcome -> string
+val result_to_string : result -> string
+
+(** Shared reference runs, keyed by (seed, survivor version). *)
+type ref_cache
+
+val new_cache : unit -> ref_cache
+
+(** One (seed, point) scenario: kill run, reference run, convergence run.
+    [cache] shares reference runs across scenarios of the same seed. *)
+val scenario :
+  ?config:config -> ?cache:ref_cache -> seed:int -> point:string -> unit -> result
+
+(** The full catalog ({!Ocolos_core.Ocolos.fault_catalog}). *)
+val default_points : string list
+
+val default_seeds : int list
+
+(** Run scenarios over [seeds] x [points]; reference runs are shared per
+    seed. *)
+val sweep :
+  ?config:config -> ?seeds:int list -> ?points:string list -> unit -> result list

@@ -72,6 +72,8 @@ type ocolos_run = {
   profile : Ocolos_profiler.Profile.t;
   rollbacks : int; (* replacement attempts rolled back by injected faults *)
   attempts : int; (* total replacement attempts (rollbacks + the commit) *)
+  breaker : Ocolos_core.Guard.breaker_state; (* supervision state after the run *)
+  quarantined : int list; (* fids excluded from reordering by the guard *)
 }
 
 exception Replacement_failed of string
@@ -82,9 +84,10 @@ exception Replacement_failed of string
    stop-the-world pause), then measure steady state. Replacement runs
    transactionally: a rolled-back attempt charges its aborted pause to the
    target and is retried, up to [max_attempts] in total. *)
-let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
+let ocolos_steady ?config ?guard ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
     ?(profile_s = 2.0) ?(measure = default_measure) ?(max_attempts = 4) (w : Workload.t)
     ~input =
+  let guard = match guard with Some g -> g | None -> Ocolos_core.Guard.create () in
   Trace.span "ocolos.run"
     ~attrs:[ ("workload", Trace.S w.Workload.name); ("seed", Trace.I seed) ]
   @@ fun run_sp ->
@@ -108,7 +111,10 @@ let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
   Ocolos_core.Ocolos.start_profiling oc;
   advance profile_s;
   let profile, perf2bolt_seconds = Ocolos_core.Ocolos.stop_profiling oc in
-  let result, bolt_seconds = Ocolos_core.Ocolos.run_bolt oc profile in
+  let result, bolt_seconds =
+    Ocolos_core.Ocolos.run_bolt ~exclude:(Ocolos_core.Guard.quarantined guard) oc profile
+  in
+  Ocolos_core.Guard.record_func_failures guard result.Ocolos_bolt.Bolt.failed;
   (* Background perf2bolt + BOLT compete with the target for cycles. Only a
      bounded slice of that interval is actually simulated (it does not
      affect the post-replacement steady state we are measuring); the
@@ -140,14 +146,21 @@ let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
       in
       Metrics.sample ~buckets:Metrics.pause_buckets "ocolos_replace_pause_seconds" rb_pause;
       Proc.stall_all proc ~cycles:(Clock.seconds_to_cycles rb_pause) ~category:`Backend;
-      if n >= max_attempts then
+      if n >= max_attempts then begin
+        (* The breaker hears about the failed campaign before we raise, so a
+           continuous driver sharing [guard] backs off instead of hammering. *)
+        Ocolos_core.Guard.campaign_failed guard ~now_s:!horizon;
+        Ocolos_core.Guard.export guard;
         raise
           (Replacement_failed
              (Fmt.str "all %d attempts rolled back (last at %s, hit %d)" max_attempts
                 rb.Ocolos_core.Txn.rb_point rb.Ocolos_core.Txn.rb_hit))
+      end
       else attempt (n + 1)
   in
   let stats = attempt 1 in
+  Ocolos_core.Guard.campaign_succeeded guard;
+  Ocolos_core.Guard.export guard;
   Proc.stall_all proc
     ~cycles:(Clock.seconds_to_cycles stats.Ocolos_core.Ocolos.pause_seconds)
     ~category:`Backend;
@@ -178,4 +191,6 @@ let ocolos_steady ?config ?nthreads ?(seed = 1234) ?(warmup = default_warmup)
     bolt_seconds;
     profile;
     rollbacks = !rollbacks;
-    attempts = !rollbacks + 1 }
+    attempts = !rollbacks + 1;
+    breaker = Ocolos_core.Guard.breaker_state guard;
+    quarantined = Ocolos_core.Guard.quarantined guard }

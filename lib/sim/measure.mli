@@ -59,6 +59,10 @@ type ocolos_run = {
   profile : Ocolos_profiler.Profile.t;
   rollbacks : int;  (** replacement attempts rolled back by injected faults *)
   attempts : int;  (** total replacement attempts (rollbacks + the commit) *)
+  breaker : Ocolos_core.Guard.breaker_state;
+      (** circuit-breaker state after the run (Open after a failed campaign
+          when the guard is shared across runs) *)
+  quarantined : int list;  (** fids the guard excluded from reordering *)
 }
 
 (** Raised by {!ocolos_steady} when every replacement attempt rolled back. *)
@@ -69,9 +73,15 @@ exception Replacement_failed of string
     contention stalls), replace code (charging the pause), then measure.
     Replacement runs transactionally ({!Ocolos_core.Txn}): rolled-back
     attempts charge their aborted pause and are retried up to
-    [max_attempts] times in total before {!Replacement_failed}. *)
+    [max_attempts] times in total before {!Replacement_failed}.
+
+    [guard] (default: fresh) carries supervision state: per-function BOLT
+    failures feed its quarantine (excluded from reordering on this and
+    later runs sharing the guard), the commit/failure outcome feeds its
+    circuit breaker, and the final state is reported in the result. *)
 val ocolos_steady :
   ?config:Ocolos_core.Ocolos.config ->
+  ?guard:Ocolos_core.Guard.t ->
   ?nthreads:int ->
   ?seed:int ->
   ?warmup:float ->

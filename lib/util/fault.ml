@@ -6,6 +6,19 @@
    randomness flows through {!Rng}, so a failing run replays exactly from
    (seed, point, schedule).
 
+   Points are grouped into dotted *domains* ("perf.sample_drop" lives in
+   domain "perf"); undotted legacy points ("pause", "commit", ...) belong
+   to the stop-the-world transaction and report domain "txn". The domain
+   carries no registry semantics — it names which pipeline phase owns the
+   point, so supervisors and reports can aggregate by phase.
+
+   A point may also be armed *lethally* ([kill]): the same schedule
+   decides when it fires, but the hit raises [Killed] instead of
+   [Injected]. [Injected] models a survivable failure the pipeline handles
+   in place (rollback, degradation, campaign abort); [Killed] models the
+   OCOLOS daemon process dying at that point — handlers for survivable
+   faults must let it escape so a crash-recovery harness can observe it.
+
    The registry never perturbs execution when a point is unarmed: [cut] on
    an unarmed (or unknown) point only bumps a counter. *)
 
@@ -17,6 +30,7 @@ type schedule =
 
 type point = {
   mutable schedule : schedule;
+  mutable lethal : bool; (* fire as [Killed] rather than [Injected] *)
   mutable hits : int;
   mutable fired : int;
   rng : Rng.t; (* private stream for [Prob]; a pure function of (seed, name) *)
@@ -25,6 +39,7 @@ type point = {
 type t = { seed : int; table : (string, point) Hashtbl.t }
 
 exception Injected of string * int
+exception Killed of string * int
 
 let create ?(seed = 0) () = { seed; table = Hashtbl.create 16 }
 
@@ -34,6 +49,7 @@ let state t name =
   | None ->
     let p =
       { schedule = Never;
+        lethal = false;
         hits = 0;
         fired = 0;
         rng = Rng.create (t.seed lxor Hashtbl.hash name) }
@@ -41,8 +57,35 @@ let state t name =
     Hashtbl.add t.table name p;
     p
 
-let arm t name schedule = (state t name).schedule <- schedule
-let disarm t name = (state t name).schedule <- Never
+(* A schedule that can never fire (Nth 0) or always fires (Prob > 1 would,
+   if clamping let it through) is a silent test-coverage hole: the caller
+   believes a fault is armed when nothing (or everything) will happen.
+   Reject such schedules loudly instead of arming them. *)
+let validate_schedule = function
+  | Never -> Ok ()
+  | Nth n when n < 1 -> Error (Fmt.str "nth must be >= 1 (got %d)" n)
+  | Nth _ -> Ok ()
+  | Every k when k < 1 -> Error (Fmt.str "every must be >= 1 (got %d)" k)
+  | Every _ -> Ok ()
+  | Prob p when not (p > 0.0 && p <= 1.0) ->
+    Error (Fmt.str "probability must be in (0, 1] (got %g)" p)
+  | Prob _ -> Ok ()
+
+let arm_gen ~lethal t name schedule =
+  (match validate_schedule schedule with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Fmt.str "Fault.arm %s: %s" name msg));
+  let p = state t name in
+  p.schedule <- schedule;
+  p.lethal <- lethal
+
+let arm t name schedule = arm_gen ~lethal:false t name schedule
+let kill t name schedule = arm_gen ~lethal:true t name schedule
+
+let disarm t name =
+  let p = state t name in
+  p.schedule <- Never;
+  p.lethal <- false
 
 let reset t =
   Hashtbl.iter
@@ -63,13 +106,19 @@ let cut t name =
   p.hits <- p.hits + 1;
   if should_fire p then begin
     p.fired <- p.fired + 1;
-    raise (Injected (name, p.hits))
+    if p.lethal then raise (Killed (name, p.hits)) else raise (Injected (name, p.hits))
   end
 
 let hits t name = (state t name).hits
 let fired t name = (state t name).fired
+let lethal t name = (state t name).lethal
 let total_fired t = Hashtbl.fold (fun _ p acc -> acc + p.fired) t.table 0
 let points t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+
+let domain_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> "txn"
 
 let pp_schedule fmt = function
   | Never -> Fmt.string fmt "never"
@@ -80,26 +129,25 @@ let pp_schedule fmt = function
 (* "point", "point:N", "point:every:K", "point:p:P" *)
 let parse_arm t spec =
   let fail () = Error (Fmt.str "bad fault spec %S (want POINT[:N|:every:K|:p:P])" spec) in
+  let checked point schedule =
+    match validate_schedule schedule with
+    | Ok () ->
+      arm t point schedule;
+      Ok point
+    | Error msg -> Error (Fmt.str "bad fault spec %S: %s" spec msg)
+  in
   match String.split_on_char ':' spec with
-  | [ point ] when point <> "" ->
-    arm t point (Nth 1);
-    Ok point
+  | [ point ] when point <> "" -> checked point (Nth 1)
   | [ point; n ] when point <> "" -> (
     match int_of_string_opt n with
-    | Some n when n >= 1 ->
-      arm t point (Nth n);
-      Ok point
-    | Some _ | None -> fail ())
+    | Some n -> checked point (Nth n)
+    | None -> fail ())
   | [ point; "every"; k ] when point <> "" -> (
     match int_of_string_opt k with
-    | Some k when k >= 1 ->
-      arm t point (Every k);
-      Ok point
-    | Some _ | None -> fail ())
+    | Some k -> checked point (Every k)
+    | None -> fail ())
   | [ point; "p"; p ] when point <> "" -> (
     match float_of_string_opt p with
-    | Some p when p >= 0.0 && p <= 1.0 ->
-      arm t point (Prob p);
-      Ok point
-    | Some _ | None -> fail ())
+    | Some p -> checked point (Prob p)
+    | None -> fail ())
   | _ -> fail ()

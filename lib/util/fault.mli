@@ -4,7 +4,17 @@
     each point; an armed schedule decides — as a pure function of the seed
     and the per-point hit count — whether that hit raises {!Injected}.
     Unarmed points cost one counter increment and nothing else, so
-    instrumentation can stay on in production code paths. *)
+    instrumentation can stay on in production code paths.
+
+    Points are grouped into dotted {e domains}: ["perf.sample_drop"] lives
+    in domain ["perf"]; undotted legacy points (["pause"], ["commit"], …)
+    belong to the stop-the-world transaction and report domain ["txn"].
+
+    A point may be armed {e lethally} ({!kill}): the same schedule decides
+    when it fires, but the hit raises {!Killed} — modelling the OCOLOS
+    daemon process dying at that point. Handlers for survivable faults must
+    catch {!Injected} only, so {!Killed} escapes to the crash-recovery
+    harness. *)
 
 type schedule =
   | Never
@@ -18,27 +28,52 @@ type t
     count at which it fired. *)
 exception Injected of string * int
 
+(** Raised instead of {!Injected} when the firing point was armed with
+    {!kill}: the daemon dies here. *)
+exception Killed of string * int
+
 val create : ?seed:int -> unit -> t
 
+(** Arm a point. Raises [Invalid_argument] on a schedule that could never
+    fire or always fires vacuously: [Nth n] or [Every k] with an argument
+    < 1, or [Prob p] outside (0, 1]. *)
 val arm : t -> string -> schedule -> unit
+
+(** Arm a point lethally: when the schedule fires, {!cut} raises {!Killed}.
+    Same schedule validation as {!arm}. *)
+val kill : t -> string -> schedule -> unit
+
 val disarm : t -> string -> unit
 
 (** Zero all hit/fired counters; schedules stay armed. *)
 val reset : t -> unit
 
-(** Register a hit at a named point; raises {!Injected} when the armed
-    schedule fires. *)
+(** Register a hit at a named point; raises {!Injected} (or {!Killed} for a
+    lethally armed point) when the armed schedule fires. *)
 val cut : t -> string -> unit
 
 val hits : t -> string -> int
 val fired : t -> string -> int
+
+(** True when the point is currently armed lethally. *)
+val lethal : t -> string -> bool
+
 val total_fired : t -> int
 
 (** Every point ever armed or hit, sorted. *)
 val points : t -> string list
 
+(** Domain of a point name: the prefix before the first ['.'], or ["txn"]
+    for undotted stop-the-world points. *)
+val domain_of : string -> string
+
+(** [Ok ()] iff {!arm} would accept the schedule; the [Error] carries the
+    human-readable rejection reason. *)
+val validate_schedule : schedule -> (unit, string) result
+
 val pp_schedule : Format.formatter -> schedule -> unit
 
 (** Parse-and-arm a CLI spec: ["point"] (= nth 1), ["point:N"],
-    ["point:every:K"] or ["point:p:P"]. Returns the point name. *)
+    ["point:every:K"] or ["point:p:P"]. Returns the point name; rejects
+    schedules {!arm} would reject, with the reason in the [Error]. *)
 val parse_arm : t -> string -> (string, string) result

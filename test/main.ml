@@ -17,6 +17,7 @@ let () =
       ("txn", Test_txn.suite);
       ("bam", Test_bam.suite);
       ("daemon", Test_daemon.suite);
+      ("supervisor", Test_supervisor.suite);
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
       ("disasm", Test_disasm.suite);

@@ -219,6 +219,191 @@ let test_daemon_gives_up_after_max_retries () =
   Alcotest.(check bool) "process still making progress" true
     (Ocolos_proc.Proc.transactions proc > tx)
 
+(* ---- supervision: jitter, breaker, quarantine, watchdog ---- *)
+
+module Guard = Ocolos_core.Guard
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+let test_guard_jitter_bounds_and_determinism () =
+  let g = Guard.create ~seed:3 () in
+  for _ = 1 to 200 do
+    let j = Guard.jittered g 2.0 in
+    Alcotest.(check bool) "within +/-25%" true (j >= 1.5 && j <= 2.5)
+  done;
+  let a = Guard.create ~seed:9 () and b = Guard.create ~seed:9 () in
+  let xs = List.init 20 (fun _ -> Guard.jittered a 1.0) in
+  let ys = List.init 20 (fun _ -> Guard.jittered b 1.0) in
+  Alcotest.(check bool) "same seed, same stream" true (xs = ys);
+  let c = Guard.create ~seed:10 () in
+  let zs = List.init 20 (fun _ -> Guard.jittered c 1.0) in
+  Alcotest.(check bool) "different seed, different stream" true (xs <> zs);
+  (* The stream actually varies — jitter is not a constant offset. *)
+  Alcotest.(check bool) "jitter varies" true
+    (List.exists (fun x -> Float.abs (x -. List.hd xs) > 1e-9) (List.tl xs))
+
+let test_guard_breaker_state_machine () =
+  let config =
+    { Guard.default_config with
+      Guard.breaker_threshold = 2;
+      breaker_cooldown_s = 10.0;
+      jitter = 0.0 (* deterministic cooldown for exact boundary checks *) }
+  in
+  let g = Guard.create ~config ~seed:1 () in
+  Alcotest.(check bool) "starts closed" true (Guard.breaker_state g = Guard.Closed);
+  Guard.campaign_failed g ~now_s:0.0;
+  Alcotest.(check bool) "one failure: still closed" true (Guard.breaker_state g = Guard.Closed);
+  Alcotest.(check bool) "degraded tier after a failure" true
+    (Guard.tier g = `Func_reorder_only);
+  Guard.campaign_failed g ~now_s:1.0;
+  (match Guard.breaker_state g with
+  | Guard.Open { until_s } -> Alcotest.(check (float 1e-9)) "cooldown" 11.0 until_s
+  | _ -> Alcotest.fail "breaker should be open at the threshold");
+  Alcotest.(check bool) "refuses during cooldown" false (Guard.allow_campaign g ~now_s:5.0);
+  Alcotest.(check bool) "still open" true
+    (match Guard.breaker_state g with Guard.Open _ -> true | _ -> false);
+  Alcotest.(check bool) "admits the probe after cooldown" true
+    (Guard.allow_campaign g ~now_s:11.0);
+  Alcotest.(check bool) "half-open during the probe" true
+    (Guard.breaker_state g = Guard.Half_open);
+  Guard.campaign_failed g ~now_s:12.0;
+  Alcotest.(check bool) "failed probe re-opens" true
+    (match Guard.breaker_state g with Guard.Open _ -> true | _ -> false);
+  Alcotest.(check int) "opened twice" 2 (Guard.breaker_opens g);
+  Alcotest.(check bool) "probe again" true (Guard.allow_campaign g ~now_s:30.0);
+  Guard.campaign_succeeded g;
+  Alcotest.(check bool) "success closes" true (Guard.breaker_state g = Guard.Closed);
+  Alcotest.(check int) "consecutive reset" 0 (Guard.consecutive_failures g);
+  Alcotest.(check bool) "tier restored" true (Guard.tier g = `Full)
+
+let test_guard_quarantine_monotone () =
+  let g = Guard.create ~config:{ Guard.default_config with Guard.quarantine_after = 2 } () in
+  Guard.record_func_failures g [ (3, "bolt.cfg"); (7, "bolt.bb_reorder") ];
+  Alcotest.(check (list int)) "below threshold" [] (Guard.quarantined g);
+  Guard.record_func_failures g [ (3, "bolt.peephole") ];
+  Alcotest.(check (list int)) "fid 3 quarantined at 2 failures" [ 3 ] (Guard.quarantined g);
+  Alcotest.(check bool) "is_quarantined" true (Guard.is_quarantined g 3);
+  Guard.record_func_failures g [ (3, "bolt.cfg"); (7, "bolt.cfg") ];
+  Alcotest.(check (list int)) "monotone, sorted" [ 3; 7 ] (Guard.quarantined g);
+  Guard.campaign_succeeded g;
+  Alcotest.(check (list int)) "success never un-quarantines" [ 3; 7 ] (Guard.quarantined g)
+
+let test_guard_watchdog () =
+  let g =
+    Guard.create
+      ~config:
+        { Guard.default_config with
+          Guard.perf2bolt_deadline_s = Some 1.0;
+          bolt_deadline_s = None }
+      ()
+  in
+  Alcotest.(check bool) "under deadline" false
+    (Guard.check_deadline g ~phase:`Perf2bolt ~seconds:0.5);
+  Alcotest.(check bool) "over deadline trips" true
+    (Guard.check_deadline g ~phase:`Perf2bolt ~seconds:1.5);
+  Alcotest.(check bool) "unconfigured phase never trips" false
+    (Guard.check_deadline g ~phase:`Bolt ~seconds:1e9);
+  Alcotest.(check int) "one trip counted" 1 (Guard.watchdog_trips g)
+
+let test_daemon_campaign_abort_on_pipeline_fault () =
+  (* A fault escaping perf2bolt is not a rollback: nothing was paused. The
+     campaign aborts cleanly, the layout is kept, and monitoring resumes. *)
+  let proc, oc = fault_setup "perf2bolt.aggregate" (Ocolos_util.Fault.Every 1) in
+  let config =
+    { Daemon.default_config with Daemon.profile_s = 1.0; warmup_s = 0.5; min_interval_s = 30.0 }
+  in
+  let d = Daemon.create ~config oc proc in
+  let actions = List.map snd (run_daemon d proc ~from:0 ~seconds:6) in
+  Alcotest.(check bool) "campaign aborted naming the point" true
+    (List.exists
+       (function
+         | Daemon.Campaign_aborted reason -> contains ~affix:"perf2bolt.aggregate" reason
+         | _ -> false)
+       actions);
+  Alcotest.(check int) "no attempts entered the transaction" 0 (Daemon.attempts d);
+  Alcotest.(check int) "still on C0" 0 (Ocolos_core.Ocolos.version oc);
+  Alcotest.(check bool) "back to monitoring" true (Daemon.phase d = Daemon.Monitoring)
+
+let test_daemon_breaker_opens_then_recovers () =
+  (* One aborted campaign with breaker_threshold = 1: the breaker opens, a
+     warranted campaign is refused (Breaker_open), the half-open probe after
+     cooldown runs fault-free (Nth 1 already fired) and commits, closing the
+     breaker. *)
+  let proc, oc = fault_setup "perf2bolt.aggregate" (Ocolos_util.Fault.Nth 1) in
+  let config =
+    { Daemon.default_config with Daemon.profile_s = 1.0; warmup_s = 0.5; min_interval_s = 2.0 }
+  in
+  let guard =
+    Guard.create
+      ~config:
+        { Guard.default_config with Guard.breaker_threshold = 1; breaker_cooldown_s = 5.0 }
+      ~seed:2 ()
+  in
+  let d = Daemon.create ~config ~guard oc proc in
+  let actions = List.map snd (run_daemon d proc ~from:0 ~seconds:20) in
+  let has p = List.exists p actions in
+  Alcotest.(check bool) "campaign aborted" true
+    (has (function Daemon.Campaign_aborted _ -> true | _ -> false));
+  Alcotest.(check bool) "breaker refused a warranted campaign" true
+    (has (function Daemon.Breaker_open _ -> true | _ -> false));
+  Alcotest.(check bool) "half-open probe committed" true
+    (has (function Daemon.Replaced _ -> true | _ -> false));
+  Alcotest.(check bool) "breaker closed again" true
+    (Daemon.breaker_state d = Guard.Closed);
+  Alcotest.(check int) "opened exactly once" 1 (Guard.breaker_opens guard);
+  Alcotest.(check int) "one replacement" 1 (Daemon.replacements d)
+
+let test_daemon_quarantines_repeat_offenders () =
+  (* bolt.cfg on every cut: every hot function's CFG reconstruction fails
+     in every campaign (absorbed as skip-this-function degradation), so
+     after quarantine_after campaigns those fids are excluded for good.
+     regression_tolerance < 0 forces a campaign every min_interval. *)
+  let proc, oc = fault_setup "bolt.cfg" (Ocolos_util.Fault.Every 1) in
+  let config =
+    { Daemon.default_config with
+      Daemon.profile_s = 1.0;
+      warmup_s = 0.5;
+      min_interval_s = 2.0;
+      regression_tolerance = -0.5 }
+  in
+  let d = Daemon.create ~config oc proc in
+  ignore (run_daemon d proc ~from:0 ~seconds:8);
+  Alcotest.(check bool) "campaigns still commit (degraded)" true (Daemon.replacements d >= 2);
+  let q1 = Daemon.quarantined d in
+  Alcotest.(check bool) "repeat offenders quarantined" true (q1 <> []);
+  ignore (run_daemon d proc ~from:8 ~seconds:4);
+  let q2 = Daemon.quarantined d in
+  Alcotest.(check bool) "quarantine is monotone" true
+    (List.for_all (fun fid -> List.mem fid q2) q1)
+
+let test_daemon_watchdog_aborts_campaign () =
+  (* A zero perf2bolt deadline trips on any modeled duration: the campaign
+     aborts before BOLT, nothing is paused, the layout is kept. *)
+  let w = Apps.tiny ~tx_limit:None () in
+  let proc = Workload.launch w ~input:(Workload.find_input w "a") in
+  let oc = Ocolos_core.Ocolos.attach proc in
+  let config =
+    { Daemon.default_config with Daemon.profile_s = 1.0; warmup_s = 0.5; min_interval_s = 30.0 }
+  in
+  let guard =
+    Guard.create
+      ~config:{ Guard.default_config with Guard.perf2bolt_deadline_s = Some 0.0 }
+      ()
+  in
+  let d = Daemon.create ~config ~guard oc proc in
+  let actions = List.map snd (run_daemon d proc ~from:0 ~seconds:6) in
+  Alcotest.(check bool) "watchdog abort" true
+    (List.exists
+       (function
+         | Daemon.Campaign_aborted reason -> contains ~affix:"watchdog" reason
+         | _ -> false)
+       actions);
+  Alcotest.(check int) "watchdog tripped" 1 (Guard.watchdog_trips guard);
+  Alcotest.(check int) "still on C0" 0 (Ocolos_core.Ocolos.version oc)
+
 let test_perf_report_finds_hot_function () =
   (* Under the original layout, the parser should rank among the top L1i
      missers (the MYSQLparse effect); under OCOLOS it should fade. *)
@@ -266,5 +451,18 @@ let suite =
       test_daemon_rolls_back_then_retries;
     Alcotest.test_case "daemon gives up after max retries" `Quick
       test_daemon_gives_up_after_max_retries;
+    Alcotest.test_case "guard jitter bounds and determinism" `Quick
+      test_guard_jitter_bounds_and_determinism;
+    Alcotest.test_case "guard breaker state machine" `Quick test_guard_breaker_state_machine;
+    Alcotest.test_case "guard quarantine monotone" `Quick test_guard_quarantine_monotone;
+    Alcotest.test_case "guard watchdog" `Quick test_guard_watchdog;
+    Alcotest.test_case "daemon aborts campaign on pipeline fault" `Quick
+      test_daemon_campaign_abort_on_pipeline_fault;
+    Alcotest.test_case "daemon breaker opens then recovers" `Quick
+      test_daemon_breaker_opens_then_recovers;
+    Alcotest.test_case "daemon quarantines repeat offenders" `Quick
+      test_daemon_quarantines_repeat_offenders;
+    Alcotest.test_case "daemon watchdog aborts campaign" `Quick
+      test_daemon_watchdog_aborts_campaign;
     Alcotest.test_case "perf report finds hot function" `Quick
       test_perf_report_finds_hot_function ]

@@ -246,6 +246,106 @@ let prop_emit_deterministic =
       && a.Workload.binary.Ocolos_binary.Binary.entry
          = b.Workload.binary.Ocolos_binary.Binary.entry)
 
+(* 10. Supervision: under ANY survivable fault schedule at ANY catalog
+   point, a campaign never runs more than max_retries + 1 attempts, the
+   attempt ledger balances (attempts = replacements + rollbacks after every
+   tick), and giving_up is announced exactly at the budget boundary. *)
+let fault_catalog = Ocolos_core.Ocolos.fault_catalog
+
+let gen_fault_run =
+  QCheck.make
+    ~print:(fun (pi, kind, k, seed, max_retries) ->
+      Printf.sprintf "point=%s kind=%d k=%d seed=%d max_retries=%d"
+        (List.nth fault_catalog (pi mod List.length fault_catalog))
+        kind k seed max_retries)
+    QCheck.Gen.(
+      tup5 (int_bound 1000) (int_bound 2) (int_range 1 3) (int_bound 10_000) (int_range 0 3))
+
+let prop_campaign_respects_retry_budget =
+  QCheck.Test.make ~name:"campaign never exceeds the retry budget" ~count:10 gen_fault_run
+    (fun (pi, kind, k, seed, max_retries) ->
+      let module Daemon = Ocolos_core.Daemon in
+      let point = List.nth fault_catalog (pi mod List.length fault_catalog) in
+      let schedule =
+        match kind with
+        | 0 -> Ocolos_util.Fault.Nth k
+        | 1 -> Ocolos_util.Fault.Every k
+        | _ -> Ocolos_util.Fault.Prob (float_of_int k /. 4.0 |> Float.min 1.0)
+      in
+      let w = Apps.tiny ~tx_limit:None () in
+      let proc = Workload.launch ~seed:(1 + (seed mod 97)) w ~input:(Workload.find_input w "a") in
+      let fault = Ocolos_util.Fault.create ~seed () in
+      Ocolos_util.Fault.arm fault point schedule;
+      let oc =
+        Ocolos_core.Ocolos.attach
+          ~config:
+            { Ocolos_core.Ocolos.default_config with Ocolos_core.Ocolos.fault = Some fault }
+          proc
+      in
+      let config =
+        { Daemon.default_config with
+          Daemon.profile_s = 1.0;
+          warmup_s = 0.5;
+          min_interval_s = 2.0;
+          max_retries;
+          retry_backoff_s = 0.25 }
+      in
+      let d = Daemon.create ~config oc proc in
+      let ok = ref true in
+      for s = 1 to 10 do
+        let now_s = float_of_int s in
+        Ocolos_proc.Proc.run ~cycle_limit:(Ocolos_sim.Clock.seconds_to_cycles now_s) proc;
+        (match Daemon.tick d ~now_s with
+        | Daemon.Rolled_back { attempt; giving_up; _ } ->
+          if attempt > max_retries + 1 then ok := false;
+          if giving_up <> (attempt = max_retries + 1) then ok := false
+        | Daemon.Retrying { attempt } -> if attempt > max_retries + 1 then ok := false
+        | _ -> ());
+        (* The ledger balances after every tick: each attempt either
+           committed or rolled back, never vanished. *)
+        if Daemon.attempts d <> Daemon.replacements d + Daemon.rollbacks d then ok := false;
+        if Daemon.retries d > Daemon.rollbacks d then ok := false
+      done;
+      !ok)
+
+(* 11. Quarantine is monotone and exact: under random failure batches
+   interleaved with campaign outcomes, a fid is quarantined iff its
+   cumulative failures reached quarantine_after, and the set never
+   shrinks. *)
+let prop_quarantine_monotone =
+  QCheck.Test.make ~name:"quarantine monotone and threshold-exact" ~count:100
+    QCheck.(
+      pair
+        (QCheck.make QCheck.Gen.(int_range 1 4))
+        (list_of_size (QCheck.Gen.int_range 0 30)
+           (pair (QCheck.int_bound 9) (QCheck.int_bound 2))))
+    (fun (quarantine_after, batches) ->
+      let module Guard = Ocolos_core.Guard in
+      let g =
+        Guard.create ~config:{ Guard.default_config with Guard.quarantine_after } ()
+      in
+      let failures = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun (fid, outcome) ->
+          let before = Guard.quarantined g in
+          Guard.record_func_failures g [ (fid, "bolt.cfg") ];
+          Hashtbl.replace failures fid
+            (1 + Option.value ~default:0 (Hashtbl.find_opt failures fid));
+          (* Outcomes between batches must not shrink the set. *)
+          (match outcome with
+          | 0 -> Guard.campaign_succeeded g
+          | 1 -> Guard.campaign_failed g ~now_s:0.0
+          | _ -> ());
+          let after = Guard.quarantined g in
+          if not (List.for_all (fun f -> List.mem f after) before) then ok := false;
+          Hashtbl.iter
+            (fun f n ->
+              if (n >= quarantine_after) <> Guard.is_quarantined g f then ok := false)
+            failures)
+        batches;
+      !ok)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_programs_terminate;
@@ -257,4 +357,6 @@ let suite =
       prop_cache_capacity_bound;
       prop_profile_merge_commutes;
       prop_layout_func_permutation;
-      prop_emit_deterministic ]
+      prop_emit_deterministic;
+      prop_campaign_respects_retry_budget;
+      prop_quarantine_monotone ]

@@ -1,6 +1,93 @@
-(* Unit tests for ocolos_util: PRNG, statistics, table rendering. *)
+(* Unit tests for ocolos_util: PRNG, statistics, table rendering, fault
+   registry. *)
 
 open Ocolos_util
+
+(* ---- fault registry: schedule validation, domains, lethal arming ---- *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+let test_fault_schedule_validation () =
+  let ok s = Alcotest.(check bool) "accepted" true (Fault.validate_schedule s = Ok ()) in
+  ok (Fault.Nth 1);
+  ok (Fault.Every 1);
+  ok (Fault.Prob 1.0);
+  ok (Fault.Prob 0.001);
+  ok Fault.Never;
+  let rejected s reason_frag =
+    match Fault.validate_schedule s with
+    | Ok () -> Alcotest.fail "vacuous schedule accepted"
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reason %S mentions %S" msg reason_frag)
+        true
+        (contains ~affix:reason_frag msg)
+  in
+  rejected (Fault.Nth 0) ">= 1";
+  rejected (Fault.Nth (-3)) "-3";
+  rejected (Fault.Every 0) ">= 1";
+  rejected (Fault.Prob 0.0) "(0, 1]";
+  rejected (Fault.Prob 1.5) "1.5";
+  rejected (Fault.Prob (-0.1)) "(0, 1]";
+  let f = Fault.create () in
+  Alcotest.check_raises "arm rejects" (Invalid_argument "Fault.arm pause: nth must be >= 1 (got 0)")
+    (fun () -> Fault.arm f "pause" (Fault.Nth 0));
+  Alcotest.check_raises "kill rejects too"
+    (Invalid_argument "Fault.arm pause: every must be >= 1 (got 0)") (fun () ->
+      Fault.kill f "pause" (Fault.Every 0))
+
+let test_fault_parse_arm () =
+  let f = Fault.create ~seed:1 () in
+  Alcotest.(check (result string string)) "bare point" (Ok "pause") (Fault.parse_arm f "pause");
+  Alcotest.(check (result string string)) "nth" (Ok "inject_code")
+    (Fault.parse_arm f "inject_code:3");
+  Alcotest.(check (result string string)) "every" (Ok "perf.sample_drop")
+    (Fault.parse_arm f "perf.sample_drop:every:2");
+  Alcotest.(check (result string string)) "prob" (Ok "commit")
+    (Fault.parse_arm f "commit:p:0.5");
+  let rejects spec =
+    match Fault.parse_arm f spec with
+    | Ok p -> Alcotest.fail (Printf.sprintf "%S accepted as %S" spec p)
+    | Error msg -> Alcotest.(check bool) "descriptive" true (String.length msg > 10)
+  in
+  rejects "pause:0";
+  rejects "pause:every:0";
+  rejects "pause:p:0";
+  rejects "pause:p:1.5";
+  rejects "pause:p:zero";
+  rejects "pause:sometimes";
+  (* Successful parses are armed: nth 1 fires on the first cut. *)
+  (try
+     Fault.cut f "pause";
+     Alcotest.fail "armed point did not fire"
+   with Fault.Injected ("pause", 1) -> ());
+  Alcotest.(check int) "fired once" 1 (Fault.fired f "pause")
+
+let test_fault_domains () =
+  Alcotest.(check string) "dotted" "perf" (Fault.domain_of "perf.sample_drop");
+  Alcotest.(check string) "dotted 2" "bolt" (Fault.domain_of "bolt.func_reorder");
+  Alcotest.(check string) "undotted is txn" "txn" (Fault.domain_of "pause");
+  Alcotest.(check string) "undotted is txn 2" "txn" (Fault.domain_of "gc_copy")
+
+let test_fault_lethal () =
+  let f = Fault.create () in
+  Fault.kill f "inject_code" (Fault.Nth 2);
+  Alcotest.(check bool) "lethal" true (Fault.lethal f "inject_code");
+  Fault.cut f "inject_code";
+  (* A survivable-fault handler must not absorb a kill. *)
+  let escaped =
+    try
+      (try Fault.cut f "inject_code" with Fault.Injected _ -> ());
+      false
+    with Fault.Killed ("inject_code", 2) -> true
+  in
+  Alcotest.(check bool) "Killed escapes Injected handlers" true escaped;
+  Fault.disarm f "inject_code";
+  Alcotest.(check bool) "disarm clears lethal" false (Fault.lethal f "inject_code");
+  Fault.cut f "inject_code"
 
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -99,7 +186,11 @@ let test_fmt_int () =
   Alcotest.(check string) "million" "1,234,567" (Table.fmt_int 1234567)
 
 let suite =
-  [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+  [ Alcotest.test_case "fault schedule validation" `Quick test_fault_schedule_validation;
+    Alcotest.test_case "fault parse_arm" `Quick test_fault_parse_arm;
+    Alcotest.test_case "fault domains" `Quick test_fault_domains;
+    Alcotest.test_case "fault lethal arming" `Quick test_fault_lethal;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
     Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
     Alcotest.test_case "rng bool bias" `Quick test_rng_bool_bias;
