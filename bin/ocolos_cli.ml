@@ -10,6 +10,9 @@
                                    faults anywhere in the pipeline)
      faults                        list fault domains and injection points
      chaos                         kill/restart crash-recovery sweep
+     fleet                         N-replica canary rollout under open-loop
+                                   traffic (--inject-regression demonstrates
+                                   the guard-driven staged rollback)
      timeline -w W -i I            per-second Fig.7-style timeline
      topdown  -w W -i I            stage-1 TopDown bottleneck analysis
      stats    -w W -i I            pipeline phase + TopDown attribution tables
@@ -308,7 +311,8 @@ let chaos_cmd =
       & info [ "trace-dir" ] ~docv:"DIR"
           ~doc:
             "On failure, re-run each failing scenario with tracing on and write its \
-             Chrome/Perfetto trace-event JSON to $(docv)/chaos-seed$(i,S)-$(i,POINT).json.")
+             Chrome/Perfetto trace-event JSON to \
+             $(docv)/chaos-seed$(i,S)-$(i,DOMAIN)-$(i,POINT).json.")
   in
   let run seeds points trace_dir =
     let points = if points = [] then Ocolos_sim.Chaos.default_points else points in
@@ -347,11 +351,13 @@ let chaos_cmd =
           Fun.protect
             ~finally:(fun () -> Obs.Trace.uninstall ())
             (fun () -> ignore (Ocolos_sim.Chaos.scenario ~seed ~point ()));
-          let path =
-            Filename.concat dir
-              (Fmt.str "chaos-seed%d-%s.json" seed
-                 (String.map (function '.' -> '_' | c -> c) point))
+          let label =
+            Ocolos_sim.Chaos.scenario_label
+              { Ocolos_sim.Chaos.r_seed = seed;
+                r_point = point;
+                r_outcome = Ocolos_sim.Chaos.Not_reached }
           in
+          let path = Filename.concat dir (Fmt.str "chaos-%s.json" label) in
           Obs.Chrome.save path tr;
           Fmt.pr "wrote failing-scenario trace to %s@." path)
         (List.rev fails)
@@ -363,6 +369,96 @@ let chaos_cmd =
        ~doc:"Kill the daemon at every fault point; verify trace equality and restart \
              convergence")
     Term.(const run $ seeds_arg $ points_arg $ trace_dir_arg)
+
+(* Fleet rollout demo: N replicas of the endless tiny workload under
+   open-loop traffic, one canary campaign driven to its terminal outcome.
+   The exit status makes this a CI smoke: the requested path (promotion,
+   or rollback under --inject-regression) must actually have happened and
+   the fleet must end homogeneous. *)
+let fleet_cmd =
+  let module Fleet = Ocolos_core.Fleet in
+  let module Fleet_driver = Ocolos_sim.Fleet_driver in
+  let replicas_arg =
+    Arg.(value & opt int 4 & info [ "replicas" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  let canary_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "canary" ] ~docv:"PCT" ~doc:"Canary stage size, as a percent of the fleet.")
+  in
+  let inject_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-regression" ]
+          ~doc:
+            "Scale the measured canary IPC by 0.5 at the verdict: the canary check \
+             fails and the staged rollback path runs instead of the promotion.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Base seed (replica i adds i).")
+  in
+  let ticks_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "ticks" ] ~docv:"T" ~doc:"Simulated seconds to drive the fleet.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 40.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Open-loop arrival rate per replica (requests per simulated second).")
+  in
+  let inputs_arg =
+    Arg.(
+      value
+      & opt (list string) [ "a" ]
+      & info [ "inputs" ] ~docv:"I,.."
+          ~doc:
+            "Workload inputs dealt round-robin across replicas (tiny workload: a, b). \
+             A mixed list exercises cross-replica profile aggregation over a \
+             heterogeneous fleet.")
+  in
+  let run replicas canary inject seed ticks rate inputs trace metrics =
+    with_obs trace metrics @@ fun () ->
+    let config =
+      { Fleet.default_config with
+        Fleet.canary_fraction = float_of_int canary /. 100.0;
+        canary_ipc_scale = (if inject then 0.5 else 1.0);
+        daemon =
+          { Ocolos_core.Daemon.default_config with
+            Ocolos_core.Daemon.profile_s = 1.0;
+            warmup_s = 0.5;
+            min_interval_s = 2.0 } }
+    in
+    Fmt.pr "fleet: %d replicas, canary %d%%, rate %g req/s, %d ticks, seed %d%s@.@."
+      replicas canary rate ticks seed
+      (if inject then " — injecting an IPC regression at the canary verdict" else "");
+    let report, _fleet =
+      Fleet_driver.run ~replicas ~seed ~ticks ~arrival_rate:rate ~inputs ~config ()
+    in
+    Fmt.pr "%s" (Fleet_driver.report_to_string report);
+    let ok =
+      report.Fleet_driver.fd_converged
+      &&
+      if inject then report.Fleet_driver.fd_rollbacks > 0
+      else report.Fleet_driver.fd_rollouts > 0
+    in
+    Fmt.pr "@.%s@."
+      (if not ok then "FLEET ROLLOUT CHECK FAILED"
+       else if inject then
+         "rollback path verified: canary regression caught, every replica back on the \
+          old version"
+       else "rollout verified: canary promoted, every replica on the new version");
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Canary rollout across an N-replica fleet under open-loop traffic; \
+          $(b,--inject-regression) demonstrates the guard-driven staged rollback")
+    Term.(
+      const run $ replicas_arg $ canary_arg $ inject_arg $ seed_arg $ ticks_arg $ rate_arg
+      $ inputs_arg $ trace_arg $ metrics_arg)
 
 let out_arg =
   Arg.(
@@ -569,5 +665,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "ocolos_cli" ~doc)
           [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; faults_cmd; chaos_cmd;
-            timeline_cmd; topdown_cmd; stats_cmd; save_cmd; load_cmd; report_cmd;
-            disasm_cmd ]))
+            fleet_cmd; timeline_cmd; topdown_cmd; stats_cmd; save_cmd; load_cmd;
+            report_cmd; disasm_cmd ]))

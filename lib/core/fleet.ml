@@ -1,0 +1,452 @@
+(* Fleet-scale orchestration (see fleet.mli).
+
+   The state machine, per campaign:
+
+     Monitoring --gate--> Profiling --window--> [stop, aggregate, BOLT]
+       --> canary replace --> Verifying --soak--> verdict
+             |                                  |        |
+             | any replica rolls back           | pass   | breach
+             v                                  v        v
+       staged rollback                      promote   staged rollback
+       (revert committed)                   rest      (revert canaries)
+
+   Everything faultable — profiling, aggregation, BOLT, each replica's
+   transactional replacement — fails safe to C_i before the fleet diverges;
+   any partial rollout is unwound with {!Ocolos.revert}, which has no fault
+   cuts. The only way to strand a mixed fleet is the daemon *dying* between
+   replicas (Fault.Killed escaping [tick]), which [reattach] recovers. *)
+
+open Ocolos_proc
+open Ocolos_uarch
+open Ocolos_profiler
+module Trace = Ocolos_obs.Trace
+module Metrics = Ocolos_obs.Metrics
+
+type config = {
+  canary_fraction : float;
+  verify_s : float;
+  max_ipc_drop : float;
+  max_p99_rise : float;
+  canary_ipc_scale : float;
+  sample_keep_every : int option;
+  latency_probe : (int -> float) option;
+  daemon : Daemon.config;
+}
+
+let default_config =
+  { canary_fraction = 0.25;
+    verify_s = 2.0;
+    max_ipc_drop = 0.10;
+    max_p99_rise = 0.50;
+    canary_ipc_scale = 1.0;
+    sample_keep_every = None;
+    latency_probe = None;
+    daemon = Daemon.default_config }
+
+type replica = {
+  id : int;
+  proc : Proc.t;
+  oc : Ocolos.t;
+  mutable session : Perf.session option;
+  mutable prof_base : Counters.t; (* counters at profiling start *)
+  mutable baseline_ipc : float; (* IPC over the profiling window *)
+  mutable baseline_p99 : float; (* probe reading at canary start *)
+  mutable verify_base : Counters.t; (* counters at canary commit *)
+  mutable pause_debt : float; (* modeled pause seconds not yet charged as stalls *)
+}
+
+type phase =
+  | Monitoring
+  | Profiling of { since : float }
+  | Verifying of { until_s : float; canaries : int list; result : Ocolos_bolt.Bolt.result }
+
+type t = {
+  config : config;
+  guard : Guard.t;
+  reps : replica array;
+  mutable phase : phase;
+  mutable staged : (replica * Ocolos.snapshot) list; (* committed, newest first *)
+  mutable last_counters : Counters.t;
+  mutable last_tick_s : float;
+  mutable best_tps : float;
+  mutable last_replacement_s : float;
+  mutable rollouts : int;
+  mutable rollbacks : int;
+  mutable restart_reverted : int list;
+}
+
+type action =
+  | Idle
+  | Started_profiling of string
+  | Canary_started of { version : int; canaries : int list }
+  | Promoted of { version : int; replicas : int }
+  | Rolled_back of { reason : string; reverted : int list }
+  | Campaign_aborted of string
+  | Breaker_open of { until_s : float }
+
+let action_to_string = function
+  | Idle -> "idle"
+  | Started_profiling reason -> "profiling: " ^ reason
+  | Canary_started { version; canaries } ->
+    Fmt.str "canary C%d on replicas %a" version
+      Fmt.(list ~sep:(any ",") int)
+      canaries
+  | Promoted { version; replicas } -> Fmt.str "promoted C%d fleet-wide (%d replicas)" version replicas
+  | Rolled_back { reason; reverted } ->
+    Fmt.str "rolled back (%s): reverted replicas %a" reason
+      Fmt.(list ~sep:(any ",") int)
+      reverted
+  | Campaign_aborted reason -> Fmt.str "campaign aborted (%s), layout kept" reason
+  | Breaker_open { until_s } -> Fmt.str "breaker open until %.1fs" until_s
+
+let fleet_counters t =
+  Array.fold_left (fun acc r -> Counters.add acc (Proc.total_counters r.proc)) Counters.zero
+    t.reps
+
+let make ~attach ?(config = default_config) ?ocolos_config ?guard procs =
+  if Array.length procs = 0 then invalid_arg "Fleet: empty fleet";
+  let guard = match guard with Some g -> g | None -> Guard.create () in
+  let reps =
+    Array.mapi
+      (fun id proc ->
+        { id;
+          proc;
+          oc = attach ?config:ocolos_config proc;
+          session = None;
+          prof_base = Counters.zero;
+          baseline_ipc = 0.0;
+          baseline_p99 = 0.0;
+          verify_base = Counters.zero;
+          pause_debt = 0.0 })
+      procs
+  in
+  let t =
+    { config;
+      guard;
+      reps;
+      phase = Monitoring;
+      staged = [];
+      last_counters = Counters.zero;
+      last_tick_s = 0.0;
+      best_tps = 0.0;
+      last_replacement_s = neg_infinity;
+      rollouts = 0;
+      rollbacks = 0;
+      restart_reverted = [] }
+  in
+  t.last_counters <- fleet_counters t;
+  t
+
+let create ?config ?ocolos_config ?guard procs =
+  make ~attach:(fun ?config proc -> Ocolos.attach ?config proc) ?config ?ocolos_config ?guard
+    procs
+
+(* A layout signature for mixed-fleet detection after reattach: the
+   reconstructed version number is always 1 for any replica with injected
+   code, so compare where the functions actually live. *)
+let layout_signature (oc : Ocolos.t) =
+  let b = Ocolos.current_binary oc in
+  Array.to_list b.Ocolos_binary.Binary.symbols
+  |> List.map (fun (s : Ocolos_binary.Binary.func_sym) ->
+         (s.Ocolos_binary.Binary.fs_fid, s.Ocolos_binary.Binary.fs_entry))
+  |> List.sort compare
+
+let reattach ?config ?ocolos_config ?guard procs =
+  let t =
+    make ~attach:(fun ?config proc -> Ocolos.reattach ?config proc) ?config ?ocolos_config
+      ?guard procs
+  in
+  let sigs = Array.map (fun r -> layout_signature r.oc) t.reps in
+  let homogeneous = Array.for_all (fun s -> s = sigs.(0)) sigs in
+  if not homogeneous then begin
+    (* A rollout died between replicas. Re-running BOLT cannot reproduce the
+       dead campaign's exact layout, so the only reachable homogeneous state
+       is C0 — always resident, always revertible to. *)
+    Array.iter
+      (fun r ->
+        if Ocolos.version r.oc > 0 then begin
+          ignore (Ocolos.revert r.oc (Ocolos.c0_snapshot r.oc));
+          t.restart_reverted <- r.id :: t.restart_reverted
+        end)
+      t.reps;
+    t.restart_reverted <- List.rev t.restart_reverted;
+    Trace.mark "fleet.restart_reverted"
+      ~attrs:[ ("replicas", Trace.I (List.length t.restart_reverted)) ];
+    Metrics.count "ocolos_fleet_restart_reverts_total" (List.length t.restart_reverted)
+  end;
+  t.last_counters <- fleet_counters t;
+  t
+
+let canary_count t =
+  let n = Array.length t.reps in
+  max 1 (min n (int_of_float (ceil (t.config.canary_fraction *. float_of_int n))))
+
+let replica_label r = [ ("replica", string_of_int r.id) ]
+
+let record_versions t =
+  Array.iter
+    (fun r ->
+      Metrics.record ~labels:(replica_label r) "ocolos_fleet_replica_version"
+        (float_of_int (Ocolos.version r.oc)))
+    t.reps
+
+(* Unwind a partial rollout: revert every replica committed this campaign,
+   newest first. No fault cuts anywhere on this path. *)
+let unwind t =
+  let reverted =
+    List.map
+      (fun (r, sn) ->
+        let rv = Ocolos.revert r.oc sn in
+        r.pause_debt <- r.pause_debt +. rv.Ocolos.rv_pause_seconds;
+        r.id)
+      t.staged
+  in
+  t.staged <- [];
+  List.sort compare reverted
+
+let rollback t ~now_s ~reason =
+  let reverted = unwind t in
+  t.phase <- Monitoring;
+  t.best_tps <- 0.0;
+  t.last_replacement_s <- now_s;
+  t.rollbacks <- t.rollbacks + 1;
+  Guard.campaign_failed t.guard ~now_s;
+  Trace.mark "fleet.rolled_back" ~attrs:[ ("reason", Trace.S reason) ];
+  Metrics.count "ocolos_fleet_rollbacks_total" 1;
+  Metrics.count "ocolos_fleet_reverted_replicas_total" (List.length reverted);
+  record_versions t;
+  Rolled_back { reason; reverted }
+
+let abort t ~now_s ~reason =
+  t.phase <- Monitoring;
+  t.best_tps <- 0.0;
+  t.last_replacement_s <- now_s;
+  Guard.campaign_failed t.guard ~now_s;
+  Trace.mark "fleet.campaign_aborted" ~attrs:[ ("reason", Trace.S reason) ];
+  Metrics.count "ocolos_fleet_campaigns_aborted_total" 1;
+  Campaign_aborted reason
+
+(* Replace on one replica, staging its pre-replace snapshot for rollback.
+   Returns the rollback point on failure. *)
+let stage_replace t r result =
+  let sn = Ocolos.snapshot r.oc in
+  r.verify_base <- Proc.total_counters r.proc;
+  match Txn.replace_code r.oc result with
+  | Txn.Committed stats ->
+    r.pause_debt <- r.pause_debt +. stats.Ocolos.pause_seconds;
+    t.staged <- (r, sn) :: t.staged;
+    None
+  | Txn.Rolled_back rb -> Some rb.Txn.rb_point
+
+(* Profiling window complete: stop every replica's session, aggregate the
+   decimated streams, BOLT once, then start the canary stage. *)
+let finish_profiling t ~now_s =
+  let n = Array.length t.reps in
+  let keep_every =
+    match t.config.sample_keep_every with
+    | Some k -> max 1 k
+    | None -> n
+  in
+  let kept =
+    Array.map
+      (fun r ->
+        let session =
+          match r.session with
+          | Some s -> s
+          | None -> invalid_arg "Fleet: replica lost its profiling session"
+        in
+        r.session <- None;
+        r.baseline_ipc <-
+          Counters.ipc (Counters.diff (Proc.total_counters r.proc) r.prof_base);
+        let samples = Perf.stop session in
+        Perf2bolt.decimate ~keep_every ~phase:(r.id mod keep_every) samples)
+      t.reps
+  in
+  let oc0 = t.reps.(0).oc in
+  let fault = (Ocolos.config oc0).Ocolos.fault in
+  match
+    let profile =
+      Perf2bolt.convert_sources ~binary:(Ocolos.current_binary oc0) ?fault
+        (Array.to_list kept)
+    in
+    let records = Array.fold_left (fun acc s -> acc + Perf.record_count s) 0 kept in
+    let perf2bolt_s =
+      Cost.perf2bolt_seconds (Ocolos.config oc0).Ocolos.cost ~records
+    in
+    if Guard.check_deadline t.guard ~phase:`Perf2bolt ~seconds:perf2bolt_s then
+      `Watchdog "perf2bolt"
+    else begin
+      let result, bolt_s =
+        Ocolos.run_bolt ~tier:(Guard.tier t.guard) ~exclude:(Guard.quarantined t.guard) oc0
+          profile
+      in
+      Guard.record_func_failures t.guard result.Ocolos_bolt.Bolt.failed;
+      if Guard.check_deadline t.guard ~phase:`Bolt ~seconds:bolt_s then `Watchdog "bolt"
+      else `Bolted result
+    end
+  with
+  | `Watchdog phase -> abort t ~now_s ~reason:(Fmt.str "watchdog: %s deadline" phase)
+  | exception Ocolos_util.Fault.Injected (point, _) ->
+    abort t ~now_s ~reason:(Fmt.str "fault at %s" point)
+  | `Bolted result -> (
+    let k = canary_count t in
+    let canaries = Array.to_list (Array.sub t.reps 0 k) in
+    let failed =
+      List.fold_left
+        (fun failed r ->
+          match failed with
+          | Some _ -> failed
+          | None -> (
+            match stage_replace t r result with
+            | None ->
+              r.baseline_p99 <-
+                (match t.config.latency_probe with Some probe -> probe r.id | None -> 0.0);
+              None
+            | Some point -> Some point))
+        None canaries
+    in
+    match failed with
+    | Some point -> rollback t ~now_s ~reason:(Fmt.str "canary replace rolled back at %s" point)
+    | None ->
+      let version = Ocolos.version (List.hd canaries).oc in
+      let ids = List.map (fun r -> r.id) canaries in
+      t.phase <- Verifying { until_s = now_s +. t.config.verify_s; canaries = ids; result };
+      Trace.mark "fleet.canary_started"
+        ~attrs:[ ("version", Trace.I version); ("canaries", Trace.I k) ];
+      Metrics.count "ocolos_fleet_canaries_total" k;
+      record_versions t;
+      Canary_started { version; canaries = ids })
+
+(* Canary soak complete: per-replica verdict, then widen or unwind. *)
+let finish_verify t ~now_s ~canaries ~result =
+  let breach = ref None in
+  List.iter
+    (fun id ->
+      let r = t.reps.(id) in
+      let ipc =
+        Counters.ipc (Counters.diff (Proc.total_counters r.proc) r.verify_base)
+        *. t.config.canary_ipc_scale
+      in
+      Metrics.record ~labels:(replica_label r) "ocolos_fleet_canary_ipc" ipc;
+      Metrics.record ~labels:(replica_label r) "ocolos_fleet_canary_ipc_baseline" r.baseline_ipc;
+      if !breach = None && r.baseline_ipc > 0.0
+         && ipc < (1.0 -. t.config.max_ipc_drop) *. r.baseline_ipc
+      then
+        breach :=
+          Some
+            (Fmt.str "canary %d IPC regressed %.2f -> %.2f (guard %.0f%%)" id r.baseline_ipc
+               ipc
+               (100.0 *. t.config.max_ipc_drop));
+      match t.config.latency_probe with
+      | None -> ()
+      | Some probe ->
+        let p99 = probe id in
+        Metrics.record ~labels:(replica_label r) "ocolos_fleet_canary_p99_seconds" p99;
+        if !breach = None && r.baseline_p99 > 0.0
+           && p99 > (1.0 +. t.config.max_p99_rise) *. r.baseline_p99
+        then
+          breach :=
+            Some
+              (Fmt.str "canary %d p99 rose %.3fs -> %.3fs (guard +%.0f%%)" id r.baseline_p99
+                 p99
+                 (100.0 *. t.config.max_p99_rise)))
+    canaries;
+  match !breach with
+  | Some reason -> rollback t ~now_s ~reason
+  | None -> (
+    let rest =
+      Array.to_list t.reps |> List.filter (fun r -> not (List.mem r.id canaries))
+    in
+    let failed =
+      List.fold_left
+        (fun failed r ->
+          match failed with
+          | Some _ -> failed
+          | None -> stage_replace t r result)
+        None rest
+    in
+    match failed with
+    | Some point ->
+      rollback t ~now_s ~reason:(Fmt.str "promotion replace rolled back at %s" point)
+    | None ->
+      let version = Ocolos.version t.reps.(0).oc in
+      t.staged <- [];
+      t.phase <- Monitoring;
+      t.best_tps <- 0.0;
+      t.last_replacement_s <- now_s;
+      t.rollouts <- t.rollouts + 1;
+      Guard.campaign_succeeded t.guard;
+      Trace.mark "fleet.promoted"
+        ~attrs:[ ("version", Trace.I version); ("replicas", Trace.I (Array.length t.reps)) ];
+      Metrics.count "ocolos_fleet_rollouts_total" 1;
+      record_versions t;
+      Promoted { version; replicas = Array.length t.reps })
+
+let tick t ~now_s =
+  let counters = fleet_counters t in
+  let interval = Counters.diff counters t.last_counters in
+  let dt = now_s -. t.last_tick_s in
+  t.last_counters <- counters;
+  t.last_tick_s <- now_s;
+  if dt <= 0.0 || now_s < t.config.daemon.Daemon.warmup_s then Idle
+  else begin
+    let tps = float_of_int interval.Counters.transactions /. dt in
+    let td = Counters.topdown interval in
+    match t.phase with
+    | Profiling { since } ->
+      if now_s -. since >= t.config.daemon.Daemon.profile_s then finish_profiling t ~now_s
+      else Idle
+    | Verifying { until_s; canaries; result } ->
+      if now_s >= until_s then finish_verify t ~now_s ~canaries ~result else Idle
+    | Monitoring -> (
+      t.best_tps <- Float.max t.best_tps tps;
+      let reason =
+        Daemon.decide t.config.daemon ~replacements:t.rollouts
+          ~version:(Ocolos.version t.reps.(0).oc) ~now_s
+          ~last_replacement_s:t.last_replacement_s ~tps ~best_tps:t.best_tps
+          ~frontend:td.Counters.frontend
+      in
+      match reason with
+      | Some why ->
+        if Guard.allow_campaign t.guard ~now_s then begin
+          Array.iter
+            (fun r ->
+              r.prof_base <- Proc.total_counters r.proc;
+              r.session <-
+                Some
+                  (Perf.start
+                     ~cfg:(Ocolos.config r.oc).Ocolos.perf
+                     ?fault:(Ocolos.config r.oc).Ocolos.fault r.proc))
+            t.reps;
+          t.phase <- Profiling { since = now_s };
+          Trace.mark "fleet.profiling_started" ~attrs:[ ("reason", Trace.S why) ];
+          Started_profiling why
+        end
+        else begin
+          match Guard.breaker_state t.guard with
+          | Guard.Open { until_s } -> Breaker_open { until_s }
+          | Guard.Closed | Guard.Half_open -> Idle (* unreachable *)
+        end
+      | None -> Idle)
+  end
+
+let replicas t = Array.length t.reps
+let ocolos t i = t.reps.(i).oc
+let procs t = Array.map (fun r -> r.proc) t.reps
+let guard t = t.guard
+let versions t = Array.to_list t.reps |> List.map (fun r -> Ocolos.version r.oc)
+
+let converged t =
+  let vs = versions t in
+  match vs with [] -> true | v :: rest -> List.for_all (fun x -> x = v) rest
+
+let mixed t = not (converged t)
+let rollouts t = t.rollouts
+let rollbacks t = t.rollbacks
+let reverted_on_reattach t = t.restart_reverted
+
+let take_pause_debt t i =
+  let r = t.reps.(i) in
+  let d = r.pause_debt in
+  r.pause_debt <- 0.0;
+  d

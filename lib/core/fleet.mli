@@ -1,0 +1,128 @@
+(** Fleet-scale orchestration: one campaign, many replicas, staged rollout.
+
+    The paper's deployments run thousands of identical replicas behind a
+    load balancer, not one process. A fleet campaign manages N replicas of
+    the same binary through a single optimization cycle:
+
+    + {b profile} every replica, decimating each stream to a configurable
+      per-replica fraction (default 1/N) and aggregating the union through
+      one {!Ocolos_profiler.Perf2bolt.convert_sources} call — fleet-wide
+      coverage at a fraction of the per-replica sampling cost (the Fig. 6
+      knee, spread across the fleet);
+    + {b BOLT once} on the shared layout (all replicas committed identical
+      histories, so their live binaries are identical);
+    + {b roll out in stages}: replace on a canary subset (first
+      [ceil (canary_fraction * N)] replicas), soak for [verify_s], check
+      each canary's IPC delta (and p99 delta when a latency probe is wired)
+      against guard thresholds, then widen to the rest of the fleet.
+
+    A canary regression — or any replica's transactional replacement
+    rolling back — triggers a staged rollback: every replica already on
+    C_{i+1} is {!Ocolos.revert}ed to C_i (the revert path has no fault
+    cuts, so a partial rollout always unwinds completely), and the shared
+    {!Guard} hears a failed campaign, feeding its circuit breaker. The
+    invariant the property suite locks in: a rollout terminates with every
+    replica on C_{i+1} or every replica on C_i — never permanently mixed.
+
+    A daemon death mid-rollout ({!Ocolos_util.Fault.Killed} escaping
+    {!tick}) can strand a mixed fleet; {!reattach} recovers it by
+    reconstructing each replica's controller from the target and, when the
+    fleet disagrees on its layout, reverting every optimized replica to C0
+    (always possible — design principle #1 keeps C0 resident) so a fresh
+    homogeneous campaign can run.
+
+    Observability: fleet-level events are [fleet.*] trace marks and
+    [ocolos_fleet_*] metrics (gauges labelled [replica="i"]), strictly
+    additive over what the per-replica pipeline already emits — a
+    one-replica fleet is byte-identical to the single-process
+    {!Ocolos.attach} path apart from those families. *)
+
+type config = {
+  canary_fraction : float;  (** fraction of replicas in the canary stage *)
+  verify_s : float;  (** canary soak time before the verdict *)
+  max_ipc_drop : float;
+      (** guard threshold: fail the canary when its verify-window IPC falls
+          below [(1 - max_ipc_drop) * baseline] *)
+  max_p99_rise : float;
+      (** guard threshold on the latency probe: fail the canary when p99
+          exceeds [(1 + max_p99_rise) * baseline] *)
+  canary_ipc_scale : float;
+      (** scale applied to measured canary IPC at the verdict; [< 1.0]
+          injects a synthetic regression (CLI [--inject-regression] and the
+          rollback tests) *)
+  sample_keep_every : int option;
+      (** per-replica profile decimation: keep every k-th sample batch;
+          [None] means k = number of replicas (fraction 1/N) *)
+  latency_probe : (int -> float) option;
+      (** current p99 (simulated seconds) per replica id, wired by the
+          driver that owns the traffic model *)
+  daemon : Daemon.config;
+      (** monitoring gate ({!Daemon.decide}), profile window and warmup *)
+}
+
+val default_config : config
+
+type t
+
+(** Attach a fleet controller to [replicas] (one {!Ocolos.attach} each).
+    All replicas must run the same binary. The [guard] is shared across the
+    fleet: one breaker, one quarantine. Raises [Invalid_argument] on an
+    empty fleet. *)
+val create :
+  ?config:config -> ?ocolos_config:Ocolos.config -> ?guard:Guard.t ->
+  Ocolos_proc.Proc.t array -> t
+
+(** Stand the fleet controller back up over live replicas after a daemon
+    death ({!Ocolos.reattach} each). If the fleet is layout-mixed — a
+    rollout died between replicas — every optimized replica is reverted to
+    C0 so the fleet restarts homogeneous; {!reverted_on_reattach} reports
+    which. *)
+val reattach :
+  ?config:config -> ?ocolos_config:Ocolos.config -> ?guard:Guard.t ->
+  Ocolos_proc.Proc.t array -> t
+
+type action =
+  | Idle
+  | Started_profiling of string  (** gate reason *)
+  | Canary_started of { version : int; canaries : int list }
+  | Promoted of { version : int; replicas : int }
+      (** rollout complete: every replica on the new version *)
+  | Rolled_back of { reason : string; reverted : int list }
+      (** staged rollback: every listed replica reverted to C_i *)
+  | Campaign_aborted of string
+      (** pipeline fault or watchdog before any replica was touched *)
+  | Breaker_open of { until_s : float }
+
+val action_to_string : action -> string
+
+(** One controller tick at simulated time [now_s]; the caller advances the
+    replicas between ticks. {!Ocolos_util.Fault.Killed} escapes (the
+    daemon dying), possibly leaving a mixed fleet for {!reattach}. *)
+val tick : t -> now_s:float -> action
+
+val replicas : t -> int
+val ocolos : t -> int -> Ocolos.t
+val procs : t -> Ocolos_proc.Proc.t array
+val guard : t -> Guard.t
+
+(** Per-replica code versions, in replica order. *)
+val versions : t -> int list
+
+(** All replicas on the same version? *)
+val converged : t -> bool
+
+val mixed : t -> bool
+
+(** Completed fleet-wide rollouts / staged rollbacks. *)
+val rollouts : t -> int
+
+val rollbacks : t -> int
+
+(** Replicas reverted to C0 by {!reattach}'s mixed-fleet recovery. *)
+val reverted_on_reattach : t -> int list
+
+(** Modeled stop-the-world seconds accrued by replica [i]'s replacements
+    and reverts since the last call, then cleared — the driver that owns
+    the clock charges them as {!Ocolos_proc.Proc.stall_all} stalls so
+    pauses surface in open-loop latency. *)
+val take_pause_debt : t -> int -> float

@@ -333,6 +333,30 @@ let copy_stack_live_func t ~doomed ~old_entry_fid ~desired_entry fid =
     (List.map (fun (s, e) -> { Addr_space.sr_start = s; sr_end = e; sr_fid = fid }) new_ranges);
   ({ cp_fid = fid; cp_ranges = new_ranges }, addr_map)
 
+(* Jump-table entries are data words holding block addresses; an evacuated
+   copy keeps dispatching through its version's tables after that version's
+   text is unmapped. Redirect every initialized data word pointing into the
+   doomed region at its evacuated copy, or at the incoming version's entry
+   for cross-function targets. *)
+let patch_jump_table_entries t ~doomed ~addr_map ~old_entry_fid ~desired_entry =
+  let patched = ref 0 in
+  List.iter
+    (fun (a, _) ->
+      let v = Addr_space.read_data t.proc.Proc.mem a in
+      if in_range doomed v then
+        let v' =
+          match Hashtbl.find_opt addr_map v with
+          | Some d -> Some d
+          | None -> Option.map desired_entry (Hashtbl.find_opt old_entry_fid v)
+        in
+        match v' with
+        | Some d when d <> v ->
+          Addr_space.write_data t.proc.Proc.mem a d;
+          incr patched
+        | Some _ | None -> ())
+    t.current.Binary.global_init;
+  !patched
+
 (* Rewrite return addresses, saved callee entries and thread PCs through an
    address map (continuous optimization, Section IV-C1). *)
 let patch_thread_code_pointers t addr_map =
@@ -572,6 +596,10 @@ let replace_code t (result : Bolt.result) : replacement_stats =
       doomed_live;
     cut t "thread_patch";
     patch_thread_code_pointers t addr_map;
+    let tables_patched =
+      patch_jump_table_entries t ~doomed ~addr_map ~old_entry_fid ~desired_entry
+    in
+    Trace.set_attr gc_sp "table_entries_patched" (Trace.I tables_patched);
     (* Unmap the doomed text. *)
     Array.iter
       (fun addr ->
@@ -743,9 +771,19 @@ let reattach ?(config = default_config) (proc : Proc.t) =
     t.live_text_addrs <- live_addrs;
     (* A synthetic new_text view of the recovered region, so the normal
        refresh builds the live binary (and the next BOLT round allocates
-       above it). Only symbols and sections matter to the refresh; the
-       recovered version's jump-table data is not recoverable and is
-       omitted — its code is doomed at the next replacement anyway. *)
+       above it). The recovered version's jump-table metadata is not
+       reconstructable, but its words are still resident and its dispatch
+       code (or evacuation copies made by a later revert) still reads them:
+       a single marker at the highest initialized data word keeps the next
+       round's table allocation above everything present instead of
+       overlaying live tables. *)
+    let data_top =
+      Ocolos_util.Itbl.fold (fun a _ acc -> max a acc) proc.Proc.mem.Addr_space.data (-1)
+    in
+    let recovered_init =
+      if data_top < 0 then []
+      else [ (data_top, Addr_space.read_data proc.Proc.mem data_top) ]
+    in
     let recovered_syms =
       Hashtbl.fold
         (fun fid e acc ->
@@ -776,7 +814,7 @@ let reattach ?(config = default_config) (proc : Proc.t) =
         vtables = [||];
         globals_base = t.original.Binary.globals_base;
         globals_words = 0;
-        global_init = [];
+        global_init = recovered_init;
         entry = t.original.Binary.entry;
         debug = Hashtbl.create 0 }
     in
@@ -824,3 +862,298 @@ let restore t s =
   t.copies <- s.sn_copies;
   Hashtbl.reset t.to_c0;
   Hashtbl.iter (fun k v -> Hashtbl.replace t.to_c0 k v) s.sn_to_c0
+
+(* A snapshot describing C0 for a controller whose in-memory history is
+   gone (fleet restart after a reattach): C0 is pinned resident by design
+   principle #1, so reverting to it is always possible. *)
+let c0_snapshot t =
+  { sn_version = 0;
+    sn_current = t.original;
+    sn_current_entry = Hashtbl.copy t.c0_entry;
+    sn_live_text = None;
+    sn_live_text_addrs = [||];
+    sn_copies = [];
+    sn_to_c0 = Hashtbl.create 16 }
+
+let snapshot_version s = s.sn_version
+
+(* ---- staged rollback of a committed version ---- *)
+
+type revert_stats = {
+  rv_from_version : int;
+  rv_to_version : int;
+  rv_vtable_entries_patched : int;
+  rv_call_sites_patched : int;
+  rv_copied_funcs : int;
+  rv_code_bytes_reinjected : int;
+  rv_gc_bytes_freed : int;
+  rv_pause_seconds : float;
+}
+
+(* Un-commit: a reverse replacement taking the process from the live
+   version back to the (older) version a snapshot describes. Committing
+   C_{i+1} garbage-collected C_i's text, so the revert re-injects it from
+   the snapshot's binary view (whose code table holds the bytes), then
+   mirrors the forward stop-the-world phase with the roles swapped: desired
+   entries come from the snapshot, the doomed region is the *current* live
+   text, stack-live current-version functions are evacuated to copies, and
+   the current text is unmapped and verified dangling-free.
+
+   This is the fleet's emergency brake after a canary regression, so unlike
+   [replace_code] it contains NO fault cuts: every faultable stage of a
+   rollout fails safe *before* any replica diverges, and the revert that
+   undoes a partial rollout must not itself be able to fail. *)
+let revert t (s : snapshot) : revert_stats =
+  if s.sn_version >= t.version then
+    invalid_arg
+      (Fmt.str "Ocolos.revert: snapshot C%d is not older than live C%d" s.sn_version t.version);
+  let doomed =
+    match t.live_text with
+    | Some d -> d
+    | None -> invalid_arg "Ocolos.revert: no injected text to revert"
+  in
+  let from_version = t.version in
+  Trace.span "replace.revert"
+    ~attrs:[ ("from_version", Trace.I from_version); ("to_version", Trace.I s.sn_version) ]
+  @@ fun sp ->
+  let proc = t.proc in
+  Proc.pause proc;
+  (* 1. Re-inject the snapshot's text (GC'd when the newer version
+     committed) and restore its symbol-index ranges. A no-op when the
+     snapshot is C0, which was never unmapped. *)
+  let reinjected = ref 0 in
+  (match s.sn_live_text with
+  | None -> ()
+  | Some (lo, hi) ->
+    Array.iter
+      (fun addr ->
+        let instr = Hashtbl.find s.sn_current.Binary.code addr in
+        Addr_space.write_code proc.Proc.mem addr instr;
+        reinjected := !reinjected + Instr.size instr)
+      s.sn_live_text_addrs;
+    Addr_space.add_sym_ranges proc.Proc.mem
+      (Array.to_list s.sn_current.Binary.symbols
+      |> List.concat_map (fun (sym : Binary.func_sym) ->
+             List.filter_map
+               (fun (r : Binary.range) ->
+                 if r.Binary.r_start >= lo && r.Binary.r_start < hi then
+                   Some
+                     { Addr_space.sr_start = r.Binary.r_start;
+                       sr_end = r.Binary.r_start + r.Binary.r_size;
+                       sr_fid = sym.Binary.fs_fid }
+                 else None)
+               sym.Binary.fs_ranges)));
+  (* 2. Where every function should live after the revert. *)
+  let desired_entry fid =
+    match Hashtbl.find_opt s.sn_current_entry fid with
+    | Some e -> e
+    | None -> Hashtbl.find t.c0_entry fid
+  in
+  (* Entries of the doomed (current) version, for redirecting cross-function
+     references out of it. *)
+  let old_entry_fid = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun fid entry -> if in_range doomed entry then Hashtbl.replace old_entry_fid entry fid)
+    t.current_entry;
+  (* 3. Patch v-tables back. *)
+  let vt_patched = ref 0 in
+  Array.iter
+    (fun (vid, slot, fid) ->
+      let addr = Addr_space.vtable_base proc.Proc.mem vid + slot in
+      let cur = Addr_space.read_data proc.Proc.mem addr in
+      let want = desired_entry fid in
+      if cur <> want then begin
+        Addr_space.write_data proc.Proc.mem addr want;
+        incr vt_patched
+      end)
+    t.vtable_slots;
+  (* 4. Patch direct calls: stack-live owners, plus any site still targeting
+     the doomed region (GC safety), mirroring the forward pass. *)
+  let live = stack_live_fids t in
+  let sites_patched = ref 0 in
+  Array.iter
+    (fun (site, owner, callee) ->
+      let cur_target =
+        match Addr_space.read_code proc.Proc.mem site with
+        | Some (Instr.Call cur) -> Some cur
+        | Some _ | None -> None
+      in
+      let target_doomed =
+        match cur_target with Some cur -> in_range doomed cur | None -> false
+      in
+      if t.config.patch_all_direct_calls || Hashtbl.mem live owner || target_doomed then begin
+        let want = desired_entry callee in
+        match cur_target with
+        | Some cur when cur <> want ->
+          Addr_space.write_code proc.Proc.mem site (Instr.Call want);
+          incr sites_patched
+        | Some _ | None -> ()
+      end)
+    t.offline_sites;
+  (* 5. Evacuate and GC the doomed current version — same machinery as the
+     forward pass's continuous-mode GC. *)
+  let copied = ref 0 and gc_bytes = ref 0 in
+  let doomed_live = Hashtbl.create 16 in
+  List.iter
+    (fun addr ->
+      if in_range doomed addr then
+        match Addr_space.fid_of_addr proc.Proc.mem addr with
+        | Some fid -> Hashtbl.replace doomed_live fid ()
+        | None -> ())
+    (live_frames_and_pcs t);
+  let addr_map = Hashtbl.create 256 in
+  let new_copies = ref [] in
+  Hashtbl.iter
+    (fun fid () ->
+      let cp, map = copy_stack_live_func t ~doomed ~old_entry_fid ~desired_entry fid in
+      new_copies := cp :: !new_copies;
+      incr copied;
+      Hashtbl.iter (fun k v -> Hashtbl.replace addr_map k v) map)
+    doomed_live;
+  patch_thread_code_pointers t addr_map;
+  let tables_patched =
+    patch_jump_table_entries t ~doomed ~addr_map ~old_entry_fid ~desired_entry
+  in
+  Trace.set_attr sp "table_entries_patched" (Trace.I tables_patched);
+  (* Unmap the doomed text — except the addresses a paused thread can still
+     hold in a register, which become one-instruction trampolines. A thread
+     stopped between a jump-table load and its JumpInd resumes with a
+     doomed block address in a register (bounced into its evacuation copy);
+     one stopped between a vtable/function-pointer load and its CallInd
+     resumes with a doomed entry (bounced to the function the revert
+     reinstated). No thread-state pass can tell such code pointers from
+     ordinary integers that collide with the range, so the landing pads
+     redirect instead. Anything else in the region is unreachable: frames
+     and PCs were rebased, and mid-block addresses of non-live functions
+     can only be materialized by code that was executing them. *)
+  Array.iter
+    (fun addr ->
+      match Addr_space.read_code proc.Proc.mem addr with
+      | Some instr -> (
+        gc_bytes := !gc_bytes + Instr.size instr;
+        match Hashtbl.find_opt addr_map addr with
+        | Some dst -> Addr_space.write_code proc.Proc.mem addr (Instr.Jump dst)
+        | None -> (
+          match Hashtbl.find_opt old_entry_fid addr with
+          | Some fid -> Addr_space.write_code proc.Proc.mem addr (Instr.Jump (desired_entry fid))
+          | None -> Addr_space.remove_code proc.Proc.mem addr))
+      | None -> ())
+    t.live_text_addrs;
+  Addr_space.remove_sym_ranges proc.Proc.mem ~pred:(fun r -> in_range doomed r.Addr_space.sr_start);
+  let referenced = live_frames_and_pcs t in
+  let still_needed cp =
+    List.exists (fun addr -> List.exists (fun r -> in_range r addr) cp.cp_ranges) referenced
+  in
+  let keep, reap = List.partition still_needed t.copies in
+  List.iter
+    (fun cp ->
+      List.iter
+        (fun (cs, ce) ->
+          let addr = ref cs in
+          while !addr < ce do
+            match Addr_space.read_code proc.Proc.mem !addr with
+            | None -> incr addr
+            | Some instr ->
+              (match Instr.static_target instr with
+              | Some target when in_range doomed target -> (
+                match Hashtbl.find_opt old_entry_fid target with
+                | Some callee ->
+                  Addr_space.write_code proc.Proc.mem !addr
+                    (Instr.with_target instr (desired_entry callee))
+                | None -> ())
+              | Some _ | None -> ());
+              addr := !addr + Instr.size instr
+          done)
+        cp.cp_ranges)
+    keep;
+  List.iter
+    (fun cp ->
+      List.iter
+        (fun (cs, ce) ->
+          let addr = ref cs in
+          while !addr < ce do
+            (match Addr_space.read_code proc.Proc.mem !addr with
+            | Some instr ->
+              gc_bytes := !gc_bytes + Instr.size instr;
+              Addr_space.remove_code proc.Proc.mem !addr;
+              addr := !addr + Instr.size instr
+            | None -> incr addr)
+          done;
+          Addr_space.remove_sym_ranges proc.Proc.mem ~pred:(fun r ->
+              r.Addr_space.sr_start >= cs && r.Addr_space.sr_start < ce))
+        cp.cp_ranges)
+    reap;
+  t.copies <- !new_copies @ keep;
+  if t.config.verify_gc then verify_no_dangling t ~freed:doomed;
+  (* 6. Restore the controller view. The rebuilt live binary carries a
+     placeholder section spanning the reverted region so the next BOLT
+     round still allocates above it — the evacuation copies made here live
+     just past its end and must not be overlaid. *)
+  t.version <- s.sn_version;
+  t.current_entry <- Hashtbl.copy s.sn_current_entry;
+  t.live_text <- s.sn_live_text;
+  t.live_text_addrs <- Array.copy s.sn_live_text_addrs;
+  let sections =
+    (match s.sn_live_text with
+    | Some (lo, hi) -> [ { Binary.sec_name = ".text"; sec_base = lo; sec_size = hi - lo } ]
+    | None -> [])
+    @ [ { Binary.sec_name = ".text.reverted";
+          sec_base = fst doomed;
+          sec_size = snd doomed - fst doomed } ]
+  in
+  let symbols =
+    match s.sn_live_text with
+    | None -> [||]
+    | Some (lo, hi) ->
+      Array.to_list s.sn_current.Binary.symbols
+      |> List.filter_map (fun (sym : Binary.func_sym) ->
+             let ranges =
+               List.filter
+                 (fun (r : Binary.range) -> r.Binary.r_start >= lo && r.Binary.r_start < hi)
+                 sym.Binary.fs_ranges
+             in
+             let entry = desired_entry sym.Binary.fs_fid in
+             if ranges = [] && not (in_range (lo, hi) entry) then None
+             else Some { sym with Binary.fs_entry = entry; fs_ranges = ranges })
+      |> Array.of_list
+  in
+  (* Keep the doomed version's jump-table words in the live view: the
+     evacuation copies above still dispatch through them (entries patched
+     to the copies), so the next BOLT round must allocate its tables higher
+     rather than overlay this region. refresh_current prepends the
+     original's global_init, so pass only the non-original suffix. *)
+  let inherited_init =
+    let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+    drop (List.length t.original.Binary.global_init) t.current.Binary.global_init
+  in
+  let new_text =
+    { Binary.name = t.original.Binary.name ^ ".revert";
+      sections;
+      code = Hashtbl.create 0;
+      code_order = [||];
+      symbols;
+      vtables = [||];
+      globals_base = t.original.Binary.globals_base;
+      globals_words = 0;
+      global_init = inherited_init;
+      entry = t.original.Binary.entry;
+      debug = Hashtbl.create 0 }
+  in
+  refresh_current t new_text;
+  (* 7. Cost, metrics, resume. *)
+  let sites = !vt_patched + !sites_patched in
+  let pause_seconds = Cost.pause_seconds t.config.cost ~sites ~bytes:!reinjected in
+  Trace.set_attr sp "pause_seconds" (Trace.F pause_seconds);
+  Metrics.count "ocolos_reverts_total" 1;
+  Metrics.count "ocolos_code_bytes_reinjected_total" !reinjected;
+  Metrics.count "ocolos_gc_bytes_freed_total" !gc_bytes;
+  Metrics.sample ~buckets:Metrics.pause_buckets "ocolos_replace_pause_seconds" pause_seconds;
+  Proc.resume proc;
+  { rv_from_version = from_version;
+    rv_to_version = s.sn_version;
+    rv_vtable_entries_patched = !vt_patched;
+    rv_call_sites_patched = !sites_patched;
+    rv_copied_funcs = !copied;
+    rv_code_bytes_reinjected = !reinjected;
+    rv_gc_bytes_freed = !gc_bytes;
+    rv_pause_seconds = pause_seconds }

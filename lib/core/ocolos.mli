@@ -126,3 +126,34 @@ type snapshot
 
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
+
+(** The version a snapshot was taken at. *)
+val snapshot_version : snapshot -> int
+
+(** A synthetic snapshot describing C0. C0 is pinned resident by design
+    principle #1, so a controller with no in-memory history (e.g. freshly
+    {!reattach}ed after a daemon death) can always {!revert} to it. *)
+val c0_snapshot : t -> snapshot
+
+type revert_stats = {
+  rv_from_version : int;
+  rv_to_version : int;
+  rv_vtable_entries_patched : int;
+  rv_call_sites_patched : int;
+  rv_copied_funcs : int;
+  rv_code_bytes_reinjected : int;  (** the restored version's text *)
+  rv_gc_bytes_freed : int;  (** the reverted version's text *)
+  rv_pause_seconds : float;
+}
+
+(** Un-commit: a reverse replacement taking the process from the live
+    version back to the (strictly older) version [snapshot] describes —
+    re-injects the snapshot's text (its forward GC removed it), patches
+    v-tables and stack-live/doomed-target call sites back, evacuates
+    stack-live current-version functions, unmaps the current text and
+    verifies no dangling pointers remain. The staged-rollback path of a
+    fleet canary that regressed; deliberately contains {e no} fault cuts —
+    the emergency brake must not itself be able to fail. Raises
+    [Invalid_argument] if the snapshot is not older than the live
+    version. *)
+val revert : t -> snapshot -> revert_stats

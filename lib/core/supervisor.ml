@@ -93,3 +93,55 @@ let run_to_convergence (daemon : Daemon.t) ~step ~max_ticks =
         loop (i + 1)
   in
   loop 0
+
+(* ---- fleet crash recovery ---- *)
+
+(* Same loop as [kill_at], over the fleet controller. A death between
+   replicas of a staged rollout leaves the fleet mixed — exactly the state
+   [restart_fleet] exists to recover. *)
+let kill_fleet_at ~(fault : Ocolos_util.Fault.t) ~point
+    ?(schedule = Ocolos_util.Fault.Nth 1) (fleet : Fleet.t) ~step ~max_ticks =
+  Ocolos_util.Fault.kill fault point schedule;
+  let rec loop i =
+    if i >= max_ticks then begin
+      Ocolos_util.Fault.disarm fault point;
+      Survived
+    end
+    else
+      let now_s = step i in
+      match Fleet.tick fleet ~now_s with
+      | _ -> loop (i + 1)
+      | exception Ocolos_util.Fault.Killed (p, hit) ->
+        Ocolos_util.Fault.disarm fault point;
+        Ocolos_obs.Trace.mark "supervisor.fleet_daemon_died"
+          ~attrs:
+            [ ("point", Ocolos_obs.Trace.S p);
+              ("hit", Ocolos_obs.Trace.I hit);
+              ("tick", Ocolos_obs.Trace.I i);
+              ("mixed", Ocolos_obs.Trace.B (Fleet.mixed fleet)) ];
+        Ocolos_obs.Metrics.count "ocolos_supervisor_deaths_total" 1;
+        Died { d_point = p; d_hit = hit; d_tick = i }
+  in
+  loop 0
+
+let restart_fleet ?config ?ocolos_config ?guard procs =
+  Ocolos_obs.Metrics.count "ocolos_supervisor_restarts_total" 1;
+  Fleet.reattach ?config ?ocolos_config ?guard procs
+
+(* Terminal fleet outcomes: a completed rollout converges; a staged
+   rollback, a campaign abort or a breaker refusal is a clean give-up (the
+   fleet is homogeneous on the old version in all three). *)
+let run_fleet_to_convergence (fleet : Fleet.t) ~step ~max_ticks =
+  let rec loop i =
+    if i >= max_ticks then Diverged
+    else
+      let now_s = step i in
+      match Fleet.tick fleet ~now_s with
+      | Fleet.Promoted { version; _ } -> Converged_replaced { version; ticks = i + 1 }
+      | Fleet.Rolled_back { reason; _ } -> Converged_gave_up { reason; ticks = i + 1 }
+      | Fleet.Campaign_aborted reason -> Converged_gave_up { reason; ticks = i + 1 }
+      | Fleet.Breaker_open { until_s } ->
+        Converged_gave_up { reason = Fmt.str "breaker open until %.1fs" until_s; ticks = i + 1 }
+      | Fleet.Idle | Fleet.Started_profiling _ | Fleet.Canary_started _ -> loop (i + 1)
+  in
+  loop 0

@@ -54,3 +54,37 @@ val convergence_to_string : convergence -> string
 (** Drive [daemon] until it commits a replacement or cleanly gives up. *)
 val run_to_convergence :
   Daemon.t -> step:(int -> float) -> max_ticks:int -> convergence
+
+(** {2 Fleet crash recovery}
+
+    The same kill/restart/convergence contract over a {!Fleet} campaign.
+    The interesting new failure mode: a lethal point firing between
+    replicas of a staged rollout strands a {e mixed} fleet (some replicas
+    on C_{i+1}, the rest on C_i); {!restart_fleet} must homogenize it. *)
+
+(** Like {!kill_at}, driving {!Fleet.tick} instead of a daemon tick. *)
+val kill_fleet_at :
+  fault:Ocolos_util.Fault.t ->
+  point:string ->
+  ?schedule:Ocolos_util.Fault.schedule ->
+  Fleet.t ->
+  step:(int -> float) ->
+  max_ticks:int ->
+  kill_outcome
+
+(** Stand up a replacement fleet controller over the live replicas
+    ({!Fleet.reattach}: per-replica controller reconstruction, plus
+    revert-to-C0 of every optimized replica when the fleet is
+    layout-mixed). *)
+val restart_fleet :
+  ?config:Fleet.config ->
+  ?ocolos_config:Ocolos.config ->
+  ?guard:Guard.t ->
+  Ocolos_proc.Proc.t array ->
+  Fleet.t
+
+(** Drive the fleet until a rollout completes ([Converged_replaced]) or the
+    campaign terminally fails — staged rollback, abort, or breaker refusal
+    ([Converged_gave_up]). Either way the fleet ends homogeneous. *)
+val run_fleet_to_convergence :
+  Fleet.t -> step:(int -> float) -> max_ticks:int -> convergence

@@ -100,6 +100,9 @@ let pause_buckets =
 
 let ipc_buckets = [| 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 1.75; 2.0; 2.5; 3.0; 4.0 |]
 
+let latency_buckets =
+  [| 0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0 |]
+
 (* ---- export ---- *)
 
 let sorted_entries r =

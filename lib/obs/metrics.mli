@@ -48,6 +48,10 @@ val pause_buckets : float array
 (** Per-round IPC buckets. *)
 val ipc_buckets : float array
 
+(** Request-latency buckets (simulated seconds) for open-loop per-replica
+    histograms ([ocolos_fleet_request_latency_seconds{replica="..."}]). *)
+val latency_buckets : float array
+
 (** Prometheus text exposition format. *)
 val to_prometheus : registry -> string
 

@@ -74,3 +74,17 @@ let convert ~(binary : Binary.t) ?fault (samples : Perf.sample list) : Profile.t
     (Ocolos_obs.Trace.I (Hashtbl.length profile.Profile.ranges));
   Ocolos_obs.Metrics.count "ocolos_perf2bolt_records_total" records;
   profile
+
+(* Whole-sample decimation: per-sample processing above is independent
+   across batches (fallthrough ranges never cross a sample boundary), so
+   keeping every Nth batch is an exact 1/N thinning of the record stream.
+   N replicas with identical streams kept at interleaved phases partition
+   the full stream, which is what makes fleet aggregation count-identical
+   to a single full-rate replica. *)
+let decimate ~keep_every ~phase samples =
+  if keep_every < 1 then invalid_arg "Perf2bolt.decimate: keep_every < 1";
+  if phase < 0 || phase >= keep_every then invalid_arg "Perf2bolt.decimate: phase out of range";
+  if keep_every = 1 then samples
+  else List.filteri (fun i _ -> i mod keep_every = phase) samples
+
+let convert_sources ~binary ?fault sources = convert ~binary ?fault (List.concat sources)

@@ -11,3 +11,25 @@
 
 val convert :
   binary:Ocolos_binary.Binary.t -> ?fault:Ocolos_util.Fault.t -> Perf.sample list -> Profile.t
+
+(** Deterministic per-replica decimation for cross-replica aggregation:
+    keep every [keep_every]-th sample batch starting at [phase]
+    (0-based). Decimation is at whole-sample granularity — fallthrough
+    ranges are derived only between entries of one sample, so dropping
+    batches never splits a range. [keep_every = 1] keeps everything.
+    Raises [Invalid_argument] on [keep_every < 1] or [phase] outside
+    [\[0, keep_every)]. *)
+val decimate : keep_every:int -> phase:int -> Perf.sample list -> Perf.sample list
+
+(** Aggregate (already decimated) sample streams from many replicas of the
+    same binary into one profile — the fleet's single perf2bolt input.
+    Counts are additive across sources, so with N replicas each keeping
+    [1/N] of an identical stream at interleaved phases the result is
+    count-identical to one replica converted at full rate; with one
+    undecimated source this is byte-for-byte [convert]. Same fault cuts as
+    {!convert}. *)
+val convert_sources :
+  binary:Ocolos_binary.Binary.t ->
+  ?fault:Ocolos_util.Fault.t ->
+  Perf.sample list list ->
+  Profile.t

@@ -102,8 +102,20 @@ let outcome_to_string = function
       (if terminated then "" else ", NOT drained")
       (Supervisor.convergence_to_string convergence)
 
+(* The label a failing scenario is reported and archived under. It must be
+   self-describing on its own — a --trace-dir directory full of dumps is
+   read long after the sweep output scrolled away — so it carries the armed
+   point's fault domain, not just the point name (which for points like
+   "commit" or "verify" says nothing about which subsystem was hit). *)
+let scenario_label r =
+  Fmt.str "seed%d-%s-%s" r.r_seed
+    (F.domain_of r.r_point)
+    (String.map (function '.' -> '_' | c -> c) r.r_point)
+
 let result_to_string r =
-  Fmt.str "seed %d %-22s %s" r.r_seed r.r_point (outcome_to_string r.r_outcome)
+  Fmt.str "seed %d %-10s %-22s %s" r.r_seed
+    (F.domain_of r.r_point)
+    r.r_point (outcome_to_string r.r_outcome)
 
 (* ---- the three runs ---- *)
 
@@ -253,6 +265,98 @@ let scenario ?(config = default_config) ?cache ~seed ~point () =
             trace_len = List.length killed_tail.t_trace;
             terminated;
             convergence } }
+
+(* ---- fleet chaos ---- *)
+
+(* Kill the *fleet* daemon mid-campaign and verify recovery. A staged
+   rollout dies between replicas (e.g. kill "commit" on its (K+1)-th hit —
+   the first post-canary promotion commit), stranding a mixed C_i/C_{i+1}
+   fleet. The restart must detect the mix, revert the optimized replicas to
+   C0, and drive a fresh homogeneous campaign to a terminal outcome. The
+   fleet is deliberately heterogeneous (input "a" on even replicas, "b" on
+   odd) so the aggregated profile is a genuine cross-replica union. *)
+
+type fleet_outcome = {
+  fo_death : Supervisor.death;
+  fo_mixed_at_death : bool; (* did the kill strand a mixed fleet? *)
+  fo_reverted : int list; (* replicas reverted to C0 on reattach *)
+  fo_convergence : Supervisor.convergence;
+  fo_final_versions : int list;
+  fo_final_converged : bool;
+}
+
+type fleet_result = Fleet_verified of fleet_outcome | Fleet_not_reached
+
+let fleet_passed = function
+  | Fleet_not_reached -> false
+  | Fleet_verified o -> (
+    o.fo_final_converged
+    && match o.fo_convergence with
+       | Supervisor.Converged_replaced _ | Supervisor.Converged_gave_up _ -> true
+       | Supervisor.Diverged -> false)
+
+let fleet_result_to_string ~seed ~point = function
+  | Fleet_not_reached -> Fmt.str "fleet seed %d %-22s not reached" seed point
+  | Fleet_verified o ->
+    Fmt.str
+      "fleet seed %d %-10s %-22s died hit %d tick %d (%s), reverted [%s], restart %s -> [%s] %s"
+      seed (F.domain_of point) point o.fo_death.Supervisor.d_hit
+      o.fo_death.Supervisor.d_tick
+      (if o.fo_mixed_at_death then "MIXED" else "homogeneous")
+      (String.concat ";" (List.map string_of_int o.fo_reverted))
+      (Supervisor.convergence_to_string o.fo_convergence)
+      (String.concat ";" (List.map string_of_int o.fo_final_versions))
+      (if o.fo_final_converged then "(converged)" else "(STILL MIXED)")
+
+let fleet_scenario ?(config = default_config) ?(replicas = 4) ?schedule ~seed ~point () =
+  let module Fleet = Ocolos_core.Fleet in
+  let w = tiny_workload config ~tx_limit:None in
+  (* One fault registry across the whole fleet: an Nth schedule counts hits
+     fleet-wide, which is what lets a kill land between two replicas'
+     commits. *)
+  let fault = F.create ~seed () in
+  let ocfg = { O.default_config with O.fault = Some fault } in
+  (* Mirror the daemon's continuous-replacement tolerance: BOLT on these
+     tiny inputs can land IPC-neutral-or-worse layouts, and a canary that
+     always rolls back would never put a kill point mid-promotion. The
+     permissive verify thresholds keep rollouts flowing so fault schedules
+     can strand genuinely mixed fleets. *)
+  let fcfg =
+    { Fleet.default_config with
+      Fleet.daemon = config.daemon;
+      max_ipc_drop = 1.0;
+      max_p99_rise = infinity }
+  in
+  let procs =
+    Array.init replicas (fun i ->
+        Workload.launch ~seed:(seed + i) w
+          ~input:(Workload.find_input w (if i mod 2 = 0 then "a" else "b")))
+  in
+  let fleet = Fleet.create ~config:fcfg ~ocolos_config:ocfg procs in
+  let step i =
+    Array.iter (fun p -> Proc.run ~cycle_limit:infinity ~max_instrs:config.step_instrs p) procs;
+    float_of_int (i + 1)
+  in
+  match
+    Supervisor.kill_fleet_at ~fault ~point ?schedule fleet ~step ~max_ticks:config.max_ticks
+  with
+  | Supervisor.Survived -> Fleet_not_reached
+  | Supervisor.Died death ->
+    let mixed_at_death = Fleet.mixed fleet in
+    let fleet' =
+      Supervisor.restart_fleet ~config:fcfg ~ocolos_config:ocfg
+        ~guard:(Fleet.guard fleet) procs
+    in
+    let convergence =
+      Supervisor.run_fleet_to_convergence fleet' ~step ~max_ticks:config.max_ticks
+    in
+    Fleet_verified
+      { fo_death = death;
+        fo_mixed_at_death = mixed_at_death;
+        fo_reverted = Fleet.reverted_on_reattach fleet';
+        fo_convergence = convergence;
+        fo_final_versions = Fleet.versions fleet';
+        fo_final_converged = Fleet.converged fleet' }
 
 let default_points = O.fault_catalog
 let default_seeds = [ 1; 2 ]

@@ -47,6 +47,14 @@ val verdict : result -> [ `Pass | `Unreached | `Fail ]
 val passed : result -> bool
 
 val outcome_to_string : outcome -> string
+
+(** Self-describing artifact label for a scenario:
+    [seed<S>-<domain>-<point>] (dots in the point mapped to underscores).
+    The armed point's fault domain is included — a directory of
+    [--trace-dir] dumps must identify the subsystem that was hit without
+    the sweep output at hand. *)
+val scenario_label : result -> string
+
 val result_to_string : result -> string
 
 (** Shared reference runs, keyed by (seed, survivor version). *)
@@ -68,3 +76,41 @@ val default_seeds : int list
     seed. *)
 val sweep :
   ?config:config -> ?seeds:int list -> ?points:string list -> unit -> result list
+
+(** {2 Fleet chaos}
+
+    Kill the {e fleet} daemon mid-campaign (one shared fault registry, so
+    [Nth] schedules count hits fleet-wide — arming ["commit"] at hit K+1
+    lands between the canaries' commits and the promotion wave, stranding
+    a mixed C_i/C_{i+1} fleet), then restart with
+    {!Ocolos_core.Supervisor.restart_fleet} and require a homogeneous
+    terminal state. *)
+
+type fleet_outcome = {
+  fo_death : Ocolos_core.Supervisor.death;
+  fo_mixed_at_death : bool;  (** did the kill strand a mixed fleet? *)
+  fo_reverted : int list;  (** replicas reverted to C0 on reattach *)
+  fo_convergence : Ocolos_core.Supervisor.convergence;
+  fo_final_versions : int list;
+  fo_final_converged : bool;
+}
+
+type fleet_result = Fleet_verified of fleet_outcome | Fleet_not_reached
+
+(** The restart converged and the final fleet is homogeneous. *)
+val fleet_passed : fleet_result -> bool
+
+val fleet_result_to_string : seed:int -> point:string -> fleet_result -> string
+
+(** Kill/restart one fleet scenario: [replicas] copies of the endless tiny
+    workload on a heterogeneous input mix ("a" on even replicas, "b" on
+    odd), one shared fault registry, kill at [point] under [schedule]
+    (default first hit). *)
+val fleet_scenario :
+  ?config:config ->
+  ?replicas:int ->
+  ?schedule:Ocolos_util.Fault.schedule ->
+  seed:int ->
+  point:string ->
+  unit ->
+  fleet_result

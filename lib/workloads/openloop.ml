@@ -1,0 +1,82 @@
+(* Open-loop traffic model (see openloop.mli). *)
+
+module Rng = Ocolos_util.Rng
+module Stats = Ocolos_util.Stats
+
+let poisson ~rate ~seed ~until_s =
+  if rate <= 0.0 then invalid_arg "Openloop.poisson: rate must be positive";
+  let rng = Rng.create seed in
+  let rec go t acc =
+    (* Inverse-CDF exponential inter-arrival; Rng.float is in [0, 1) so the
+       log argument stays positive. *)
+    let dt = -.log (1.0 -. Rng.float rng) /. rate in
+    let t = t +. dt in
+    if t >= until_s then List.rev acc else go t (t :: acc)
+  in
+  go 0.0 []
+
+let uniform ~rate ~until_s =
+  if rate <= 0.0 then invalid_arg "Openloop.uniform: rate must be positive";
+  let dt = 1.0 /. rate in
+  let rec go k acc =
+    let t = float_of_int k *. dt in
+    if t >= until_s then List.rev acc else go (k + 1) (t :: acc)
+  in
+  go 1 []
+
+type t = {
+  arrivals : float array;
+  mutable matched : int; (* arrivals.(0 .. matched-1) are completed *)
+  mutable lat : float list; (* latencies, newest first *)
+  mutable last_now : float;
+  mutable last_completed : int option; (* server counter at the previous call *)
+}
+
+let create ~arrivals =
+  let a = Array.of_list arrivals in
+  Array.iteri
+    (fun i x ->
+      if i > 0 && x <= a.(i - 1) then
+        invalid_arg "Openloop.create: arrivals must be strictly ascending")
+    a;
+  { arrivals = a; matched = 0; lat = []; last_now = neg_infinity; last_completed = None }
+
+let arrived t ~now_s =
+  (* Count of arrivals at or before now. Arrays are small; linear from the
+     matched cursor is plenty. *)
+  let n = Array.length t.arrivals in
+  let rec go i = if i < n && t.arrivals.(i) <= now_s then go (i + 1) else i in
+  go t.matched
+
+let advance t ~now_s ~completed =
+  if now_s < t.last_now then invalid_arg "Openloop.advance: time went backwards";
+  t.last_now <- now_s;
+  match t.last_completed with
+  | None ->
+    (* First observation: transactions retired before the client showed up
+       are not client traffic; start counting capacity from here. *)
+    t.last_completed <- Some completed
+  | Some last ->
+    t.last_completed <- Some completed;
+    (* The server's capacity in this slice is what it retired during it;
+       unused capacity is not banked (the server was doing other work, not
+       holding slots open). A stop-the-world pause shows up as a slice with
+       no capacity, so pending arrivals queue. *)
+    let capacity = max 0 (completed - last) in
+    let avail = arrived t ~now_s in
+    let target = min avail (t.matched + capacity) in
+    while t.matched < target do
+      t.lat <- (now_s -. t.arrivals.(t.matched)) :: t.lat;
+      t.matched <- t.matched + 1
+    done
+
+let queue_depth t ~now_s = arrived t ~now_s - t.matched
+let matched t = t.matched
+let latencies t = Array.of_list (List.rev t.lat)
+
+let pct t p =
+  match t.lat with [] -> 0.0 | _ -> Stats.percentile (Array.of_list t.lat) p
+
+let p50 t = pct t 50.0
+let p99 t = pct t 99.0
+let max_latency t = List.fold_left Float.max 0.0 t.lat

@@ -1,0 +1,56 @@
+(** Open-loop (arrival-rate-driven) traffic model.
+
+    The closed-loop workloads measure throughput; they cannot show what a
+    replacement pause does to {e latency}, because a paused server simply
+    stops generating its own work. An open-loop client keeps arriving at a
+    fixed rate regardless of what the server does, so a stop-the-world
+    pause turns into a queue and the queue into a p99 spike — the
+    load-balancer's view of an OCOLOS rollout, per replica and fleet-wide.
+
+    The model is deliberately minimal and fully deterministic: a pure
+    arrival schedule (a function of rate and seed only), matched FIFO
+    against the server's cumulative completed-transaction counter as the
+    driver advances simulated time. A request arriving at [a] and matched
+    during the advance to [now] has latency [now - a] — completions are
+    attributed to the end of the observation slice, so expectations are
+    hand-computable from the slice schedule. *)
+
+type t
+
+(** Poisson arrival schedule: exponential inter-arrival times at [rate]
+    arrivals per simulated second, from the seeded deterministic stream.
+    A pure function of [(rate, seed)]: same arguments, same schedule, and
+    a shorter horizon yields a prefix of a longer one. *)
+val poisson : rate:float -> seed:int -> until_s:float -> float list
+
+(** A uniform schedule (one arrival every [1/rate] seconds, first at
+    [1/rate]): the hand-computable variant for unit tests. *)
+val uniform : rate:float -> until_s:float -> float list
+
+(** [create ~arrivals] — arrival times in seconds, strictly sorted
+    ascending. Raises [Invalid_argument] otherwise. *)
+val create : arrivals:float list -> t
+
+(** Feed the observation at simulated time [now_s]: [completed] is the
+    server's {e cumulative} completed-transaction count. The slice's
+    capacity is the completions retired since the previous call; up to that
+    many pending arrivals (FIFO, [arrival <= now_s]) are matched, each with
+    latency [now_s - arrival]. Excess capacity is not banked, so a paused
+    slice queues its arrivals. The first call only anchors the counter.
+    [advance] must be called with non-decreasing [now_s]. *)
+val advance : t -> now_s:float -> completed:int -> unit
+
+(** Arrivals at or before [now_s] not yet matched to a completion. *)
+val queue_depth : t -> now_s:float -> int
+
+(** Requests matched so far. *)
+val matched : t -> int
+
+(** Latencies of matched requests, in completion order. *)
+val latencies : t -> float array
+
+(** Nearest-rank percentiles over matched latencies; 0 when none. *)
+val p50 : t -> float
+
+val p99 : t -> float
+val max_latency : t -> float

@@ -18,6 +18,7 @@ let () =
       ("bam", Test_bam.suite);
       ("daemon", Test_daemon.suite);
       ("supervisor", Test_supervisor.suite);
+      ("fleet", Test_fleet.suite);
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
       ("disasm", Test_disasm.suite);

@@ -1,0 +1,308 @@
+(* Fleet orchestration tests: canary promotion and rollback state machines,
+   mid-rollout daemon death + restart convergence, the 1-replica
+   fleet-vs-daemon byte differential, the open-loop traffic model, and the
+   chaos scenario-label regression. *)
+
+open Ocolos_workloads
+module Fleet = Ocolos_core.Fleet
+module Daemon = Ocolos_core.Daemon
+module Guard = Ocolos_core.Guard
+module Ocolos = Ocolos_core.Ocolos
+module Chaos = Ocolos_sim.Chaos
+module Fault = Ocolos_util.Fault
+module Proc = Ocolos_proc.Proc
+module Obs = Ocolos_obs
+
+let daemon_config =
+  { Daemon.default_config with Daemon.profile_s = 1.0; warmup_s = 0.5; min_interval_s = 2.0 }
+
+let fleet_config = { Fleet.default_config with Fleet.daemon = daemon_config }
+
+(* Heterogeneous fleet on the endless tiny workload: input "a" on even
+   replicas, "b" on odd — the aggregated profile is a real cross-replica
+   union, not N copies of one stream. *)
+let launch_procs ?(n = 4) ?(seed = 5) () =
+  let w = Apps.tiny ~tx_limit:None () in
+  Array.init n (fun i ->
+      Workload.launch ~seed:(seed + i) w
+        ~input:(Workload.find_input w (if i mod 2 = 0 then "a" else "b")))
+
+(* Instruction-budget driving (the chaos idiom): deterministic regardless
+   of stalls; tick i is simulated second i+1. *)
+let step procs i =
+  Array.iter (fun p -> Proc.run ~cycle_limit:infinity ~max_instrs:12_000 p) procs;
+  float_of_int (i + 1)
+
+let drive fleet procs ~max_ticks ~until =
+  let actions = ref [] in
+  let rec loop i =
+    if i >= max_ticks then None
+    else begin
+      let now_s = step procs i in
+      let a = Fleet.tick fleet ~now_s in
+      if a <> Fleet.Idle then actions := a :: !actions;
+      if until a then Some a else loop (i + 1)
+    end
+  in
+  let final = loop 0 in
+  (List.rev !actions, final)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ---- canary state machine ---- *)
+
+let test_canary_promotion () =
+  let procs = launch_procs () in
+  let fleet = Fleet.create ~config:fleet_config procs in
+  let actions, final =
+    drive fleet procs ~max_ticks:30 ~until:(function Fleet.Promoted _ -> true | _ -> false)
+  in
+  (match final with
+  | Some (Fleet.Promoted { version = 1; replicas = 4 }) -> ()
+  | Some a -> Alcotest.fail ("unexpected terminal action: " ^ Fleet.action_to_string a)
+  | None -> Alcotest.fail "no promotion within the tick budget");
+  (* ceil(0.25 * 4) = 1 canary, lowest replica ids first. *)
+  (match
+     List.find_opt (function Fleet.Canary_started _ -> true | _ -> false) actions
+   with
+  | Some (Fleet.Canary_started { version = 1; canaries = [ 0 ] }) -> ()
+  | Some a -> Alcotest.fail ("bad canary stage: " ^ Fleet.action_to_string a)
+  | _ -> Alcotest.fail "promotion without a canary stage");
+  Alcotest.(check (list int)) "all replicas on C1" [ 1; 1; 1; 1 ] (Fleet.versions fleet);
+  Alcotest.(check bool) "converged" true (Fleet.converged fleet);
+  Alcotest.(check int) "one rollout" 1 (Fleet.rollouts fleet);
+  Alcotest.(check int) "no rollbacks" 0 (Fleet.rollbacks fleet)
+
+let test_canary_rollback () =
+  (* canary_ipc_scale 0.2 makes the verify-window IPC read 5x too low: the
+     guard threshold trips and the staged rollback must put every touched
+     replica back on C0. *)
+  let procs = launch_procs () in
+  let fleet =
+    Fleet.create ~config:{ fleet_config with Fleet.canary_ipc_scale = 0.2 } procs
+  in
+  let _, final =
+    drive fleet procs ~max_ticks:30
+      ~until:(function Fleet.Rolled_back _ -> true | _ -> false)
+  in
+  (match final with
+  | Some (Fleet.Rolled_back { reason; reverted = [ 0 ] }) ->
+    Alcotest.(check bool) "reason names the IPC regression" true (contains reason "IPC")
+  | Some a -> Alcotest.fail ("unexpected terminal action: " ^ Fleet.action_to_string a)
+  | None -> Alcotest.fail "no rollback within the tick budget");
+  Alcotest.(check (list int)) "all replicas back on C0" [ 0; 0; 0; 0 ] (Fleet.versions fleet);
+  Alcotest.(check bool) "converged" true (Fleet.converged fleet);
+  Alcotest.(check int) "no rollouts" 0 (Fleet.rollouts fleet);
+  Alcotest.(check int) "one rollback" 1 (Fleet.rollbacks fleet);
+  Alcotest.(check int) "guard heard the failure" 1
+    (Guard.consecutive_failures (Fleet.guard fleet))
+
+(* ---- mid-rollout death and restart ---- *)
+
+let test_kill_mid_rollout_restart_converges () =
+  (* One shared fault registry counts "commit" hits fleet-wide: hit 1 is
+     the canary's commit, hit 2 the first promotion commit. Killing there
+     strands a mixed C1/C0 fleet; the restart must revert the canary to C0
+     and drive a fresh homogeneous campaign to a terminal outcome. *)
+  match
+    Chaos.fleet_scenario ~replicas:4 ~schedule:(Fault.Nth 2) ~seed:1 ~point:"commit" ()
+  with
+  | Chaos.Fleet_not_reached -> Alcotest.fail "commit hit 2 never fired"
+  | Chaos.Fleet_verified o as r ->
+    Alcotest.(check bool) "fleet was mixed at death" true o.Chaos.fo_mixed_at_death;
+    Alcotest.(check bool) "reattach reverted the stranded canaries" true
+      (o.Chaos.fo_reverted <> []);
+    Alcotest.(check bool) "final fleet is homogeneous" true o.Chaos.fo_final_converged;
+    if not (Chaos.fleet_passed r) then
+      Alcotest.fail
+        ("restart did not converge: "
+        ^ Chaos.fleet_result_to_string ~seed:1 ~point:"commit" r)
+
+let test_kill_before_canary_leaves_fleet_homogeneous () =
+  (* Dying at the canary's own commit (hit 1) rolls that transaction back
+     before the exception surfaces, so the fleet is never mixed at all. *)
+  match Chaos.fleet_scenario ~replicas:3 ~seed:2 ~point:"commit" () with
+  | Chaos.Fleet_not_reached -> Alcotest.fail "commit never fired"
+  | Chaos.Fleet_verified o as r ->
+    Alcotest.(check bool) "homogeneous at death" false o.Chaos.fo_mixed_at_death;
+    Alcotest.(check (list int)) "nothing to revert on reattach" [] o.Chaos.fo_reverted;
+    Alcotest.(check bool) "restart converges" true (Chaos.fleet_passed r)
+
+(* ---- 1-replica differential: fleet == daemon, byte for byte ---- *)
+
+(* The fleet path must be the single-process path plus strictly additive
+   observability. Same seed, same instruction-budget schedule, finite
+   workload: the taken-branch trace, checksums, transaction count and the
+   Prometheus export — minus the ocolos_fleet_* / ocolos_daemon_* /
+   ocolos_guard_* controller families, which name who was in charge — must
+   be byte-identical between a 1-replica fleet and a plain daemon. *)
+let differential_run mode =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.install reg;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.uninstall ()) @@ fun () ->
+  let w = Apps.tiny ~tx_limit:(Some 1500) () in
+  let proc = Workload.launch ~seed:3 w ~input:(Workload.find_input w "a") in
+  let buf = ref [] in
+  proc.Proc.hooks.Proc.on_taken_branch <-
+    Some
+      (fun ~tid ~from_addr ~to_addr ~kind ~cycles ->
+        ignore cycles;
+        buf := (tid, from_addr, to_addr, kind) :: !buf);
+  (* min_interval_s blocks any second campaign, so both controllers go
+     quiet after the first replacement at exactly the same tick. *)
+  let dcfg = { daemon_config with Daemon.min_interval_s = 1000.0 } in
+  let version =
+    match mode with
+    | `Daemon ->
+      let oc = Ocolos.attach proc in
+      let d = Daemon.create ~config:dcfg oc proc in
+      for i = 0 to 11 do
+        ignore (Daemon.tick d ~now_s:(step [| proc |] i))
+      done;
+      Ocolos.version oc
+    | `Fleet ->
+      let fleet = Fleet.create ~config:{ fleet_config with Fleet.daemon = dcfg } [| proc |] in
+      for i = 0 to 11 do
+        ignore (Fleet.tick fleet ~now_s:(step [| proc |] i))
+      done;
+      (match Fleet.versions fleet with [ v ] -> v | _ -> -1)
+  in
+  Proc.run ~cycle_limit:infinity ~max_instrs:50_000_000 proc;
+  ( version,
+    List.rev !buf,
+    Workload.checksums proc,
+    Proc.transactions proc,
+    Obs.Metrics.to_prometheus reg )
+
+let filter_controller_families export =
+  String.split_on_char '\n' export
+  |> List.filter (fun line ->
+         not
+           (List.exists (contains line)
+              [ "ocolos_fleet_"; "ocolos_daemon_"; "ocolos_guard_" ]))
+  |> String.concat "\n"
+
+let test_one_replica_fleet_differential () =
+  let dv, dtrace, dsums, dtx, dexport = differential_run `Daemon in
+  let fv, ftrace, fsums, ftx, fexport = differential_run `Fleet in
+  Alcotest.(check int) "daemon replaced" 1 dv;
+  Alcotest.(check int) "fleet replaced" 1 fv;
+  Alcotest.(check bool) "taken-branch traces byte-identical" true (dtrace = ftrace);
+  Alcotest.(check (list int)) "checksums identical" dsums fsums;
+  Alcotest.(check int) "transactions identical" dtx ftx;
+  Alcotest.(check string) "pipeline metrics byte-identical"
+    (filter_controller_families dexport)
+    (filter_controller_families fexport)
+
+(* ---- open-loop generator ---- *)
+
+let test_openloop_schedules_deterministic () =
+  let a = Openloop.poisson ~rate:40.0 ~seed:9 ~until_s:10.0 in
+  let b = Openloop.poisson ~rate:40.0 ~seed:9 ~until_s:10.0 in
+  Alcotest.(check bool) "pure function of (rate, seed)" true (a = b);
+  let short = Openloop.poisson ~rate:40.0 ~seed:9 ~until_s:5.0 in
+  let prefix = List.filteri (fun i _ -> i < List.length short) a in
+  Alcotest.(check bool) "shorter horizon is a prefix" true (short = prefix);
+  Alcotest.(check bool) "all arrivals inside the horizon" true
+    (List.for_all (fun t -> t >= 0.0 && t < 10.0) a);
+  let rec ascending = function
+    | x :: (y :: _ as rest) -> x < y && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly ascending" true (ascending a);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (a <> Openloop.poisson ~rate:40.0 ~seed:10 ~until_s:10.0);
+  let u = Openloop.uniform ~rate:10.0 ~until_s:0.55 in
+  Alcotest.(check int) "uniform count" 5 (List.length u);
+  List.iteri
+    (fun i t ->
+      Alcotest.(check (float 1e-12)) "uniform spacing" (float_of_int (i + 1) *. 0.1) t)
+    u
+
+let test_openloop_pause_queue_hand_computed () =
+  (* 20 arrivals at 0.05, 0.15, ..., 1.95; the server retires one request
+     per 0.1s slice, except a replacement pause covering (1.0, 1.5] (five
+     slices of zero capacity) followed by a catch-up slice of capacity 6.
+     Every number below is hand-computed from that schedule. *)
+  let arrivals = List.init 20 (fun k -> 0.05 +. (0.1 *. float_of_int k)) in
+  let ol = Openloop.create ~arrivals in
+  Openloop.advance ol ~now_s:0.0 ~completed:0;
+  let completed_at j =
+    (* cumulative completions at the end of slice j (now = 0.1 * (j+1)) *)
+    if j <= 9 then j + 1 else if j <= 14 then 10 else if j = 15 then 16 else j + 1
+  in
+  let peak = ref 0 in
+  for j = 0 to 19 do
+    let now_s = 0.1 *. float_of_int (j + 1) in
+    Openloop.advance ol ~now_s ~completed:(completed_at j);
+    peak := max !peak (Openloop.queue_depth ol ~now_s)
+  done;
+  Alcotest.(check int) "all requests eventually served" 20 (Openloop.matched ol);
+  Alcotest.(check int) "queue peaked at 5 during the pause" 5 !peak;
+  Alcotest.(check int) "queue drained" 0 (Openloop.queue_depth ol ~now_s:2.0);
+  (* Latencies: 15 prompt requests at 0.05s; the five queued during the
+     pause drain at t=1.6 with latencies 0.55, 0.45, 0.35, 0.25, 0.15. *)
+  Alcotest.(check (float 1e-9)) "p50 is the prompt latency" 0.05 (Openloop.p50 ol);
+  Alcotest.(check (float 1e-9)) "p99 is the head-of-queue latency" 0.55 (Openloop.p99 ol);
+  Alcotest.(check (float 1e-9)) "max equals p99 here" 0.55 (Openloop.max_latency ol);
+  let sorted = Openloop.latencies ol in
+  Array.sort compare sorted;
+  List.iteri
+    (fun i expect ->
+      Alcotest.(check (float 1e-9)) "queued latency" expect sorted.(19 - i))
+    [ 0.55; 0.45; 0.35; 0.25; 0.15 ]
+
+let test_openloop_pause_in_fleet_driver () =
+  (* End to end: the driver charges replacement pause debt as stalls, so a
+     rollout must leave a worse tail than the pre-rollout baseline shows.
+     Weak-form check (p99 >= p50 > 0 and a queue actually formed) to stay
+     robust across cost-model tuning. *)
+  let report, _fleet = Ocolos_sim.Fleet_driver.run ~replicas:2 ~ticks:12 ~seed:2 () in
+  Alcotest.(check bool) "rollout happened" true (report.Ocolos_sim.Fleet_driver.fd_rollouts >= 1);
+  Alcotest.(check bool) "requests were served" true
+    (List.for_all
+       (fun r -> r.Ocolos_sim.Fleet_driver.fr_matched > 0)
+       report.Ocolos_sim.Fleet_driver.fd_replicas);
+  Alcotest.(check bool) "tail at or above median" true
+    (report.Ocolos_sim.Fleet_driver.fd_fleet_p99
+    >= report.Ocolos_sim.Fleet_driver.fd_fleet_p50);
+  Alcotest.(check bool) "queues formed" true
+    (List.exists
+       (fun r -> r.Ocolos_sim.Fleet_driver.fr_queue_peak > 0)
+       report.Ocolos_sim.Fleet_driver.fd_replicas)
+
+(* ---- chaos scenario labels (regression) ---- *)
+
+let test_chaos_scenario_label_names_domain () =
+  (* Failing-scenario artifacts must be self-describing: the label carries
+     the armed point's fault domain, not just the point name. *)
+  let r = { Chaos.r_seed = 3; r_point = "perf.detach"; r_outcome = Chaos.Not_reached } in
+  Alcotest.(check string) "dotted point: domain prefix" "seed3-perf-perf_detach"
+    (Chaos.scenario_label r);
+  let r2 = { r with Chaos.r_point = "commit" } in
+  Alcotest.(check string) "undotted points live in the txn domain" "seed3-txn-commit"
+    (Chaos.scenario_label r2);
+  Alcotest.(check bool) "report line names the domain" true
+    (contains (Chaos.result_to_string r) "perf ")
+
+let suite =
+  [ Alcotest.test_case "canary promotion widens to the fleet" `Slow test_canary_promotion;
+    Alcotest.test_case "canary IPC regression rolls the stage back" `Slow
+      test_canary_rollback;
+    Alcotest.test_case "kill mid-rollout: mixed fleet recovers on restart" `Slow
+      test_kill_mid_rollout_restart_converges;
+    Alcotest.test_case "kill at canary commit: fleet never mixed" `Slow
+      test_kill_before_canary_leaves_fleet_homogeneous;
+    Alcotest.test_case "1-replica fleet == daemon, byte for byte" `Slow
+      test_one_replica_fleet_differential;
+    Alcotest.test_case "open-loop schedules are deterministic" `Quick
+      test_openloop_schedules_deterministic;
+    Alcotest.test_case "open-loop pause queue matches hand computation" `Quick
+      test_openloop_pause_queue_hand_computed;
+    Alcotest.test_case "fleet driver surfaces pauses as queues" `Slow
+      test_openloop_pause_in_fleet_driver;
+    Alcotest.test_case "chaos scenario label names the fault domain" `Quick
+      test_chaos_scenario_label_names_domain ]

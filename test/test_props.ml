@@ -346,6 +346,87 @@ let prop_quarantine_monotone =
         batches;
       !ok)
 
+(* 12. Fleet rollout atomicity: under ANY survivable fault schedule at ANY
+   catalog point, the fleet is never mixed outside an in-flight rollout —
+   a staged rollout either widens to every replica or unwinds completely,
+   and whatever the schedule did, the run ends homogeneous (or still
+   mid-rollout, which the next tick would resolve the same way). *)
+let prop_fleet_rollout_atomic =
+  QCheck.Test.make ~name:"fleet rollout atomic under any fault schedule" ~count:10
+    gen_fault_run
+    (fun (pi, kind, k, seed, _) ->
+      let module Fleet = Ocolos_core.Fleet in
+      let module Daemon = Ocolos_core.Daemon in
+      let point = List.nth fault_catalog (pi mod List.length fault_catalog) in
+      let schedule =
+        match kind with
+        | 0 -> Ocolos_util.Fault.Nth k
+        | 1 -> Ocolos_util.Fault.Every k
+        | _ -> Ocolos_util.Fault.Prob (float_of_int k /. 4.0 |> Float.min 1.0)
+      in
+      let replicas = 2 + (seed mod 3) in
+      let w = Apps.tiny ~tx_limit:None () in
+      let procs =
+        Array.init replicas (fun i ->
+            Workload.launch ~seed:(1 + i + (seed mod 97)) w ~input:(Workload.find_input w "a"))
+      in
+      let fault = Ocolos_util.Fault.create ~seed () in
+      Ocolos_util.Fault.arm fault point schedule;
+      let ocfg =
+        { Ocolos_core.Ocolos.default_config with Ocolos_core.Ocolos.fault = Some fault }
+      in
+      let fcfg =
+        { Fleet.default_config with
+          Fleet.daemon =
+            { Daemon.default_config with
+              Daemon.profile_s = 1.0;
+              warmup_s = 0.5;
+              min_interval_s = 2.0;
+              retry_backoff_s = 0.5 } }
+      in
+      let fleet = Fleet.create ~config:fcfg ~ocolos_config:ocfg procs in
+      let in_rollout = ref false and ok = ref true in
+      for s = 1 to 20 do
+        Array.iter
+          (fun p -> Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:12_000 p)
+          procs;
+        (match Fleet.tick fleet ~now_s:(float_of_int s) with
+        | Fleet.Canary_started _ -> in_rollout := true
+        | Fleet.Promoted _ | Fleet.Rolled_back _ | Fleet.Campaign_aborted _ ->
+          in_rollout := false
+        | Fleet.Idle | Fleet.Started_profiling _ | Fleet.Breaker_open _ -> ());
+        if (not !in_rollout) && Fleet.mixed fleet then ok := false
+      done;
+      !ok && (!in_rollout || Fleet.converged fleet))
+
+(* 13. Cross-replica aggregation is count-equivalent: N replicas of the
+   same deterministic binary produce identical sample streams, so keeping
+   1/N of the stream per replica at interleaved phases and aggregating
+   recovers exactly the full-rate profile — every edge, range, call-graph
+   and per-function count, and the record total. *)
+let prop_fleet_aggregation_count_equivalent =
+  QCheck.Test.make ~name:"1/N cross-replica aggregate count-equivalent to full rate" ~count:10
+    (QCheck.pair gen_config_arbitrary (QCheck.make QCheck.Gen.(int_range 1 4)))
+    (fun (params, n) ->
+      let module Profile = Ocolos_profiler.Profile in
+      let w = workload_of params in
+      let proc = Workload.launch ~seed:11 w ~input:(Workload.find_input w "p") in
+      let session = Ocolos_profiler.Perf.start proc in
+      Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:200_000 proc;
+      let samples = Ocolos_profiler.Perf.stop session in
+      let binary = w.Workload.binary in
+      let full = Ocolos_profiler.Perf2bolt.convert ~binary samples in
+      let sources =
+        List.init n (fun i -> Ocolos_profiler.Perf2bolt.decimate ~keep_every:n ~phase:i samples)
+      in
+      let agg = Ocolos_profiler.Perf2bolt.convert_sources ~binary sources in
+      let bindings h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort compare in
+      bindings full.Profile.branches = bindings agg.Profile.branches
+      && bindings full.Profile.ranges = bindings agg.Profile.ranges
+      && bindings full.Profile.calls = bindings agg.Profile.calls
+      && bindings full.Profile.func_records = bindings agg.Profile.func_records
+      && full.Profile.total_records = agg.Profile.total_records)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_programs_terminate;
@@ -359,4 +440,6 @@ let suite =
       prop_layout_func_permutation;
       prop_emit_deterministic;
       prop_campaign_respects_retry_budget;
-      prop_quarantine_monotone ]
+      prop_quarantine_monotone;
+      prop_fleet_rollout_atomic;
+      prop_fleet_aggregation_count_equivalent ]
