@@ -13,14 +13,18 @@
      fleet                         N-replica canary rollout under open-loop
                                    traffic (--inject-regression demonstrates
                                    the guard-driven staged rollback)
+     explain                       fleet rollout with layout-health attribution
+                                   armed: breached signal, per-version deltas,
+                                   regressed functions, rollback event
      timeline -w W -i I            per-second Fig.7-style timeline
      topdown  -w W -i I            stage-1 TopDown bottleneck analysis
      stats    -w W -i I            pipeline phase + TopDown attribution tables
 
-   run/bolt/ocolos/timeline/stats accept --trace FILE (Chrome/Perfetto
-   trace-event JSON of the run's span tree) and --metrics FILE (Prometheus
-   text dump of the run's metrics registry); both are byte-deterministic
-   for identical invocations. *)
+   run/bolt/ocolos/chaos/fleet/explain/timeline/stats accept --trace FILE
+   (Chrome/Perfetto trace-event JSON of the run's span tree), --metrics FILE
+   (Prometheus text dump of the run's metrics registry), and --events FILE
+   (JSONL structured event log with span IDs cross-linking into the trace);
+   all are byte-deterministic for identical invocations. *)
 
 open Cmdliner
 open Ocolos_workloads
@@ -79,25 +83,39 @@ let metrics_arg =
           "Collect the run's metrics registry and write it in Prometheus text \
            format to $(docv).")
 
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Record the run's structured event log (profile windows, BOLT passes, \
+           transaction phases, guard transitions, canary verdicts) and write it as \
+           JSONL to $(docv).")
+
 let write_file path contents =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-(* Run [f] with an ambient trace and metrics registry installed when the
-   user asked for either (or [force]), then dump the requested outputs.
-   Emission uses only the simulated clock, so identical invocations write
-   byte-identical files. *)
-let with_obs ?(force = false) trace_path metrics_path f =
-  if (not force) && trace_path = None && metrics_path = None then f ()
+(* Run [f] with an ambient trace, metrics registry, and event log installed
+   when the user asked for any (or [force]), then dump the requested
+   outputs. Emission uses only the simulated clock, so identical
+   invocations write byte-identical files. *)
+let with_obs ?(force = false) trace_path metrics_path events_path f =
+  if (not force) && trace_path = None && metrics_path = None && events_path = None then
+    f ()
   else begin
     let tr = Obs.Trace.create () in
     let reg = Obs.Metrics.create () in
+    let ev = Obs.Events.create () in
     Obs.Trace.install tr;
     Obs.Metrics.install reg;
+    Obs.Events.install ev;
     Fun.protect
       ~finally:(fun () ->
         Obs.Trace.uninstall ();
-        Obs.Metrics.uninstall ())
+        Obs.Metrics.uninstall ();
+        Obs.Events.uninstall ())
       f;
     (match trace_path with
     | Some p ->
@@ -106,10 +124,15 @@ let with_obs ?(force = false) trace_path metrics_path f =
         (List.length (Obs.Trace.events tr))
         p
     | None -> ());
-    match metrics_path with
+    (match metrics_path with
     | Some p ->
       write_file p (Obs.Metrics.to_prometheus reg);
       Fmt.pr "wrote metrics to %s@." p
+    | None -> ());
+    match events_path with
+    | Some p ->
+      Obs.Events.save p ev;
+      Fmt.pr "wrote %d events to %s@." (Obs.Events.count ev) p
     | None -> ()
   end
 
@@ -141,8 +164,8 @@ let inspect_cmd =
   Cmd.v (Cmd.info "inspect" ~doc:"Binary summary") Term.(const run $ workload_arg)
 
 let run_cmd =
-  let run name input_name seconds trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run name input_name seconds trace metrics events =
+    with_obs trace metrics events @@ fun () ->
     let w = load_workload name in
     let input = Workload.find_input w input_name in
     let s = Measure.steady ~measure:seconds w ~input in
@@ -151,11 +174,13 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Steady-state throughput of the original binary")
-    Term.(const run $ workload_arg $ input_arg $ seconds_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ seconds_arg $ trace_arg $ metrics_arg
+      $ events_arg)
 
 let bolt_cmd =
-  let run name input_name seconds trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run name input_name seconds trace metrics events =
+    with_obs trace metrics events @@ fun () ->
     let w = load_workload name in
     let input = Workload.find_input w input_name in
     let orig = Measure.steady ~measure:seconds w ~input in
@@ -169,7 +194,9 @@ let bolt_cmd =
   in
   Cmd.v
     (Cmd.info "bolt" ~doc:"Offline BOLT: profile, optimize, compare")
-    Term.(const run $ workload_arg $ input_arg $ seconds_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ seconds_arg $ trace_arg $ metrics_arg
+      $ events_arg)
 
 let fault_arg =
   Arg.(
@@ -185,27 +212,29 @@ let fault_seed_arg =
     & info [ "fault-seed" ] ~docv:"SEED"
         ~doc:"Seed for probabilistic fault schedules; reruns reproduce exactly.")
 
+(* Parse and arm --fault specs into one registry; None when nothing armed. *)
+let parse_faults ~seed specs =
+  match specs with
+  | [] -> None
+  | specs ->
+    let f = Ocolos_util.Fault.create ~seed () in
+    List.iter
+      (fun spec ->
+        match Ocolos_util.Fault.parse_arm f spec with
+        | Ok point when not (List.mem point Ocolos_core.Ocolos.fault_catalog) ->
+          Fmt.failwith "bad --fault %S: unknown point %S (see `ocolos_cli faults`)" spec
+            point
+        | Ok _ -> ()
+        | Error msg -> Fmt.failwith "bad --fault %S: %s" spec msg)
+      specs;
+    Some f
+
 let ocolos_cmd =
-  let run name input_name seconds fault_specs fault_seed trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run name input_name seconds fault_specs fault_seed trace metrics events =
+    with_obs trace metrics events @@ fun () ->
     let w = load_workload name in
     let input = Workload.find_input w input_name in
-    let fault =
-      match fault_specs with
-      | [] -> None
-      | specs ->
-        let f = Ocolos_util.Fault.create ~seed:fault_seed () in
-        List.iter
-          (fun spec ->
-            match Ocolos_util.Fault.parse_arm f spec with
-            | Ok point when not (List.mem point Ocolos_core.Ocolos.fault_catalog) ->
-              Fmt.failwith "bad --fault %S: unknown point %S (see `ocolos_cli faults`)"
-                spec point
-            | Ok _ -> ()
-            | Error msg -> Fmt.failwith "bad --fault %S: %s" spec msg)
-          specs;
-        Some f
-    in
+    let fault = parse_faults ~seed:fault_seed fault_specs in
     let config = { Ocolos_core.Ocolos.default_config with Ocolos_core.Ocolos.fault } in
     let orig = Measure.steady ~measure:seconds w ~input in
     (match Measure.ocolos_steady ~config ~measure:seconds w ~input with
@@ -246,7 +275,7 @@ let ocolos_cmd =
     (Cmd.info "ocolos" ~doc:"Online OCOLOS: attach, profile, replace, compare")
     Term.(
       const run $ workload_arg $ input_arg $ seconds_arg $ fault_arg $ fault_seed_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ events_arg)
 
 let faults_cmd =
   let domain_blurb = function
@@ -314,7 +343,9 @@ let chaos_cmd =
              Chrome/Perfetto trace-event JSON to \
              $(docv)/chaos-seed$(i,S)-$(i,DOMAIN)-$(i,POINT).json.")
   in
-  let run seeds points trace_dir =
+  let run seeds points trace_dir trace metrics events =
+    let failed = ref false in
+    (with_obs trace metrics events @@ fun () ->
     let points = if points = [] then Ocolos_sim.Chaos.default_points else points in
     List.iter
       (fun p ->
@@ -362,74 +393,80 @@ let chaos_cmd =
           Fmt.pr "wrote failing-scenario trace to %s@." path)
         (List.rev fails)
     | _ -> ());
-    if !failures <> [] then exit 1
+    failed := !failures <> []);
+    if !failed then exit 1
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Kill the daemon at every fault point; verify trace equality and restart \
              convergence")
-    Term.(const run $ seeds_arg $ points_arg $ trace_dir_arg)
+    Term.(
+      const run $ seeds_arg $ points_arg $ trace_dir_arg $ trace_arg $ metrics_arg
+      $ events_arg)
 
 (* Fleet rollout demo: N replicas of the endless tiny workload under
    open-loop traffic, one canary campaign driven to its terminal outcome.
    The exit status makes this a CI smoke: the requested path (promotion,
    or rollback under --inject-regression) must actually have happened and
    the fleet must end homogeneous. *)
-let fleet_cmd =
+(* ---- fleet / explain shared plumbing ---- *)
+
+let replicas_arg =
+  Arg.(value & opt int 4 & info [ "replicas" ] ~docv:"N" ~doc:"Fleet size.")
+
+let canary_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "canary" ] ~docv:"PCT" ~doc:"Canary stage size, as a percent of the fleet.")
+
+let inject_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-regression" ]
+        ~doc:
+          "Scale the measured canary IPC by 0.5 at the verdict: the canary check \
+           fails and the staged rollback path runs instead of the promotion.")
+
+let fleet_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Base seed (replica i adds i).")
+
+let ticks_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "ticks" ] ~docv:"T" ~doc:"Simulated seconds to drive the fleet.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 40.0
+    & info [ "rate" ] ~docv:"R"
+        ~doc:"Open-loop arrival rate per replica (requests per simulated second).")
+
+let inputs_arg =
+  Arg.(
+    value
+    & opt (list string) [ "a" ]
+    & info [ "inputs" ] ~docv:"I,.."
+        ~doc:
+          "Workload inputs dealt round-robin across replicas (tiny workload: a, b). \
+           A mixed list exercises cross-replica profile aggregation over a \
+           heterogeneous fleet.")
+
+let fleet_config ~canary ~inject =
   let module Fleet = Ocolos_core.Fleet in
+  { Fleet.default_config with
+    Fleet.canary_fraction = float_of_int canary /. 100.0;
+    canary_ipc_scale = (if inject then 0.5 else 1.0);
+    daemon =
+      { Ocolos_core.Daemon.default_config with
+        Ocolos_core.Daemon.profile_s = 1.0;
+        warmup_s = 0.5;
+        min_interval_s = 2.0 } }
+
+let fleet_cmd =
   let module Fleet_driver = Ocolos_sim.Fleet_driver in
-  let replicas_arg =
-    Arg.(value & opt int 4 & info [ "replicas" ] ~docv:"N" ~doc:"Fleet size.")
-  in
-  let canary_arg =
-    Arg.(
-      value & opt int 25
-      & info [ "canary" ] ~docv:"PCT" ~doc:"Canary stage size, as a percent of the fleet.")
-  in
-  let inject_arg =
-    Arg.(
-      value & flag
-      & info [ "inject-regression" ]
-          ~doc:
-            "Scale the measured canary IPC by 0.5 at the verdict: the canary check \
-             fails and the staged rollback path runs instead of the promotion.")
-  in
-  let seed_arg =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Base seed (replica i adds i).")
-  in
-  let ticks_arg =
-    Arg.(
-      value & opt int 30
-      & info [ "ticks" ] ~docv:"T" ~doc:"Simulated seconds to drive the fleet.")
-  in
-  let rate_arg =
-    Arg.(
-      value & opt float 40.0
-      & info [ "rate" ] ~docv:"R"
-          ~doc:"Open-loop arrival rate per replica (requests per simulated second).")
-  in
-  let inputs_arg =
-    Arg.(
-      value
-      & opt (list string) [ "a" ]
-      & info [ "inputs" ] ~docv:"I,.."
-          ~doc:
-            "Workload inputs dealt round-robin across replicas (tiny workload: a, b). \
-             A mixed list exercises cross-replica profile aggregation over a \
-             heterogeneous fleet.")
-  in
-  let run replicas canary inject seed ticks rate inputs trace metrics =
-    with_obs trace metrics @@ fun () ->
-    let config =
-      { Fleet.default_config with
-        Fleet.canary_fraction = float_of_int canary /. 100.0;
-        canary_ipc_scale = (if inject then 0.5 else 1.0);
-        daemon =
-          { Ocolos_core.Daemon.default_config with
-            Ocolos_core.Daemon.profile_s = 1.0;
-            warmup_s = 0.5;
-            min_interval_s = 2.0 } }
-    in
+  let run replicas canary inject seed ticks rate inputs trace metrics events =
+    with_obs trace metrics events @@ fun () ->
+    let config = fleet_config ~canary ~inject in
     Fmt.pr "fleet: %d replicas, canary %d%%, rate %g req/s, %d ticks, seed %d%s@.@."
       replicas canary rate ticks seed
       (if inject then " — injecting an IPC regression at the canary verdict" else "");
@@ -457,8 +494,116 @@ let fleet_cmd =
          "Canary rollout across an N-replica fleet under open-loop traffic; \
           $(b,--inject-regression) demonstrates the guard-driven staged rollback")
     Term.(
-      const run $ replicas_arg $ canary_arg $ inject_arg $ seed_arg $ ticks_arg $ rate_arg
-      $ inputs_arg $ trace_arg $ metrics_arg)
+      const run $ replicas_arg $ canary_arg $ inject_arg $ fleet_seed_arg $ ticks_arg
+      $ rate_arg $ inputs_arg $ trace_arg $ metrics_arg $ events_arg)
+
+(* Post-mortem for a rollout: run the fleet with layout-health attribution
+   armed, then explain the canary verdict — which signal breached, which
+   functions regressed between C_i and C_{i+1}, which fault domains fired,
+   and the rollback event from the structured log. *)
+let explain_cmd =
+  let module Fleet = Ocolos_core.Fleet in
+  let module Fleet_driver = Ocolos_sim.Fleet_driver in
+  let module LH = Obs.Layout_health in
+  let run replicas canary inject seed ticks rate inputs fault_specs fault_seed trace
+      metrics events =
+    with_obs ~force:true trace metrics events @@ fun () ->
+    let lh = LH.create () in
+    LH.install lh;
+    Fun.protect ~finally:(fun () -> LH.uninstall ()) @@ fun () ->
+    let config = fleet_config ~canary ~inject in
+    let ocolos_config =
+      { Ocolos_core.Ocolos.default_config with
+        Ocolos_core.Ocolos.fault = parse_faults ~seed:fault_seed fault_specs }
+    in
+    Fmt.pr "explain: %d replicas, canary %d%%, rate %g req/s, %d ticks, seed %d%s@.@."
+      replicas canary rate ticks seed
+      (if inject then " — injecting an IPC regression at the canary verdict" else "");
+    let report, fleet =
+      Fleet_driver.run ~replicas ~seed ~ticks ~arrival_rate:rate ~inputs ~config
+        ~ocolos_config ()
+    in
+    LH.export_metrics lh;
+    Fmt.pr "%s@." (Fleet_driver.report_to_string report);
+    Fmt.pr "layout health, per code version:@.%s@." (LH.report lh);
+    let pp_cohort label ids (c : Fleet.cohort) =
+      Fmt.pr
+        "%s cohort (replicas [%s]): IPC %.2f (baseline %.2f, ratio %.2f), p99 %.3fs, \
+         L1i %.2f MPKI, iTLB %.2f MPKI, BTB %.2f MPKI, taken %.1f/Ki@."
+        label
+        (String.concat ";" (List.map string_of_int ids))
+        c.Fleet.co_ipc c.Fleet.co_base_ipc c.Fleet.co_ipc_ratio c.Fleet.co_p99
+        c.Fleet.co_l1i_mpki c.Fleet.co_itlb_mpki c.Fleet.co_btb_mpki c.Fleet.co_taken_pki
+    in
+    (match Fleet.last_readout fleet with
+    | None -> Fmt.pr "no canary verdict was reached within the tick budget.@."
+    | Some ro ->
+      pp_cohort "canary" ro.Fleet.ro_canary.Fleet.co_ids ro.Fleet.ro_canary;
+      (match ro.Fleet.ro_rest with
+      | Some r -> pp_cohort "rest  " r.Fleet.co_ids r
+      | None -> Fmt.pr "rest cohort: none (every replica was a canary)@.");
+      match ro.Fleet.ro_breach with
+      | None -> Fmt.pr "verdict: clean — C%d promoted fleet-wide@." ro.Fleet.ro_version
+      | Some (signal, detail) ->
+        Fmt.pr "verdict: breached signal %S — %s@." signal detail;
+        let from_version = ro.Fleet.ro_version - 1 and to_version = ro.Fleet.ro_version in
+        Fmt.pr "@.signal deltas C%d -> C%d:@.%s" from_version to_version
+          (LH.delta_table lh ~from_version ~to_version);
+        let regs = LH.regressions lh ~from_version ~to_version in
+        if regs <> [] then begin
+          Fmt.pr "@.top regressed functions (contribution per Ki-instr, C%d -> C%d):@."
+            from_version to_version;
+          List.iteri
+            (fun i (fd : LH.func_delta) ->
+              if i < 5 then
+                Fmt.pr "  %-24s l1i %+.3f  itlb %+.3f  btb %+.3f  taken %+.3f  total %+.3f@."
+                  fd.LH.fd_name fd.LH.fd_l1i fd.LH.fd_itlb fd.LH.fd_btb fd.LH.fd_taken
+                  fd.LH.fd_total)
+            regs
+        end);
+    (match Obs.Events.installed () with
+    | None -> ()
+    | Some ev ->
+      let evs = Obs.Events.events ev in
+      let fired =
+        List.filter
+          (fun (e : Obs.Events.event) ->
+            e.Obs.Events.e_type = "fault.fired" || e.Obs.Events.e_type = "fault.killed")
+          evs
+      in
+      if fired <> [] then begin
+        Fmt.pr "@.fault injections:@.";
+        List.iter
+          (fun (e : Obs.Events.event) ->
+            match List.assoc_opt "point" e.Obs.Events.e_fields with
+            | Some (Obs.Trace.S p) ->
+              Fmt.pr "  t=%dus %s at %s (fault domain: %s)@." e.Obs.Events.e_ts_us
+                e.Obs.Events.e_type p
+                (Ocolos_util.Fault.domain_of p)
+            | _ -> ())
+          fired
+      end;
+      match
+        List.rev
+          (List.filter
+             (fun (e : Obs.Events.event) ->
+               e.Obs.Events.e_type = "fleet.rolled_back"
+               || e.Obs.Events.e_type = "txn.rollback")
+             evs)
+      with
+      | last :: _ -> Fmt.pr "@.rollback event (JSONL):@.  %s@." (Obs.Events.event_to_string last)
+      | [] -> ())
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run a fleet rollout with layout-health attribution armed, then explain the \
+          canary verdict: breached signal, per-version signal deltas, regressed \
+          functions, fired fault domains, and the rollback event")
+    Term.(
+      const run $ replicas_arg $ canary_arg $ inject_arg $ fleet_seed_arg $ ticks_arg
+      $ rate_arg $ inputs_arg $ fault_arg $ fault_seed_arg $ trace_arg $ metrics_arg
+      $ events_arg)
 
 let out_arg =
   Arg.(
@@ -541,8 +686,8 @@ let report_cmd =
     Term.(const run $ workload_arg $ input_arg $ seconds_arg)
 
 let timeline_cmd =
-  let run name input_name trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run name input_name trace metrics events =
+    with_obs trace metrics events @@ fun () ->
     let w = load_workload name in
     let input = Workload.find_input w input_name in
     let t = Timeline.run ~warmup_s:5 ~profile_s:3 ~post_s:8 w ~input in
@@ -555,7 +700,7 @@ let timeline_cmd =
   in
   Cmd.v
     (Cmd.info "timeline" ~doc:"Fig.7-style replacement timeline")
-    Term.(const run $ workload_arg $ input_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ workload_arg $ input_arg $ trace_arg $ metrics_arg $ events_arg)
 
 let topdown_cmd =
   let run name input_name seconds =
@@ -586,8 +731,8 @@ let topdown_cmd =
    tables: where the pipeline's wall-clock went, and what the replacement
    did to the TopDown cycle breakdown and front-end miss rates. *)
 let stats_cmd =
-  let run name input_name seconds trace metrics =
-    with_obs ~force:true trace metrics @@ fun () ->
+  let run name input_name seconds trace metrics events =
+    with_obs ~force:true trace metrics events @@ fun () ->
     let w = load_workload name in
     let input = Workload.find_input w input_name in
     let profile_s = 2.0 in
@@ -657,7 +802,9 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run the online pipeline and print phase + TopDown attribution tables")
-    Term.(const run $ workload_arg $ input_arg $ seconds_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ seconds_arg $ trace_arg $ metrics_arg
+      $ events_arg)
 
 let () =
   let doc = "OCOLOS: online code layout optimization (simulated reproduction)" in
@@ -665,5 +812,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "ocolos_cli" ~doc)
           [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; faults_cmd; chaos_cmd;
-            fleet_cmd; timeline_cmd; topdown_cmd; stats_cmd; save_cmd; load_cmd;
-            report_cmd; disasm_cmd ]))
+            fleet_cmd; explain_cmd; timeline_cmd; topdown_cmd; stats_cmd; save_cmd;
+            load_cmd; report_cmd; disasm_cmd ]))

@@ -103,6 +103,21 @@ let select_hot_funcs config (binary : Binary.t) (profile : Profile.t) =
   List.map fst hot
 
 module Trace = Ocolos_obs.Trace
+module Events = Ocolos_obs.Events
+
+(* Bracket one optimization pass in the structured event log. A pass that
+   raises (e.g. an injected [bolt.func_reorder] fault) still gets its end
+   event, tagged with the error, before the exception propagates. *)
+let logged_pass name f =
+  Events.log "bolt.pass_start" ~fields:[ ("pass", Trace.S name) ];
+  match f () with
+  | r ->
+    Events.log "bolt.pass_end" ~fields:[ ("pass", Trace.S name) ];
+    r
+  | exception e ->
+    Events.log "bolt.pass_end"
+      ~fields:[ ("pass", Trace.S name); ("error", Trace.S (Printexc.to_string e)) ];
+    raise e
 
 (* Per-function fault points of the bolt domain — [bolt.cfg],
    [bolt.bb_reorder] and [bolt.peephole] are cut once per hot function and
@@ -130,6 +145,7 @@ let run ?(config = default_config) ?extern_entry ?fault ~(binary : Binary.t)
   let fail fid point = failed := (fid, point) :: !failed in
   (* Reconstruct, attach counts, peephole. *)
   let reconstructed =
+    logged_pass "cfg" @@ fun () ->
     Trace.span "bolt.cfg" @@ fun sp ->
     let r =
       List.filter_map
@@ -161,6 +177,7 @@ let run ?(config = default_config) ?extern_entry ?fault ~(binary : Binary.t)
   List.iter (fun f -> Hashtbl.replace hot_set f ()) hot_fids;
   (* Per-function block layout. *)
   let block_layouts =
+    logged_pass "bb_reorder" @@ fun () ->
     Trace.span "bolt.bb_reorder"
       ~attrs:[ ("split", Trace.B config.split_functions) ]
     @@ fun sp ->
@@ -201,6 +218,7 @@ let run ?(config = default_config) ?extern_entry ?fault ~(binary : Binary.t)
       node_heat = (fun fid -> Profile.func_records profile fid) }
   in
   let func_order =
+    logged_pass "func_reorder" @@ fun () ->
     Trace.span "bolt.func_reorder"
       ~attrs:
         [ ( "algorithm",
@@ -222,6 +240,7 @@ let run ?(config = default_config) ?extern_entry ?fault ~(binary : Binary.t)
   let rc_by_fid = Hashtbl.create 64 in
   List.iter (fun (fid, rc) -> Hashtbl.replace rc_by_fid fid rc) reconstructed;
   let funcs =
+    logged_pass "peephole" @@ fun () ->
     Trace.span "bolt.peephole" ~attrs:[ ("enabled", Trace.B config.peephole) ] @@ fun _ ->
     Array.init (Array.length binary.Binary.symbols) (fun fid ->
         match Hashtbl.find_opt rc_by_fid fid with
@@ -259,6 +278,7 @@ let run ?(config = default_config) ?extern_entry ?fault ~(binary : Binary.t)
   let bolt_base = align_up (sections_end binary + 0x100000) 0x100000 in
   let table_base = fresh_data_base binary in
   let emitted =
+    logged_pass "emit" @@ fun () ->
     Trace.span "bolt.emit" ~attrs:[ ("text_base", Trace.I bolt_base) ] @@ fun _ ->
     Emit.emit ~text_base:bolt_base ~globals_base:table_base ~extern_entry
       ~section_name:".text" ~emit_vtables:false ~name:(binary.Binary.name ^ ".bolt.text")

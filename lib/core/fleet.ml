@@ -21,6 +21,7 @@ open Ocolos_uarch
 open Ocolos_profiler
 module Trace = Ocolos_obs.Trace
 module Metrics = Ocolos_obs.Metrics
+module Events = Ocolos_obs.Events
 
 type config = {
   canary_fraction : float;
@@ -49,11 +50,112 @@ type replica = {
   oc : Ocolos.t;
   mutable session : Perf.session option;
   mutable prof_base : Counters.t; (* counters at profiling start *)
+  mutable baseline_win : Counters.t; (* profiling-window interval *)
   mutable baseline_ipc : float; (* IPC over the profiling window *)
   mutable baseline_p99 : float; (* probe reading at canary start *)
-  mutable verify_base : Counters.t; (* counters at canary commit *)
+  mutable verify_base : Counters.t; (* counters at canary start *)
   mutable pause_debt : float; (* modeled pause seconds not yet charged as stalls *)
 }
+
+(* One rollout cohort's verify-window aggregate: counters are summed across
+   the cohort's replicas before deriving rates, so a single noisy replica
+   cannot dominate the verdict the way the old per-replica threshold check
+   allowed. *)
+type cohort = {
+  co_ids : int list;
+  co_ipc : float; (* aggregate verify-window IPC (canary: scale applied) *)
+  co_base_ipc : float; (* aggregate profiling-window IPC *)
+  co_ipc_ratio : float; (* co_ipc / co_base_ipc; 0 when no baseline *)
+  co_p99 : float; (* mean probe reading across the cohort *)
+  co_base_p99 : float; (* mean probe reading at canary start *)
+  co_l1i_mpki : float;
+  co_itlb_mpki : float;
+  co_btb_mpki : float;
+  co_taken_pki : float;
+}
+
+type readout = {
+  ro_version : int;
+  ro_canary : cohort;
+  ro_rest : cohort option; (* [None] when every replica is a canary *)
+  ro_breach : (string * string) option; (* breached signal name, detail *)
+}
+
+(* Build a cohort readout from pre-summed counter aggregates. Pure, so the
+   test suite can hand-compute expected readouts. *)
+let cohort_of ~ids ~baseline ~verify ?(ipc_scale = 1.0) ~p99 ~base_p99 () =
+  let ipc = Counters.ipc verify *. ipc_scale in
+  let base_ipc = Counters.ipc baseline in
+  { co_ids = ids;
+    co_ipc = ipc;
+    co_base_ipc = base_ipc;
+    co_ipc_ratio = (if base_ipc > 0.0 then ipc /. base_ipc else 0.0);
+    co_p99 = p99;
+    co_base_p99 = base_p99;
+    co_l1i_mpki = Counters.l1i_mpki verify;
+    co_itlb_mpki = Counters.itlb_mpki verify;
+    co_btb_mpki = Counters.btb_misses_pki verify;
+    co_taken_pki = Counters.taken_branches_pki verify }
+
+(* The A/B promotion verdict. Both cohorts ran the same traffic through the
+   same wall-clock window, but possibly heterogeneous inputs, so raw IPCs
+   are not comparable across cohorts — each cohort is normalized against
+   its own profiling-window baseline first (difference-in-differences): the
+   canary breaches when its verify/baseline ratio falls more than
+   [max_ipc_drop] below the rest-of-fleet ratio. With no rest cohort (every
+   replica a canary) the canary is judged against its own baseline alone,
+   which keeps a one-replica fleet's verdict identical to the
+   single-process daemon differential. p99 is symmetric with the guard on
+   the other side. *)
+let judge config ~canary ~rest =
+  let ipc_guard = 1.0 -. config.max_ipc_drop in
+  let ipc_breach =
+    if canary.co_base_ipc <= 0.0 then None
+    else
+      match rest with
+      | Some rc when rc.co_ipc_ratio > 0.0 ->
+        if canary.co_ipc_ratio < ipc_guard *. rc.co_ipc_ratio then
+          Some
+            ( "ipc",
+              Fmt.str "canary cohort IPC ratio %.2f fell below rest-of-fleet %.2f (guard %.0f%%)"
+                canary.co_ipc_ratio rc.co_ipc_ratio
+                (100.0 *. config.max_ipc_drop) )
+        else None
+      | _ ->
+        if canary.co_ipc < ipc_guard *. canary.co_base_ipc then
+          Some
+            ( "ipc",
+              Fmt.str "canary cohort IPC regressed %.2f -> %.2f (guard %.0f%%)"
+                canary.co_base_ipc canary.co_ipc
+                (100.0 *. config.max_ipc_drop) )
+        else None
+  in
+  match ipc_breach with
+  | Some _ -> ipc_breach
+  | None ->
+    if canary.co_base_p99 <= 0.0 then None
+    else begin
+      let p99_guard = 1.0 +. config.max_p99_rise in
+      let canary_ratio = canary.co_p99 /. canary.co_base_p99 in
+      match rest with
+      | Some rc when rc.co_base_p99 > 0.0 && rc.co_p99 > 0.0 ->
+        let rest_ratio = rc.co_p99 /. rc.co_base_p99 in
+        if canary_ratio > p99_guard *. rest_ratio then
+          Some
+            ( "p99",
+              Fmt.str "canary cohort p99 ratio %.2f rose above rest-of-fleet %.2f (guard +%.0f%%)"
+                canary_ratio rest_ratio
+                (100.0 *. config.max_p99_rise) )
+        else None
+      | _ ->
+        if canary.co_p99 > p99_guard *. canary.co_base_p99 then
+          Some
+            ( "p99",
+              Fmt.str "canary cohort p99 rose %.3fs -> %.3fs (guard +%.0f%%)"
+                canary.co_base_p99 canary.co_p99
+                (100.0 *. config.max_p99_rise) )
+        else None
+    end
 
 type phase =
   | Monitoring
@@ -73,6 +175,7 @@ type t = {
   mutable rollouts : int;
   mutable rollbacks : int;
   mutable restart_reverted : int list;
+  mutable last_readout : readout option;
 }
 
 type action =
@@ -114,6 +217,7 @@ let make ~attach ?(config = default_config) ?ocolos_config ?guard procs =
           oc = attach ?config:ocolos_config proc;
           session = None;
           prof_base = Counters.zero;
+          baseline_win = Counters.zero;
           baseline_ipc = 0.0;
           baseline_p99 = 0.0;
           verify_base = Counters.zero;
@@ -132,7 +236,8 @@ let make ~attach ?(config = default_config) ?ocolos_config ?guard procs =
       last_replacement_s = neg_infinity;
       rollouts = 0;
       rollbacks = 0;
-      restart_reverted = [] }
+      restart_reverted = [];
+      last_readout = None }
   in
   t.last_counters <- fleet_counters t;
   t
@@ -172,7 +277,9 @@ let reattach ?config ?ocolos_config ?guard procs =
     t.restart_reverted <- List.rev t.restart_reverted;
     Trace.mark "fleet.restart_reverted"
       ~attrs:[ ("replicas", Trace.I (List.length t.restart_reverted)) ];
-    Metrics.count "ocolos_fleet_restart_reverts_total" (List.length t.restart_reverted)
+    Metrics.count "ocolos_fleet_restart_reverts_total" (List.length t.restart_reverted);
+    Events.log "fleet.restart_reverted"
+      ~fields:[ ("replicas", Trace.I (List.length t.restart_reverted)) ]
   end;
   t.last_counters <- fleet_counters t;
   t
@@ -196,6 +303,7 @@ let unwind t =
   let reverted =
     List.map
       (fun (r, sn) ->
+        Trace.in_replica r.id @@ fun () ->
         let rv = Ocolos.revert r.oc sn in
         r.pause_debt <- r.pause_debt +. rv.Ocolos.rv_pause_seconds;
         r.id)
@@ -214,6 +322,9 @@ let rollback t ~now_s ~reason =
   Trace.mark "fleet.rolled_back" ~attrs:[ ("reason", Trace.S reason) ];
   Metrics.count "ocolos_fleet_rollbacks_total" 1;
   Metrics.count "ocolos_fleet_reverted_replicas_total" (List.length reverted);
+  Events.log "fleet.rolled_back"
+    ~fields:
+      [ ("reason", Trace.S reason); ("reverted", Trace.I (List.length reverted)) ];
   record_versions t;
   Rolled_back { reason; reverted }
 
@@ -224,11 +335,13 @@ let abort t ~now_s ~reason =
   Guard.campaign_failed t.guard ~now_s;
   Trace.mark "fleet.campaign_aborted" ~attrs:[ ("reason", Trace.S reason) ];
   Metrics.count "ocolos_fleet_campaigns_aborted_total" 1;
+  Events.log "fleet.campaign_aborted" ~fields:[ ("reason", Trace.S reason) ];
   Campaign_aborted reason
 
 (* Replace on one replica, staging its pre-replace snapshot for rollback.
    Returns the rollback point on failure. *)
 let stage_replace t r result =
+  Trace.in_replica r.id @@ fun () ->
   let sn = Ocolos.snapshot r.oc in
   r.verify_base <- Proc.total_counters r.proc;
   match Txn.replace_code r.oc result with
@@ -250,14 +363,15 @@ let finish_profiling t ~now_s =
   let kept =
     Array.map
       (fun r ->
+        Trace.in_replica r.id @@ fun () ->
         let session =
           match r.session with
           | Some s -> s
           | None -> invalid_arg "Fleet: replica lost its profiling session"
         in
         r.session <- None;
-        r.baseline_ipc <-
-          Counters.ipc (Counters.diff (Proc.total_counters r.proc) r.prof_base);
+        r.baseline_win <- Counters.diff (Proc.total_counters r.proc) r.prof_base;
+        r.baseline_ipc <- Counters.ipc r.baseline_win;
         let samples = Perf.stop session in
         Perf2bolt.decimate ~keep_every ~phase:(r.id mod keep_every) samples)
       t.reps
@@ -310,16 +424,66 @@ let finish_profiling t ~now_s =
     | None ->
       let version = Ocolos.version (List.hd canaries).oc in
       let ids = List.map (fun r -> r.id) canaries in
+      (* Anchor the rest-of-fleet cohort's verify window at the same instant
+         as the canaries': A/B comparison needs both cohorts measured over
+         the same soak. *)
+      Array.iter
+        (fun r ->
+          if not (List.mem r.id ids) then begin
+            r.verify_base <- Proc.total_counters r.proc;
+            r.baseline_p99 <-
+              (match t.config.latency_probe with Some probe -> probe r.id | None -> 0.0)
+          end)
+        t.reps;
       t.phase <- Verifying { until_s = now_s +. t.config.verify_s; canaries = ids; result };
       Trace.mark "fleet.canary_started"
         ~attrs:[ ("version", Trace.I version); ("canaries", Trace.I k) ];
       Metrics.count "ocolos_fleet_canaries_total" k;
+      Events.log "fleet.canary_started"
+        ~fields:[ ("version", Trace.I version); ("canaries", Trace.I k) ];
       record_versions t;
       Canary_started { version; canaries = ids })
 
-(* Canary soak complete: per-replica verdict, then widen or unwind. *)
+(* Sum a cohort's profiling-window and verify-window counter intervals. *)
+let cohort_totals t ids =
+  List.fold_left
+    (fun (base, verify) id ->
+      let r = t.reps.(id) in
+      ( Counters.add base r.baseline_win,
+        Counters.add verify (Counters.diff (Proc.total_counters r.proc) r.verify_base) ))
+    (Counters.zero, Counters.zero) ids
+
+let mean_probe t ids =
+  match (t.config.latency_probe, ids) with
+  | None, _ | _, [] -> 0.0
+  | Some probe, ids ->
+    List.fold_left (fun acc id -> acc +. probe id) 0.0 ids
+    /. float_of_int (List.length ids)
+
+let mean_base_p99 t ids =
+  match ids with
+  | [] -> 0.0
+  | ids ->
+    List.fold_left (fun acc id -> acc +. t.reps.(id).baseline_p99) 0.0 ids
+    /. float_of_int (List.length ids)
+
+let export_cohort name c =
+  let labels = [ ("cohort", name) ] in
+  Metrics.record ~labels "ocolos_fleet_cohort_ipc" c.co_ipc;
+  Metrics.record ~labels "ocolos_fleet_cohort_ipc_baseline" c.co_base_ipc;
+  Metrics.record ~labels "ocolos_fleet_cohort_ipc_ratio" c.co_ipc_ratio;
+  Metrics.record ~labels "ocolos_fleet_cohort_p99_seconds" c.co_p99;
+  Metrics.record ~labels "ocolos_fleet_cohort_p99_baseline_seconds" c.co_base_p99;
+  Metrics.record ~labels "ocolos_fleet_cohort_l1i_mpki" c.co_l1i_mpki;
+  Metrics.record ~labels "ocolos_fleet_cohort_itlb_mpki" c.co_itlb_mpki;
+  Metrics.record ~labels "ocolos_fleet_cohort_btb_mpki" c.co_btb_mpki;
+  Metrics.record ~labels "ocolos_fleet_cohort_taken_pki" c.co_taken_pki
+
+(* Canary soak complete: build both cohorts' A/B readout, judge, then widen
+   or unwind. *)
 let finish_verify t ~now_s ~canaries ~result =
-  let breach = ref None in
+  (* Per-replica canary gauges stay for dashboards; the verdict is taken at
+     cohort level below. *)
   List.iter
     (fun id ->
       let r = t.reps.(id) in
@@ -329,30 +493,49 @@ let finish_verify t ~now_s ~canaries ~result =
       in
       Metrics.record ~labels:(replica_label r) "ocolos_fleet_canary_ipc" ipc;
       Metrics.record ~labels:(replica_label r) "ocolos_fleet_canary_ipc_baseline" r.baseline_ipc;
-      if !breach = None && r.baseline_ipc > 0.0
-         && ipc < (1.0 -. t.config.max_ipc_drop) *. r.baseline_ipc
-      then
-        breach :=
-          Some
-            (Fmt.str "canary %d IPC regressed %.2f -> %.2f (guard %.0f%%)" id r.baseline_ipc
-               ipc
-               (100.0 *. t.config.max_ipc_drop));
       match t.config.latency_probe with
       | None -> ()
       | Some probe ->
-        let p99 = probe id in
-        Metrics.record ~labels:(replica_label r) "ocolos_fleet_canary_p99_seconds" p99;
-        if !breach = None && r.baseline_p99 > 0.0
-           && p99 > (1.0 +. t.config.max_p99_rise) *. r.baseline_p99
-        then
-          breach :=
-            Some
-              (Fmt.str "canary %d p99 rose %.3fs -> %.3fs (guard +%.0f%%)" id r.baseline_p99
-                 p99
-                 (100.0 *. t.config.max_p99_rise)))
+        Metrics.record ~labels:(replica_label r) "ocolos_fleet_canary_p99_seconds" (probe id))
     canaries;
-  match !breach with
-  | Some reason -> rollback t ~now_s ~reason
+  let rest_ids =
+    Array.to_list t.reps
+    |> List.filter_map (fun r -> if List.mem r.id canaries then None else Some r.id)
+  in
+  let version = Ocolos.version t.reps.(List.hd canaries).oc in
+  let canary_base, canary_verify = cohort_totals t canaries in
+  let ro_canary =
+    cohort_of ~ids:canaries ~baseline:canary_base ~verify:canary_verify
+      ~ipc_scale:t.config.canary_ipc_scale ~p99:(mean_probe t canaries)
+      ~base_p99:(mean_base_p99 t canaries) ()
+  in
+  let ro_rest =
+    match rest_ids with
+    | [] -> None
+    | ids ->
+      let base, verify = cohort_totals t ids in
+      Some
+        (cohort_of ~ids ~baseline:base ~verify ~p99:(mean_probe t ids)
+           ~base_p99:(mean_base_p99 t ids) ())
+  in
+  let ro_breach = judge t.config ~canary:ro_canary ~rest:ro_rest in
+  t.last_readout <- Some { ro_version = version; ro_canary; ro_rest; ro_breach };
+  export_cohort "canary" ro_canary;
+  (match ro_rest with Some c -> export_cohort "rest" c | None -> ());
+  Events.log "fleet.verify_readout"
+    ~fields:
+      ([ ("version", Trace.I version);
+         ("canary_ipc_ratio", Trace.F ro_canary.co_ipc_ratio);
+         ( "rest_ipc_ratio",
+           Trace.F (match ro_rest with Some c -> c.co_ipc_ratio | None -> 0.0) );
+         ("canary_l1i_mpki", Trace.F ro_canary.co_l1i_mpki);
+         ("canary_taken_pki", Trace.F ro_canary.co_taken_pki) ]
+      @
+      match ro_breach with
+      | Some (signal, detail) -> [ ("breach", Trace.S signal); ("detail", Trace.S detail) ]
+      | None -> [ ("breach", Trace.S "none") ]);
+  match ro_breach with
+  | Some (_, reason) -> rollback t ~now_s ~reason
   | None -> (
     let rest =
       Array.to_list t.reps |> List.filter (fun r -> not (List.mem r.id canaries))
@@ -379,6 +562,9 @@ let finish_verify t ~now_s ~canaries ~result =
       Trace.mark "fleet.promoted"
         ~attrs:[ ("version", Trace.I version); ("replicas", Trace.I (Array.length t.reps)) ];
       Metrics.count "ocolos_fleet_rollouts_total" 1;
+      Events.log "fleet.promoted"
+        ~fields:
+          [ ("version", Trace.I version); ("replicas", Trace.I (Array.length t.reps)) ];
       record_versions t;
       Promoted { version; replicas = Array.length t.reps })
 
@@ -411,6 +597,7 @@ let tick t ~now_s =
         if Guard.allow_campaign t.guard ~now_s then begin
           Array.iter
             (fun r ->
+              Trace.in_replica r.id @@ fun () ->
               r.prof_base <- Proc.total_counters r.proc;
               r.session <-
                 Some
@@ -420,6 +607,7 @@ let tick t ~now_s =
             t.reps;
           t.phase <- Profiling { since = now_s };
           Trace.mark "fleet.profiling_started" ~attrs:[ ("reason", Trace.S why) ];
+          Events.log "fleet.profiling_started" ~fields:[ ("reason", Trace.S why) ];
           Started_profiling why
         end
         else begin
@@ -444,6 +632,7 @@ let mixed t = not (converged t)
 let rollouts t = t.rollouts
 let rollbacks t = t.rollbacks
 let reverted_on_reattach t = t.restart_reverted
+let last_readout t = t.last_readout
 
 let take_pause_debt t i =
   let r = t.reps.(i) in

@@ -12,9 +12,12 @@
     + {b BOLT once} on the shared layout (all replicas committed identical
       histories, so their live binaries are identical);
     + {b roll out in stages}: replace on a canary subset (first
-      [ceil (canary_fraction * N)] replicas), soak for [verify_s], check
-      each canary's IPC delta (and p99 delta when a latency probe is wired)
-      against guard thresholds, then widen to the rest of the fleet.
+      [ceil (canary_fraction * N)] replicas), soak for [verify_s], then
+      take a cohort-level A/B verdict ({!judge} over a {!readout}): the
+      canary cohort's verify-window aggregates (IPC normalized against its
+      own profiling baseline, p99 via the latency probe, and the MPKI set)
+      are compared against the rest-of-fleet cohort measured over the same
+      soak, and only a clean readout widens the rollout to the rest.
 
     A canary regression — or any replica's transactional replacement
     rolling back — triggers a staged rollback: every replica already on
@@ -41,11 +44,13 @@ type config = {
   canary_fraction : float;  (** fraction of replicas in the canary stage *)
   verify_s : float;  (** canary soak time before the verdict *)
   max_ipc_drop : float;
-      (** guard threshold: fail the canary when its verify-window IPC falls
-          below [(1 - max_ipc_drop) * baseline] *)
+      (** guard threshold: breach when the canary cohort's IPC ratio
+          (verify / baseline) falls below [(1 - max_ipc_drop)] times the
+          rest cohort's ratio (or, with no rest cohort, when its verify IPC
+          falls that far below its own baseline) *)
   max_p99_rise : float;
-      (** guard threshold on the latency probe: fail the canary when p99
-          exceeds [(1 + max_p99_rise) * baseline] *)
+      (** guard threshold on the latency probe, symmetric with
+          [max_ipc_drop] on the rising side *)
   canary_ipc_scale : float;
       (** scale applied to measured canary IPC at the verdict; [< 1.0]
           injects a synthetic regression (CLI [--inject-regression] and the
@@ -61,6 +66,46 @@ type config = {
 }
 
 val default_config : config
+
+(** One rollout cohort's verify-window aggregate: counters summed across
+    the cohort's replicas before rates are derived. *)
+type cohort = {
+  co_ids : int list;
+  co_ipc : float;  (** aggregate verify-window IPC (canary: scale applied) *)
+  co_base_ipc : float;  (** aggregate profiling-window IPC *)
+  co_ipc_ratio : float;  (** [co_ipc / co_base_ipc]; 0 without a baseline *)
+  co_p99 : float;  (** mean latency-probe reading; 0 without a probe *)
+  co_base_p99 : float;  (** mean probe reading at canary start *)
+  co_l1i_mpki : float;
+  co_itlb_mpki : float;
+  co_btb_mpki : float;
+  co_taken_pki : float;
+}
+
+(** The A/B readout a canary verdict is taken from, exported as
+    [ocolos_fleet_cohort_*{cohort="canary"|"rest"}] gauges and a
+    [fleet.verify_readout] structured event. *)
+type readout = {
+  ro_version : int;  (** candidate version under verification *)
+  ro_canary : cohort;
+  ro_rest : cohort option;  (** [None] when every replica is a canary *)
+  ro_breach : (string * string) option;  (** breached signal name, detail *)
+}
+
+(** Build a cohort from pre-summed counter aggregates ([baseline] the
+    summed profiling-window intervals, [verify] the summed verify-window
+    intervals). Pure; exposed so tests can hand-compute expected
+    readouts. *)
+val cohort_of :
+  ids:int list -> baseline:Ocolos_uarch.Counters.t -> verify:Ocolos_uarch.Counters.t ->
+  ?ipc_scale:float -> p99:float -> base_p99:float -> unit -> cohort
+
+(** The promotion verdict: [None] promotes, [Some (signal, detail)] rolls
+    back. Each cohort is normalized against its own profiling baseline
+    (difference-in-differences), so heterogeneous per-replica inputs don't
+    skew the comparison; with no rest cohort the canary is judged against
+    its own baseline alone. Pure. *)
+val judge : config -> canary:cohort -> rest:cohort option -> (string * string) option
 
 type t
 
@@ -120,6 +165,10 @@ val rollbacks : t -> int
 
 (** Replicas reverted to C0 by {!reattach}'s mixed-fleet recovery. *)
 val reverted_on_reattach : t -> int list
+
+(** The most recent canary verdict's A/B readout (promoted or rolled
+    back), for post-mortems — the CLI [explain] subcommand reads it. *)
+val last_readout : t -> readout option
 
 (** Modeled stop-the-world seconds accrued by replica [i]'s replacements
     and reverts since the last call, then cleared — the driver that owns

@@ -100,6 +100,7 @@ let allow_campaign t ~now_s =
     if now_s >= until_s then begin
       t.breaker <- Half_open;
       Ocolos_obs.Trace.mark "guard.breaker_half_open";
+      Ocolos_obs.Events.log "guard.breaker_half_open";
       export t;
       true
     end
@@ -112,6 +113,10 @@ let open_breaker t ~now_s =
   Ocolos_obs.Metrics.count "ocolos_guard_breaker_opens_total" 1;
   Ocolos_obs.Trace.mark "guard.breaker_opened"
     ~attrs:
+      [ ("consecutive_failures", Ocolos_obs.Trace.I t.consecutive_failures);
+        ("cooldown_s", Ocolos_obs.Trace.F cooldown) ];
+  Ocolos_obs.Events.log "guard.breaker_opened"
+    ~fields:
       [ ("consecutive_failures", Ocolos_obs.Trace.I t.consecutive_failures);
         ("cooldown_s", Ocolos_obs.Trace.F cooldown) ]
 
@@ -128,6 +133,8 @@ let campaign_failed t ~now_s =
   export t
 
 let campaign_succeeded t =
+  if t.breaker <> Closed || t.consecutive_failures > 0 then
+    Ocolos_obs.Events.log "guard.breaker_closed";
   t.consecutive_failures <- 0;
   t.breaker <- Closed;
   t.tier <- `Full;
@@ -156,6 +163,11 @@ let record_func_failures t failed =
           ~attrs:
             [ ("fid", Ocolos_obs.Trace.I fid);
               ("point", Ocolos_obs.Trace.S point);
+              ("failures", Ocolos_obs.Trace.I n) ];
+        Ocolos_obs.Events.log "guard.quarantined"
+          ~fields:
+            [ ("fid", Ocolos_obs.Trace.I fid);
+              ("point", Ocolos_obs.Trace.S point);
               ("failures", Ocolos_obs.Trace.I n) ]
       end)
     failed;
@@ -181,6 +193,11 @@ let check_deadline t ~phase ~seconds =
       Ocolos_obs.Metrics.count ~labels:[ ("phase", name) ] "ocolos_guard_watchdog_trips_total" 1;
       Ocolos_obs.Trace.mark "guard.watchdog_tripped"
         ~attrs:
+          [ ("phase", Ocolos_obs.Trace.S name);
+            ("seconds", Ocolos_obs.Trace.F seconds);
+            ("deadline_s", Ocolos_obs.Trace.F d) ];
+      Ocolos_obs.Events.log "guard.watchdog_tripped"
+        ~fields:
           [ ("phase", Ocolos_obs.Trace.S name);
             ("seconds", Ocolos_obs.Trace.F seconds);
             ("deadline_s", Ocolos_obs.Trace.F d) ];

@@ -239,10 +239,14 @@ let cut t point =
     | Ocolos_util.Fault.Injected (p, hit) as e ->
       Trace.mark "fault.fired" ~attrs:[ ("point", Trace.S p); ("hit", Trace.I hit) ];
       Metrics.count ~labels:[ ("point", p) ] "ocolos_fault_fired_total" 1;
+      Ocolos_obs.Events.log "fault.fired"
+        ~fields:[ ("point", Trace.S p); ("hit", Trace.I hit) ];
       raise e
     | Ocolos_util.Fault.Killed (p, hit) as e ->
       Trace.mark "fault.killed" ~attrs:[ ("point", Trace.S p); ("hit", Trace.I hit) ];
       Metrics.count ~labels:[ ("point", p) ] "ocolos_fault_killed_total" 1;
+      Ocolos_obs.Events.log "fault.killed"
+        ~fields:[ ("point", Trace.S p); ("hit", Trace.I hit) ];
       raise e)
 
 let in_range (s, e) addr = addr >= s && addr < e

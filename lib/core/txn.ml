@@ -56,6 +56,7 @@ let restore_threads (proc : Proc.t) snaps =
 
 module Trace = Ocolos_obs.Trace
 module Metrics = Ocolos_obs.Metrics
+module Events = Ocolos_obs.Events
 
 (* The decoded-block engine invalidates its cache through the address-space
    code watcher, which replace_code exercises on both the forward path and
@@ -75,6 +76,7 @@ let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
   let oc_snap = Ocolos.snapshot oc in
   let th_snap = snapshot_threads proc in
   Addr_space.begin_journal mem;
+  Events.log "txn.begin" ~fields:[ ("incumbent", Trace.I (Ocolos.version oc)) ];
   match Ocolos.replace_code oc result with
   | stats ->
     let journaled = Addr_space.commit_journal mem in
@@ -83,6 +85,9 @@ let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
     Trace.set_attr txn_sp "version" (Trace.I stats.Ocolos.version);
     Trace.set_attr txn_sp "journaled" (Trace.I journaled);
     Metrics.count "ocolos_txn_commits_total" 1;
+    Events.log "txn.commit"
+      ~fields:
+        [ ("version", Trace.I stats.Ocolos.version); ("journaled", Trace.I journaled) ];
     Committed stats
   | exception e ->
     let undone = Addr_space.rollback_journal mem in
@@ -98,6 +103,9 @@ let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
           [ ("point", Trace.S point); ("hit", Trace.I hit); ("undone", Trace.I undone) ];
       Metrics.count "ocolos_txn_rollbacks_total" 1;
       Metrics.count "ocolos_txn_mutations_undone_total" undone;
+      Events.log "txn.rollback"
+        ~fields:
+          [ ("point", Trace.S point); ("hit", Trace.I hit); ("undone", Trace.I undone) ];
       Rolled_back { rb_point = point; rb_hit = hit; rb_undone = undone }
     | e -> raise e)
 

@@ -11,8 +11,22 @@ let args_json args = Json.Obj (List.map (fun (k, v) -> (k, value_json v)) args)
 let pid = 1
 let tid = 1
 
+(* A ("replica", I n) attribute (stamped by Trace.in_replica) routes the
+   event to replica n's own process track instead of rendering as an arg:
+   pid 1 stays the controller/daemon process, replica n gets pid n+2. *)
+let replica_of attrs =
+  List.find_map (function "replica", Trace.I n -> Some n | _ -> None) attrs
+
+let replica_pid n = n + 2
+
+let split_replica attrs =
+  match replica_of attrs with
+  | None -> (pid, attrs)
+  | Some n -> (replica_pid n, List.filter (fun (k, _) -> k <> "replica") attrs)
+
 let span_event now_us (sp : Trace.span) =
   let end_us = match sp.Trace.sp_end_us with Some e -> e | None -> max now_us (sp.Trace.sp_begin_us + 1) in
+  let pid, attrs = split_replica sp.Trace.sp_attrs in
   ( sp.Trace.sp_begin_us,
     Json.Obj
       [ ("name", Json.String sp.Trace.sp_name);
@@ -22,16 +36,17 @@ let span_event now_us (sp : Trace.span) =
         ("dur", Json.Int (end_us - sp.Trace.sp_begin_us));
         ("pid", Json.Int pid);
         ("tid", Json.Int tid);
-        ("args", args_json sp.Trace.sp_attrs) ] )
+        ("args", args_json attrs) ] )
 
 let point_event (ev : Trace.event) =
+  let pid, args = split_replica ev.Trace.ev_args in
   let common =
     [ ("name", Json.String ev.Trace.ev_name);
       ("cat", Json.String "ocolos");
       ("ts", Json.Int ev.Trace.ev_ts_us);
       ("pid", Json.Int pid);
       ("tid", Json.Int tid);
-      ("args", args_json ev.Trace.ev_args) ]
+      ("args", args_json args) ]
   in
   match ev.Trace.ev_kind with
   | Trace.Instant ->
@@ -39,7 +54,7 @@ let point_event (ev : Trace.event) =
   | Trace.Counter -> (ev.Trace.ev_ts_us, Json.Obj (("ph", Json.String "C") :: common))
 
 let of_trace ?(process_name = "ocolos") tr =
-  let meta name value =
+  let meta ~pid name value =
     Json.Obj
       [ ("name", Json.String name);
         ("ph", Json.String "M");
@@ -54,11 +69,25 @@ let of_trace ?(process_name = "ocolos") tr =
   (* Timestamps are unique (the trace clock ticks per event), so sorting by
      ts alone is a total, deterministic order. *)
   let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) timed in
+  let replica_ids =
+    List.filter_map (fun (sp : Trace.span) -> replica_of sp.Trace.sp_attrs) (Trace.spans tr)
+    @ List.filter_map (fun (ev : Trace.event) -> replica_of ev.Trace.ev_args) (Trace.events tr)
+    |> List.sort_uniq compare
+  in
+  let replica_metas =
+    List.concat_map
+      (fun n ->
+        [ meta ~pid:(replica_pid n) "process_name"
+            (Printf.sprintf "%s replica %d" process_name n);
+          meta ~pid:(replica_pid n) "thread_name" "pipeline" ])
+      replica_ids
+  in
   Json.Obj
     [ ( "traceEvents",
         Json.List
-          (meta "process_name" process_name :: meta "thread_name" "pipeline"
-          :: List.map snd sorted) );
+          ((meta ~pid "process_name" process_name :: meta ~pid "thread_name" "pipeline"
+            :: replica_metas)
+          @ List.map snd sorted) );
       ("displayTimeUnit", Json.String "ms") ]
 
 let to_string ?process_name tr = Json.to_string (of_trace ?process_name tr)

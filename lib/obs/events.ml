@@ -1,0 +1,79 @@
+(* Structured JSONL event log (see events.mli). *)
+
+type event = {
+  e_seq : int;
+  e_ts_us : int;
+  e_type : string;
+  e_span : int option;
+  e_fields : (string * Trace.value) list;
+}
+
+type t = { mutable rev : event list; mutable n : int }
+
+let create () = { rev = []; n = 0 }
+
+let record t ?(fields = []) type_ =
+  let ts, span =
+    match Trace.installed () with
+    | None -> (0, None)
+    | Some tr ->
+        (* Read the clock without ticking it: recording an event must not
+           shift the timestamps of subsequent trace events, or installing
+           an event log would change trace bytes. *)
+        ( Trace.now_us tr,
+          match Trace.open_spans tr with
+          | [] -> None
+          | sp :: _ -> Some sp.Trace.sp_id )
+  in
+  let fields =
+    match Trace.current_replica () with
+    | Some r -> fields @ [ ("replica", Trace.I r) ]
+    | None -> fields
+  in
+  t.rev <-
+    { e_seq = t.n; e_ts_us = ts; e_type = type_; e_span = span; e_fields = fields }
+    :: t.rev;
+  t.n <- t.n + 1
+
+let events t = List.rev t.rev
+let count t = t.n
+
+let value_json = function
+  | Trace.S s -> Json.String s
+  | Trace.I i -> Json.Int i
+  | Trace.F f -> Json.Float f
+  | Trace.B b -> Json.Bool b
+
+let event_json e =
+  Json.Obj
+    [ ("seq", Json.Int e.e_seq);
+      ("ts_us", Json.Int e.e_ts_us);
+      ("type", Json.String e.e_type);
+      ("span", (match e.e_span with Some id -> Json.Int id | None -> Json.Null));
+      ("fields", Json.Obj (List.map (fun (k, v) -> (k, value_json v)) e.e_fields)) ]
+
+let event_to_string e = Json.to_string (event_json e)
+
+let to_jsonl t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (event_to_string e);
+      Buffer.add_char b '\n')
+    (events t);
+  Buffer.contents b
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_jsonl t);
+  close_out oc
+
+(* Ambient event log. *)
+
+let current : t option ref = ref None
+let install t = current := Some t
+let uninstall () = current := None
+let installed () = !current
+
+let log ?fields type_ =
+  match !current with None -> () | Some t -> record t ?fields type_

@@ -1,0 +1,59 @@
+(** Structured event log: one JSON object per line (JSONL), byte-stable.
+
+    Where {!Trace} captures durations for a timeline UI and {!Metrics}
+    captures aggregates for dashboards, this log captures the pipeline's
+    discrete decisions as typed records an operator can grep or feed to a
+    query engine: profile windows opening and closing, each BOLT pass,
+    every transaction phase and fault injection, guard state transitions,
+    and canary promote/rollback/recover actions at fleet scale.
+
+    Every event cross-links into the Chrome/Perfetto export: its [ts_us]
+    is read from the ambient {!Trace} clock (without ticking it, so
+    installing an event log never changes trace bytes) and its [span] is
+    the id of the innermost open trace span at record time — the same id
+    the span carries in the trace-event JSON. Events recorded inside
+    {!Trace.in_replica} additionally carry a ["replica"] field, matching
+    the replica's Perfetto process track.
+
+    Like the other sinks, a log can be {!install}ed as the ambient event
+    log; {!log} then feeds it, or cheaply does nothing when none is
+    installed. Sequence numbers and the simulated clock are the only time
+    sources, so two identical seeded runs emit byte-identical JSONL. *)
+
+type event = {
+  e_seq : int;  (** 0-based record order *)
+  e_ts_us : int;  (** ambient trace clock at record time (0 if none) *)
+  e_type : string;  (** dotted event type, e.g. ["txn.rollback"] *)
+  e_span : int option;  (** innermost open trace span id, if any *)
+  e_fields : (string * Trace.value) list;  (** insertion order *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Record one event. [ts_us]/[span] come from the ambient trace. *)
+val record : t -> ?fields:(string * Trace.value) list -> string -> unit
+
+(** All events in record order. *)
+val events : t -> event list
+
+val count : t -> int
+
+(** One event as a compact JSON object (no trailing newline). *)
+val event_to_string : event -> string
+
+(** The whole log, one JSON object per line, trailing newline included. *)
+val to_jsonl : t -> string
+
+(** Write {!to_jsonl} to [path]. *)
+val save : string -> t -> unit
+
+(** {2 Ambient event log} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val installed : unit -> t option
+
+(** Ambient {!record}; a no-op when no log is installed. *)
+val log : ?fields:(string * Trace.value) list -> string -> unit

@@ -103,6 +103,8 @@ let ipc_buckets = [| 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 1.75; 2.0; 2.5; 3.0; 4.0 |
 let latency_buckets =
   [| 0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0 |]
 
+let queue_depth_buckets = [| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0 |]
+
 (* ---- export ---- *)
 
 let sorted_entries r =

@@ -52,6 +52,10 @@ val ipc_buckets : float array
     histograms ([ocolos_fleet_request_latency_seconds{replica="..."}]). *)
 val latency_buckets : float array
 
+(** Open-loop queue-depth buckets (requests waiting at a sample instant)
+    for [ocolos_fleet_queue_depth{replica="..."}]. *)
+val queue_depth_buckets : float array
+
 (** Prometheus text exposition format. *)
 val to_prometheus : registry -> string
 

@@ -34,6 +34,26 @@ let create () =
 
 let now_us t = t.now_us
 
+(* ---- ambient replica context ----
+
+   Fleet drivers tag everything recorded on behalf of replica [n] so the
+   exporter can route it to a per-replica Perfetto process track. The tag
+   rides on span/event attributes: no tag, no byte change. *)
+
+let replica_ctx : int option ref = ref None
+
+let current_replica () = !replica_ctx
+
+let in_replica n f =
+  let prev = !replica_ctx in
+  replica_ctx := Some n;
+  Fun.protect ~finally:(fun () -> replica_ctx := prev) f
+
+let tag_replica attrs =
+  match !replica_ctx with
+  | None -> attrs
+  | Some n -> attrs @ [ ("replica", I n) ]
+
 (* Every recorded timestamp consumes one microsecond, so timestamps are
    unique and strictly ordered by record time. *)
 let take_ts t =
@@ -54,7 +74,7 @@ let begin_span t ?(attrs = []) name =
       sp_parent = (match t.stack with [] -> None | parent :: _ -> Some parent.sp_id);
       sp_begin_us = take_ts t;
       sp_end_us = None;
-      sp_attrs = attrs }
+      sp_attrs = tag_replica attrs }
   in
   t.next_id <- t.next_id + 1;
   t.stack <- sp :: t.stack;
@@ -82,7 +102,7 @@ let with_span t ?attrs name f =
 
 let instant t ?(attrs = []) name =
   t.rev_events <-
-    { ev_name = name; ev_ts_us = take_ts t; ev_kind = Instant; ev_args = attrs }
+    { ev_name = name; ev_ts_us = take_ts t; ev_kind = Instant; ev_args = tag_replica attrs }
     :: t.rev_events
 
 let counter t name series =
@@ -90,7 +110,7 @@ let counter t name series =
     { ev_name = name;
       ev_ts_us = take_ts t;
       ev_kind = Counter;
-      ev_args = List.map (fun (k, v) -> (k, F v)) series }
+      ev_args = tag_replica (List.map (fun (k, v) -> (k, F v)) series) }
     :: t.rev_events
 
 let spans t = List.rev t.rev_spans

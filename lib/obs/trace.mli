@@ -105,3 +105,15 @@ val plot : string -> (string * float) list -> unit
 
 (** Ambient {!set_time_s}. *)
 val clock : float -> unit
+
+(** {2 Ambient replica context}
+
+    Fleet drivers wrap per-replica work in {!in_replica}; every span,
+    instant, and counter sample recorded inside (against any trace) gains a
+    [("replica", I n)] attribute, which {!Chrome.of_trace} maps to a
+    per-replica Perfetto process track and {!Events} copies into each
+    event's fields. Contexts nest; the previous context is restored on
+    return or exception. *)
+
+val in_replica : int -> (unit -> 'a) -> 'a
+val current_replica : unit -> int option

@@ -1,0 +1,32 @@
+(** Per-function front-end event attribution for layout-health windows.
+
+    Where {!Perf_report} samples L1i misses for the perf-report analog,
+    this session counts {e every} front-end event ({!Ocolos_uarch.Core.fe_event}:
+    L1i/iTLB/BTB misses, taken branches) across a process's cores, keyed by
+    code address, and {!drain} resolves the addresses to functions against
+    a binary's symbol map — yielding the per-function
+    {!Ocolos_obs.Layout_health.func_counts} windows that power the CLI
+    [explain] subcommand's regressed-function ranking.
+
+    Draining is destructive: counts accumulated since the previous drain
+    are returned and cleared, so one session spans many recording windows
+    (and code versions — the caller passes the binary that was live during
+    the window being drained). *)
+
+type session
+
+(** Install front-end observers on every core of [proc]. Replaces any
+    observer installed by a previous [start] on the same cores. *)
+val start : Ocolos_proc.Proc.t -> session
+
+(** Remove the observers. Idempotent. *)
+val stop : session -> unit
+
+(** [drain session binary] returns the per-function counts accumulated
+    since the last drain (ascending fid, functions with no events omitted)
+    and resets the accumulator. Addresses outside [binary]'s symbol map are
+    dropped. *)
+val drain :
+  session ->
+  Ocolos_binary.Binary.t ->
+  (int * string * Ocolos_obs.Layout_health.func_counts) list

@@ -30,6 +30,7 @@
    transactions through the same layouts, byte-identically. *)
 
 module F = Ocolos_util.Fault
+module Events = Ocolos_obs.Events
 module O = Ocolos_core.Ocolos
 module Daemon = Ocolos_core.Daemon
 module Supervisor = Ocolos_core.Supervisor
@@ -178,7 +179,14 @@ let kill_run cfg ~seed ~point =
     Supervisor.kill_at ~fault ~point d ~step:(make_step cfg proc) ~max_ticks:cfg.max_ticks
   with
   | Supervisor.Survived -> None
-  | Supervisor.Died death -> Some (death, O.version oc, finish cfg proc buf)
+  | Supervisor.Died death ->
+    Events.log "chaos.daemon_killed"
+      ~fields:
+        [ ("point", Ocolos_obs.Trace.S death.Supervisor.d_point);
+          ("hit", Ocolos_obs.Trace.I death.Supervisor.d_hit);
+          ("tick", Ocolos_obs.Trace.I death.Supervisor.d_tick);
+          ("survivor_version", Ocolos_obs.Trace.I (O.version oc)) ];
+    Some (death, O.version oc, finish cfg proc buf)
 
 (* Reference run: same seed, nothing armed. The scheduler hands out quantum
    turns from thread 0 at the start of every [Proc.run] call, so the merged
@@ -213,6 +221,8 @@ let convergence_run cfg ~seed ~point =
   | Supervisor.Survived -> None
   | Supervisor.Died _ ->
     let d' = Supervisor.restart ~config:cfg.daemon ~guard:(Daemon.guard d) proc in
+    Events.log "chaos.daemon_restarted"
+      ~fields:[ ("point", Ocolos_obs.Trace.S point); ("seed", Ocolos_obs.Trace.I seed) ];
     Some
       (Supervisor.run_to_convergence d' ~step:(make_step cfg proc)
          ~max_ticks:cfg.max_ticks)
@@ -343,10 +353,23 @@ let fleet_scenario ?(config = default_config) ?(replicas = 4) ?schedule ~seed ~p
   | Supervisor.Survived -> Fleet_not_reached
   | Supervisor.Died death ->
     let mixed_at_death = Fleet.mixed fleet in
+    Events.log "chaos.daemon_killed"
+      ~fields:
+        [ ("point", Ocolos_obs.Trace.S death.Supervisor.d_point);
+          ("hit", Ocolos_obs.Trace.I death.Supervisor.d_hit);
+          ("tick", Ocolos_obs.Trace.I death.Supervisor.d_tick);
+          ("mixed", Ocolos_obs.Trace.B mixed_at_death) ];
     let fleet' =
       Supervisor.restart_fleet ~config:fcfg ~ocolos_config:ocfg
         ~guard:(Fleet.guard fleet) procs
     in
+    Events.log "chaos.daemon_restarted"
+      ~fields:
+        [ ("point", Ocolos_obs.Trace.S point);
+          ("reverted",
+           Ocolos_obs.Trace.S
+             (String.concat ";"
+                (List.map string_of_int (Fleet.reverted_on_reattach fleet')))) ];
     let convergence =
       Supervisor.run_fleet_to_convergence fleet' ~step ~max_ticks:config.max_ticks
     in

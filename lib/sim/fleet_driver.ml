@@ -3,9 +3,13 @@
 open Ocolos_workloads
 open Ocolos_proc
 module Fleet = Ocolos_core.Fleet
+module Ocolos = Ocolos_core.Ocolos
 module Counters = Ocolos_uarch.Counters
 module Stats = Ocolos_util.Stats
 module Metrics = Ocolos_obs.Metrics
+module Trace = Ocolos_obs.Trace
+module Layout_health = Ocolos_obs.Layout_health
+module Func_attrib = Ocolos_profiler.Func_attrib
 
 type replica_report = {
   fr_id : int;
@@ -75,21 +79,49 @@ let run ?(replicas = 4) ?(seed = 1) ?(ticks = 30) ?(arrival_rate = 40.0)
   let fleet = Fleet.create ~config ?ocolos_config ?guard:None procs in
   let queue_peak = Array.make replicas 0 in
   let actions = ref [] in
+  (* Layout-health recording is armed only when an accumulator is ambient
+     (the CLI [explain] path): per-replica front-end attribution sessions
+     plus a counter snapshot per replica so each tick yields one
+     per-version window. *)
+  let health = Layout_health.installed () <> None in
+  let attribs = if health then Some (Array.map Func_attrib.start procs) else None in
+  let prev_counters = Array.map Proc.total_counters procs in
   for i = 0 to ticks - 1 do
     let now_s = float_of_int (i + 1) in
     Array.iteri
       (fun id proc ->
+        Trace.in_replica id @@ fun () ->
         (* Charge the previous tick's stop-the-world pauses as stalls
            before this window runs: a replacement empties serving capacity
            out of the following slice, and the open-loop queue shows it. *)
         let debt = Fleet.take_pause_debt fleet id in
         if debt > 0.0 then
           Proc.stall_all proc ~cycles:(Clock.seconds_to_cycles debt) ~category:`Backend;
+        (* The code version live during this tick's window: Fleet.tick runs
+           after the replicas advance, so the version read now is the one
+           this window executed under. *)
+        let oc = Fleet.ocolos fleet id in
+        let version = Ocolos.version oc in
+        let binary = Ocolos.current_binary oc in
         Proc.run ~cycle_limit:(Clock.seconds_to_cycles now_s) proc;
+        (match attribs with
+        | None -> ()
+        | Some sessions ->
+          let total = Proc.total_counters proc in
+          let interval = Counters.diff total prev_counters.(id) in
+          prev_counters.(id) <- total;
+          Layout_health.window ~replica:id ~version (Counters.to_health_sample interval);
+          List.iter
+            (fun (fid, name, fc) -> Layout_health.func_window ~version ~fid ~name fc)
+            (Func_attrib.drain sessions.(id) binary));
         let completed = (Proc.total_counters proc).Counters.transactions in
         let ol = ols.(id) in
         let depth_before = Openloop.queue_depth ol ~now_s in
         if depth_before > queue_peak.(id) then queue_peak.(id) <- depth_before;
+        Metrics.sample
+          ~labels:[ ("replica", string_of_int id) ]
+          ~buckets:Metrics.queue_depth_buckets "ocolos_fleet_queue_depth"
+          (float_of_int depth_before);
         Openloop.advance ol ~now_s ~completed)
       procs;
     (match Fleet.tick fleet ~now_s with
@@ -99,6 +131,9 @@ let run ?(replicas = 4) ?(seed = 1) ?(ticks = 30) ?(arrival_rate = 40.0)
       when match !actions with (_, Fleet.Breaker_open _) :: _ -> true | _ -> false -> ()
     | a -> actions := (i, a) :: !actions)
   done;
+  (match attribs with
+  | None -> ()
+  | Some sessions -> Array.iter Func_attrib.stop sessions);
   let versions = Fleet.versions fleet in
   let fd_replicas =
     Array.to_list

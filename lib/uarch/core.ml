@@ -17,6 +17,10 @@ type cyc = {
   mutable dram_last_arrival : float;
 }
 
+(* Front-end events worth attributing to code addresses. Constant
+   constructors only: firing an observer allocates nothing. *)
+type fe_event = L1i_miss | Itlb_miss | Btb_miss | Taken_branch
+
 type t = {
   cfg : Config.t;
   issue_cost : float; (* 1 / issue_width, precomputed for the fetch path *)
@@ -52,6 +56,10 @@ type t = {
   mutable mispredicts : int;
   mutable on_l1i_miss : (int -> unit) option;
       (* observer for L1i miss addresses (the perf-annotate analog) *)
+  mutable on_fe : (fe_event -> int -> unit) option;
+      (* front-end event observer, fired with the code address; only ever
+         consulted on slow paths (misses, taken transfers), never on the
+         inlined [fetch] fast path *)
 }
 
 (* Exact log2; caches already validate these geometries as powers of two. *)
@@ -101,7 +109,11 @@ let create ?(cfg = Config.broadwell) () =
     taken_branches = 0;
     cond_branches = 0;
     mispredicts = 0;
-    on_l1i_miss = None }
+    on_l1i_miss = None;
+    on_fe = None }
+
+let[@inline] fire_fe t ev addr =
+  match t.on_fe with Some f -> f ev addr | None -> ()
 
 (* Issue ("base") cycles. With [exact_base] the stored accumulator stays 0
    and the product below is bit-identical to what the accumulator would
@@ -158,6 +170,7 @@ let fetch_slow t ~addr ~size =
       if not (Cache.access t.l1i byte) then begin
         t.l1i_misses <- t.l1i_misses + 1;
         (match t.on_l1i_miss with Some f -> f addr | None -> ());
+        fire_fe t L1i_miss addr;
         if Cache.access t.l2 byte then
           t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.l2_latency
         else if Cache.access t.l3 byte then
@@ -176,7 +189,8 @@ let fetch_slow t ~addr ~size =
     t.itlb_accesses <- t.itlb_accesses + 1;
     if not (Cache.access t.itlb addr) then begin
       t.itlb_misses <- t.itlb_misses + 1;
-      t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.itlb_walk_latency
+      t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.itlb_walk_latency;
+      fire_fe t Itlb_miss addr
     end
   end
 
@@ -197,9 +211,14 @@ let[@inline] fetch t ~addr ~size =
 (* Common cost of any taken control transfer: fetch bubble plus BTB. *)
 let taken_transfer t ~pc ~target =
   t.taken_branches <- t.taken_branches + 1;
+  fire_fe t Taken_branch pc;
   t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.taken_bubble;
-  if Btb.lookup_class t.btb pc ~target <> 1 then
-    t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.btb_miss_penalty;
+  let cls = Btb.lookup_class t.btb pc ~target in
+  if cls <> 1 then t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.btb_miss_penalty;
+  (* Class 0 is the only outcome [Btb.misses] counts, so it is the only one
+     attributed — keeps per-function BTB counts consistent with
+     [Counters.btb_misses]. *)
+  if cls = 0 then fire_fe t Btb_miss pc;
   Btb.update t.btb pc target;
   (* Force the next fetch to re-access the cache at the target. *)
   t.last_line <- -1
@@ -222,8 +241,11 @@ let on_indirect_jump t ~pc ~target =
   | 2 ->
     t.mispredicts <- t.mispredicts + 1;
     t.cyc.bs <- t.cyc.bs +. float_of_int t.cfg.mispredict_penalty
-  | _ -> t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.btb_miss_penalty);
+  | _ ->
+    t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.btb_miss_penalty;
+    fire_fe t Btb_miss pc);
   t.taken_branches <- t.taken_branches + 1;
+  fire_fe t Taken_branch pc;
   t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.taken_bubble;
   Btb.update t.btb pc target;
   t.last_line <- -1
@@ -238,8 +260,8 @@ let on_ret t ~pc ~target =
     t.cyc.bs <- t.cyc.bs +. float_of_int t.cfg.mispredict_penalty
   end;
   t.taken_branches <- t.taken_branches + 1;
+  fire_fe t Taken_branch pc;
   t.cyc.fe <- t.cyc.fe +. float_of_int t.cfg.taken_bubble;
-  ignore pc;
   t.last_line <- -1
 
 let on_mem_miss t ~addr =
@@ -284,3 +306,4 @@ let snapshot t : Counters.t =
     btb_misses = Btb.misses t.btb }
 
 let set_l1i_miss_observer t f = t.on_l1i_miss <- f
+let set_fe_observer t f = t.on_fe <- f

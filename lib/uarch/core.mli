@@ -6,11 +6,21 @@
 
 type t
 
+(** Front-end events attributable to a code address. [Btb_miss] mirrors
+    {!Btb.misses} (cold/capacity misses only, not wrong-target hits), so
+    per-address attributions sum to the corresponding {!Counters} fields. *)
+type fe_event = L1i_miss | Itlb_miss | Btb_miss | Taken_branch
+
 val create : ?cfg:Config.t -> unit -> t
 
 (** Install an observer for L1i miss addresses (the perf-annotate analog);
     [None] removes it. *)
 val set_l1i_miss_observer : t -> (int -> unit) option -> unit
+
+(** Install an observer for front-end events ([f event code_addr]); [None]
+    removes it. Fired only on miss/taken slow paths, never on the fetch
+    fast path, so an installed observer costs nothing per instruction. *)
+val set_fe_observer : t -> (fe_event -> int -> unit) option -> unit
 
 (** Total cycles so far (base + front-end + bad-speculation + back-end). *)
 val cycles : t -> float

@@ -135,6 +135,16 @@ let observe_metrics ?(prefix = "ocolos") t =
   c "mispredicts_total" t.mispredicts;
   c "btb_misses_total" t.btb_misses
 
+(* Bridge a counter interval into the neutral layout-health window record
+   (the obs library sits below uarch and cannot see this type). *)
+let to_health_sample t =
+  { Ocolos_obs.Layout_health.s_instructions = t.instructions;
+    s_cycles = t.cycles;
+    s_l1i_misses = t.l1i_misses;
+    s_itlb_misses = t.itlb_misses;
+    s_btb_misses = t.btb_misses;
+    s_taken_branches = t.taken_branches }
+
 let pp fmt t =
   let td = topdown t in
   Fmt.pf fmt

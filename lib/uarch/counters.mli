@@ -50,4 +50,8 @@ val topdown : t -> topdown
     installed. *)
 val observe_metrics : ?prefix:string -> t -> unit
 
+(** View a counter interval (as produced by {!diff}) as one
+    {!Ocolos_obs.Layout_health} recording window. *)
+val to_health_sample : t -> Ocolos_obs.Layout_health.sample
+
 val pp : Format.formatter -> t -> unit

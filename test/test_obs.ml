@@ -8,6 +8,8 @@ module Trace = Ocolos_obs.Trace
 module Metrics = Ocolos_obs.Metrics
 module Chrome = Ocolos_obs.Chrome
 module Json = Ocolos_obs.Json
+module Events = Ocolos_obs.Events
+module Layout_health = Ocolos_obs.Layout_health
 module Measure = Ocolos_sim.Measure
 module Timeline = Ocolos_sim.Timeline
 module Clock = Ocolos_sim.Clock
@@ -341,6 +343,218 @@ let test_end_to_end_span_coverage () =
   let ipc = Metrics.histogram reg ~buckets:Metrics.ipc_buckets "ocolos_round_ipc" in
   Alcotest.(check int) "one round IPC observation" 1 (Metrics.hist_count ipc)
 
+(* ---- structured event log ---- *)
+
+(* The traced run again, now with an event log installed alongside the
+   trace. Returns the Chrome bytes too: installing an event log reads the
+   trace clock without ticking it, so the trace must be byte-identical to
+   the no-events run. *)
+let evented_ocolos_run () =
+  let tr = Trace.create () in
+  let reg = Metrics.create () in
+  let ev = Events.create () in
+  Trace.install tr;
+  Metrics.install reg;
+  Events.install ev;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.uninstall ();
+      Metrics.uninstall ();
+      Events.uninstall ())
+    (fun () ->
+      let w = Apps.tiny ~tx_limit:None () in
+      let input = Workload.find_input w "a" in
+      let fault = Ocolos_util.Fault.create ~seed:5 () in
+      Ocolos_util.Fault.arm fault "vtable_patch" (Ocolos_util.Fault.Nth 1);
+      let config =
+        { Ocolos_core.Ocolos.default_config with Ocolos_core.Ocolos.fault = Some fault }
+      in
+      let r = Measure.ocolos_steady ~config ~profile_s:1.0 ~measure:0.5 w ~input in
+      (r, Chrome.to_string tr, Trace.spans tr, ev))
+
+let test_event_log_deterministic () =
+  (* Two identical fault-injected runs must serialize byte-identically —
+     the JSONL log rides only the simulated clock and sequence numbers. *)
+  let _, _, _, ev1 = evented_ocolos_run () in
+  let _, _, _, ev2 = evented_ocolos_run () in
+  Alcotest.(check bool) "log is non-trivial" true (Events.count ev1 > 10);
+  Alcotest.(check string) "JSONL byte-identical" (Events.to_jsonl ev1) (Events.to_jsonl ev2)
+
+let test_event_log_covers_pipeline_and_cross_links () =
+  let r, chrome_bytes, spans, ev = evented_ocolos_run () in
+  Alcotest.(check bool) "rolled back once then committed" true
+    (r.Measure.rollbacks = 1 && r.Measure.attempts = 2);
+  (* The no-events golden run: installing the event log must not have
+     perturbed a single trace byte. *)
+  let _, chrome_plain, _, _ = traced_ocolos_run () in
+  Alcotest.(check string) "trace bytes unchanged by event log" chrome_plain chrome_bytes;
+  let types = List.map (fun (e : Events.event) -> e.Events.e_type) (Events.events ev) in
+  List.iter
+    (fun t -> Alcotest.(check bool) (t ^ " logged") true (List.mem t types))
+    [ "profile.window_open";
+      "profile.window_close";
+      "bolt.pass_start";
+      "bolt.pass_end";
+      "txn.begin";
+      "txn.rollback";
+      "txn.commit";
+      "fault.fired" ];
+  (* Span cross-links: events recorded inside pipeline spans carry the id
+     of a span that exists in the trace with the same id. *)
+  let span_ids = List.map (fun (s : Trace.span) -> s.Trace.sp_id) spans in
+  let linked =
+    List.filter_map (fun (e : Events.event) -> e.Events.e_span) (Events.events ev)
+  in
+  Alcotest.(check bool) "some events are span-linked" true (linked <> []);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %d exists in the trace" id)
+        true (List.mem id span_ids))
+    linked;
+  (* txn.rollback carries the fired point *)
+  match
+    List.find_opt (fun (e : Events.event) -> e.Events.e_type = "txn.rollback") (Events.events ev)
+  with
+  | None -> Alcotest.fail "no txn.rollback event"
+  | Some e -> (
+    match List.assoc_opt "point" e.Events.e_fields with
+    | Some (Trace.S "vtable_patch") -> ()
+    | _ -> Alcotest.fail "rollback event does not name the fired point")
+
+let test_event_jsonl_format () =
+  let tr = Trace.create () in
+  let ev = Events.create () in
+  Trace.install tr;
+  Events.install ev;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.uninstall ();
+      Events.uninstall ())
+    (fun () ->
+      Events.log "first";
+      Trace.with_span tr "outer" (fun sp ->
+          Events.log "inner" ~fields:[ ("k", Trace.S "v"); ("n", Trace.I 3) ];
+          ignore sp));
+  match Events.events ev with
+  | [ e1; e2 ] ->
+    Alcotest.(check string) "bare event golden"
+      "{\"seq\":0,\"ts_us\":0,\"type\":\"first\",\"span\":null,\"fields\":{}}"
+      (Events.event_to_string e1);
+    (* inside the span: ts after the span-begin tick, span id linked *)
+    Alcotest.(check string) "in-span event golden"
+      "{\"seq\":1,\"ts_us\":1,\"type\":\"inner\",\"span\":0,\"fields\":{\"k\":\"v\",\"n\":3}}"
+      (Events.event_to_string e2);
+    Alcotest.(check string) "jsonl is lines + trailing newline"
+      (Events.event_to_string e1 ^ "\n" ^ Events.event_to_string e2 ^ "\n")
+      (Events.to_jsonl ev)
+  | l -> Alcotest.failf "expected two events, got %d" (List.length l)
+
+(* ---- per-replica Perfetto process tracks ---- *)
+
+let test_chrome_replica_pids () =
+  let tr = Trace.create () in
+  Trace.with_span tr "controller" (fun _ -> ());
+  Trace.in_replica 0 (fun () -> Trace.with_span tr "r0.work" (fun _ -> ()));
+  Trace.in_replica 3 (fun () -> Trace.instant tr "r3.mark");
+  let s = Chrome.to_string tr in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  (* replica n lands on pid n+2 (controller keeps pid 1), with its own
+     process_name meta; the replica attr itself is stripped from args *)
+  Alcotest.(check bool) "replica 0 process meta" true
+    (contains s "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":1,\"args\":{\"name\":\"ocolos replica 0\"}}");
+  Alcotest.(check bool) "replica 3 process meta" true
+    (contains s "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":5,\"tid\":1,\"args\":{\"name\":\"ocolos replica 3\"}}");
+  Alcotest.(check bool) "replica span on its pid" true
+    (contains s "\"name\":\"r0.work\",\"cat\":\"ocolos\",\"ph\":\"X\",\"ts\":2,\"dur\":1,\"pid\":2,\"tid\":1,\"args\":{}");
+  Alcotest.(check bool) "controller span stays on pid 1" true
+    (contains s "\"name\":\"controller\",\"cat\":\"ocolos\",\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":1,\"tid\":1");
+  Alcotest.(check bool) "replica attr stripped from args" true
+    (not (contains s "\"replica\""));
+  (* a replica-free trace emits no replica metas at all (golden-protected) *)
+  let tr2 = Trace.create () in
+  Trace.with_span tr2 "a" (fun _ -> ());
+  Alcotest.(check bool) "no replica metas without replicas" true
+    (not (contains (Chrome.to_string tr2) "replica"))
+
+(* ---- layout-health attribution ---- *)
+
+let test_layout_health_hand_computed () =
+  let t = Layout_health.create () in
+  (* C0: two windows totalling 20k instrs, 10k cycles, 40 L1i misses, 10
+     iTLB, 100 BTB, 3000 taken. C1: one window, 10k instrs, 4k cycles,
+     5/1/10/1200. All rates hand-computed. *)
+  Layout_health.record_window t ~version:0
+    { Layout_health.s_instructions = 12_000;
+      s_cycles = 6_000.0;
+      s_l1i_misses = 30;
+      s_itlb_misses = 6;
+      s_btb_misses = 70;
+      s_taken_branches = 2_000 };
+  Layout_health.record_window t ~replica:1 ~version:0
+    { Layout_health.s_instructions = 8_000;
+      s_cycles = 4_000.0;
+      s_l1i_misses = 10;
+      s_itlb_misses = 4;
+      s_btb_misses = 30;
+      s_taken_branches = 1_000 };
+  Layout_health.record_window t ~version:1
+    { Layout_health.s_instructions = 10_000;
+      s_cycles = 4_000.0;
+      s_l1i_misses = 5;
+      s_itlb_misses = 1;
+      s_btb_misses = 10;
+      s_taken_branches = 1_200 };
+  Alcotest.(check (list int)) "versions seen" [ 0; 1 ] (Layout_health.versions t);
+  (match Layout_health.rates t 0 with
+  | None -> Alcotest.fail "no C0 rates"
+  | Some r ->
+    Alcotest.(check int) "C0 windows" 2 r.Layout_health.r_windows;
+    Alcotest.(check int) "C0 instructions" 20_000 r.Layout_health.r_instructions;
+    Alcotest.(check (float 1e-9)) "C0 ipc" 2.0 r.Layout_health.r_ipc;
+    Alcotest.(check (float 1e-9)) "C0 l1i mpki" 2.0 r.Layout_health.r_l1i_mpki;
+    Alcotest.(check (float 1e-9)) "C0 itlb mpki" 0.5 r.Layout_health.r_itlb_mpki;
+    Alcotest.(check (float 1e-9)) "C0 btb mpki" 5.0 r.Layout_health.r_btb_mpki;
+    Alcotest.(check (float 1e-9)) "C0 taken pki" 150.0 r.Layout_health.r_taken_pki);
+  (match Layout_health.rates t 1 with
+  | None -> Alcotest.fail "no C1 rates"
+  | Some r ->
+    Alcotest.(check (float 1e-9)) "C1 ipc" 2.5 r.Layout_health.r_ipc;
+    Alcotest.(check (float 1e-9)) "C1 l1i mpki" 0.5 r.Layout_health.r_l1i_mpki);
+  Alcotest.(check (list int)) "replica breakdown recorded" [ 1 ] (Layout_health.replicas t);
+  (* per-function contribution deltas: f regresses (+1.0 L1i/Ki), g
+     improves; the ranking puts f first *)
+  Layout_health.record_func_window t ~version:0 ~fid:1 ~name:"f"
+    { Layout_health.fc_l1i = 20; fc_itlb = 0; fc_btb = 0; fc_taken = 0 };
+  Layout_health.record_func_window t ~version:0 ~fid:2 ~name:"g"
+    { Layout_health.fc_l1i = 20; fc_itlb = 0; fc_btb = 0; fc_taken = 0 };
+  Layout_health.record_func_window t ~version:1 ~fid:1 ~name:"f"
+    { Layout_health.fc_l1i = 20; fc_itlb = 0; fc_btb = 0; fc_taken = 0 };
+  Layout_health.record_func_window t ~version:1 ~fid:2 ~name:"g"
+    { Layout_health.fc_l1i = 2; fc_itlb = 0; fc_btb = 0; fc_taken = 0 };
+  (match Layout_health.regressions t ~from_version:0 ~to_version:1 with
+  | fd_f :: fd_g :: _ ->
+    Alcotest.(check string) "worst regression first" "f" fd_f.Layout_health.fd_name;
+    (* f: 20/20k = 1.0/Ki at C0, 20/10k = 2.0/Ki at C1 -> +1.0 *)
+    Alcotest.(check (float 1e-9)) "f delta" 1.0 fd_f.Layout_health.fd_l1i;
+    (* g: 1.0/Ki -> 0.2/Ki -> -0.8 *)
+    Alcotest.(check (float 1e-9)) "g delta" (-0.8) fd_g.Layout_health.fd_l1i
+  | _ -> Alcotest.fail "expected two function rows");
+  (* ambient helpers no-op when nothing installed *)
+  Layout_health.uninstall ();
+  Layout_health.window ~version:9
+    { Layout_health.s_instructions = 1;
+      s_cycles = 1.0;
+      s_l1i_misses = 0;
+      s_itlb_misses = 0;
+      s_btb_misses = 0;
+      s_taken_branches = 0 };
+  Alcotest.(check bool) "no ambient accumulator" true (Layout_health.installed () = None)
+
 let test_timeline_trace_integration () =
   let tr = Trace.create () in
   Trace.install tr;
@@ -470,6 +684,13 @@ let suite =
     Alcotest.test_case "fixed-seed run emits identical bytes" `Quick
       test_end_to_end_deterministic;
     Alcotest.test_case "span tree covers the pipeline" `Quick test_end_to_end_span_coverage;
+    Alcotest.test_case "event log is byte-deterministic" `Quick test_event_log_deterministic;
+    Alcotest.test_case "event log covers the pipeline and cross-links spans" `Quick
+      test_event_log_covers_pipeline_and_cross_links;
+    Alcotest.test_case "event JSONL format golden" `Quick test_event_jsonl_format;
+    Alcotest.test_case "chrome gives replicas their own pids" `Quick test_chrome_replica_pids;
+    Alcotest.test_case "layout health matches hand computation" `Quick
+      test_layout_health_hand_computed;
     Alcotest.test_case "timeline feeds the trace" `Quick test_timeline_trace_integration;
     Alcotest.test_case "daemon attempt accounting (commit)" `Quick
       test_daemon_attempt_accounting_commit;
