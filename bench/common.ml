@@ -43,6 +43,42 @@ let straightline =
      in
      Workload.build ~name:"straightline" ~inputs ~nthreads:4 (Gen.generate cfg))
 
+(* Dispatch-bound microbenchmark for the superblock tier: check-dense
+   code. Nearly every block is an assertion-style guard — materialize a
+   value, check it with a never-taken branch to a cold handler — so the
+   hot path is a fall-through chain of two-instruction decoded blocks.
+   Dispatch — a memo miss, a hash lookup and fresh loop setup every couple
+   of instructions — dominates the block engine, while the per-instruction
+   kernel stays lean (not-taken branches keep the fetch fast path alive:
+   no taken-transfer bubble, no cache-line reset). The trace tier stitches
+   those chains into superblocks and retires them at one dispatch per
+   trace. Functions are long and call-free so returns (which end traces)
+   are rare, and v-table dispatch is on so the hot path crosses
+   monomorphic indirect-call sites, the inline-cache showcase. *)
+let branchy =
+  lazy
+    (let cfg =
+       { Gen.default with
+         Gen.seed = 13;
+         n_tx_types = 2;
+         funcs_per_type = 6;
+         shared_funcs = 8;
+         cold_funcs = 8;
+         parser_blocks = 0;
+         blocks_per_func = (32, 48);
+         body_instrs = (0, 0);
+         calls_per_func = (0, 0);
+         error_prob = 0.05;
+         check_prob = 0.8;
+         loop_prob = 0.0;
+         use_vtable_dispatch = true;
+         fp_sites_per_type = false }
+     in
+     let inputs =
+       [ Input.make ~name:"hot" ~mix:(Input.pure ~n_types:2 0) ~bias_seed:203 () ]
+     in
+     Workload.build ~name:"branchy" ~inputs ~nthreads:4 (Gen.generate cfg))
+
 let all_apps () =
   [ Lazy.force mysql; Lazy.force mongodb; Lazy.force memcached; Lazy.force verilator ]
 

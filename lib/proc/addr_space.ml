@@ -35,15 +35,19 @@ type t = {
   mutable code_bytes : int; (* total bytes of mapped code *)
   mutable next_map_base : int; (* first free code address for injection *)
   mutable journal : journal option;
-  mutable on_code_write : (int -> unit) option;
-      (* observer of every code-map mutation (write, removal, rollback
-         replay); the decoded-block engine's invalidation feed *)
+  mutable code_watchers : (int -> int -> unit) list;
+      (* observers of every code-map mutation (write, removal, rollback
+         replay); the execution engines' invalidation feeds. Each is called
+         with the byte span [start, start+len) the mutation touches — not
+         just the keyed address — so a write whose encoding overlays the
+         tail of one cached block and the head of the next invalidates
+         every overlapping block. *)
 }
 
-let set_code_watcher t f = t.on_code_write <- f
+let add_code_watcher t f = t.code_watchers <- f :: t.code_watchers
 
-let notify_code_write t addr =
-  match t.on_code_write with None -> () | Some f -> f addr
+let notify_code_write t addr len =
+  List.iter (fun f -> f addr len) t.code_watchers
 
 let read_data t addr = Ocolos_util.Itbl.find_default t.data addr ~default:0
 
@@ -64,16 +68,25 @@ let journal_code t addr =
     j.entries <- J_code (addr, Hashtbl.find_opt t.code addr) :: j.entries;
     j.n_entries <- j.n_entries + 1
 
+(* The byte span a mutation at [addr] dirties: the new encoding's bytes and
+   the old one's, whichever reaches further. Watchers must see the full
+   span — a 5-byte write over a 1-byte instruction also clobbers the four
+   bytes after it, which may belong to other cached blocks. *)
+let write_span old_instr new_instr =
+  let len i = match i with Some i -> Instr.size i | None -> 1 in
+  max (len old_instr) (len new_instr)
+
 let write_code t addr instr =
   if not (Instr.valid_regs instr) then
     invalid_arg (Printf.sprintf "Addr_space.write_code: bad register operand at 0x%x" addr);
   journal_code t addr;
-  (match Hashtbl.find_opt t.code addr with
+  let old = Hashtbl.find_opt t.code addr in
+  (match old with
   | Some old -> t.code_bytes <- t.code_bytes - Instr.size old
   | None -> ());
   Hashtbl.replace t.code addr instr;
   t.code_bytes <- t.code_bytes + Instr.size instr;
-  notify_code_write t addr
+  notify_code_write t addr (write_span old (Some instr))
 
 let remove_code t addr =
   match Hashtbl.find_opt t.code addr with
@@ -81,7 +94,7 @@ let remove_code t addr =
     journal_code t addr;
     t.code_bytes <- t.code_bytes - Instr.size old;
     Hashtbl.remove t.code addr;
-    notify_code_write t addr
+    notify_code_write t addr (Instr.size old)
   | None -> ()
 
 let journaling t = t.journal <> None
@@ -113,11 +126,13 @@ let rollback_journal t =
     List.iter
       (function
         | J_code (addr, Some i) ->
+          let cur = Hashtbl.find_opt t.code addr in
           Hashtbl.replace t.code addr i;
-          notify_code_write t addr
+          notify_code_write t addr (write_span cur (Some i))
         | J_code (addr, None) ->
+          let cur = Hashtbl.find_opt t.code addr in
           Hashtbl.remove t.code addr;
-          notify_code_write t addr
+          notify_code_write t addr (write_span cur None)
         | J_data (addr, Some v) -> Ocolos_util.Itbl.replace t.data addr v
         | J_data (addr, None) -> Ocolos_util.Itbl.remove t.data addr)
       j.entries;
@@ -164,7 +179,7 @@ let load (binary : Binary.t) =
       code_bytes = 0;
       next_map_base = 0;
       journal = None;
-      on_code_write = None }
+      code_watchers = [] }
   in
   Array.iter
     (fun addr -> write_code t addr (Hashtbl.find binary.Binary.code addr))

@@ -19,15 +19,19 @@ type t = {
   mutable code_bytes : int;
   mutable next_map_base : int;
   mutable journal : journal option;
-  mutable on_code_write : (int -> unit) option;
-      (** observer of every code-map mutation; see {!set_code_watcher} *)
+  mutable code_watchers : (int -> int -> unit) list;
+      (** observers of every code-map mutation; see {!add_code_watcher} *)
 }
 
-(** Install (or clear) the code-write watcher. The callback fires on every
-    code-map mutation — {!write_code}, an effective {!remove_code}, and each
-    code entry replayed by {!rollback_journal} — with the mutated address.
-    The decoded-block engine uses this as its invalidation feed. *)
-val set_code_watcher : t -> (int -> unit) option -> unit
+(** Register a code-write watcher. Each watcher fires on every code-map
+    mutation — {!write_code}, an effective {!remove_code}, and each code
+    entry replayed by {!rollback_journal} — with the byte span
+    [start, len) the mutation dirties: the wider of the old and new
+    encodings at the keyed address, so a write whose encoding overlays
+    neighbouring instructions reports the full overlap. The execution
+    engines use this as their cache-invalidation feed; several engines may
+    watch the same address space at once. *)
+val add_code_watcher : t -> (int -> int -> unit) -> unit
 
 val read_data : t -> int -> int
 val write_data : t -> int -> int -> unit

@@ -10,10 +10,10 @@
    bit-identical between them.
 
    Correctness under OCOLOS-style code replacement comes from a precise
-   invalidation feed: the engine registers itself as the address space's
-   code watcher, so every [Addr_space.write_code]/[remove_code] — including
+   invalidation feed: the engine registers itself as a code watcher of the
+   address space, so every [Addr_space.write_code]/[remove_code] — including
    the journal replay of a rolled-back [Txn.replace_code] — invalidates
-   exactly the cached blocks covering the written address. A generation
+   exactly the cached blocks overlapping the written byte span. A generation
    counter guards the in-flight block: if a hook patches code mid-block,
    the inner loop bails out and re-dispatches at the current pc, exactly as
    the reference interpreter would re-fetch. *)
@@ -148,8 +148,11 @@ type t = {
   mem : Addr_space.t;
   blocks : (int, Predecode.block) Hashtbl.t; (* entry address -> block *)
   cover : (int, int list) Hashtbl.t;
-      (* instruction address -> entry addresses of blocks containing it;
-         the index that makes invalidation precise *)
+      (* code byte -> entry addresses of blocks whose decoded entries span
+         it; the index that makes invalidation precise. Keyed by every byte
+         of every entry (not just instruction starts) so a write whose span
+         clips the tail of one instruction or crosses a block boundary
+         still reaches each overlapping block. *)
   memo : Predecode.block array; (* per-tid in-flight block ([no_block] = none) ... *)
   memo_idx : int array; (* ... and the entry index to resume at *)
   mutable gen : int; (* bumped on every code write; guards in-flight blocks *)
@@ -164,45 +167,55 @@ type t = {
 let no_block =
   { Predecode.b_start = -1; b_end = -1; b_addrs = [||]; b_sizes = [||]; b_instrs = [||] }
 
+(* Apply [f start byte] for every byte of every decoded entry of [b]. *)
+let iter_block_bytes (b : Predecode.block) f =
+  let start = b.Predecode.b_start in
+  Array.iteri
+    (fun i addr ->
+      let size = Array.unsafe_get b.Predecode.b_sizes i in
+      for j = 0 to size - 1 do
+        f start (addr + j)
+      done)
+    b.Predecode.b_addrs
+
 let register t (b : Predecode.block) =
   Hashtbl.replace t.blocks b.Predecode.b_start b;
-  Array.iter
-    (fun addr ->
-      let starts =
-        match Hashtbl.find_opt t.cover addr with Some l -> l | None -> []
-      in
-      if not (List.mem b.Predecode.b_start starts) then
-        Hashtbl.replace t.cover addr (b.Predecode.b_start :: starts))
-    b.Predecode.b_addrs
+  iter_block_bytes b (fun start byte ->
+      let starts = match Hashtbl.find_opt t.cover byte with Some l -> l | None -> [] in
+      if not (List.mem start starts) then Hashtbl.replace t.cover byte (start :: starts))
 
 let unregister t (b : Predecode.block) =
   Hashtbl.remove t.blocks b.Predecode.b_start;
-  Array.iter
-    (fun addr ->
-      match Hashtbl.find_opt t.cover addr with
+  iter_block_bytes b (fun start byte ->
+      match Hashtbl.find_opt t.cover byte with
       | None -> ()
       | Some starts -> (
-        match List.filter (fun s -> s <> b.Predecode.b_start) starts with
-        | [] -> Hashtbl.remove t.cover addr
-        | rest -> Hashtbl.replace t.cover addr rest))
-    b.Predecode.b_addrs
+        match List.filter (fun s -> s <> start) starts with
+        | [] -> Hashtbl.remove t.cover byte
+        | rest -> Hashtbl.replace t.cover byte rest))
 
-(* A code write at [addr]: drop every cached block whose decoded entries
-   include [addr], bump the generation so any in-flight block re-dispatches,
-   and clear the per-thread memos (they may point at dropped blocks). *)
-let invalidate t addr =
+(* A code write dirtying bytes [start, start+len): drop every cached block
+   whose decoded entries overlap the span — not just the one keyed at
+   [start]; a wide encoding can overlay the tail of one block and the head
+   of the next — bump the generation so any in-flight block re-dispatches,
+   and clear the per-thread memos (they may point at dropped blocks). The
+   probe touches at most [len] cover slots ([len] <= the widest encoding,
+   7 bytes), so invalidation stays O(write span), not O(cache). *)
+let invalidate t ~start ~len =
   t.gen <- t.gen + 1;
-  (match Hashtbl.find_opt t.cover addr with
-  | None -> ()
-  | Some starts ->
-    List.iter
-      (fun s ->
-        match Hashtbl.find_opt t.blocks s with
-        | None -> ()
-        | Some b ->
-          t.invalidations <- t.invalidations + 1;
-          unregister t b)
-      starts);
+  for off = 0 to len - 1 do
+    match Hashtbl.find_opt t.cover (start + off) with
+    | None -> ()
+    | Some starts ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt t.blocks s with
+          | None -> ()
+          | Some b ->
+            t.invalidations <- t.invalidations + 1;
+            unregister t b)
+        starts
+  done;
   Array.fill t.memo 0 (Array.length t.memo) no_block
 
 let create ~nthreads mem =
@@ -217,7 +230,7 @@ let create ~nthreads mem =
       dispatches = 0;
       invalidations = 0 }
   in
-  Addr_space.set_code_watcher mem (Some (fun addr -> invalidate t addr));
+  Addr_space.add_code_watcher mem (fun start len -> invalidate t ~start ~len);
   t
 
 (* Find the block to run at [pc], leaving the entry index to start from in

@@ -35,6 +35,7 @@ type t = {
   mutable instret : int; (* total instructions retired, all threads *)
   mutable paused : bool;
   mutable block_engine : Block_engine.t option; (* created on first `Blocks run *)
+  mutable trace_engine : Superblock.t option; (* created on first `Traces run *)
 }
 
 let load ?(nthreads = 1) ?(cfg = Ocolos_uarch.Config.broadwell) ?(seed = 42) binary =
@@ -50,7 +51,8 @@ let load ?(nthreads = 1) ?(cfg = Ocolos_uarch.Config.broadwell) ?(seed = 42) bin
     hooks = { on_taken_branch = None; translate_fp = None };
     instret = 0;
     paused = false;
-    block_engine = None }
+    block_engine = None;
+    trace_engine = None }
 
 exception Fault = Block_engine.Fault
 
@@ -78,6 +80,14 @@ let engine_of t =
   | None ->
     let e = Block_engine.create ~nthreads:(Array.length t.threads) t.mem in
     t.block_engine <- Some e;
+    e
+
+let trace_engine_of t =
+  match t.trace_engine with
+  | Some e -> e
+  | None ->
+    let e = Superblock.create ~nthreads:(Array.length t.threads) t.mem in
+    t.trace_engine <- Some e;
     e
 
 (* The reference interpreter loop: one [step] per inner iteration. *)
@@ -135,6 +145,33 @@ let run_blocks ~quantum ~max_instrs ~cycle_limit t =
      raise exn);
   sync_instret t
 
+(* The superblock/trace loop: same scheduling again; the trace tier only
+   changes how the next decoded form is found (chained exits, inline
+   caches, flattened hot paths), never which instructions execute. *)
+let run_traces ~quantum ~max_instrs ~cycle_limit t =
+  let e = trace_engine_of t in
+  let budget = ref max_instrs in
+  let progress = ref true in
+  (try
+     while !progress && !budget > 0 do
+       progress := false;
+       Array.iter
+         (fun thread ->
+           if Thread.is_running thread
+              && Ocolos_uarch.Core.cycles thread.Thread.core < cycle_limit
+           then begin
+             let steps = min quantum !budget in
+             let n = Superblock.exec e t.hooks thread ~max_steps:steps ~cycle_limit in
+             budget := !budget - n;
+             if n > 0 then progress := true
+           end)
+         t.threads
+     done
+   with exn ->
+     sync_instret t;
+     raise exn);
+  sync_instret t
+
 (* Round-robin execution until every running thread's core has reached the
    cycle horizon, all threads halt, or the global instruction budget is
    exhausted. The cycle horizon is the simulated wall clock: running every
@@ -145,13 +182,18 @@ let run ?(engine = `Blocks) ?(quantum = 64) ?(max_instrs = max_int) ~cycle_limit
   match engine with
   | `Reference -> run_reference ~quantum ~max_instrs ~cycle_limit t
   | `Blocks -> run_blocks ~quantum ~max_instrs ~cycle_limit t
+  | `Traces -> run_traces ~quantum ~max_instrs ~cycle_limit t
 
 let code_cache_stats t = Option.map Block_engine.stats t.block_engine
+let trace_cache_stats t = Option.map Superblock.stats t.trace_engine
 
-(* True when every cached block matches the code map (vacuously true before
-   the first `Blocks run). Txn checks this after commit and rollback. *)
+(* True when every cached decoded form — basic blocks and superblocks, with
+   their chain links and inline caches — matches the code map (vacuously
+   true for an engine that hasn't run). Txn checks this after commit and
+   rollback. *)
 let validate_code_cache t =
-  match t.block_engine with None -> true | Some e -> Block_engine.validate e
+  (match t.block_engine with None -> true | Some e -> Block_engine.validate e)
+  && match t.trace_engine with None -> true | Some e -> Superblock.validate e
 
 (* ptrace-style control: pause stops execution at an instruction boundary
    (callers may then inspect and patch state); resume allows run again. *)

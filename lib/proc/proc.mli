@@ -27,6 +27,8 @@ type t = {
   mutable paused : bool;
   mutable block_engine : Block_engine.t option;
       (** decoded-block cache, created lazily on the first [`Blocks] run *)
+  mutable trace_engine : Superblock.t option;
+      (** superblock/trace cache, created lazily on the first [`Traces] run *)
 }
 
 (** Launch a process from a binary image with [nthreads] worker threads, all
@@ -48,12 +50,14 @@ val runnable : t -> bool
     dedicated cores. Raises [Invalid_argument] if the process is paused.
 
     [engine] selects the execution engine: [`Blocks] (the default) runs the
-    decoded basic-block engine ({!Block_engine}); [`Reference] runs the
-    one-instruction-at-a-time interpreter. Both produce bit-identical
+    decoded basic-block engine ({!Block_engine}); [`Traces] runs the
+    superblock/trace tier ({!Superblock}: exit chaining, inline caches, hot
+    paths flattened into superblocks); [`Reference] runs the
+    one-instruction-at-a-time interpreter. All three produce bit-identical
     counters, traces and hook calls — the reference path is kept for
     differential testing. *)
 val run :
-  ?engine:[ `Reference | `Blocks ] ->
+  ?engine:[ `Reference | `Blocks | `Traces ] ->
   ?quantum:int ->
   ?max_instrs:int ->
   cycle_limit:float ->
@@ -63,8 +67,13 @@ val run :
 (** Decoded-block cache statistics, once a [`Blocks] run has created it. *)
 val code_cache_stats : t -> Block_engine.stats option
 
-(** True when every cached decoded block matches the code map (vacuously
-    true before the first [`Blocks] run). *)
+(** Superblock/trace cache statistics, once a [`Traces] run has created
+    it. *)
+val trace_cache_stats : t -> Superblock.stats option
+
+(** True when every cached decoded form — basic blocks, superblocks, chain
+    links and inline caches — matches the code map (vacuously true for an
+    engine that hasn't run). *)
 val validate_code_cache : t -> bool
 
 val pause : t -> unit

@@ -1,0 +1,61 @@
+(** Superblock/trace execution tier.
+
+    Extends the decoded-block engine ({!Block_engine}) with exit chaining
+    (each block's exit memoizes its last successors, skipping the dispatch
+    lookup), monomorphic inline caches at [IndCall]/[IndJump] exits, and
+    superblocks — hot multi-block paths flattened into a single run with
+    guards at every internal control transfer. All fast paths are
+    speculative-with-guard: they change which lookup finds the code, never
+    what executes, so counters, LBR samples and traces stay bit-identical
+    to the reference interpreter and to {!Block_engine}.
+
+    Replacement safety uses the same code-watcher feed as {!Block_engine}:
+    every code-map mutation — commit or journal-replay rollback — kills all
+    overlapping nodes and superblocks, invalidates in-flight runs via a
+    generation bump, and clears per-thread memo/chain state. *)
+
+type stats = {
+  decodes : int;  (** blocks decoded (cache misses) *)
+  dispatches : int;  (** run dispatches (including memo resumes) *)
+  resumes : int;  (** dispatches resolved by the per-thread memo *)
+  chained : int;  (** dispatches resolved through an exit chain link *)
+  chain_misses : int;  (** armed chains whose L1/L2 links missed the pc *)
+  ic_hits : int;  (** dispatches resolved through an inline cache *)
+  ic_misses : int;  (** indirect-exit dispatches the inline cache missed *)
+  promotions : int;  (** superblocks formed *)
+  superblocks : int;  (** superblocks currently live *)
+  invalidations : int;  (** cached nodes dropped by code writes *)
+  resident : int;  (** nodes currently cached *)
+}
+
+type t
+
+(** Create an engine over [mem] and register it as a code watcher.
+    [nthreads] sizes the per-thread memo/chain state. A block is considered
+    for promotion into a superblock after [promote_after] dispatches;
+    traces span at most [sb_max_blocks] blocks / [sb_max_entries]
+    instructions. *)
+val create :
+  ?promote_after:int ->
+  ?sb_max_blocks:int ->
+  ?sb_max_entries:int ->
+  nthreads:int ->
+  Addr_space.t ->
+  t
+
+(** Run [thread] for at most [max_steps] instructions, stopping early when
+    it halts/faults or its core reaches [cycle_limit] — the reference inner
+    loop's conditions, re-checked before every instruction. Returns the
+    number of instructions executed. Raises {!Block_engine.Fault} on an
+    unmapped fetch. *)
+val exec :
+  t -> Block_engine.hooks -> Thread.t -> max_steps:int -> cycle_limit:float -> int
+
+val stats : t -> stats
+
+(** Sweep links to invalidated nodes, then check the full cache discipline:
+    cached nodes and superblocks alive and coherent with the code map, no
+    surviving link/memo/chain referencing dead state, and the incremental
+    resident count equal to the cache population. Always true unless the
+    invalidation feed missed a write. *)
+val validate : t -> bool

@@ -44,6 +44,7 @@ type config = {
   trace_tx_limit : int; (* finite workload size for the trace runs *)
   drain_instrs : int; (* instruction budget to run a trace run to halt *)
   jump_tables : bool; (* keep jump tables so inject_data is reachable *)
+  engine : [ `Reference | `Blocks | `Traces ]; (* target execution engine *)
   daemon : Daemon.config;
 }
 
@@ -57,6 +58,7 @@ let default_config =
     trace_tx_limit = 1_500;
     drain_instrs = 50_000_000;
     jump_tables = true;
+    engine = `Blocks;
     daemon =
       { Daemon.default_config with
         Daemon.profile_s = 1.0;
@@ -72,6 +74,7 @@ type outcome =
       trace_equal : bool;
       trace_len : int; (* branches recorded in the kill run *)
       terminated : bool; (* both trace runs drained to a halt *)
+      cache_ok : bool; (* code caches validated after both drains *)
       convergence : Supervisor.convergence;
     }
   | Not_reached (* the armed point never fired within the tick budget *)
@@ -81,9 +84,9 @@ type result = { r_seed : int; r_point : string; r_outcome : outcome }
 let verdict r =
   match r.r_outcome with
   | Not_reached -> `Unreached
-  | Verified { trace_equal; convergence; terminated; _ } ->
+  | Verified { trace_equal; convergence; terminated; cache_ok; _ } ->
     if
-      trace_equal && terminated
+      trace_equal && terminated && cache_ok
       && (match convergence with
          | Supervisor.Converged_replaced _ | Supervisor.Converged_gave_up _ -> true
          | Supervisor.Diverged -> false)
@@ -94,13 +97,16 @@ let passed r = verdict r = `Pass
 
 let outcome_to_string = function
   | Not_reached -> "not reached"
-  | Verified { death; survivor_version; trace_equal; trace_len; terminated; convergence } ->
-    Fmt.str "died at %s hit %d tick %d (C%d live): trace %s (%d branches%s), restart %s"
+  | Verified
+      { death; survivor_version; trace_equal; trace_len; terminated; cache_ok; convergence }
+    ->
+    Fmt.str "died at %s hit %d tick %d (C%d live): trace %s (%d branches%s%s), restart %s"
       death.Supervisor.d_point death.Supervisor.d_hit death.Supervisor.d_tick
       survivor_version
       (if trace_equal then "identical" else "DIVERGED")
       trace_len
       (if terminated then "" else ", NOT drained")
+      (if cache_ok then "" else ", STALE CODE CACHE")
       (Supervisor.convergence_to_string convergence)
 
 (* The label a failing scenario is reported and archived under. It must be
@@ -149,10 +155,11 @@ let launch_traced cfg ~seed =
    second i+1. Instruction driving, never cycle driving — see the module
    comment. *)
 let make_step cfg proc i =
-  Proc.run ~cycle_limit:infinity ~max_instrs:cfg.step_instrs proc;
+  Proc.run ~engine:cfg.engine ~cycle_limit:infinity ~max_instrs:cfg.step_instrs proc;
   float_of_int (i + 1)
 
-let drain cfg proc = Proc.run ~cycle_limit:infinity ~max_instrs:cfg.drain_instrs proc
+let drain cfg proc =
+  Proc.run ~engine:cfg.engine ~cycle_limit:infinity ~max_instrs:cfg.drain_instrs proc
 
 (* Everything the equality check compares: the full recorded branch trace
    plus the workload's own end-state summary. *)
@@ -161,6 +168,7 @@ type tail = {
   t_checksums : int list;
   t_transactions : int;
   t_halted : bool;
+  t_cache_ok : bool; (* decoded-block/trace caches validate after the drain *)
 }
 
 let finish cfg proc buf =
@@ -168,7 +176,8 @@ let finish cfg proc buf =
   { t_trace = List.rev !buf;
     t_checksums = Workload.checksums proc;
     t_transactions = Proc.transactions proc;
-    t_halted = not (Proc.runnable proc) }
+    t_halted = not (Proc.runnable proc);
+    t_cache_ok = Proc.validate_code_cache proc }
 
 (* Kill run: die at [point], then run the orphan to termination. Returns the
    death, the version that survived it, and the recorded tail. *)
@@ -249,14 +258,15 @@ let scenario ?(config = default_config) ?cache ~seed ~point () =
         Hashtbl.add cache (seed, survivor_version, pre_steps) r;
         r
     in
-    let trace_equal, terminated =
+    let trace_equal, terminated, cache_ok =
       match reference with
-      | None -> (false, false) (* reference could not reach the survivor version *)
+      | None -> (false, false, false) (* reference could not reach the survivor version *)
       | Some ref_tail ->
         ( killed_tail.t_trace = ref_tail.t_trace
           && killed_tail.t_checksums = ref_tail.t_checksums
           && killed_tail.t_transactions = ref_tail.t_transactions,
-          killed_tail.t_halted && ref_tail.t_halted )
+          killed_tail.t_halted && ref_tail.t_halted,
+          killed_tail.t_cache_ok && ref_tail.t_cache_ok )
     in
     let convergence =
       match convergence_run config ~seed ~point with
@@ -274,6 +284,7 @@ let scenario ?(config = default_config) ?cache ~seed ~point () =
             trace_equal;
             trace_len = List.length killed_tail.t_trace;
             terminated;
+            cache_ok;
             convergence } }
 
 (* ---- fleet chaos ---- *)
@@ -344,7 +355,10 @@ let fleet_scenario ?(config = default_config) ?(replicas = 4) ?schedule ~seed ~p
   in
   let fleet = Fleet.create ~config:fcfg ~ocolos_config:ocfg procs in
   let step i =
-    Array.iter (fun p -> Proc.run ~cycle_limit:infinity ~max_instrs:config.step_instrs p) procs;
+    Array.iter
+      (fun p ->
+        Proc.run ~engine:config.engine ~cycle_limit:infinity ~max_instrs:config.step_instrs p)
+      procs;
     float_of_int (i + 1)
   in
   match

@@ -15,6 +15,10 @@ type config = {
   trace_tx_limit : int;  (** finite workload size for the trace runs *)
   drain_instrs : int;  (** instruction budget to run a trace run to halt *)
   jump_tables : bool;  (** keep jump tables so [inject_data] is reachable *)
+  engine : [ `Reference | `Blocks | `Traces ];
+      (** execution engine for all target driving (steps, drains, fleet
+          replicas); [`Traces] puts the superblock cache's chain links and
+          inline caches under every kill/rollback in the sweep *)
   daemon : Ocolos_core.Daemon.config;
 }
 
@@ -31,14 +35,19 @@ type outcome =
       trace_equal : bool;
       trace_len : int;  (** branches recorded in the kill run *)
       terminated : bool;  (** both trace runs drained to a halt *)
+      cache_ok : bool;
+          (** {!Ocolos_proc.Proc.validate_code_cache} held after both
+              drains: no dead block, stale chain link or dangling inline
+              cache survived the death and its rollback *)
       convergence : Ocolos_core.Supervisor.convergence;
     }
   | Not_reached  (** the armed point never fired within the tick budget *)
 
 type result = { r_seed : int; r_point : string; r_outcome : outcome }
 
-(** [`Pass]: the daemon died, the traces matched on drained runs, and the
-    restart converged. [`Fail]: it died but a check failed. [`Unreached]:
+(** [`Pass]: the daemon died, the traces matched on drained runs, the code
+    caches validated, and the restart converged. [`Fail]: it died but a
+    check failed. [`Unreached]:
     the armed point never fired (e.g. [inject_data] on a workload whose
     jump tables were lowered away — there is no data to inject). *)
 val verdict : result -> [ `Pass | `Unreached | `Fail ]

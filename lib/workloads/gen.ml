@@ -53,6 +53,12 @@ type config = {
   body_instrs : int * int;
   calls_per_func : int * int;
   error_prob : float; (* chance a block gets a rare error side-exit *)
+  check_prob : float;
+      (* chance a position becomes an assertion-style guard: a register is
+         materialized and immediately checked by a never-taken branch to a
+         cold handler. Models check-dense code (bounds/invariant asserts) —
+         minimal straight-line work between block boundaries, so execution
+         is bound by per-block dispatch, not by the blocks' bodies. *)
   loop_prob : float; (* chance a position becomes a bounded compute loop *)
   loop_trip : int * int;
   use_vtable_dispatch : bool;
@@ -82,6 +88,7 @@ let default =
     body_instrs = (3, 8);
     calls_per_func = (1, 3);
     error_prob = 0.18;
+    check_prob = 0.0;
     loop_prob = 0.12;
     loop_trip = (2, 6);
     use_vtable_dispatch = true;
@@ -262,7 +269,28 @@ let gen_branchy_func ?(table_prob = 0.0) st ~fid ~fname ~nblocks ~callees ~cold_
               p_term = PBranch (Instr.Gt, reg_loop, Main (!i + 1), Main (!i + 2)) } ];
       i := !i + 2
     end
-    else if roll < st.config.loop_prob +. st.config.error_prob then begin
+    else if
+      (* the [> 0.] guard keeps this arm from capturing rolls the loop arm
+         declined near the function end when checks are disabled *)
+      st.config.check_prob > 0.
+      && roll < st.config.loop_prob +. st.config.check_prob
+    then begin
+      (* Assertion-style guard: materialize a value and check it with a
+         never-taken branch to a cold handler (1 < 0 is statically false,
+         but neither engine knows that — the branch is predicted, checked
+         and fallen through like any other). *)
+      let r = Rng.int st.rng 8 in
+      let k =
+        push_aux { p_body = gen_body st 2; p_term = PJump (Main (!i + 1)) }
+      in
+      mains :=
+        !mains
+        @ [ { p_body = body @ [ Ir.Plain (Instr.Movi (r, 1)) ];
+              p_term = PBranch (Instr.Lt, r, Aux k, Main (!i + 1)) } ];
+      incr i
+    end
+    else if roll < st.config.loop_prob +. st.config.check_prob +. st.config.error_prob
+    then begin
       (* Rare error exit to a cold aux block that rejoins the chain. *)
       let site = fresh_site st Error in
       let instrs, cond, reg = site_instrs st site in
@@ -278,7 +306,9 @@ let gen_branchy_func ?(table_prob = 0.0) st ~fid ~fname ~nblocks ~callees ~cold_
         @ [ { p_body = body @ instrs; p_term = PBranch (cond, reg, Aux k, Main (!i + 1)) } ];
       incr i
     end
-    else if roll < st.config.loop_prob +. st.config.error_prob +. table_prob && n - 1 - !i >= 3
+    else if
+      roll < st.config.loop_prob +. st.config.check_prob +. st.config.error_prob +. table_prob
+      && n - 1 - !i >= 3
     then begin
       (* Switch-statement dispatch over the next few positions (a jump table
          unless the program is compiled with -fno-jump-tables). *)
@@ -298,7 +328,11 @@ let gen_branchy_func ?(table_prob = 0.0) st ~fid ~fname ~nblocks ~callees ~cold_
       mains := !mains @ [ { p_body = body; p_term = PTable (sel, targets) } ];
       incr i
     end
-    else if roll < st.config.loop_prob +. st.config.error_prob +. table_prob +. 0.12 then begin
+    else if
+      roll
+      < st.config.loop_prob +. st.config.check_prob +. st.config.error_prob +. table_prob
+        +. 0.12
+    then begin
       mains := !mains @ [ { p_body = body; p_term = PJump (Main (!i + 1)) } ];
       incr i
     end

@@ -44,6 +44,9 @@ type config = {
   body_instrs : int * int;
   calls_per_func : int * int;
   error_prob : float;
+  check_prob : float;
+      (** chance a position becomes an assertion-style never-taken guard
+          block (materialize + check): check-dense, dispatch-bound code *)
   loop_prob : float;
   loop_trip : int * int;
   use_vtable_dispatch : bool;

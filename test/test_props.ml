@@ -427,6 +427,25 @@ let prop_fleet_aggregation_count_equivalent =
       && bindings full.Profile.func_records = bindings agg.Profile.func_records
       && full.Profile.total_records = agg.Profile.total_records)
 
+(* 14. Three-engine differential: over random workloads and seeds, a full
+   online cycle — warm-up, profile, BOLT, one replacement rolled back by an
+   injected fault, one committed replacement, more execution — leaves every
+   observable byte-identical across the reference interpreter, the
+   decoded-block engine and the superblock/trace engine: instret, uarch
+   counters, the taken-branch trace, data checksums, and the Chrome /
+   Prometheus exports. Reuses the PR 4 differential harness
+   ([Test_block_engine.scenario]), which exercises both journal-replay
+   rollback and committed replacement against each engine's caches. *)
+let prop_three_engine_differential =
+  QCheck.Test.make ~name:"three engines byte-identical under replacement + rollback"
+    ~count:4
+    (QCheck.make QCheck.Gen.(int_range 0 1_000))
+    (fun seed ->
+      let w = Test_block_engine.random_workload seed in
+      let reference = Test_block_engine.scenario ~engine:`Reference w in
+      Test_block_engine.scenario ~engine:`Blocks w = reference
+      && Test_block_engine.scenario ~engine:`Traces w = reference)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_programs_terminate;
@@ -442,4 +461,5 @@ let suite =
       prop_campaign_respects_retry_budget;
       prop_quarantine_monotone;
       prop_fleet_rollout_atomic;
-      prop_fleet_aggregation_count_equivalent ]
+      prop_fleet_aggregation_count_equivalent;
+      prop_three_engine_differential ]
