@@ -122,9 +122,9 @@ let continuous_ablation w =
       [| "4 after 2nd replacement"; "write_only"; "C2";
          Table.fmt_f ~digits:0 c2_on_b; Table.fmt_speedup (c2_on_b /. base_b) |] ];
   Printf.printf
-    "\nGC: round 2 freed %s bytes of C1 code; %d stack-live C1 functions were copied\n"
+    "\nGC: round 2 freed %s bytes of C1 code; %d stack-live C1 frames were OSR-migrated\n"
     (Table.fmt_int s2.Ocolos_core.Ocolos.gc_bytes_freed)
-    s2.Ocolos_core.Ocolos.copied_funcs;
+    s2.Ocolos_core.Ocolos.frames_migrated;
   Printf.printf "replacement rounds: %d then %d sites patched\n"
     s1.Ocolos_core.Ocolos.call_sites_patched s2.Ocolos_core.Ocolos.call_sites_patched
 

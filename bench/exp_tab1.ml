@@ -40,7 +40,8 @@ let run () =
     in
     let oco = Common.ocolos w input in
     let ocolos_rss =
-      Ocolos_sim.Rss.ocolos ~nthreads:w.Workload.nthreads w.Workload.binary ~input
+      Ocolos_sim.Rss.ocolos ~nthreads:w.Workload.nthreads
+        ~resident_extra:oco.Measure.resident_extra_bytes w.Workload.binary ~input
         ~stats:oco.Measure.stats
         ~profile_records:oco.Measure.profile.Ocolos_profiler.Profile.total_records
           (* BOLT's working set scales with the volume of code it rewrote *)

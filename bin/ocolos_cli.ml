@@ -10,6 +10,10 @@
                                    faults anywhere in the pipeline)
      faults                        list fault domains and injection points
      chaos                         kill/restart crash-recovery sweep
+     osr-smoke                     never-returning event loop through a full
+                                   campaign; fails unless the original text is
+                                   fully unmapped and the reachability audit
+                                   is clean
      fleet                         N-replica canary rollout under open-loop
                                    traffic (--inject-regression demonstrates
                                    the guard-driven staged rollback)
@@ -39,6 +43,7 @@ let workloads () =
     ("memcached", fun () -> Apps.memcached_like ());
     ("verilator", fun () -> Apps.verilator_like ());
     ("clang", fun () -> Apps.clang_like ());
+    ("event_loop", fun () -> Apps.event_loop ());
     ("tiny", fun () -> Apps.tiny ~tx_limit:None ()) ]
 
 let load_workload name =
@@ -416,6 +421,87 @@ let chaos_cmd =
     Term.(
       const run $ seeds_arg $ points_arg $ trace_dir_arg $ trace_arg $ metrics_arg
       $ events_arg)
+
+(* True-OSR smoke: drive the never-returning event-loop workload through a
+   full continuous campaign and require total convergence — no byte of the
+   original text (bolt.org.text) still resident, no residue outstanding,
+   and a clean global reachability audit. The CI gate for on-stack
+   replacement. *)
+let osr_smoke_cmd =
+  let rounds_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "max-rounds" ] ~docv:"N"
+          ~doc:"Replacement-round budget for retiring the original text.")
+  in
+  let run max_rounds trace metrics events =
+    let failed = ref false in
+    (with_obs trace metrics events @@ fun () ->
+    let w = Apps.event_loop () in
+    let input = Workload.find_input w "steady" in
+    let proc = Workload.launch w ~input in
+    let config =
+      { Ocolos_core.Ocolos.default_config with
+        Ocolos_core.Ocolos.bolt =
+          { Ocolos_core.Ocolos.default_config.Ocolos_core.Ocolos.bolt with
+            Ocolos_bolt.Bolt.hot_threshold = 1;
+            max_hot_funcs = None;
+            lite = false } }
+    in
+    let oc = Ocolos_core.Ocolos.attach ~config proc in
+    let c0_total = Ocolos_core.Ocolos.c0_text_resident_bytes oc in
+    Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:100_000 proc;
+    let rounds = ref 0 in
+    while Ocolos_core.Ocolos.c0_text_resident_bytes oc > 0 && !rounds < max_rounds do
+      incr rounds;
+      Ocolos_core.Ocolos.start_profiling oc;
+      Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:300_000 proc;
+      let profile, _ = Ocolos_core.Ocolos.stop_profiling oc in
+      let result, _ = Ocolos_core.Ocolos.run_bolt oc profile in
+      let stats = Ocolos_core.Ocolos.replace_code oc result in
+      Fmt.pr "round %d: C%d live, %d frames migrated, %d stubs, %d bytes freed, %d/%d \
+              original bytes resident@."
+        !rounds stats.Ocolos_core.Ocolos.version stats.Ocolos_core.Ocolos.frames_migrated
+        stats.Ocolos_core.Ocolos.osr_stubs stats.Ocolos_core.Ocolos.gc_bytes_freed
+        (Ocolos_core.Ocolos.c0_text_resident_bytes oc)
+        c0_total
+    done;
+    Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:200_000 proc;
+    ignore (Ocolos_core.Ocolos.gc_residue oc);
+    let c0_left = Ocolos_core.Ocolos.c0_text_resident_bytes oc in
+    let extra = Ocolos_core.Ocolos.resident_extra_bytes oc in
+    if c0_left > 0 then begin
+      Fmt.pr "FAIL: %d bytes of bolt.org.text still resident after %d rounds@." c0_left
+        !rounds;
+      failed := true
+    end;
+    if extra > 0 then begin
+      Fmt.pr "FAIL: %d bytes of stub/copy residue survived convergence@." extra;
+      failed := true
+    end;
+    (match Ocolos_core.Ocolos.verify_no_dangling oc ~freed:[] with
+    | () -> ()
+    | exception Ocolos_core.Ocolos.Dangling_pointer what ->
+      Fmt.pr "FAIL: reachability scanner found a dangling pointer: %s@." what;
+      failed := true);
+    let tx = Ocolos_proc.Proc.transactions proc in
+    Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:100_000 proc;
+    if Ocolos_proc.Proc.transactions proc <= tx then begin
+      Fmt.pr "FAIL: event loop stopped serving transactions@.";
+      failed := true
+    end;
+    if not !failed then
+      Fmt.pr "PASS: original text fully retired in %d rounds (C%d live, %d tx served)@."
+        !rounds
+        (Ocolos_core.Ocolos.version oc)
+        (Ocolos_proc.Proc.transactions proc));
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "osr-smoke"
+       ~doc:"Replace a never-returning event loop end to end; fail unless the original \
+             text is fully unmapped and the reachability audit is clean")
+    Term.(const run $ rounds_arg $ trace_arg $ metrics_arg $ events_arg)
 
 (* Fleet rollout demo: N replicas of the endless tiny workload under
    open-loop traffic, one canary campaign driven to its terminal outcome.
@@ -825,5 +911,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "ocolos_cli" ~doc)
           [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; faults_cmd; chaos_cmd;
-            fleet_cmd; explain_cmd; timeline_cmd; topdown_cmd; stats_cmd; save_cmd;
-            load_cmd; report_cmd; disasm_cmd ]))
+            osr_smoke_cmd; fleet_cmd; explain_cmd; timeline_cmd; topdown_cmd; stats_cmd;
+            save_cmd; load_cmd; report_cmd; disasm_cmd ]))

@@ -32,9 +32,9 @@ let () =
     let result, _ = Ocolos.run_bolt oc profile in
     let s = Ocolos.replace_code oc result in
     Fmt.pr
-      "%s -> C%d: %d funcs optimized, %d sites + %d v-table entries patched, %d stack-live copied, GC freed %d bytes@."
+      "%s -> C%d: %d funcs optimized, %d sites + %d v-table entries patched, %d frames migrated, GC freed %d bytes@."
       label s.Ocolos.version s.Ocolos.funcs_optimized s.Ocolos.call_sites_patched
-      s.Ocolos.vtable_entries_patched s.Ocolos.copied_funcs s.Ocolos.gc_bytes_freed;
+      s.Ocolos.vtable_entries_patched s.Ocolos.frames_migrated s.Ocolos.gc_bytes_freed;
     s
   in
   let code_bytes () = proc.Proc.mem.Ocolos_proc.Addr_space.code_bytes in

@@ -22,6 +22,14 @@ type config = {
   max_hot_funcs : int option;
   peephole : bool;
   exclude : int list; (* fids never optimized (supervisor quarantine) *)
+  exact_frame_maps : bool;
+      (* instruction-granular OSR maps; off = block boundaries only, so
+         every mid-block pointer migrates through a compensation stub *)
+  lite : bool;
+      (* true: emit only profiled-hot functions (the rest keep their old
+         text, as in BOLT -lite). false: also re-emit every cold and
+         never-executed function, so the new image is complete and the
+         whole old text can be retired (-use-old-text=false analog) *)
 }
 
 let default_config =
@@ -31,7 +39,9 @@ let default_config =
     hot_threshold = 8;
     max_hot_funcs = None;
     peephole = true;
-    exclude = [] }
+    exclude = [];
+    exact_frame_maps = true;
+    lite = true }
 
 type result = {
   merged : Binary.t; (* original + optimized sections: the BOLTed binary *)
@@ -43,6 +53,7 @@ type result = {
   skipped : int; (* functions whose reconstruction was refused *)
   failed : (int * string) list; (* (fid, fault point) degraded per-function *)
   bolt_base : int;
+  frame_maps : (int * Frame_map.t) list; (* fid -> OSR map into new_text *)
 }
 
 let align_up n a = (n + a - 1) / a * a
@@ -89,18 +100,25 @@ let partition_profile (binary : Binary.t) (profile : Profile.t) =
   (branches, ranges)
 
 let select_hot_funcs config (binary : Binary.t) (profile : Profile.t) =
-  let hot =
+  let eligible =
     Array.to_list binary.Binary.symbols
     |> List.filter_map (fun s ->
            let fid = s.Binary.fs_fid in
-           let records = Profile.func_records profile fid in
-           if records >= config.hot_threshold && not (List.mem fid config.exclude) then
-             Some (fid, records)
-           else None)
+           if List.mem fid config.exclude then None
+           else Some (fid, Profile.func_records profile fid))
+  in
+  let hot =
+    List.filter (fun (_, records) -> records >= config.hot_threshold) eligible
     |> List.sort (fun (_, a) (_, b) -> compare b a)
   in
   let hot = match config.max_hot_funcs with None -> hot | Some n -> List.filteri (fun i _ -> i < n) hot in
-  List.map fst hot
+  let hot = List.map fst hot in
+  if config.lite then hot
+  else
+    (* Non-lite: the emission must be complete, so cold and never-executed
+       functions ride along after the hot set, in original order. *)
+    hot
+    @ (List.map fst eligible |> List.filter (fun fid -> not (List.mem fid hot)))
 
 module Trace = Ocolos_obs.Trace
 module Events = Ocolos_obs.Events
@@ -292,6 +310,60 @@ let run ?(config = default_config) ?extern_entry ?fault ~(binary : Binary.t)
         (binary.Binary.symbols.(fid).Binary.fs_entry, Hashtbl.find emitted.Emit.func_entry fid))
       hot_fids
   in
+  (* Frame maps: per hot function, old-version PC -> new-version PC, built
+     from the block-reorder pass's address mapping ([rc_block_addr] x
+     [emitted.block_addr]) plus instruction-granular tracking over the raw
+     old code and the emitted code. This is what makes the old text
+     immediately collectable: live frames migrate through it instead of
+     draining. *)
+  let frame_maps =
+    logged_pass "frame_map" @@ fun () ->
+    Trace.span "bolt.frame_map" @@ fun sp ->
+    let per_bid : (int * int, (int * Instr.t) list) Hashtbl.t = Hashtbl.create 256 in
+    Array.iter
+      (fun addr ->
+        match Hashtbl.find_opt new_text.Binary.debug addr with
+        | Some key ->
+          let l = Option.value ~default:[] (Hashtbl.find_opt per_bid key) in
+          Hashtbl.replace per_bid key ((addr, Hashtbl.find new_text.Binary.code addr) :: l)
+        | None -> ())
+      new_text.Binary.code_order;
+    let trackers =
+      if config.exact_frame_maps then Frame_map.default_trackers
+      else [ Frame_map.block_boundary_tracker ]
+    in
+    let maps =
+      List.filter_map
+        (fun (fid, rc) ->
+          match Hashtbl.find_opt emitted.Emit.func_entry fid with
+          | None -> None
+          | Some new_entry ->
+            let blocks =
+              Array.of_list
+                (List.filter_map
+                   (fun bid ->
+                     match Hashtbl.find_opt emitted.Emit.block_addr (fid, bid) with
+                     | Some ns ->
+                       Some (bid, rc.Cfg.rc_block_addr.(bid), rc.Cfg.rc_block_end.(bid), ns)
+                     | None -> None)
+                   (List.init (Array.length rc.Cfg.rc_block_addr) (fun i -> i)))
+            in
+            let fm =
+              Frame_map.build ~trackers ~fid
+                ~old_entry:binary.Binary.symbols.(fid).Binary.fs_entry ~new_entry ~blocks
+                ~read_old:(fun a -> Binary.find_instr binary a)
+                ~new_instrs:(fun bid ->
+                  Array.of_list
+                    (List.rev (Option.value ~default:[] (Hashtbl.find_opt per_bid (fid, bid)))))
+                ()
+            in
+            Some (fid, fm))
+        reconstructed
+    in
+    Trace.set_attr sp "exact_points"
+      (Trace.I (List.fold_left (fun acc (_, fm) -> acc + Frame_map.exact_points fm) 0 maps));
+    maps
+  in
   let translate = Hashtbl.create 64 in
   List.iter (fun (o, n) -> Hashtbl.replace translate o n) translation;
   let tr addr = match Hashtbl.find_opt translate addr with Some n -> n | None -> addr in
@@ -364,4 +436,5 @@ let run ?(config = default_config) ?extern_entry ?fault ~(binary : Binary.t)
     work_instrs = !work_instrs;
     skipped = !skipped;
     failed;
-    bolt_base }
+    bolt_base;
+    frame_maps }

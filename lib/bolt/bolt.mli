@@ -18,6 +18,17 @@ type config = {
   peephole : bool;
   exclude : int list;
       (** fids never selected for optimization (supervisor quarantine) *)
+  exact_frame_maps : bool;
+      (** emit instruction-granular OSR frame maps (the default); when
+          false only block boundaries are mapped, so every mid-block
+          pointer migrates through a compensation stub *)
+  lite : bool;
+      (** true (the default, as in BOLT [-lite]): only profiled-hot
+          functions are re-emitted and the rest keep their old text.
+          False is the [-use-old-text=false] analog: cold and
+          never-executed functions are re-emitted verbatim after the hot
+          set, making the new image complete — required for a campaign to
+          retire the entire original text. *)
 }
 
 val default_config : config
@@ -38,6 +49,9 @@ type result = {
           fault — excluded from (cfg) or left unoptimized by (bb_reorder,
           peephole) this run; feeds the supervisor's quarantine *)
   bolt_base : int;
+  frame_maps : (int * Frame_map.t) list;
+      (** per optimized function, the OSR map from its old code version
+          into [new_text] (see {!Frame_map}) *)
 }
 
 val align_up : int -> int -> int

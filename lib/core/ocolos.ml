@@ -2,22 +2,23 @@
 
    The paper's pipeline (Fig. 4a): (1) profile the target with LBR sampling,
    (2) run BOLT in the background to produce optimized code C1, then pause
-   the target, (3) inject C1 into the address space at fresh addresses while
-   leaving C0 intact (design principle #1: preserve C0 instruction
-   addresses), (4) update a judicious subset of code pointers — v-table
-   entries and direct calls inside stack-live functions — so that C1 runs in
-   the common case (design principle #2), and (5) resume. Function pointers
-   are pinned to C0 forever via the wrapFuncPtrCreation hook, which is what
-   makes continuous optimization's garbage collection of old code versions
-   safe (Section IV-C2).
+   the target, (3) inject C1 into the address space at fresh addresses,
+   (4) update code pointers so C1 runs, and (5) resume.
 
-   Continuous optimization (C_i -> C_{i+1}) re-profiles the running process,
-   BOLTs the current code, and replaces it: stack-live C_i functions are
-   copied verbatim (with address rebasing) so that return addresses and PCs
-   can be redirected, every other reference is forced over to C_{i+1} or
-   back to C0, and the now-unreachable C_i region is unmapped. The paper
-   could not evaluate this mode because LLVM-BOLT refuses BOLTed inputs; our
-   BOLT substrate has no such limitation, so it is fully implemented. *)
+   Continuous optimization (C_i -> C_{i+1}) goes further than the paper's
+   prototype: instead of evacuating stack-live C_i functions by verbatim
+   copy and pinning function pointers to a forever-resident C0, it performs
+   genuine on-stack replacement. BOLT emits, alongside each optimized
+   function, a per-function frame map (old PC -> new PC, see
+   {!Ocolos_bolt.Frame_map}); the stop-the-world phase rewrites every live
+   frame's return address, every saved callee entry and every paused
+   thread's PC directly into C_{i+1} through that map, builds a short
+   compensation stub when a PC lands mid-block between exact map points,
+   and falls back to a verbatim evacuation copy only when no map covers the
+   address at all. The old text — including C0's [bolt.org.text], even for
+   never-returning entry functions — is then unmapped immediately, so after
+   convergence exactly one code version is resident (plus transient stub /
+   copy residue that a reachability-proven GC reaps as frames drain). *)
 
 open Ocolos_isa
 open Ocolos_binary
@@ -47,14 +48,26 @@ type replacement_stats = {
   vtable_entries_patched : int;
   call_sites_patched : int;
   stack_live_funcs : int;
-  copied_funcs : int; (* stack-live C_i functions copied for GC *)
+  frames_migrated : int; (* live frames / PCs rewritten into C_{i+1} *)
+  osr_stubs : int; (* compensation stubs generated for mid-block PCs *)
+  copied_funcs : int; (* copy-fallback evacuations (no usable frame map) *)
   funcs_optimized : int;
   code_bytes_injected : int;
   gc_bytes_freed : int;
   pause_seconds : float;
 }
 
-type copy = { cp_fid : int; cp_ranges : (int * int) list (* [start, end) *) }
+(* Transient code left behind by one OSR round: compensation stubs and
+   copy-fallback evacuations. Each is tagged with the round that created
+   it; the round's inherited jump-table words (below) drain with it. *)
+type residue_kind = Stub | Copy
+
+type residue = {
+  rs_fid : int;
+  rs_kind : residue_kind;
+  rs_round : int;
+  rs_ranges : (int * int) list; (* [start, end) *)
+}
 
 type t = {
   proc : Proc.t;
@@ -64,13 +77,26 @@ type t = {
   c0_ranges : (int, (int * int) list) Hashtbl.t;
   offline_sites : (int * int * int) array; (* (site addr, owner fid, callee fid) *)
   vtable_slots : (int * int * int) array; (* (vid, slot, fid) *)
-  to_c0 : (int, int) Hashtbl.t; (* entry address of any version -> C0 entry *)
+  entry_fid_any : (int, int) Hashtbl.t;
+      (* entry address of any version ever live -> fid; the
+         wrapFuncPtrCreation hook resolves through this to the *current*
+         entry, so function pointers always denote the live version *)
   mutable version : int;
   mutable current : Binary.t; (* live symbol/code view, for perf2bolt & BOLT *)
   mutable current_entry : (int, int) Hashtbl.t; (* fid -> live entry *)
-  mutable live_text : (int * int) option; (* [start, end) of C_version text *)
-  mutable live_text_addrs : int array; (* instruction addresses of C_version *)
-  mutable copies : copy list;
+  resident : (int, (int * int) list) Hashtbl.t;
+      (* fid -> code ranges of its current (single) resident version *)
+  mutable residue : residue list;
+  mutable inherited : (int * int list) list;
+      (* (round, word addrs): jump-table words of a retired version that the
+         round's residue still dispatches through; reaped when the round's
+         residue drains *)
+  mutable rounds : int; (* monotone OSR round counter (never rolled back) *)
+  init_addrs : (int, unit) Hashtbl.t;
+      (* every initialized data word OCOLOS tracks (for snapshot word-value
+         capture and inherited-word classification) *)
+  table_addrs : (int, unit) Hashtbl.t;
+      (* subset of init_addrs whose registered value was a code address *)
   mutable session : Perf.session option;
 }
 
@@ -111,6 +137,14 @@ let attach ?(config = default_config) (proc : Proc.t) =
     |> Array.of_list
   in
   let current_entry = Hashtbl.copy c0_entry in
+  let resident = Hashtbl.create 256 in
+  Hashtbl.iter (fun fid ranges -> Hashtbl.replace resident fid ranges) c0_ranges;
+  let init_addrs = Hashtbl.create 256 and table_addrs = Hashtbl.create 64 in
+  List.iter
+    (fun (a, v) ->
+      Hashtbl.replace init_addrs a ();
+      if Hashtbl.mem original.Binary.code v then Hashtbl.replace table_addrs a ())
+    original.Binary.global_init;
   let t =
     { proc;
       original;
@@ -119,18 +153,29 @@ let attach ?(config = default_config) (proc : Proc.t) =
       c0_ranges;
       offline_sites;
       vtable_slots;
-      to_c0 = Hashtbl.create 256;
+      entry_fid_any = entry_fid;
       version = 0;
       current = original;
       current_entry;
-      live_text = None;
-      live_text_addrs = [||];
-      copies = [];
+      resident;
+      residue = [];
+      inherited = [];
+      rounds = 0;
+      init_addrs;
+      table_addrs;
       session = None }
   in
-  (* The wrapFuncPtrCreation hook: function pointers always refer to C0. *)
+  (* The wrapFuncPtrCreation hook: a created function pointer always
+     denotes the current version of its function, so no pointer is ever
+     pinned to a retired version's text. Stored pointer values created
+     before a replacement are migrated by the replacement's data scan. *)
   proc.Proc.hooks.translate_fp <-
-    Some (fun addr -> match Hashtbl.find_opt t.to_c0 addr with Some c0 -> c0 | None -> addr);
+    Some
+      (fun addr ->
+        match Hashtbl.find_opt t.entry_fid_any addr with
+        | Some fid -> (
+          match Hashtbl.find_opt t.current_entry fid with Some e -> e | None -> addr)
+        | None -> addr);
   t
 
 (* ---- profiling ---- *)
@@ -173,10 +218,30 @@ let run_bolt ?(tier : tier = `Full) ?(exclude = []) t profile =
     | `Func_reorder_only ->
       { base with Bolt.reorder_blocks = false; split_functions = false; peephole = false }
   in
-  let extern_entry fid = Hashtbl.find_opt t.c0_entry fid in
-  let result =
-    Bolt.run ~config ~binary:t.current ~extern_entry ?fault:t.config.fault ~profile ()
+  (* Calls to non-optimized functions resolve to their current entries:
+     with true OSR there is no pinned C0 to fall back to. *)
+  let extern_entry fid = Hashtbl.find_opt t.current_entry fid in
+  (* BOLT places the optimized text above the binary's sections, but the
+     live process maps more than the binary describes (thread-local blocks,
+     the heap, residue). A zero-size hull marker at the top of everything
+     mapped keeps the emission from landing on live data. *)
+  let binary =
+    let mem = t.proc.Proc.mem in
+    let data_top =
+      Ocolos_util.Itbl.fold (fun a _ acc -> max a acc) mem.Addr_space.data (-1)
+    in
+    let code_top =
+      Hashtbl.fold (fun a i acc -> max acc (a + Instr.size i)) mem.Addr_space.code 0
+    in
+    let hull = max (max (data_top + 1) code_top) mem.Addr_space.next_map_base in
+    if hull <= Bolt.sections_end t.current then t.current
+    else
+      { t.current with
+        Binary.sections =
+          t.current.Binary.sections
+          @ [ { Binary.sec_name = "mem.hull"; sec_base = hull; sec_size = 0 } ] }
   in
+  let result = Bolt.run ~config ~binary ~extern_entry ?fault:t.config.fault ~profile () in
   let seconds = Cost.bolt_seconds t.config.cost ~work_instrs:result.Bolt.work_instrs in
   (result, seconds)
 
@@ -184,8 +249,10 @@ let run_bolt ?(tier : tier = `Full) ?(exclude = []) t profile =
 
 (* Every named fault-injection point in [replace_code], in the order the
    stop-the-world phase reaches them. Points inside loops are hit once per
-   iteration, so an [Nth] schedule can fire mid-mutation; the gc_* points,
-   [thread_patch] and [verify] are reachable only in continuous rounds.
+   iteration, so an [Nth] schedule can fire mid-mutation; the OSR points
+   ([osr_frame] once per paused thread, [osr_map] once per doomed pointer
+   resolution, [osr_stub] once per compensation-stub build) and the gc_*
+   and [verify] points are reachable only in rounds that retire text.
    [proc.pause_timeout] models a thread that cannot reach a safe pause
    point within the deadline; [mem.exhausted] an address space with no room
    for the incoming text — both abort the transaction like any other
@@ -200,8 +267,9 @@ let injection_points =
     "fp_pin";
     "vtable_patch";
     "call_patch";
-    "gc_copy";
-    "thread_patch";
+    "osr_frame";
+    "osr_map";
+    "osr_stub";
     "gc_unmap";
     "gc_reap";
     "verify";
@@ -270,145 +338,597 @@ let stack_live_fids t =
     (live_frames_and_pcs t);
   fids
 
-(* Copy a stack-live C_i function to a fresh region, rebasing intra-function
-   targets and redirecting cross-function targets out of the doomed region.
-   Returns the copy descriptor and an address-translation table for frames. *)
-let copy_stack_live_func t ~doomed ~old_entry_fid ~desired_entry fid =
-  let ranges =
-    (* This fid's code ranges inside the doomed region. *)
-    let sym = t.current.Binary.symbols.(fid) in
-    List.filter_map
-      (fun (r : Binary.range) ->
-        if in_range doomed r.Binary.r_start then Some (r.Binary.r_start, r.Binary.r_start + r.Binary.r_size)
-        else None)
-      sym.Binary.fs_ranges
+(* ---- resident-footprint accounting ---- *)
+
+let residue_bytes t =
+  List.fold_left
+    (fun acc r -> acc + List.fold_left (fun a (s, e) -> a + (e - s)) 0 r.rs_ranges)
+    0 t.residue
+
+let inherited_words t =
+  List.fold_left (fun acc (_, addrs) -> acc + List.length addrs) 0 t.inherited
+
+(* Transient bytes beyond the single resident version: stub/copy residue
+   plus inherited jump-table words (8 bytes each). Reaches 0 after
+   convergence, once every migrated frame has drained. *)
+let resident_extra_bytes t = residue_bytes t + (8 * inherited_words t)
+
+(* Bytes of the original [.text] (C0 / [bolt.org.text]) still mapped. True
+   OSR drives this to 0 once every function has been re-emitted. *)
+let c0_text_resident_bytes t =
+  match Binary.section_named t.original ".text" with
+  | None -> 0
+  | Some s ->
+    let mem = t.proc.Proc.mem in
+    let e = s.Binary.sec_base + s.Binary.sec_size in
+    let bytes = ref 0 and addr = ref s.Binary.sec_base in
+    while !addr < e do
+      match Addr_space.read_code mem !addr with
+      | Some i ->
+        bytes := !bytes + Instr.size i;
+        addr := !addr + Instr.size i
+      | None -> incr addr
+    done;
+    !bytes
+
+let inherited_mem t a = List.exists (fun (_, addrs) -> List.mem a addrs) t.inherited
+
+(* ---- the OSR engine ----
+
+   One migration context per round. [ox_doomed] is the text being retired
+   this round (every resident range of every re-emitted function — which in
+   round 1 includes their C0 ranges, retiring [bolt.org.text]); frames, PCs
+   and scratch registers pointing into it are rewritten through the frame
+   maps, via compensation stubs, or — last resort — into verbatim copies.
+   [ox_cut] injects the round's fault points; {!revert} passes a no-op so
+   the emergency brake cannot itself fault. *)
+type osr_ctx = {
+  ox_doomed : (int * int) array; (* sorted, disjoint *)
+  ox_fms : (int, Frame_map.t) Hashtbl.t;
+  ox_old_entry_fid : (int, int) Hashtbl.t; (* doomed entry -> fid *)
+  ox_desired : int -> int; (* fid -> entry it should resolve to now *)
+  ox_stubs : (int, int) Hashtbl.t; (* old pc -> stub entry *)
+  mutable ox_residue : residue list;
+  ox_addr_map : (int, int) Hashtbl.t; (* old addr -> copy/stub addr *)
+  ox_copied : (int, unit) Hashtbl.t; (* fids already copy-evacuated *)
+  mutable ox_stub_count : int;
+  mutable ox_copy_count : int;
+  ox_round : int;
+  ox_cut : string -> unit;
+}
+
+let in_doomed ctx addr =
+  let d = ctx.ox_doomed in
+  let lo = ref 0 and hi = ref (Array.length d - 1) and found = ref false in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let s, e = d.(mid) in
+    if addr < s then hi := mid - 1
+    else if addr >= e then lo := mid + 1
+    else begin
+      found := true;
+      lo := !hi + 1
+    end
+  done;
+  !found
+
+let make_osr_ctx t ~doomed ~fms ~desired ~round ~cut_fn =
+  let arr = Array.of_list doomed in
+  Array.sort compare arr;
+  let fm_tbl = Hashtbl.create 64 in
+  List.iter (fun (fid, fm) -> Hashtbl.replace fm_tbl fid fm) fms;
+  let ctx =
+    { ox_doomed = arr;
+      ox_fms = fm_tbl;
+      ox_old_entry_fid = Hashtbl.create 64;
+      ox_desired = desired;
+      ox_stubs = Hashtbl.create 16;
+      ox_residue = [];
+      ox_addr_map = Hashtbl.create 256;
+      ox_copied = Hashtbl.create 16;
+      ox_stub_count = 0;
+      ox_copy_count = 0;
+      ox_round = round;
+      ox_cut = cut_fn }
   in
-  let total = List.fold_left (fun acc (s, e) -> acc + (e - s)) 0 ranges in
-  let base = Addr_space.reserve_code t.proc.Proc.mem (total + 16) in
-  (* Lay the ranges consecutively at the new base. *)
-  let offsets =
-    let cursor = ref base in
-    List.map
-      (fun (s, e) ->
-        let o = (s, e, !cursor - s) in
-        cursor := !cursor + (e - s);
-        o)
-      ranges
-  in
-  let remap addr =
-    let rec go = function
-      | [] -> None
-      | (s, e, delta) :: rest -> if addr >= s && addr < e then Some (addr + delta) else go rest
+  Hashtbl.iter
+    (fun entry fid -> if in_doomed ctx entry then Hashtbl.replace ctx.ox_old_entry_fid entry fid)
+    t.entry_fid_any;
+  ctx
+
+(* Last-resort migration: evacuate the function's doomed ranges by verbatim
+   copy, rebasing intra-function targets and redirecting cross-function
+   entry references out of the doomed region. Idempotent per fid; the copy
+   is registered as round residue and its address map merged into the
+   context so subsequent resolutions land in it. *)
+let copy_fallback t ctx fid =
+  if not (Hashtbl.mem ctx.ox_copied fid) then begin
+    Hashtbl.replace ctx.ox_copied fid ();
+    let mem = t.proc.Proc.mem in
+    let ranges =
+      List.filter
+        (fun (s, _) -> in_doomed ctx s)
+        (Option.value ~default:[] (Hashtbl.find_opt t.resident fid))
     in
-    go offsets
-  in
-  let addr_map = Hashtbl.create 64 in
-  let new_ranges = List.map (fun (s, e, delta) -> (s + delta, e + delta)) offsets in
-  List.iter
-    (fun (s, e) ->
-      let addr = ref s in
-      while !addr < e do
-        match Addr_space.read_code t.proc.Proc.mem !addr with
-        | None -> incr addr (* padding *)
-        | Some instr ->
-          let instr' =
-            match Instr.static_target instr with
-            | None -> instr
-            | Some target -> (
-              match remap target with
-              | Some t' -> Instr.with_target instr t'
-              | None ->
-                if in_range doomed target then
-                  (* A reference into another doomed function: only entries
-                     are valid cross-function targets; send it to the
-                     incoming version (or C0). *)
-                  match Hashtbl.find_opt old_entry_fid target with
-                  | Some callee -> Instr.with_target instr (desired_entry callee)
-                  | None -> instr
-                else instr)
-          in
-          let dst = match remap !addr with Some d -> d | None -> assert false in
-          Addr_space.write_code t.proc.Proc.mem dst instr';
-          Hashtbl.replace addr_map !addr dst;
-          addr := !addr + Instr.size instr
-      done)
-    ranges;
-  Addr_space.add_sym_ranges t.proc.Proc.mem
-    (List.map (fun (s, e) -> { Addr_space.sr_start = s; sr_end = e; sr_fid = fid }) new_ranges);
-  ({ cp_fid = fid; cp_ranges = new_ranges }, addr_map)
+    if ranges <> [] then begin
+      let total = List.fold_left (fun acc (s, e) -> acc + (e - s)) 0 ranges in
+      let base = Addr_space.reserve_code mem (total + 16) in
+      let offsets =
+        let cursor = ref base in
+        List.map
+          (fun (s, e) ->
+            let o = (s, e, !cursor - s) in
+            cursor := !cursor + (e - s);
+            o)
+          ranges
+      in
+      let remap addr =
+        List.find_map
+          (fun (s, e, delta) -> if addr >= s && addr < e then Some (addr + delta) else None)
+          offsets
+      in
+      let new_ranges = List.map (fun (s, e, delta) -> (s + delta, e + delta)) offsets in
+      List.iter
+        (fun (s, e) ->
+          let addr = ref s in
+          while !addr < e do
+            match Addr_space.read_code mem !addr with
+            | None -> incr addr (* padding *)
+            | Some instr ->
+              let instr' =
+                match Instr.static_target instr with
+                | None -> instr
+                | Some target -> (
+                  match remap target with
+                  | Some d -> Instr.with_target instr d
+                  | None ->
+                    if in_doomed ctx target then
+                      (* Only entries are valid cross-function targets. *)
+                      match Hashtbl.find_opt ctx.ox_old_entry_fid target with
+                      | Some callee -> Instr.with_target instr (ctx.ox_desired callee)
+                      | None -> instr
+                    else instr)
+              in
+              let dst = match remap !addr with Some d -> d | None -> assert false in
+              Addr_space.write_code mem dst instr';
+              Hashtbl.replace ctx.ox_addr_map !addr dst;
+              addr := !addr + Instr.size instr
+          done)
+        ranges;
+      Addr_space.add_sym_ranges mem
+        (List.map (fun (s, e) -> { Addr_space.sr_start = s; sr_end = e; sr_fid = fid }) new_ranges);
+      ctx.ox_residue <-
+        { rs_fid = fid; rs_kind = Copy; rs_round = ctx.ox_round; rs_ranges = new_ranges }
+        :: ctx.ox_residue;
+      ctx.ox_copy_count <- ctx.ox_copy_count + 1
+    end
+  end
 
-(* Jump-table entries are data words holding block addresses; an evacuated
-   copy keeps dispatching through its version's tables after that version's
-   text is unmapped. Redirect every initialized data word pointing into the
-   doomed region at its evacuated copy, or at the incoming version's entry
-   for cross-function targets. *)
-let patch_jump_table_entries t ~doomed ~addr_map ~old_entry_fid ~desired_entry =
-  let patched = ref 0 in
-  List.iter
-    (fun (a, _) ->
-      let v = Addr_space.read_data t.proc.Proc.mem a in
-      if in_range doomed v then
-        let v' =
-          match Hashtbl.find_opt addr_map v with
-          | Some d -> Some d
-          | None -> Option.map desired_entry (Hashtbl.find_opt old_entry_fid v)
+(* Map a doomed code address without side effects: through the copy/stub
+   address map, the entry map, or a frame map's block map. *)
+let map_doomed_value t ctx v =
+  if not (in_doomed ctx v) then None
+  else
+    (* Entry addresses resolve through the desired-entry map before the
+       copy/stub map: an evacuation copy made for one thread's parked
+       frames must not capture other references to the function — calls
+       from surviving code belong to the live version's entry, or copies
+       chain across rounds and never drain. *)
+    match Hashtbl.find_opt ctx.ox_old_entry_fid v with
+    | Some fid -> Some (ctx.ox_desired fid)
+    | None -> (
+      match Hashtbl.find_opt ctx.ox_addr_map v with
+      | Some d -> Some d
+      | None -> (
+        match Addr_space.fid_of_addr t.proc.Proc.mem v with
+        | None -> None
+        | Some fid -> (
+          match Hashtbl.find_opt ctx.ox_fms fid with
+          | Some fm -> Frame_map.block_new_start fm v
+          | None -> None)))
+
+(* Like {!map_doomed_value}, but evacuates the owning function when no map
+   covers the address (jump-table words and residue targets must never be
+   left pointing at text about to be unmapped). *)
+let map_or_copy t ctx v =
+  match map_doomed_value t ctx v with
+  | Some d -> Some d
+  | None ->
+    if in_doomed ctx v then (
+      match Addr_space.fid_of_addr t.proc.Proc.mem v with
+      | Some fid ->
+        copy_fallback t ctx fid;
+        Hashtbl.find_opt ctx.ox_addr_map v
+      | None -> None)
+    else None
+
+exception Unstubbable
+
+(* The compensation stub for a PC that lands mid-block between exact map
+   points: re-execute the remainder of the old block (static targets
+   relocated out of the doomed region), then jump to the mapped successor
+   block in the new text. The tail of the old block re-establishes
+   block-local state — that is the compensation — and the appended jump
+   hands over at a block boundary, where the frame map is always exact.
+   Returns [None] (caller falls back to a copy) when the old bytes cannot
+   be read, a target cannot be relocated, or the fallthrough block has no
+   mapping. *)
+let build_stub t ctx (fm : Frame_map.t) (site : Frame_map.block_site) addr =
+  match Hashtbl.find_opt ctx.ox_stubs addr with
+  | Some base -> Some base
+  | None -> (
+    ctx.ox_cut "osr_stub";
+    let mem = t.proc.Proc.mem in
+    try
+      let rev_instrs = ref [] in
+      let a = ref addr in
+      while !a < site.Frame_map.bs_old_end do
+        match Addr_space.read_code mem !a with
+        | None -> raise Unstubbable
+        | Some i ->
+          rev_instrs := i :: !rev_instrs;
+          a := !a + Instr.size i
+      done;
+      let reloc i =
+        match Instr.static_target i with
+        | None -> i
+        | Some tgt ->
+          if not (in_doomed ctx tgt) then i
+          else (
+            match Hashtbl.find_opt ctx.ox_old_entry_fid tgt with
+            | Some callee -> Instr.with_target i (ctx.ox_desired callee)
+            | None -> (
+              match Frame_map.block_new_start fm tgt with
+              | Some n -> Instr.with_target i n
+              | None -> raise Unstubbable))
+      in
+      let instrs = List.rev_map reloc !rev_instrs in
+      (match instrs with [] -> raise Unstubbable | _ :: _ -> ());
+      let closed =
+        let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> assert false in
+        match last instrs with
+        (* A trailing conditional branch still needs the fallthrough. *)
+        | Instr.Jump _ | Instr.JumpInd _ | Instr.Ret | Instr.Halt -> instrs
+        | _ -> (
+          match Frame_map.block_new_start fm site.Frame_map.bs_old_end with
+          | Some n -> instrs @ [ Instr.Jump n ]
+          | None -> raise Unstubbable)
+      in
+      let bytes = List.fold_left (fun acc i -> acc + Instr.size i) 0 closed in
+      let base = Addr_space.reserve_code mem (bytes + 8) in
+      let cursor = ref base in
+      List.iter
+        (fun i ->
+          Addr_space.write_code mem !cursor i;
+          cursor := !cursor + Instr.size i)
+        closed;
+      Addr_space.add_sym_ranges mem
+        [ { Addr_space.sr_start = base; sr_end = base + bytes; sr_fid = fm.Frame_map.fm_fid } ];
+      ctx.ox_residue <-
+        { rs_fid = fm.Frame_map.fm_fid;
+          rs_kind = Stub;
+          rs_round = ctx.ox_round;
+          rs_ranges = [ (base, base + bytes) ] }
+        :: ctx.ox_residue;
+      Hashtbl.replace ctx.ox_stubs addr base;
+      ctx.ox_stub_count <- ctx.ox_stub_count + 1;
+      Some base
+    with Unstubbable -> None)
+
+(* Migrate one code pointer held by a thread (PC, return address, saved
+   callee entry, scratch register): exact map hit rewrites in place,
+   mid-block goes through a compensation stub, anything unmapped lands in a
+   copy-fallback evacuation. *)
+let resolve_pointer t ctx addr =
+  if not (in_doomed ctx addr) then addr
+  else begin
+    ctx.ox_cut "osr_map";
+    match Hashtbl.find_opt ctx.ox_addr_map addr with
+    | Some d -> d
+    | None -> (
+      match Hashtbl.find_opt ctx.ox_old_entry_fid addr with
+      | Some fid -> ctx.ox_desired fid
+      | None -> (
+        let via_copy fid =
+          copy_fallback t ctx fid;
+          match Hashtbl.find_opt ctx.ox_addr_map addr with Some d -> d | None -> addr
         in
-        match v' with
-        | Some d when d <> v ->
-          Addr_space.write_data t.proc.Proc.mem a d;
-          incr patched
-        | Some _ | None -> ())
-    t.current.Binary.global_init;
-  !patched
+        match Addr_space.fid_of_addr t.proc.Proc.mem addr with
+        | None -> addr (* untracked; the post-GC verifier will catch it *)
+        | Some fid -> (
+          match Hashtbl.find_opt ctx.ox_fms fid with
+          | None -> via_copy fid
+          | Some fm -> (
+            match Frame_map.resolve fm addr with
+            | Frame_map.Exact n -> n
+            | Frame_map.Mid_block site -> (
+              match build_stub t ctx fm site addr with
+              | Some s -> s
+              | None -> via_copy fid)
+            | Frame_map.Unmapped -> via_copy fid))))
+  end
 
-(* Rewrite return addresses, saved callee entries and thread PCs through an
-   address map (continuous optimization, Section IV-C1). *)
-let patch_thread_code_pointers t addr_map =
+(* Register migration for one paused thread. Two rules:
+   - a register holding a doomed function entry (a function pointer created
+     before the replacement, awaiting its CallInd or Store) is moved to the
+     desired entry;
+   - a scratch register about to be consumed by an indirect transfer
+     (JumpInd/CallInd reached from the PC before the register is
+     redefined — the jump-table and indirect-call dispatch windows) is
+     resolved like a PC.
+   Ordinary integers colliding with a doomed entry are indistinguishable
+   from pointers (same class of risk as the data-word scan); the address
+   ranges involved make collisions vanishingly unlikely in practice. *)
+let migrate_registers t ctx (thread : Ocolos_proc.Thread.t) =
+  let regs = thread.Ocolos_proc.Thread.regs in
+  Array.iteri
+    (fun i v ->
+      match Hashtbl.find_opt ctx.ox_old_entry_fid v with
+      | Some fid -> regs.(i) <- ctx.ox_desired fid
+      | None -> ())
+    regs;
+  let written = Array.make (Array.length regs) false in
+  let mem = t.proc.Proc.mem in
+  let pc = ref thread.Ocolos_proc.Thread.pc and stop = ref false in
+  while not !stop do
+    match Addr_space.read_code mem !pc with
+    | None -> stop := true
+    | Some instr ->
+      (match instr with
+      | Instr.JumpInd r | Instr.CallInd r ->
+        if (not written.(r)) && in_doomed ctx regs.(r) then
+          regs.(r) <- resolve_pointer t ctx regs.(r)
+      | _ -> ());
+      (match instr with
+      | Instr.Alu (_, d, _, _)
+      | Instr.Alui (_, d, _, _)
+      | Instr.Movi (d, _)
+      | Instr.Load (d, _, _)
+      | Instr.FpCreate (d, _)
+      | Instr.VtLoad (d, _, _)
+      | Instr.Rand (d, _) -> written.(d) <- true
+      | _ -> ());
+      if Instr.is_control_flow instr || instr = Instr.Halt then stop := true
+      else pc := !pc + Instr.size instr
+  done
+
+(* On-stack replacement proper: rewrite every running thread's PC, frame
+   return addresses and saved callee entries into the surviving text.
+   Returns the number of frames/PCs rewritten. *)
+let migrate_threads t ctx =
+  let migrated = ref 0 in
   Array.iter
     (fun (thread : Ocolos_proc.Thread.t) ->
-      (match Hashtbl.find_opt addr_map thread.Ocolos_proc.Thread.pc with
-      | Some pc' -> thread.Ocolos_proc.Thread.pc <- pc'
-      | None -> ());
+      if Ocolos_proc.Thread.is_running thread then begin
+        ctx.ox_cut "osr_frame";
+        migrate_registers t ctx thread;
+        let pc' = resolve_pointer t ctx thread.Ocolos_proc.Thread.pc in
+        if pc' <> thread.Ocolos_proc.Thread.pc then begin
+          thread.Ocolos_proc.Thread.pc <- pc';
+          incr migrated
+        end;
+        List.iter
+          (fun (frame : Ocolos_proc.Thread.frame) ->
+            let touched = ref false in
+            let r' = resolve_pointer t ctx frame.Ocolos_proc.Thread.ret_addr in
+            if r' <> frame.Ocolos_proc.Thread.ret_addr then begin
+              frame.Ocolos_proc.Thread.ret_addr <- r';
+              touched := true
+            end;
+            let c' = resolve_pointer t ctx frame.Ocolos_proc.Thread.callee_entry in
+            if c' <> frame.Ocolos_proc.Thread.callee_entry then begin
+              frame.Ocolos_proc.Thread.callee_entry <- c';
+              touched := true
+            end;
+            if !touched then incr migrated)
+          (Ocolos_proc.Thread.live_frames thread)
+      end)
+    t.proc.Proc.threads;
+  !migrated
+
+(* Sweep the whole surviving code map for static targets into the doomed
+   region and redirect them. Covers prior rounds' residue (whose calls were
+   resolved to the retiring version's entries when built), C0/any-version
+   call sites the offline table missed, and FpCreate sites whose static
+   operand names a retiring entry. *)
+let redirect_code_references t ctx =
+  let mem = t.proc.Proc.mem in
+  let sites = ref [] in
+  Hashtbl.iter
+    (fun addr instr ->
+      if not (in_doomed ctx addr) then
+        match Instr.static_target instr with
+        | Some tgt when in_doomed ctx tgt -> sites := (addr, instr, tgt) :: !sites
+        | Some _ | None -> ())
+    mem.Addr_space.code;
+  List.iter
+    (fun (addr, instr, tgt) ->
+      match map_or_copy t ctx tgt with
+      | Some d when d <> tgt -> Addr_space.write_code mem addr (Instr.with_target instr d)
+      | Some _ | None -> ())
+    !sites
+
+(* Scan every initialized data word for values inside the doomed region and
+   rewrite them: jump-table entries, and stored function-pointer values —
+   including ones stashed in TLS at run time, which no init-address walk
+   would find. Words registered as jump-table words of a retiring version
+   are additionally classified as inherited (this round's residue still
+   dispatches through them; they drain with it). A plain integer colliding
+   with a doomed code address would be rewritten too — the same accepted
+   risk class as the original jump-table patching. Returns
+   (words patched, newly inherited word addresses). *)
+let patch_data_words t ctx =
+  let mem = t.proc.Proc.mem in
+  let words =
+    Ocolos_util.Itbl.fold
+      (fun a v acc -> if in_doomed ctx v then (a, v) :: acc else acc)
+      mem.Addr_space.data []
+  in
+  let patched = ref 0 and inherited = ref [] in
+  List.iter
+    (fun (a, v) ->
+      if Hashtbl.mem t.table_addrs a && (not (inherited_mem t a)) && not (List.mem a !inherited)
+      then inherited := a :: !inherited;
+      match map_or_copy t ctx v with
+      | Some d when d <> v ->
+        Addr_space.write_data mem a d;
+        incr patched
+      | Some _ | None -> ())
+    words;
+  (!patched, !inherited)
+
+(* Reap residue (stubs and copies) that no thread can reach anymore —
+   reachability is PCs, return addresses, saved callee entries and register
+   values of running threads (registers conservatively retain: a scratch
+   register may legitimately hold a residue block address mid-dispatch).
+   Inherited jump-table words whose round has fully drained go with it.
+   Returns (bytes freed, reaped code ranges). *)
+let reap_residue t ~cut:cut_fn =
+  let mem = t.proc.Proc.mem in
+  let live =
+    live_frames_and_pcs t
+    @ (Array.to_list t.proc.Proc.threads
+      |> List.concat_map (fun (th : Ocolos_proc.Thread.t) ->
+             if Ocolos_proc.Thread.is_running th then
+               Array.to_list th.Ocolos_proc.Thread.regs
+             else []))
+  in
+  let still_needed r =
+    List.exists (fun addr -> List.exists (fun rg -> in_range rg addr) r.rs_ranges) live
+  in
+  let keep, reap = List.partition still_needed t.residue in
+  (* Liveness is transitive: a parked copy may call into another copy (its
+     callee was itself evacuated in a later round), so residue referenced
+     by code that will stay mapped must stay too. Mutually-dead copies may
+     still die together — only references from surviving code promote. *)
+  let keep = ref keep and reap = ref reap in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let in_reap addr =
+      List.exists
+        (fun r -> List.exists (fun rg -> in_range rg addr) r.rs_ranges)
+        !reap
+    in
+    let promoted, dead =
+      List.partition
+        (fun r ->
+          Hashtbl.fold
+            (fun addr instr acc ->
+              acc
+              ||
+              match Instr.static_target instr with
+              | Some tgt ->
+                List.exists (fun rg -> in_range rg tgt) r.rs_ranges && not (in_reap addr)
+              | None -> false)
+            mem.Addr_space.code false)
+        !reap
+    in
+    if promoted <> [] then begin
+      keep := !keep @ promoted;
+      reap := dead;
+      continue_ := true
+    end
+  done;
+  let keep = !keep and reap = !reap in
+  let bytes = ref 0 in
+  List.iter
+    (fun r ->
+      cut_fn "gc_reap";
       List.iter
-        (fun (frame : Ocolos_proc.Thread.frame) ->
-          (match Hashtbl.find_opt addr_map frame.Ocolos_proc.Thread.ret_addr with
-          | Some a -> frame.Ocolos_proc.Thread.ret_addr <- a
-          | None -> ());
-          match Hashtbl.find_opt addr_map frame.Ocolos_proc.Thread.callee_entry with
-          | Some a -> frame.Ocolos_proc.Thread.callee_entry <- a
-          | None -> ())
-        (Ocolos_proc.Thread.live_frames thread))
-    t.proc.Proc.threads
+        (fun (s, e) ->
+          let addr = ref s in
+          while !addr < e do
+            match Addr_space.read_code mem !addr with
+            | Some instr ->
+              bytes := !bytes + Instr.size instr;
+              Addr_space.remove_code mem !addr;
+              addr := !addr + Instr.size instr
+            | None -> incr addr
+          done;
+          Addr_space.remove_sym_ranges mem ~pred:(fun sr ->
+              sr.Addr_space.sr_start >= s && sr.Addr_space.sr_start < e))
+        r.rs_ranges)
+    reap;
+  t.residue <- keep;
+  let rounds_alive = List.map (fun r -> r.rs_round) keep in
+  let keep_inh, reap_inh =
+    List.partition (fun (rnd, _) -> List.mem rnd rounds_alive) t.inherited
+  in
+  List.iter
+    (fun (_, addrs) ->
+      List.iter
+        (fun a ->
+          Addr_space.remove_data mem a;
+          Hashtbl.remove t.init_addrs a;
+          Hashtbl.remove t.table_addrs a;
+          bytes := !bytes + 8)
+        addrs)
+    reap_inh;
+  t.inherited <- keep_inh;
+  (!bytes, List.concat_map (fun r -> r.rs_ranges) reap)
+
+(* On-demand residue GC between replacements (e.g. the daemon's idle tick):
+   as frames drain past their migrated program points, stubs and copies
+   become unreachable without another replacement to notice. Pauses the
+   process around the reachability proof if it isn't already paused.
+   Returns bytes freed. *)
+let gc_residue t =
+  let was_paused = t.proc.Proc.paused in
+  if not was_paused then Proc.pause t.proc;
+  let bytes, _ = reap_residue t ~cut:(fun _ -> ()) in
+  if not was_paused then Proc.resume t.proc;
+  if bytes > 0 then Metrics.count "ocolos_gc_bytes_freed_total" bytes;
+  bytes
 
 exception Dangling_pointer of string
 
 (* Safety check after GC: no reachable code pointer may reference freed
-   code. Scans v-tables, thread PCs, return addresses and patched call
-   sites. *)
+   code. Scans v-tables, thread PCs/frames, patched call sites, every code
+   address the execution engines hold (cached blocks, chain links, inline
+   caches, per-thread resume memos) and — because true OSR retires whole
+   versions — every static target in the surviving code map. With
+   [freed = []] the scan runs in global mode: every scanned pointer must be
+   mapped, the CI smoke test's whole-process audit. *)
 let verify_no_dangling t ~freed =
+  let mem = t.proc.Proc.mem in
+  let suspect addr =
+    match freed with [] -> true | l -> List.exists (fun r -> in_range r addr) l
+  in
   let check what addr =
-    if in_range freed addr && Addr_space.read_code t.proc.Proc.mem addr = None then
+    if suspect addr && Addr_space.read_code mem addr = None then
       raise (Dangling_pointer (Fmt.str "%s references freed code at 0x%x" what addr))
   in
   Array.iter
     (fun (vid, slot, _) ->
       check (Fmt.str "vtable %d slot %d" vid slot)
-        (Addr_space.read_data t.proc.Proc.mem (Addr_space.vtable_base t.proc.Proc.mem vid + slot)))
+        (Addr_space.read_data mem (Addr_space.vtable_base mem vid + slot)))
     t.vtable_slots;
   List.iter (fun addr -> check "thread stack/pc" addr) (live_frames_and_pcs t);
   Array.iter
     (fun (site, _, _) ->
-      match Addr_space.read_code t.proc.Proc.mem site with
+      match Addr_space.read_code mem site with
       | Some (Instr.Call target) -> check (Fmt.str "call site 0x%x" site) target
       | Some _ | None -> ())
-    t.offline_sites
+    t.offline_sites;
+  List.iter
+    (fun (label, addr) -> check (Fmt.str "engine %s" label) addr)
+    (Proc.engine_code_pointers t.proc);
+  Hashtbl.iter
+    (fun addr instr ->
+      match Instr.static_target instr with
+      | Some target -> check (Fmt.str "instr at 0x%x" addr) target
+      | None -> ())
+    mem.Addr_space.code
 
-(* Rebuild the live binary view after a replacement: code is snapshotted
-   from the process, symbols point at the newest version (falling back to
-   C0), sections gain the injected text so the next BOLT round allocates
-   above it. *)
-let refresh_current t (new_text : Binary.t) =
-  let code = Hashtbl.copy t.proc.Proc.mem.Addr_space.code in
+(* Rebuild the live binary view: code is snapshotted from the process,
+   each function's ranges are its resident version plus any residue it
+   owns, entries come from [current_entry] (update it first), and the
+   extra sections/init keep the next BOLT round allocating above
+   everything mapped. *)
+let refresh_current t ~name_suffix ~extra_sections ~extra_init =
+  let mem = t.proc.Proc.mem in
+  let code = Hashtbl.copy mem.Addr_space.code in
   let code_order =
     let arr = Array.make (Hashtbl.length code) 0 in
     let i = ref 0 in
@@ -420,34 +940,31 @@ let refresh_current t (new_text : Binary.t) =
     Array.sort compare arr;
     arr
   in
-  let new_syms = Hashtbl.create 64 in
-  Array.iter (fun (s : Binary.func_sym) -> Hashtbl.replace new_syms s.Binary.fs_fid s)
-    new_text.Binary.symbols;
-  let copies_by_fid = Hashtbl.create 16 in
+  let residue_by_fid = Hashtbl.create 16 in
   List.iter
-    (fun cp ->
+    (fun r ->
       let ranges =
-        List.map (fun (s, e) -> { Binary.r_start = s; r_size = e - s }) cp.cp_ranges
+        List.map (fun (s, e) -> { Binary.r_start = s; r_size = e - s }) r.rs_ranges
       in
-      Hashtbl.replace copies_by_fid cp.cp_fid
-        (ranges @ Option.value ~default:[] (Hashtbl.find_opt copies_by_fid cp.cp_fid)))
-    t.copies;
+      Hashtbl.replace residue_by_fid r.rs_fid
+        (ranges @ Option.value ~default:[] (Hashtbl.find_opt residue_by_fid r.rs_fid)))
+    t.residue;
   let symbols =
     Array.map
       (fun (s : Binary.func_sym) ->
         let fid = s.Binary.fs_fid in
-        let c0 =
+        let res =
           List.map
             (fun (rs, re) -> { Binary.r_start = rs; r_size = re - rs })
-            (Option.value ~default:[] (Hashtbl.find_opt t.c0_ranges fid))
+            (Option.value ~default:[] (Hashtbl.find_opt t.resident fid))
         in
-        let copies = Option.value ~default:[] (Hashtbl.find_opt copies_by_fid fid) in
-        match Hashtbl.find_opt new_syms fid with
-        | Some ns -> { ns with Binary.fs_ranges = ns.Binary.fs_ranges @ copies @ c0 }
-        | None ->
-          { s with
-            Binary.fs_entry = Hashtbl.find t.c0_entry fid;
-            fs_ranges = copies @ c0 })
+        let extra = Option.value ~default:[] (Hashtbl.find_opt residue_by_fid fid) in
+        { s with
+          Binary.fs_entry =
+            (match Hashtbl.find_opt t.current_entry fid with
+            | Some e -> e
+            | None -> s.Binary.fs_entry);
+          fs_ranges = res @ extra })
       t.original.Binary.symbols
   in
   let sections =
@@ -455,24 +972,34 @@ let refresh_current t (new_text : Binary.t) =
       (fun (s : Binary.section) ->
         if s.Binary.sec_name = ".text" then { s with Binary.sec_name = "bolt.org.text" } else s)
       t.original.Binary.sections
-    @ new_text.Binary.sections
+    @ extra_sections
+  in
+  let entry =
+    match Hashtbl.find_opt t.entry_fid_any t.original.Binary.entry with
+    | Some fid -> (
+      match Hashtbl.find_opt t.current_entry fid with
+      | Some e -> e
+      | None -> t.original.Binary.entry)
+    | None -> t.original.Binary.entry
   in
   t.current <-
     { t.original with
-      Binary.name = Fmt.str "%s.v%d" t.original.Binary.name t.version;
+      Binary.name = t.original.Binary.name ^ name_suffix;
       sections;
       code;
       code_order;
       symbols;
-      global_init = t.original.Binary.global_init @ new_text.Binary.global_init;
-      entry = t.original.Binary.entry }
+      global_init = t.original.Binary.global_init @ extra_init;
+      entry }
 
 (* The stop-the-world phase. Pauses the target, injects C_{i+1}, patches
-   code pointers, garbage-collects C_i (when continuous), resumes. *)
+   code pointers, migrates live frames into the new text (OSR) and unmaps
+   every retired range, resumes. *)
 let replace_code t (result : Bolt.result) : replacement_stats =
   Trace.span "replace.stw" ~attrs:[ ("incoming_version", Trace.I (t.version + 1)) ]
   @@ fun stw_sp ->
   let proc = t.proc in
+  let mem = proc.Proc.mem in
   Proc.pause proc;
   cut t "proc.pause_timeout";
   cut t "pause";
@@ -483,15 +1010,15 @@ let replace_code t (result : Bolt.result) : replacement_stats =
       Array.iter
         (fun addr ->
           cut t "inject_code";
-          Addr_space.write_code proc.Proc.mem addr (Hashtbl.find new_text.Binary.code addr))
+          Addr_space.write_code mem addr (Hashtbl.find new_text.Binary.code addr))
         new_text.Binary.code_order;
       List.iter
         (fun (a, v) ->
           cut t "inject_data";
-          Addr_space.write_data proc.Proc.mem a v)
+          Addr_space.write_data mem a v)
         new_text.Binary.global_init;
       cut t "sym_index";
-      Addr_space.add_sym_ranges proc.Proc.mem
+      Addr_space.add_sym_ranges mem
         (Array.to_list new_text.Binary.symbols
         |> List.concat_map (fun (s : Binary.func_sym) ->
                List.map
@@ -502,10 +1029,12 @@ let replace_code t (result : Bolt.result) : replacement_stats =
                  s.Binary.fs_ranges));
       Trace.set_attr sp "instrs" (Trace.I (Array.length new_text.Binary.code_order)));
   let bytes_injected = Binary.text_bytes new_text in
-  (* Keep the mmap cursor above the injected section. *)
+  (* Keep the mmap cursor above the injected section: stub/copy residue is
+     reserved from it, and BOLT's 1 MiB guard band keeps the next round's
+     emission above the residue in turn. *)
   let new_end = Bolt.sections_end new_text in
-  if proc.Proc.mem.Addr_space.next_map_base < new_end then
-    proc.Proc.mem.Addr_space.next_map_base <- (new_end + 0xFFFF) land lnot 0xFFFF;
+  if mem.Addr_space.next_map_base < new_end then
+    mem.Addr_space.next_map_base <- (new_end + 0xFFFF) land lnot 0xFFFF;
   (* 2. Entry maps. *)
   let new_entries = Hashtbl.create 64 in
   Array.iter
@@ -514,34 +1043,52 @@ let replace_code t (result : Bolt.result) : replacement_stats =
   let desired_entry fid =
     match Hashtbl.find_opt new_entries fid with
     | Some e -> e
-    | None -> Hashtbl.find t.c0_entry fid
+    | None -> (
+      match Hashtbl.find_opt t.current_entry fid with
+      | Some e -> e
+      | None -> Hashtbl.find t.c0_entry fid)
   in
-  (* Function pointers must keep referring to C0: register the new entries
-     in the translation map consulted by wrapFuncPtrCreation. *)
+  (* Register the new entries with the wrapFuncPtrCreation hook's entry
+     index: pointers created from now on resolve to the live version. *)
   Trace.span "replace.fp_pin" (fun _ ->
       Hashtbl.iter
         (fun fid entry ->
           cut t "fp_pin";
-          Hashtbl.replace t.to_c0 entry (Hashtbl.find t.c0_entry fid))
+          Hashtbl.replace t.entry_fid_any entry fid)
         new_entries);
-  (* 3. Patch v-tables. *)
+  (* 3. Patch v-tables (before the data scan, so slots are never seen as
+     doomed values). *)
   let vt_patched = ref 0 in
   Trace.span "replace.vtable_patch" (fun sp ->
       Array.iter
         (fun (vid, slot, fid) ->
           cut t "vtable_patch";
-          let addr = Addr_space.vtable_base proc.Proc.mem vid + slot in
-          let cur = Addr_space.read_data proc.Proc.mem addr in
+          let addr = Addr_space.vtable_base mem vid + slot in
+          let cur = Addr_space.read_data mem addr in
           let want = desired_entry fid in
           if cur <> want then begin
-            Addr_space.write_data proc.Proc.mem addr want;
+            Addr_space.write_data mem addr want;
             incr vt_patched
           end)
         t.vtable_slots;
       Trace.set_attr sp "patched" (Trace.I !vt_patched));
-  (* 4. Patch direct calls in stack-live C0 functions (or all, under the
-     ablation flag). In continuous rounds, any C0 site still targeting the
-     doomed C_i region must also be redirected so that GC is safe. *)
+  (* The doomed text: every resident range of every re-emitted function —
+     in each function's first optimization round that is its C0 range, so
+     [bolt.org.text] retires piecewise as coverage grows. *)
+  let doomed_list =
+    Hashtbl.fold
+      (fun fid _ acc ->
+        match Hashtbl.find_opt t.resident fid with Some ranges -> ranges @ acc | None -> acc)
+      new_entries []
+  in
+  t.rounds <- t.rounds + 1;
+  let ctx =
+    make_osr_ctx t ~doomed:doomed_list ~fms:result.Bolt.frame_maps ~desired:desired_entry
+      ~round:t.rounds
+      ~cut_fn:(fun p -> cut t p)
+  in
+  (* 4. Patch direct calls in stack-live functions (or all, under the
+     ablation flag), plus any site still targeting the doomed text. *)
   let live = stack_live_fids t in
   let sites_patched = ref 0 in
   Trace.span "replace.call_patch" (fun sp ->
@@ -549,150 +1096,88 @@ let replace_code t (result : Bolt.result) : replacement_stats =
         (fun (site, owner, callee) ->
           cut t "call_patch";
           let cur_target =
-            match Addr_space.read_code proc.Proc.mem site with
+            match Addr_space.read_code mem site with
             | Some (Instr.Call cur) -> Some cur
             | Some _ | None -> None
           in
           let target_doomed =
-            match (cur_target, t.live_text) with
-            | Some cur, Some doomed -> in_range doomed cur
-            | _, _ -> false
+            match cur_target with Some cur -> in_doomed ctx cur | None -> false
           in
           if t.config.patch_all_direct_calls || Hashtbl.mem live owner || target_doomed then begin
             let want = desired_entry callee in
             match cur_target with
             | Some cur when cur <> want ->
-              Addr_space.write_code proc.Proc.mem site (Instr.Call want);
+              Addr_space.write_code mem site (Instr.Call want);
               incr sites_patched
             | Some _ | None -> ()
           end)
         t.offline_sites;
       Trace.set_attr sp "stack_live_funcs" (Trace.I (Hashtbl.length live));
       Trace.set_attr sp "patched" (Trace.I !sites_patched));
-  (* 5. Continuous optimization: evacuate and GC the previous version. *)
-  let copied = ref 0 and gc_bytes = ref 0 in
-  (match t.live_text with
-  | None -> ()
-  | Some doomed ->
-    Trace.span "replace.gc" @@ fun gc_sp ->
-    let old_entry_fid = Hashtbl.create 64 in
-    Hashtbl.iter
-      (fun fid entry -> if in_range doomed entry then Hashtbl.replace old_entry_fid entry fid)
-      t.current_entry;
-    (* Stack-live functions executing in the doomed region get verbatim
-       copies; frames and PCs are rebased into the copies. *)
-    let doomed_live = Hashtbl.create 16 in
-    List.iter
-      (fun addr ->
-        if in_range doomed addr then
-          match Addr_space.fid_of_addr proc.Proc.mem addr with
-          | Some fid -> Hashtbl.replace doomed_live fid ()
-          | None -> ())
-      (live_frames_and_pcs t);
-    let addr_map = Hashtbl.create 256 in
-    Hashtbl.iter
-      (fun fid () ->
-        cut t "gc_copy";
-        let cp, map = copy_stack_live_func t ~doomed ~old_entry_fid ~desired_entry fid in
-        t.copies <- cp :: t.copies;
-        incr copied;
-        Hashtbl.iter (fun k v -> Hashtbl.replace addr_map k v) map)
-      doomed_live;
-    cut t "thread_patch";
-    patch_thread_code_pointers t addr_map;
-    let tables_patched =
-      patch_jump_table_entries t ~doomed ~addr_map ~old_entry_fid ~desired_entry
-    in
-    Trace.set_attr gc_sp "table_entries_patched" (Trace.I tables_patched);
-    (* Unmap the doomed text. *)
-    Array.iter
-      (fun addr ->
-        match Addr_space.read_code proc.Proc.mem addr with
-        | Some instr ->
-          cut t "gc_unmap";
-          gc_bytes := !gc_bytes + Instr.size instr;
-          Addr_space.remove_code proc.Proc.mem addr
-        | None -> ())
-      t.live_text_addrs;
-    Addr_space.remove_sym_ranges proc.Proc.mem ~pred:(fun r ->
-        in_range doomed r.Addr_space.sr_start);
-    (* Reap copies from earlier rounds that nothing references anymore. *)
-    let referenced = live_frames_and_pcs t in
-    let still_needed cp =
-      List.exists (fun addr -> List.exists (fun r -> in_range r addr) cp.cp_ranges) referenced
-    in
-    let keep, reap = List.partition still_needed t.copies in
-    (* Surviving copies from earlier rounds may still call into the doomed
-       region (their calls were resolved to C_i entries when copied):
-       redirect those to the incoming version. *)
-    List.iter
-      (fun cp ->
+  (* 5. On-stack replacement and GC of the retired text. *)
+  let frames_migrated = ref 0 and gc_bytes = ref 0 in
+  let reaped_ranges = ref [] in
+  if doomed_list <> [] then begin
+    Trace.span "replace.gc" (fun gc_sp ->
+        frames_migrated := migrate_threads t ctx;
+        Proc.notify_threads_migrated proc;
+        redirect_code_references t ctx;
+        let tables_patched, inherited_this = patch_data_words t ctx in
+        Trace.set_attr gc_sp "table_entries_patched" (Trace.I tables_patched);
+        (* Unmap the retired text immediately — no trampolines, no pinned
+           C0. *)
         List.iter
           (fun (s, e) ->
             let addr = ref s in
             while !addr < e do
-              match Addr_space.read_code proc.Proc.mem !addr with
-              | None -> incr addr
+              match Addr_space.read_code mem !addr with
               | Some instr ->
-                (match Instr.static_target instr with
-                | Some target when in_range doomed target -> (
-                  match Hashtbl.find_opt old_entry_fid target with
-                  | Some callee ->
-                    Addr_space.write_code proc.Proc.mem !addr
-                      (Instr.with_target instr (desired_entry callee))
-                  | None -> ())
-                | Some _ | None -> ());
-                addr := !addr + Instr.size instr
-            done)
-          cp.cp_ranges)
-      keep;
-    List.iter
-      (fun cp ->
-        cut t "gc_reap";
-        List.iter
-          (fun (s, e) ->
-            let addr = ref s in
-            while !addr < e do
-              (match Addr_space.read_code proc.Proc.mem !addr with
-              | Some instr ->
+                cut t "gc_unmap";
                 gc_bytes := !gc_bytes + Instr.size instr;
-                Addr_space.remove_code proc.Proc.mem !addr;
+                Addr_space.remove_code mem !addr;
                 addr := !addr + Instr.size instr
-              | None -> incr addr)
-            done;
-            Addr_space.remove_sym_ranges proc.Proc.mem ~pred:(fun r ->
-                r.Addr_space.sr_start >= s && r.Addr_space.sr_start < e))
-          cp.cp_ranges)
-      reap;
-    t.copies <- keep;
+              | None -> incr addr
+            done)
+          doomed_list;
+        Addr_space.remove_sym_ranges mem ~pred:(fun r -> in_doomed ctx r.Addr_space.sr_start);
+        t.residue <- ctx.ox_residue @ t.residue;
+        if inherited_this <> [] then t.inherited <- (ctx.ox_round, inherited_this) :: t.inherited;
+        let reap_bytes, reaped = reap_residue t ~cut:(fun p -> cut t p) in
+        gc_bytes := !gc_bytes + reap_bytes;
+        reaped_ranges := reaped;
+        Trace.set_attr gc_sp "frames_migrated" (Trace.I !frames_migrated);
+        Trace.set_attr gc_sp "osr_stubs" (Trace.I ctx.ox_stub_count);
+        Trace.set_attr gc_sp "copied_funcs" (Trace.I ctx.ox_copy_count);
+        Trace.set_attr gc_sp "bytes_freed" (Trace.I !gc_bytes));
     if t.config.verify_gc then begin
       cut t "verify";
-      Trace.span "replace.verify" (fun _ -> verify_no_dangling t ~freed:doomed)
-    end;
-    Trace.set_attr gc_sp "copied_funcs" (Trace.I !copied);
-    Trace.set_attr gc_sp "bytes_freed" (Trace.I !gc_bytes));
+      Trace.span "replace.verify" (fun _ ->
+          verify_no_dangling t ~freed:(doomed_list @ !reaped_ranges))
+    end
+  end;
   (* 6. Update version state and the live binary view. *)
   cut t "commit";
   Trace.span "replace.commit" (fun _ ->
       t.version <- t.version + 1;
-      let sec =
-        match Binary.section_named new_text ".text" with
-        | Some s -> (s.Binary.sec_base, s.Binary.sec_base + s.Binary.sec_size)
-        | None -> (result.Bolt.bolt_base, result.Bolt.bolt_base)
-      in
-      t.live_text <- Some sec;
-      t.live_text_addrs <- Array.copy new_text.Binary.code_order;
-      let current_entry = Hashtbl.create 256 in
-      Hashtbl.iter
-        (fun fid _ -> Hashtbl.replace current_entry fid (desired_entry fid))
-        t.c0_entry;
-      t.current_entry <- current_entry;
-      refresh_current t new_text);
+      Array.iter
+        (fun (s : Binary.func_sym) ->
+          Hashtbl.replace t.resident s.Binary.fs_fid
+            (List.map
+               (fun (r : Binary.range) -> (r.Binary.r_start, r.Binary.r_start + r.Binary.r_size))
+               s.Binary.fs_ranges))
+        new_text.Binary.symbols;
+      Hashtbl.iter (fun fid e -> Hashtbl.replace t.current_entry fid e) new_entries;
+      List.iter
+        (fun (a, v) ->
+          Hashtbl.replace t.init_addrs a ();
+          if Hashtbl.mem new_text.Binary.code v then Hashtbl.replace t.table_addrs a ())
+        new_text.Binary.global_init;
+      refresh_current t
+        ~name_suffix:(Fmt.str ".v%d" t.version)
+        ~extra_sections:new_text.Binary.sections ~extra_init:new_text.Binary.global_init);
   (* 7. Stop-the-world cost, then resume. *)
   let sites = !vt_patched + !sites_patched in
-  let pause_seconds =
-    Cost.pause_seconds t.config.cost ~sites ~bytes:bytes_injected
-  in
+  let pause_seconds = Cost.pause_seconds t.config.cost ~sites ~bytes:bytes_injected in
   Trace.set_attr stw_sp "version" (Trace.I t.version);
   Trace.set_attr stw_sp "pause_seconds" (Trace.F pause_seconds);
   Metrics.count "ocolos_replacements_total" 1;
@@ -700,13 +1185,25 @@ let replace_code t (result : Bolt.result) : replacement_stats =
   Metrics.count "ocolos_call_sites_patched_total" !sites_patched;
   Metrics.count "ocolos_code_bytes_injected_total" bytes_injected;
   Metrics.count "ocolos_gc_bytes_freed_total" !gc_bytes;
+  Metrics.count "ocolos_frames_migrated_total" !frames_migrated;
+  Metrics.count "ocolos_osr_stubs_total" ctx.ox_stub_count;
   Metrics.sample ~buckets:Metrics.pause_buckets "ocolos_replace_pause_seconds" pause_seconds;
+  Ocolos_obs.Events.log "osr.migrate"
+    ~fields:
+      [ ("round", Trace.I ctx.ox_round);
+        ("version", Trace.I t.version);
+        ("frames", Trace.I !frames_migrated);
+        ("stubs", Trace.I ctx.ox_stub_count);
+        ("copies", Trace.I ctx.ox_copy_count);
+        ("resident_extra_bytes", Trace.I (resident_extra_bytes t)) ];
   Proc.resume proc;
   { version = t.version;
     vtable_entries_patched = !vt_patched;
     call_sites_patched = !sites_patched;
     stack_live_funcs = Hashtbl.length live;
-    copied_funcs = !copied;
+    frames_migrated = !frames_migrated;
+    osr_stubs = ctx.ox_stub_count;
+    copied_funcs = ctx.ox_copy_count;
     funcs_optimized = result.Bolt.funcs_reordered;
     code_bytes_injected = bytes_injected;
     gc_bytes_freed = !gc_bytes;
@@ -722,29 +1219,32 @@ let config t = t.config
 (* Re-attach a fresh controller to a process whose previous OCOLOS daemon
    died. Everything a committed replacement did survives in the target —
    injected text, patched v-tables and call sites, the extended symbol
-   index, and the target-resident wrapFuncPtrCreation pin table — while an
-   aborted transaction left no trace at all ({!Txn} rolled back before the
-   old daemon died). So the daemon-side state is reconstructed from the
-   target as ground truth:
+   index — while an aborted transaction left no trace at all ({!Txn}
+   rolled back before the old daemon died). The daemon-side state is
+   reconstructed from the target as ground truth:
 
    - code the symbol index places at or above the original image's end
      belongs to injected versions; a function's live entry is the lowest
      such address it owns (emission lays the hot part first), falling back
      to its C0 entry;
-   - the live-text span is the hull of all injected ranges — exact when at
-     most one version is committed (the chaos harness's case), conservative
-     once continuous rounds have left evacuation copies behind (the hull
-     then also dooms the copies, which the next GC round evacuates again
-     like any stack-live code);
-   - the C0 pin table is rebuilt by mapping every injected range start back
-     to its function's C0 entry: a superset of the true entry set, harmless
-     because only entries are ever created as function pointers. *)
+   - a function's resident set is its injected ranges plus whatever C0
+     ranges are still mapped. Stub/copy residue is indistinguishable from
+     live text here and is conservatively treated as resident; the next
+     replacement round dooms and re-migrates it through the copy fallback
+     (no frame map covers it) like any other old text;
+   - every injected range start is registered in the function-pointer entry
+     index — a superset of the true entry set, harmless because only
+     entries are ever created as pointers;
+   - every initialized data word is tracked, but none is classified as a
+     reapable jump-table word: without the per-round provenance nothing is
+     provably drained, so recovered table words simply stay resident. *)
 let reattach ?(config = default_config) (proc : Proc.t) =
   Trace.span "ocolos.reattach" @@ fun sp ->
   let t = attach ~config proc in
+  let mem = proc.Proc.mem in
   let orig_end = Bolt.sections_end t.original in
   let injected =
-    Array.to_list proc.Proc.mem.Addr_space.sym_index
+    Array.to_list mem.Addr_space.sym_index
     |> List.filter (fun r -> r.Addr_space.sr_start >= orig_end)
   in
   Trace.set_attr sp "injected_ranges" (Trace.I (List.length injected));
@@ -758,126 +1258,127 @@ let reattach ?(config = default_config) (proc : Proc.t) =
         (match Hashtbl.find_opt entry fid with
         | Some e when e <= r.Addr_space.sr_start -> ()
         | Some _ | None -> Hashtbl.replace entry fid r.Addr_space.sr_start);
-        Hashtbl.replace t.to_c0 r.Addr_space.sr_start (Hashtbl.find t.c0_entry fid))
+        Hashtbl.replace t.entry_fid_any r.Addr_space.sr_start fid)
       injected;
     Hashtbl.iter (fun fid e -> Hashtbl.replace t.current_entry fid e) entry;
+    Hashtbl.iter
+      (fun fid c0ranges ->
+        let inj =
+          List.filter_map
+            (fun (r : Addr_space.sym_range) ->
+              if r.Addr_space.sr_fid = fid then Some (r.Addr_space.sr_start, r.Addr_space.sr_end)
+              else None)
+            injected
+        in
+        let c0 = List.filter (fun (s, _) -> Addr_space.read_code mem s <> None) c0ranges in
+        Hashtbl.replace t.resident fid (inj @ c0))
+      t.c0_ranges;
+    Hashtbl.reset t.init_addrs;
+    Hashtbl.reset t.table_addrs;
+    Ocolos_util.Itbl.fold
+      (fun a _ () -> Hashtbl.replace t.init_addrs a ())
+      mem.Addr_space.data ();
+    t.version <- 1;
     let lo = List.fold_left (fun acc r -> min acc r.Addr_space.sr_start) max_int injected in
     let hi = List.fold_left (fun acc r -> max acc r.Addr_space.sr_end) 0 injected in
-    let addrs =
-      Hashtbl.fold
-        (fun a _ acc -> if a >= lo && a < hi then a :: acc else acc)
-        proc.Proc.mem.Addr_space.code []
-    in
-    let live_addrs = Array.of_list addrs in
-    Array.sort compare live_addrs;
-    t.version <- 1;
-    t.live_text <- Some (lo, hi);
-    t.live_text_addrs <- live_addrs;
-    (* A synthetic new_text view of the recovered region, so the normal
-       refresh builds the live binary (and the next BOLT round allocates
-       above it). The recovered version's jump-table metadata is not
-       reconstructable, but its words are still resident and its dispatch
-       code (or evacuation copies made by a later revert) still reads them:
-       a single marker at the highest initialized data word keeps the next
-       round's table allocation above everything present instead of
-       overlaying live tables. *)
+    (* A hull section over the recovered region and a marker at the highest
+       initialized data word keep the next BOLT round's code and table
+       allocations above everything present. *)
     let data_top =
-      Ocolos_util.Itbl.fold (fun a _ acc -> max a acc) proc.Proc.mem.Addr_space.data (-1)
+      Ocolos_util.Itbl.fold (fun a _ acc -> max a acc) mem.Addr_space.data (-1)
     in
-    let recovered_init =
-      if data_top < 0 then []
-      else [ (data_top, Addr_space.read_data proc.Proc.mem data_top) ]
+    let extra_init =
+      if data_top < 0 then [] else [ (data_top, Addr_space.read_data mem data_top) ]
     in
-    let recovered_syms =
-      Hashtbl.fold
-        (fun fid e acc ->
-          let ranges =
-            List.filter_map
-              (fun (r : Addr_space.sym_range) ->
-                if r.Addr_space.sr_fid = fid then
-                  Some { Binary.r_start = r.Addr_space.sr_start;
-                         r_size = r.Addr_space.sr_end - r.Addr_space.sr_start }
-                else None)
-              injected
-          in
-          { Binary.fs_fid = fid;
-            fs_name = t.original.Binary.symbols.(fid).Binary.fs_name;
-            fs_entry = e;
-            fs_ranges = ranges }
-          :: acc)
-        entry []
-      |> List.sort (fun a b -> compare a.Binary.fs_fid b.Binary.fs_fid)
-      |> Array.of_list
-    in
-    let new_text =
-      { Binary.name = t.original.Binary.name ^ ".recovered";
-        sections = [ { Binary.sec_name = ".text"; sec_base = lo; sec_size = hi - lo } ];
-        code = Hashtbl.create 0;
-        code_order = [||];
-        symbols = recovered_syms;
-        vtables = [||];
-        globals_base = t.original.Binary.globals_base;
-        globals_words = 0;
-        global_init = recovered_init;
-        entry = t.original.Binary.entry;
-        debug = Hashtbl.create 0 }
-    in
-    refresh_current t new_text;
-    Trace.set_attr sp "live_text"
-      (Trace.S (Fmt.str "0x%x-0x%x" lo hi)));
+    refresh_current t ~name_suffix:".recovered"
+      ~extra_sections:[ { Binary.sec_name = ".text"; sec_base = lo; sec_size = hi - lo } ]
+      ~extra_init;
+    Trace.set_attr sp "live_text" (Trace.S (Fmt.str "0x%x-0x%x" lo hi)));
   Trace.set_attr sp "version" (Trace.I t.version);
   Metrics.count "ocolos_reattach_total" 1;
   t
 
 (* ---- controller-state snapshots (for transactional replacement) ----
 
-   [replace_code] mutates, besides the address space and thread stacks, the
+   [replace_code] mutates, besides the address space and thread state, the
    controller's own view of the live code version. A snapshot captures
-   exactly the fields [replace_code] touches so that {!Txn} can roll the
-   controller back to C_i alongside the address-space undo log. Hash tables
-   are copied on both capture and restore, so one snapshot can back any
-   number of rollbacks. *)
+   exactly the fields [replace_code] touches — plus the values of every
+   tracked data word, which {!revert} needs because the forward data scan
+   rewrites stored function pointers and jump-table words in place — so
+   that {!Txn} can roll the controller back to C_i alongside the
+   address-space undo log, and {!revert} can rebuild C_i from scratch.
+   Hash tables are copied on both capture and restore, so one snapshot can
+   back any number of rollbacks. ([rounds] is deliberately not captured:
+   it is a monotone residue tag and must never move backwards.) *)
 
 type snapshot = {
   sn_version : int;
   sn_current : Binary.t;
   sn_current_entry : (int, int) Hashtbl.t;
-  sn_live_text : (int * int) option;
-  sn_live_text_addrs : int array;
-  sn_copies : copy list;
-  sn_to_c0 : (int, int) Hashtbl.t;
+  sn_resident : (int, (int * int) list) Hashtbl.t;
+  sn_residue : residue list;
+  sn_inherited : (int * int list) list;
+  sn_entry_fid_any : (int, int) Hashtbl.t;
+  sn_init_addrs : (int, unit) Hashtbl.t;
+  sn_table_addrs : (int, unit) Hashtbl.t;
+  sn_word_values : (int * int) list; (* tracked words' values at capture *)
 }
 
 let snapshot t =
   { sn_version = t.version;
     sn_current = t.current;
     sn_current_entry = Hashtbl.copy t.current_entry;
-    sn_live_text = t.live_text;
-    sn_live_text_addrs = t.live_text_addrs;
-    sn_copies = t.copies;
-    sn_to_c0 = Hashtbl.copy t.to_c0 }
+    sn_resident = Hashtbl.copy t.resident;
+    sn_residue = t.residue;
+    sn_inherited = t.inherited;
+    sn_entry_fid_any = Hashtbl.copy t.entry_fid_any;
+    sn_init_addrs = Hashtbl.copy t.init_addrs;
+    sn_table_addrs = Hashtbl.copy t.table_addrs;
+    sn_word_values =
+      Hashtbl.fold
+        (fun a () acc -> (a, Addr_space.read_data t.proc.Proc.mem a) :: acc)
+        t.init_addrs [] }
 
 let restore t s =
   t.version <- s.sn_version;
   t.current <- s.sn_current;
   t.current_entry <- Hashtbl.copy s.sn_current_entry;
-  t.live_text <- s.sn_live_text;
-  t.live_text_addrs <- s.sn_live_text_addrs;
-  t.copies <- s.sn_copies;
-  Hashtbl.reset t.to_c0;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.to_c0 k v) s.sn_to_c0
+  Hashtbl.reset t.resident;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.resident k v) s.sn_resident;
+  t.residue <- s.sn_residue;
+  t.inherited <- s.sn_inherited;
+  Hashtbl.reset t.entry_fid_any;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.entry_fid_any k v) s.sn_entry_fid_any;
+  Hashtbl.reset t.init_addrs;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.init_addrs k v) s.sn_init_addrs;
+  Hashtbl.reset t.table_addrs;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.table_addrs k v) s.sn_table_addrs
 
 (* A snapshot describing C0 for a controller whose in-memory history is
-   gone (fleet restart after a reattach): C0 is pinned resident by design
-   principle #1, so reverting to it is always possible. *)
+   gone (fleet restart after a reattach): C0's bytes live in the original
+   binary image, so reverting to it is always possible even though its
+   text may long since have been unmapped. *)
 let c0_snapshot t =
+  let resident = Hashtbl.create 256 in
+  Hashtbl.iter (fun fid ranges -> Hashtbl.replace resident fid ranges) t.c0_ranges;
+  let entry_fid = Hashtbl.create 256 in
+  Hashtbl.iter (fun fid e -> Hashtbl.replace entry_fid e fid) t.c0_entry;
+  let init = Hashtbl.create 64 and tables = Hashtbl.create 64 in
+  List.iter
+    (fun (a, v) ->
+      Hashtbl.replace init a ();
+      if Hashtbl.mem t.original.Binary.code v then Hashtbl.replace tables a ())
+    t.original.Binary.global_init;
   { sn_version = 0;
     sn_current = t.original;
     sn_current_entry = Hashtbl.copy t.c0_entry;
-    sn_live_text = None;
-    sn_live_text_addrs = [||];
-    sn_copies = [];
-    sn_to_c0 = Hashtbl.create 16 }
+    sn_resident = resident;
+    sn_residue = [];
+    sn_inherited = [];
+    sn_entry_fid_any = entry_fid;
+    sn_init_addrs = init;
+    sn_table_addrs = tables;
+    sn_word_values = t.original.Binary.global_init }
 
 let snapshot_version s = s.sn_version
 
@@ -895,13 +1396,17 @@ type revert_stats = {
 }
 
 (* Un-commit: a reverse replacement taking the process from the live
-   version back to the (older) version a snapshot describes. Committing
-   C_{i+1} garbage-collected C_i's text, so the revert re-injects it from
-   the snapshot's binary view (whose code table holds the bytes), then
-   mirrors the forward stop-the-world phase with the roles swapped: desired
-   entries come from the snapshot, the doomed region is the *current* live
-   text, stack-live current-version functions are evacuated to copies, and
-   the current text is unmapped and verified dangling-free.
+   version back to the (older) version a snapshot describes. The forward
+   GC unmapped the snapshot's text, so the revert re-injects it from the
+   snapshot's binary view, then runs the same OSR machinery with the roles
+   swapped: the doomed text is every resident range absent from the
+   snapshot, desired entries come from the snapshot, and — since no frame
+   map exists from a newer version back into an older one — every live
+   frame in the doomed text migrates through the copy fallback. The doomed
+   text is then unmapped outright: registers holding doomed values were
+   migrated like any other pointer, so no landing-pad trampolines are left
+   behind (the seed's one-instruction trampolines were unmapped never and
+   leaked a few words per revert forever).
 
    This is the fleet's emergency brake after a canary regression, so unlike
    [replace_code] it contains NO fault cuts: every faultable stage of a
@@ -911,253 +1416,208 @@ let revert t (s : snapshot) : revert_stats =
   if s.sn_version >= t.version then
     invalid_arg
       (Fmt.str "Ocolos.revert: snapshot C%d is not older than live C%d" s.sn_version t.version);
-  let doomed =
-    match t.live_text with
-    | Some d -> d
-    | None -> invalid_arg "Ocolos.revert: no injected text to revert"
-  in
   let from_version = t.version in
+  let mem = t.proc.Proc.mem in
+  (* The doomed text: resident ranges the snapshot does not have. *)
+  let doomed_list =
+    Hashtbl.fold
+      (fun fid ranges acc ->
+        let sn = Option.value ~default:[] (Hashtbl.find_opt s.sn_resident fid) in
+        List.filter (fun rg -> not (List.mem rg sn)) ranges @ acc)
+      t.resident []
+  in
   Trace.span "replace.revert"
     ~attrs:[ ("from_version", Trace.I from_version); ("to_version", Trace.I s.sn_version) ]
   @@ fun sp ->
   let proc = t.proc in
   Proc.pause proc;
-  (* 1. Re-inject the snapshot's text (GC'd when the newer version
-     committed) and restore its symbol-index ranges. A no-op when the
-     snapshot is C0, which was never unmapped. *)
+  (* 1. Re-inject the snapshot's text that forward GC removed. *)
   let reinjected = ref 0 in
-  (match s.sn_live_text with
-  | None -> ()
-  | Some (lo, hi) ->
-    Array.iter
-      (fun addr ->
-        let instr = Hashtbl.find s.sn_current.Binary.code addr in
-        Addr_space.write_code proc.Proc.mem addr instr;
-        reinjected := !reinjected + Instr.size instr)
-      s.sn_live_text_addrs;
-    Addr_space.add_sym_ranges proc.Proc.mem
-      (Array.to_list s.sn_current.Binary.symbols
-      |> List.concat_map (fun (sym : Binary.func_sym) ->
-             List.filter_map
-               (fun (r : Binary.range) ->
-                 if r.Binary.r_start >= lo && r.Binary.r_start < hi then
-                   Some
-                     { Addr_space.sr_start = r.Binary.r_start;
-                       sr_end = r.Binary.r_start + r.Binary.r_size;
-                       sr_fid = sym.Binary.fs_fid }
-                 else None)
-               sym.Binary.fs_ranges)));
+  Hashtbl.iter
+    (fun fid sn_ranges ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt t.resident fid) in
+      List.iter
+        (fun (rs, re) ->
+          if not (List.mem (rs, re) cur) then begin
+            let addr = ref rs in
+            while !addr < re do
+              match Hashtbl.find_opt s.sn_current.Binary.code !addr with
+              | Some instr ->
+                Addr_space.write_code mem !addr instr;
+                reinjected := !reinjected + Instr.size instr;
+                addr := !addr + Instr.size instr
+              | None -> incr addr
+            done;
+            Addr_space.add_sym_ranges mem
+              [ { Addr_space.sr_start = rs; sr_end = re; sr_fid = fid } ]
+          end)
+        sn_ranges)
+    s.sn_resident;
   (* 2. Where every function should live after the revert. *)
   let desired_entry fid =
     match Hashtbl.find_opt s.sn_current_entry fid with
     | Some e -> e
     | None -> Hashtbl.find t.c0_entry fid
   in
-  (* Entries of the doomed (current) version, for redirecting cross-function
-     references out of it. *)
-  let old_entry_fid = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun fid entry -> if in_range doomed entry then Hashtbl.replace old_entry_fid entry fid)
-    t.current_entry;
+  t.rounds <- t.rounds + 1;
+  let ctx =
+    make_osr_ctx t ~doomed:doomed_list ~fms:[] ~desired:desired_entry ~round:t.rounds
+      ~cut_fn:(fun _ -> ())
+  in
   (* 3. Patch v-tables back. *)
   let vt_patched = ref 0 in
   Array.iter
     (fun (vid, slot, fid) ->
-      let addr = Addr_space.vtable_base proc.Proc.mem vid + slot in
-      let cur = Addr_space.read_data proc.Proc.mem addr in
+      let addr = Addr_space.vtable_base mem vid + slot in
+      let cur = Addr_space.read_data mem addr in
       let want = desired_entry fid in
       if cur <> want then begin
-        Addr_space.write_data proc.Proc.mem addr want;
+        Addr_space.write_data mem addr want;
         incr vt_patched
       end)
     t.vtable_slots;
-  (* 4. Patch direct calls: stack-live owners, plus any site still targeting
-     the doomed region (GC safety), mirroring the forward pass. *)
+  (* 4. Patch direct calls back: stack-live owners plus doomed targets. *)
   let live = stack_live_fids t in
   let sites_patched = ref 0 in
   Array.iter
     (fun (site, owner, callee) ->
       let cur_target =
-        match Addr_space.read_code proc.Proc.mem site with
+        match Addr_space.read_code mem site with
         | Some (Instr.Call cur) -> Some cur
         | Some _ | None -> None
       in
       let target_doomed =
-        match cur_target with Some cur -> in_range doomed cur | None -> false
+        match cur_target with Some cur -> in_doomed ctx cur | None -> false
       in
       if t.config.patch_all_direct_calls || Hashtbl.mem live owner || target_doomed then begin
         let want = desired_entry callee in
         match cur_target with
         | Some cur when cur <> want ->
-          Addr_space.write_code proc.Proc.mem site (Instr.Call want);
+          Addr_space.write_code mem site (Instr.Call want);
           incr sites_patched
         | Some _ | None -> ()
       end)
     t.offline_sites;
-  (* 5. Evacuate and GC the doomed current version — same machinery as the
-     forward pass's continuous-mode GC. *)
-  let copied = ref 0 and gc_bytes = ref 0 in
-  let doomed_live = Hashtbl.create 16 in
-  List.iter
-    (fun addr ->
-      if in_range doomed addr then
-        match Addr_space.fid_of_addr proc.Proc.mem addr with
-        | Some fid -> Hashtbl.replace doomed_live fid ()
-        | None -> ())
-    (live_frames_and_pcs t);
-  let addr_map = Hashtbl.create 256 in
-  let new_copies = ref [] in
-  Hashtbl.iter
-    (fun fid () ->
-      let cp, map = copy_stack_live_func t ~doomed ~old_entry_fid ~desired_entry fid in
-      new_copies := cp :: !new_copies;
-      incr copied;
-      Hashtbl.iter (fun k v -> Hashtbl.replace addr_map k v) map)
-    doomed_live;
-  patch_thread_code_pointers t addr_map;
-  let tables_patched =
-    patch_jump_table_entries t ~doomed ~addr_map ~old_entry_fid ~desired_entry
-  in
+  (* 5. Migrate live frames out of the doomed text (copy fallback — there
+     is no newer->older frame map), redirect code and data, restore the
+     snapshot's word values, unmap. *)
+  let frames_migrated = migrate_threads t ctx in
+  Proc.notify_threads_migrated proc;
+  redirect_code_references t ctx;
+  let tables_patched, _ = patch_data_words t ctx in
   Trace.set_attr sp "table_entries_patched" (Trace.I tables_patched);
-  (* Unmap the doomed text — except the addresses a paused thread can still
-     hold in a register, which become one-instruction trampolines. A thread
-     stopped between a jump-table load and its JumpInd resumes with a
-     doomed block address in a register (bounced into its evacuation copy);
-     one stopped between a vtable/function-pointer load and its CallInd
-     resumes with a doomed entry (bounced to the function the revert
-     reinstated). No thread-state pass can tell such code pointers from
-     ordinary integers that collide with the range, so the landing pads
-     redirect instead. Anything else in the region is unreachable: frames
-     and PCs were rebased, and mid-block addresses of non-live functions
-     can only be materialized by code that was executing them. *)
-  Array.iter
-    (fun addr ->
-      match Addr_space.read_code proc.Proc.mem addr with
-      | Some instr -> (
-        gc_bytes := !gc_bytes + Instr.size instr;
-        match Hashtbl.find_opt addr_map addr with
-        | Some dst -> Addr_space.write_code proc.Proc.mem addr (Instr.Jump dst)
-        | None -> (
-          match Hashtbl.find_opt old_entry_fid addr with
-          | Some fid -> Addr_space.write_code proc.Proc.mem addr (Instr.Jump (desired_entry fid))
-          | None -> Addr_space.remove_code proc.Proc.mem addr))
-      | None -> ())
-    t.live_text_addrs;
-  Addr_space.remove_sym_ranges proc.Proc.mem ~pred:(fun r -> in_range doomed r.Addr_space.sr_start);
-  let referenced = live_frames_and_pcs t in
-  let still_needed cp =
-    List.exists (fun addr -> List.exists (fun r -> in_range r addr) cp.cp_ranges) referenced
+  (* Words live at snapshot time get their captured values back (captured
+     after that round's own patches, so surviving residue keeps reading
+     correct values); words the snapshot already carried as inherited are
+     restored only if still present — resurrecting a drained round's words
+     would leak them. *)
+  let sn_inh_addrs = Hashtbl.create 64 in
+  List.iter
+    (fun (_, addrs) -> List.iter (fun a -> Hashtbl.replace sn_inh_addrs a ()) addrs)
+    s.sn_inherited;
+  let live_at_sn a = Hashtbl.mem s.sn_init_addrs a && not (Hashtbl.mem sn_inh_addrs a) in
+  List.iter
+    (fun (a, v) ->
+      if live_at_sn a || Ocolos_util.Itbl.find_opt mem.Addr_space.data a <> None then
+        Addr_space.write_data mem a v)
+    s.sn_word_values;
+  let gc_bytes = ref 0 in
+  List.iter
+    (fun (rs, re) ->
+      let addr = ref rs in
+      while !addr < re do
+        match Addr_space.read_code mem !addr with
+        | Some instr ->
+          gc_bytes := !gc_bytes + Instr.size instr;
+          Addr_space.remove_code mem !addr;
+          addr := !addr + Instr.size instr
+        | None -> incr addr
+      done)
+    doomed_list;
+  Addr_space.remove_sym_ranges mem ~pred:(fun r -> in_doomed ctx r.Addr_space.sr_start);
+  (* 6. Residue and inherited-word bookkeeping. Tags for words the
+     snapshot considers live are dropped (the words ARE the restored
+     version's live tables again); words initialized after the snapshot —
+     the undone versions' tables, now read only by this round's copies —
+     are inherited under this round. *)
+  t.residue <- ctx.ox_residue @ t.residue;
+  let inherited' =
+    List.filter_map
+      (fun (rnd, addrs) ->
+        match List.filter (fun a -> not (live_at_sn a)) addrs with
+        | [] -> None
+        | addrs -> Some (rnd, addrs))
+      t.inherited
   in
-  let keep, reap = List.partition still_needed t.copies in
-  List.iter
-    (fun cp ->
-      List.iter
-        (fun (cs, ce) ->
-          let addr = ref cs in
-          while !addr < ce do
-            match Addr_space.read_code proc.Proc.mem !addr with
-            | None -> incr addr
-            | Some instr ->
-              (match Instr.static_target instr with
-              | Some target when in_range doomed target -> (
-                match Hashtbl.find_opt old_entry_fid target with
-                | Some callee ->
-                  Addr_space.write_code proc.Proc.mem !addr
-                    (Instr.with_target instr (desired_entry callee))
-                | None -> ())
-              | Some _ | None -> ());
-              addr := !addr + Instr.size instr
-          done)
-        cp.cp_ranges)
-    keep;
-  List.iter
-    (fun cp ->
-      List.iter
-        (fun (cs, ce) ->
-          let addr = ref cs in
-          while !addr < ce do
-            (match Addr_space.read_code proc.Proc.mem !addr with
-            | Some instr ->
-              gc_bytes := !gc_bytes + Instr.size instr;
-              Addr_space.remove_code proc.Proc.mem !addr;
-              addr := !addr + Instr.size instr
-            | None -> incr addr)
-          done;
-          Addr_space.remove_sym_ranges proc.Proc.mem ~pred:(fun r ->
-              r.Addr_space.sr_start >= cs && r.Addr_space.sr_start < ce))
-        cp.cp_ranges)
-    reap;
-  t.copies <- !new_copies @ keep;
-  if t.config.verify_gc then verify_no_dangling t ~freed:doomed;
-  (* 6. Restore the controller view. The rebuilt live binary carries a
-     placeholder section spanning the reverted region so the next BOLT
-     round still allocates above it — the evacuation copies made here live
-     just past its end and must not be overlaid. *)
+  let newer =
+    Hashtbl.fold
+      (fun a () acc ->
+        if
+          Hashtbl.mem s.sn_init_addrs a
+          || List.exists (fun (_, addrs) -> List.mem a addrs) inherited'
+        then acc
+        else a :: acc)
+      t.init_addrs []
+  in
+  t.inherited <-
+    (if newer = [] then inherited' else (ctx.ox_round, newer) :: inherited');
+  let reap_bytes, reaped_ranges = reap_residue t ~cut:(fun _ -> ()) in
+  gc_bytes := !gc_bytes + reap_bytes;
+  if t.config.verify_gc then verify_no_dangling t ~freed:(doomed_list @ reaped_ranges);
+  (* 7. Restore the controller view. [entry_fid_any] is left as a superset
+     (it is monotone across versions and only ever consulted by entry). *)
   t.version <- s.sn_version;
   t.current_entry <- Hashtbl.copy s.sn_current_entry;
-  t.live_text <- s.sn_live_text;
-  t.live_text_addrs <- Array.copy s.sn_live_text_addrs;
-  let sections =
-    (match s.sn_live_text with
-    | Some (lo, hi) -> [ { Binary.sec_name = ".text"; sec_base = lo; sec_size = hi - lo } ]
-    | None -> [])
-    @ [ { Binary.sec_name = ".text.reverted";
-          sec_base = fst doomed;
-          sec_size = snd doomed - fst doomed } ]
+  Hashtbl.reset t.resident;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.resident k v) s.sn_resident;
+  Hashtbl.reset t.init_addrs;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.init_addrs k v) s.sn_init_addrs;
+  Hashtbl.reset t.table_addrs;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.table_addrs k v) s.sn_table_addrs;
+  List.iter
+    (fun (_, addrs) ->
+      List.iter
+        (fun a ->
+          Hashtbl.replace t.init_addrs a ();
+          Hashtbl.replace t.table_addrs a ())
+        addrs)
+    t.inherited;
+  (* A placeholder section spanning the reverted region (and a data-top
+     marker) keeps the next BOLT round allocating above the copies made
+     here and above every table still read by residue. *)
+  let orig_end = Bolt.sections_end t.original in
+  let data_top = Ocolos_util.Itbl.fold (fun a _ acc -> max a acc) mem.Addr_space.data (-1) in
+  let extra_init =
+    if data_top < 0 then [] else [ (data_top, Addr_space.read_data mem data_top) ]
   in
-  let symbols =
-    match s.sn_live_text with
-    | None -> [||]
-    | Some (lo, hi) ->
-      Array.to_list s.sn_current.Binary.symbols
-      |> List.filter_map (fun (sym : Binary.func_sym) ->
-             let ranges =
-               List.filter
-                 (fun (r : Binary.range) -> r.Binary.r_start >= lo && r.Binary.r_start < hi)
-                 sym.Binary.fs_ranges
-             in
-             let entry = desired_entry sym.Binary.fs_fid in
-             if ranges = [] && not (in_range (lo, hi) entry) then None
-             else Some { sym with Binary.fs_entry = entry; fs_ranges = ranges })
-      |> Array.of_list
-  in
-  (* Keep the doomed version's jump-table words in the live view: the
-     evacuation copies above still dispatch through them (entries patched
-     to the copies), so the next BOLT round must allocate its tables higher
-     rather than overlay this region. refresh_current prepends the
-     original's global_init, so pass only the non-original suffix. *)
-  let inherited_init =
-    let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
-    drop (List.length t.original.Binary.global_init) t.current.Binary.global_init
-  in
-  let new_text =
-    { Binary.name = t.original.Binary.name ^ ".revert";
-      sections;
-      code = Hashtbl.create 0;
-      code_order = [||];
-      symbols;
-      vtables = [||];
-      globals_base = t.original.Binary.globals_base;
-      globals_words = 0;
-      global_init = inherited_init;
-      entry = t.original.Binary.entry;
-      debug = Hashtbl.create 0 }
-  in
-  refresh_current t new_text;
-  (* 7. Cost, metrics, resume. *)
+  refresh_current t ~name_suffix:".revert"
+    ~extra_sections:
+      [ { Binary.sec_name = ".text.reverted";
+          sec_base = orig_end;
+          sec_size = mem.Addr_space.next_map_base - orig_end } ]
+    ~extra_init;
+  (* 8. Cost, metrics, resume. *)
   let sites = !vt_patched + !sites_patched in
   let pause_seconds = Cost.pause_seconds t.config.cost ~sites ~bytes:!reinjected in
   Trace.set_attr sp "pause_seconds" (Trace.F pause_seconds);
   Metrics.count "ocolos_reverts_total" 1;
   Metrics.count "ocolos_code_bytes_reinjected_total" !reinjected;
   Metrics.count "ocolos_gc_bytes_freed_total" !gc_bytes;
+  Metrics.count "ocolos_frames_migrated_total" frames_migrated;
   Metrics.sample ~buckets:Metrics.pause_buckets "ocolos_replace_pause_seconds" pause_seconds;
+  Ocolos_obs.Events.log "osr.revert"
+    ~fields:
+      [ ("round", Trace.I ctx.ox_round);
+        ("to_version", Trace.I s.sn_version);
+        ("frames", Trace.I frames_migrated);
+        ("copies", Trace.I ctx.ox_copy_count);
+        ("resident_extra_bytes", Trace.I (resident_extra_bytes t)) ];
   Proc.resume proc;
   { rv_from_version = from_version;
     rv_to_version = s.sn_version;
     rv_vtable_entries_patched = !vt_patched;
     rv_call_sites_patched = !sites_patched;
-    rv_copied_funcs = !copied;
+    rv_copied_funcs = ctx.ox_copy_count;
     rv_code_bytes_reinjected = !reinjected;
     rv_gc_bytes_freed = !gc_bytes;
     rv_pause_seconds = pause_seconds }

@@ -29,12 +29,16 @@ type outcome = Committed of Ocolos.replacement_stats | Rolled_back of rollback
 
 let injection_points = Ocolos.injection_points
 
-type thread_snap = { th_pc : int; th_frames : (int * int) array }
+(* Registers are captured too: OSR's register-migration pass rewrites
+   scratch registers and stored function-pointer values in place, and a
+   fault after it must put the original values back. *)
+type thread_snap = { th_pc : int; th_regs : int array; th_frames : (int * int) array }
 
 let snapshot_threads (proc : Proc.t) =
   Array.map
     (fun (th : Thread.t) ->
       { th_pc = th.Thread.pc;
+        th_regs = Array.copy th.Thread.regs;
         th_frames =
           Array.init th.Thread.depth (fun i ->
               let f = th.Thread.frames.(i) in
@@ -46,6 +50,7 @@ let restore_threads (proc : Proc.t) snaps =
     (fun i snap ->
       let th = proc.Proc.threads.(i) in
       th.Thread.pc <- snap.th_pc;
+      Array.blit snap.th_regs 0 th.Thread.regs 0 (Array.length snap.th_regs);
       Array.iteri
         (fun j (ra, ce) ->
           let f = th.Thread.frames.(j) in
@@ -92,6 +97,9 @@ let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
   | exception e ->
     let undone = Addr_space.rollback_journal mem in
     restore_threads proc th_snap;
+    (* Thread state moved twice (migrated forward, then restored): any
+       engine memo keyed to where a thread stood is stale either way. *)
+    Proc.notify_threads_migrated proc;
     Ocolos.restore oc oc_snap;
     if not was_paused then Proc.resume proc;
     check_block_cache proc ~after:"rollback";

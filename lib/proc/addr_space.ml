@@ -59,6 +59,19 @@ let write_data t addr v =
     j.n_entries <- j.n_entries + 1);
   Ocolos_util.Itbl.replace t.data addr v
 
+(* Journaled deletion of a data word (absent reads as 0). Used by OCOLOS to
+   reap inherited jump-table words once the residue reading them drains. *)
+let remove_data t addr =
+  match Ocolos_util.Itbl.find_opt t.data addr with
+  | None -> ()
+  | Some v ->
+    (match t.journal with
+    | None -> ()
+    | Some j ->
+      j.entries <- J_data (addr, Some v) :: j.entries;
+      j.n_entries <- j.n_entries + 1);
+    Ocolos_util.Itbl.remove t.data addr
+
 let read_code t addr = Hashtbl.find_opt t.code addr
 
 let journal_code t addr =

@@ -35,6 +35,11 @@ val add_code_watcher : t -> (int -> int -> unit) -> unit
 
 val read_data : t -> int -> int
 val write_data : t -> int -> int -> unit
+
+(** Journaled deletion of a data word (absent reads as 0). OCOLOS uses this
+    to reap inherited jump-table words once the residue reading them has
+    drained. *)
+val remove_data : t -> int -> unit
 val read_code : t -> int -> Ocolos_isa.Instr.t option
 val write_code : t -> int -> Ocolos_isa.Instr.t -> unit
 val remove_code : t -> int -> unit

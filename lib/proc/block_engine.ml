@@ -335,3 +335,28 @@ let stats t =
 let validate t =
   let read a = Addr_space.read_code t.mem a in
   Hashtbl.fold (fun _ b acc -> acc && Predecode.coherent ~read b) t.blocks true
+
+(* Every code address the engine holds a live reference to: cached block
+   starts and each thread's in-flight resume point. OCOLOS's post-GC
+   reachability scanner audits these — an entry surviving the unmapping of
+   its bytes means the invalidation feed missed a write. *)
+let code_pointers t =
+  let acc = ref [] in
+  Hashtbl.iter (fun start _ -> acc := ("block", start) :: !acc) t.blocks;
+  Array.iteri
+    (fun tid (m : Predecode.block) ->
+      if m != no_block then begin
+        acc := ("block_memo", m.Predecode.b_start) :: !acc;
+        let k = Array.unsafe_get t.memo_idx tid in
+        if k < Array.length m.Predecode.b_addrs then
+          acc := ("block_resume", m.Predecode.b_addrs.(k)) :: !acc
+      end)
+    t.memo;
+  !acc
+
+(* OCOLOS migrated paused threads to another code version: the per-thread
+   resume memos describe where the threads *were*, so drop them. The block
+   table itself stays — entries covering surviving code remain valid. *)
+let on_threads_migrated t =
+  Array.fill t.memo 0 (Array.length t.memo) no_block;
+  Array.fill t.memo_idx 0 (Array.length t.memo_idx) 0

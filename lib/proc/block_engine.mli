@@ -60,3 +60,13 @@ val stats : t -> stats
 (** Are all cached blocks still coherent with the code map? Always true
     unless the invalidation feed missed a write. *)
 val validate : t -> bool
+
+(** Every code address the engine holds a live reference to, as
+    (label, address) pairs: cached block starts ("block") and per-thread
+    resume memos ("block_memo"/"block_resume"). OCOLOS's post-GC
+    reachability scanner audits these against freed code. *)
+val code_pointers : t -> (string * int) list
+
+(** OCOLOS migrated paused threads' PCs to another code version: drop the
+    per-thread resume memos, which describe where the threads were. *)
+val on_threads_migrated : t -> unit

@@ -200,6 +200,20 @@ let validate_code_cache t =
 let pause t = t.paused <- true
 let resume t = t.paused <- false
 
+(* Every code address the execution engines hold live references to
+   (cached blocks/nodes, chain links, inline caches, per-thread resume
+   memos), labeled. OCOLOS's post-GC reachability scanner audits these. *)
+let engine_code_pointers t =
+  (match t.block_engine with None -> [] | Some e -> Block_engine.code_pointers e)
+  @ match t.trace_engine with None -> [] | Some e -> Superblock.code_pointers e
+
+(* OCOLOS rewrote paused threads' PCs/frames into another code version
+   (on-stack replacement): drop engine state keyed to where the threads
+   were — per-thread resume memos and chain sources. *)
+let notify_threads_migrated t =
+  (match t.block_engine with Some e -> Block_engine.on_threads_migrated e | None -> ());
+  match t.trace_engine with Some e -> Superblock.on_threads_migrated e | None -> ()
+
 (* Advance every running thread's core clock without executing instructions
    (a stop-the-world interval: threads stand still while wall time passes). *)
 let stall_all t ~cycles ~category =

@@ -79,6 +79,18 @@ val validate_code_cache : t -> bool
 val pause : t -> unit
 val resume : t -> unit
 
+(** Every code address the execution engines hold live references to,
+    labeled: cached block/node starts, chained-exit and inline-cache
+    targets, per-thread resume memos. Empty for engines that haven't run.
+    OCOLOS's post-GC reachability scanner audits these against freed
+    code. *)
+val engine_code_pointers : t -> (string * int) list
+
+(** Tell the engines that paused threads' PCs and frames were rewritten
+    into another code version (on-stack replacement): per-thread resume
+    memos and chain sources are dropped. *)
+val notify_threads_migrated : t -> unit
+
 (** Advance running threads' clocks without executing instructions (a
     stop-the-world interval). *)
 val stall_all :

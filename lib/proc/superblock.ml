@@ -580,3 +580,48 @@ let validate t =
   Array.iter (fun m -> if not (m == nil_run || m.r_alive) then ok := false) t.memo;
   Array.iter (fun c -> if not (link_ok c) then ok := false) t.chain;
   !ok
+
+(* Every code address the engine holds a live reference to: node keys,
+   chained-exit and inline-cache targets, the direct-mapped front table and
+   each thread's resume memo. OCOLOS's post-GC reachability scanner audits
+   these — live state pointing into unmapped code means the invalidation
+   feed missed a write. *)
+let code_pointers t =
+  let link acc label = function
+    | To n when n.n_alive -> (label, n.n_blk.Predecode.b_start) :: acc
+    | To _ | Nil -> acc
+  in
+  let acc = ref [] in
+  Hashtbl.iter (fun start _ -> acc := ("node", start) :: !acc) t.nodes;
+  Hashtbl.iter
+    (fun _ n ->
+      if n.n_alive then begin
+        acc := link !acc "l1" n.n_l1;
+        acc := link !acc "l2" n.n_l2;
+        acc := link !acc "ic" n.n_ic
+      end)
+    t.nodes;
+  Array.iteri
+    (fun tid run ->
+      if run != nil_run && run.r_alive then begin
+        acc := ("trace_memo", run.r_body.Predecode.b_start) :: !acc;
+        let k = Array.unsafe_get t.memo_idx tid in
+        if k < Array.length run.r_body.Predecode.b_addrs then
+          acc := ("trace_resume", run.r_body.Predecode.b_addrs.(k)) :: !acc
+      end)
+    t.memo;
+  Array.iter (fun c -> acc := link !acc "chain" c) t.chain;
+  Array.iter
+    (fun n ->
+      if n != nil_node && n.n_alive then
+        acc := ("dmap", n.n_blk.Predecode.b_start) :: !acc)
+    t.dmap;
+  !acc
+
+(* OCOLOS migrated paused threads to another code version: per-thread resume
+   memos and chain sources describe where the threads *were*, so drop them.
+   Cached nodes over surviving code remain valid. *)
+let on_threads_migrated t =
+  Array.fill t.memo 0 (Array.length t.memo) nil_run;
+  Array.fill t.memo_idx 0 (Array.length t.memo_idx) 0;
+  Array.fill t.chain 0 (Array.length t.chain) Nil

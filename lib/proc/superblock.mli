@@ -59,3 +59,16 @@ val stats : t -> stats
     resident count equal to the cache population. Always true unless the
     invalidation feed missed a write. *)
 val validate : t -> bool
+
+(** Every code address the engine holds a live reference to, as
+    (label, address) pairs: node keys ("node"), chained-exit and
+    inline-cache targets ("l1"/"l2"/"ic"/"chain"), the direct-mapped front
+    table ("dmap") and per-thread resume memos
+    ("trace_memo"/"trace_resume"). OCOLOS's post-GC reachability scanner
+    audits these against freed code. *)
+val code_pointers : t -> (string * int) list
+
+(** OCOLOS migrated paused threads' PCs to another code version: drop the
+    per-thread resume memos and chain sources, which describe where the
+    threads were. *)
+val on_threads_migrated : t -> unit

@@ -51,7 +51,7 @@ type config = {
 (* [regression_tolerance < 0] turns the drift gate into "always re-optimize
    once the amortization interval passes": continuous rounds (C1 -> C2 ->
    ...) happen on the tiny workload without needing an input shift, which is
-   what makes the gc_*/thread_patch/verify points reachable here. *)
+   what makes the osr_*/gc_*/verify points reachable here. *)
 let default_config =
   { step_instrs = 12_000;
     max_ticks = 60;
@@ -138,6 +138,14 @@ let tiny_workload cfg ~tx_limit =
 
 (* A trace-run process: tiny workload, finite, recorder installed before
    attach so every later hook (the profiler's) chains to it. *)
+(* Boundary-only frame maps: paused PCs then land mid-block, so OSR has to
+   build compensation stubs — which is what makes the osr_stub point (and
+   the gc_reap point, which needs residue to die) reachable in a sweep. *)
+let ocolos_config ~fault =
+  { O.default_config with
+    O.fault = Some fault;
+    bolt = { O.default_config.O.bolt with Ocolos_bolt.Bolt.exact_frame_maps = false } }
+
 let launch_traced cfg ~seed =
   let w = tiny_workload cfg ~tx_limit:(Some cfg.trace_tx_limit) in
   let proc = Workload.launch w ~input:(Workload.find_input w "a") in
@@ -148,7 +156,7 @@ let launch_traced cfg ~seed =
         ignore cycles;
         buf := (tid, from_addr, to_addr, kind) :: !buf);
   let fault = F.create ~seed () in
-  let oc = O.attach ~config:{ O.default_config with O.fault = Some fault } proc in
+  let oc = O.attach ~config:(ocolos_config ~fault) proc in
   (proc, oc, fault, buf)
 
 (* Advance the target one tick's worth of instructions; tick i is simulated
@@ -222,7 +230,7 @@ let convergence_run cfg ~seed ~point =
   let w = tiny_workload cfg ~tx_limit:None in
   let proc = Workload.launch w ~input:(Workload.find_input w "a") in
   let fault = F.create ~seed () in
-  let oc = O.attach ~config:{ O.default_config with O.fault = Some fault } proc in
+  let oc = O.attach ~config:(ocolos_config ~fault) proc in
   let d = Daemon.create ~config:cfg.daemon oc proc in
   match
     Supervisor.kill_at ~fault ~point d ~step:(make_step cfg proc) ~max_ticks:cfg.max_ticks
@@ -336,7 +344,7 @@ let fleet_scenario ?(config = default_config) ?(replicas = 4) ?schedule ~seed ~p
      fleet-wide, which is what lets a kill land between two replicas'
      commits. *)
   let fault = F.create ~seed () in
-  let ocfg = { O.default_config with O.fault = Some fault } in
+  let ocfg = ocolos_config ~fault in
   (* Mirror the daemon's continuous-replacement tolerance: BOLT on these
      tiny inputs can land IPC-neutral-or-worse layouts, and a canary that
      always rolls back would never put a kill point mid-promotion. The

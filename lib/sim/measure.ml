@@ -72,6 +72,7 @@ type ocolos_run = {
   profile : Ocolos_profiler.Profile.t;
   rollbacks : int; (* replacement attempts rolled back by injected faults *)
   attempts : int; (* total replacement attempts (rollbacks + the commit) *)
+  resident_extra_bytes : int; (* stub/copy residue + inherited table words at commit *)
   breaker : Ocolos_core.Guard.breaker_state; (* supervision state after the run *)
   quarantined : int list; (* fids excluded from reordering by the guard *)
 }
@@ -159,6 +160,10 @@ let ocolos_steady ?config ?guard ?nthreads ?(seed = 1234) ?(warmup = default_war
       else attempt (n + 1)
   in
   let stats = attempt 1 in
+  (* The drain-window RSS peak: residue and inherited table words are
+     largest right after the commit, before any frame drains. *)
+  let resident_extra_bytes = Ocolos_core.Ocolos.resident_extra_bytes oc in
+  Metrics.record "ocolos_resident_extra_bytes" (float_of_int resident_extra_bytes);
   Ocolos_core.Guard.campaign_succeeded guard;
   Ocolos_core.Guard.export guard;
   Proc.stall_all proc
@@ -192,5 +197,6 @@ let ocolos_steady ?config ?guard ?nthreads ?(seed = 1234) ?(warmup = default_war
     profile;
     rollbacks = !rollbacks;
     attempts = !rollbacks + 1;
+    resident_extra_bytes;
     breaker = Ocolos_core.Guard.breaker_state guard;
     quarantined = Ocolos_core.Guard.quarantined guard }

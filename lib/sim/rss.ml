@@ -25,11 +25,16 @@ let of_binary ?(nthreads = 4) (b : Ocolos_binary.Binary.t) ~input =
   + (nthreads * thread_bytes input)
 
 (* OCOLOS's peak: the running process plus injected code, profile buffers
-   (16 bytes per LBR record), and BOLT's IR (~48 bytes per instruction). *)
-let ocolos ?(nthreads = 4) (b : Ocolos_binary.Binary.t) ~input
+   (16 bytes per LBR record), BOLT's IR (~48 bytes per instruction), and the
+   transient OSR overhead [resident_extra] — compensation stubs, evacuation
+   copies and inherited jump-table words still mapped while migrated frames
+   drain. The old accounting missed that last term and undercounted the
+   Table I peak during the drain window. *)
+let ocolos ?(nthreads = 4) ?(resident_extra = 0) (b : Ocolos_binary.Binary.t) ~input
     ~(stats : Ocolos_core.Ocolos.replacement_stats) ~profile_records ~bolt_work_instrs =
   of_binary ~nthreads b ~input
   + stats.Ocolos_core.Ocolos.code_bytes_injected
+  + resident_extra
   + (profile_records * 16) + (bolt_work_instrs * 48)
 
 let mib bytes = float_of_int bytes /. 1048576.0

@@ -11,8 +11,13 @@ val thread_bytes : Ocolos_workloads.Input.t -> int
 val of_binary :
   ?nthreads:int -> Ocolos_binary.Binary.t -> input:Ocolos_workloads.Input.t -> int
 
+(** [resident_extra] is the transient OSR overhead still mapped at the
+    peak — stub/copy residue plus inherited jump-table words
+    ({!Ocolos_core.Ocolos.resident_extra_bytes}); it reaches 0 after
+    convergence once migrated frames drain. *)
 val ocolos :
   ?nthreads:int ->
+  ?resident_extra:int ->
   Ocolos_binary.Binary.t ->
   input:Ocolos_workloads.Input.t ->
   stats:Ocolos_core.Ocolos.replacement_stats ->

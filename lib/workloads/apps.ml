@@ -179,6 +179,34 @@ let clang_like ?(seed = 55) ?(tx_per_file = 400) ?(n_files = 40) () =
   let inputs = List.init n_files (fun i -> clang_file ~file_index:i) in
   Workload.build ~name:"clang" ~inputs ~nthreads:1 gen
 
+(* Never-returning event-loop server with no cold code and no error paths:
+   every function is on the hot path, so a campaign that keeps
+   re-optimizing can retire the entire original text — including the entry
+   function, which never returns and is only reachable by OSR. The
+   acceptance workload for true on-stack replacement. *)
+let event_loop ?(seed = 13) () =
+  let cfg =
+    { Gen.default with
+      Gen.seed;
+      n_tx_types = 2;
+      funcs_per_type = 3;
+      shared_funcs = 6;
+      cold_funcs = 0;
+      parser_blocks = 12;
+      jump_table_sites = 2;
+      blocks_per_func = (3, 5);
+      error_prob = 0.0;
+      tx_limit = None;
+      use_vtable_dispatch = true;
+      scan_tx = None }
+  in
+  let gen = Gen.generate cfg in
+  let inputs =
+    [ Input.make ~name:"steady" ~mix:[| 0.6; 0.4 |] ~bias_seed:911 ();
+      Input.make ~name:"shifted" ~mix:[| 0.1; 0.9 |] ~bias_seed:912 () ]
+  in
+  Workload.build ~name:"event_loop" ~inputs ~nthreads:2 gen
+
 (* Small throwaway application for unit and property tests. *)
 let tiny ?(seed = 7) ?(tx_limit = Some 40) () =
   let cfg =

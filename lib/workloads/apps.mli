@@ -31,5 +31,11 @@ val clang_file : file_index:int -> Input.t
 
 val clang_like : ?seed:int -> ?tx_per_file:int -> ?n_files:int -> unit -> Workload.t
 
+(** Never-returning event-loop server with no cold code: every function —
+    including the entry, which never returns — is hot, so a continuous
+    campaign can retire the entire original text. The acceptance workload
+    for true on-stack replacement. *)
+val event_loop : ?seed:int -> unit -> Workload.t
+
 (** Small application for unit and property tests. *)
 val tiny : ?seed:int -> ?tx_limit:int option -> unit -> Workload.t

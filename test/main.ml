@@ -14,6 +14,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("pgo", Test_pgo.suite);
       ("core", Test_core.suite);
+      ("osr", Test_osr.suite);
       ("txn", Test_txn.suite);
       ("bam", Test_bam.suite);
       ("daemon", Test_daemon.suite);

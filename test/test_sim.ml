@@ -77,6 +77,8 @@ let test_rss_model () =
       vtable_entries_patched = 3;
       call_sites_patched = 10;
       stack_live_funcs = 4;
+      frames_migrated = 6;
+      osr_stubs = 1;
       copied_funcs = 0;
       funcs_optimized = 5;
       code_bytes_injected = 5000;
@@ -88,6 +90,11 @@ let test_rss_model () =
       ~bolt_work_instrs:2000
   in
   Alcotest.(check bool) "ocolos adds memory" true (oc > base);
+  let oc_drain =
+    Ocolos_sim.Rss.ocolos ~nthreads:2 ~resident_extra:4096 w.Workload.binary ~input ~stats
+      ~profile_records:1000 ~bolt_work_instrs:2000
+  in
+  Alcotest.(check int) "drain-window residue counted in the peak" (oc + 4096) oc_drain;
   Alcotest.(check bool) "mib conversion" true (Ocolos_sim.Rss.mib (1 lsl 20) = 1.0)
 
 let suite =

@@ -11,8 +11,9 @@ module Fault = Ocolos_util.Fault
 
 (* One point per fault domain, plus the transaction points whose kill paths
    exercise distinct recovery machinery: rollback of a half-applied
-   replacement (pause/inject_code/commit) and reattach over a committed
-   later version (gc_copy needs round 2, gc_reap round 3). *)
+   replacement (pause/inject_code/commit), a death mid-frame-rewrite or
+   mid-stub-build (osr_frame/osr_stub), and reattach over a committed later
+   version with residue outstanding (gc_reap needs a stub to die first). *)
 let subset_points =
   [ "perf.detach";
     "perf2bolt.aggregate";
@@ -22,7 +23,8 @@ let subset_points =
     "pause";
     "inject_code";
     "commit";
-    "gc_copy";
+    "osr_frame";
+    "osr_stub";
     "gc_reap" ]
 
 let test_chaos_subset_sweep () =
@@ -33,13 +35,13 @@ let test_chaos_subset_sweep () =
       if not (Chaos.passed r) then
         Alcotest.fail (Printf.sprintf "chaos scenario failed: %s" (Chaos.result_to_string r)))
     results;
-  (* The gc points only arm in later rounds: dying there proves the
-     restarted daemon reattached over a non-initial committed version. *)
+  (* Reaping needs residue from an earlier committed round to die: a gc_reap
+     death proves the restarted daemon reattached over a non-initial
+     committed version. *)
   List.iter
     (fun r ->
       match r.Chaos.r_outcome with
-      | Chaos.Verified { survivor_version; _ }
-        when r.Chaos.r_point = "gc_copy" || r.Chaos.r_point = "gc_reap" ->
+      | Chaos.Verified { survivor_version; _ } when r.Chaos.r_point = "gc_reap" ->
         Alcotest.(check bool)
           (r.Chaos.r_point ^ " dies with a committed replacement live")
           true (survivor_version >= 1)
@@ -54,7 +56,7 @@ let test_chaos_subset_sweep () =
    a stale chained exit into aborted or reclaimed text. *)
 let test_chaos_traces_engine () =
   let config = { Chaos.default_config with Chaos.engine = `Traces } in
-  let points = [ "inject_code"; "commit"; "gc_copy"; "gc_reap" ] in
+  let points = [ "inject_code"; "commit"; "osr_frame"; "gc_reap" ] in
   let results = Chaos.sweep ~config ~seeds:[ 1 ] ~points () in
   Alcotest.(check int) "all scenarios ran" (List.length points) (List.length results);
   List.iter

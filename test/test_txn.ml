@@ -148,7 +148,13 @@ let setup () =
   let input = Workload.find_input w "a" in
   let proc = Workload.launch w ~input in
   let fault = F.create ~seed:11 () in
-  let config = { O.default_config with O.fault = Some fault } in
+  (* Boundary-only frame maps: every mid-block PC then needs a compensation
+     stub, so the osr_stub point is exercised by the sweep. *)
+  let config =
+    { O.default_config with
+      O.fault = Some fault;
+      O.bolt = { O.default_config.O.bolt with Ocolos_bolt.Bolt.exact_frame_maps = false } }
+  in
   let oc = O.attach ~config proc in
   Proc.run ~cycle_limit:infinity ~max_instrs:40_000 proc;
   (proc, oc, fault)
@@ -174,8 +180,8 @@ let probe_hit_counts fault oc result =
   counts
 
 let aborted_region (result : Ocolos_bolt.Bolt.result) =
-  ( result.Ocolos_bolt.Bolt.bolt_base,
-    Ocolos_bolt.Bolt.sections_end result.Ocolos_bolt.Bolt.new_text )
+  [ ( result.Ocolos_bolt.Bolt.bolt_base,
+      Ocolos_bolt.Bolt.sections_end result.Ocolos_bolt.Bolt.new_text ) ]
 
 (* For every reachable point and [seeds_per_point] seeds each, fault at a
    seed-chosen hit and require an exact rollback. Returns the number of
@@ -210,11 +216,13 @@ let sweep_round ~tag proc oc fault result =
 
 let test_rollback_every_point_every_seed () =
   let proc, oc, fault = setup () in
-  (* Round 1 is C0 -> C1; round 2 (C1 -> C2) reaches the continuous-mode
-     points gc_copy, thread_patch, gc_unmap and verify; round 3 reaches
-     gc_reap (round-2 copies going dead). After each sweep the same swept
-     state must still commit cleanly — that is the commit-fully half of the
-     invariant. *)
+  (* Every round retires the re-emitted functions' old text (round 1 dooms
+     their C0 ranges), so the OSR points (osr_frame per paused thread,
+     osr_map per doomed-pointer resolution, osr_stub per compensation-stub
+     build), gc_unmap and verify are reachable from round 1; gc_reap needs
+     an earlier round's residue to go dead, so rounds 2-3 cover it. After
+     each sweep the same swept state must still commit cleanly — that is
+     the commit-fully half of the invariant. *)
   let total_attempts = ref 0 in
   let reached = Hashtbl.create 16 in
   for round = 1 to 3 do
@@ -254,22 +262,37 @@ let record_branches (proc : Proc.t) =
 (* Run tiny to completion with [rounds_before] committed replacements, then
    (optionally) one rolled-back attempt at [point], then record the full
    taken-branch trace to termination. With rollback being exact, the
-   attempt side must match the no-attempt side branch for branch. *)
-let traced_run ~rounds_before ~point () =
+   attempt side must match the no-attempt side branch for branch —
+   under every execution engine. Boundary-only frame maps keep the
+   compensation-stub path hot in continuous rounds. *)
+let traced_run ?(engine = `Blocks) ~rounds_before ~point () =
   let w = Apps.tiny ~tx_limit:(Some 300) () in
   let input = Workload.find_input w "a" in
   let proc = Workload.launch w ~input in
   let fault = F.create ~seed:3 () in
-  let oc = O.attach ~config:{ O.default_config with O.fault = Some fault } proc in
-  Proc.run ~cycle_limit:infinity ~max_instrs:40_000 proc;
+  let config =
+    { O.default_config with
+      O.fault = Some fault;
+      O.bolt = { O.default_config.O.bolt with Ocolos_bolt.Bolt.exact_frame_maps = false } }
+  in
+  let oc = O.attach ~config proc in
+  let run n = Proc.run ~engine ~cycle_limit:infinity ~max_instrs:n proc in
+  run 40_000;
+  let profile_and_bolt () =
+    O.start_profiling oc;
+    run 60_000;
+    let profile, _ = O.stop_profiling oc in
+    let result, _ = O.run_bolt oc profile in
+    result
+  in
   for _ = 1 to rounds_before do
-    let r = profile_and_bolt proc oc in
+    let r = profile_and_bolt () in
     (match Txn.replace_code oc r with
     | Txn.Committed _ -> ()
     | Txn.Rolled_back _ -> Alcotest.fail "setup round rolled back");
-    Proc.run ~cycle_limit:infinity ~max_instrs:60_000 proc
+    run 60_000
   done;
-  let result = profile_and_bolt proc oc in
+  let result = profile_and_bolt () in
   (match point with
   | None -> ()
   | Some (p, nth) -> (
@@ -279,7 +302,7 @@ let traced_run ~rounds_before ~point () =
     | Txn.Rolled_back rb -> Alcotest.(check string) "attempt faulted where armed" p rb.Txn.rb_point
     | Txn.Committed _ -> Alcotest.fail "traced attempt committed"));
   let trace = record_branches proc in
-  Proc.run ~cycle_limit:infinity ~max_instrs:100_000_000 proc;
+  Proc.run ~engine ~cycle_limit:infinity ~max_instrs:100_000_000 proc;
   (List.rev !trace, Workload.checksums proc, Proc.transactions proc)
 
 let check_traces_equal ctx (trace_a, sums_a, tx_a) (trace_r, sums_r, tx_r) =
@@ -299,15 +322,23 @@ let test_trace_identical_after_first_round_rollback () =
         reference)
     [ ("pause", 1); ("inject_code", 17); ("vtable_patch", 2); ("commit", 1) ]
 
+(* The OSR fault points — kill mid-frame-rewrite (osr_frame), map-lookup
+   miss path (osr_map), compensation-stub failure (osr_stub) — swept under
+   all three execution engines: after the rollback, the surviving version's
+   taken-branch trace must be byte-identical to a run that never attempted
+   the replacement. *)
 let test_trace_identical_after_continuous_rollback () =
-  let reference = traced_run ~rounds_before:1 ~point:None () in
   List.iter
-    (fun (p, nth) ->
-      check_traces_equal
-        (Printf.sprintf "continuous rollback at %s:%d" p nth)
-        (traced_run ~rounds_before:1 ~point:(Some (p, nth)) ())
-        reference)
-    [ ("gc_copy", 1); ("thread_patch", 1); ("gc_unmap", 5); ("verify", 1) ]
+    (fun (ename, engine) ->
+      let reference = traced_run ~engine ~rounds_before:1 ~point:None () in
+      List.iter
+        (fun (p, nth) ->
+          check_traces_equal
+            (Printf.sprintf "%s: continuous rollback at %s:%d" ename p nth)
+            (traced_run ~engine ~rounds_before:1 ~point:(Some (p, nth)) ())
+            reference)
+        [ ("osr_frame", 1); ("osr_map", 1); ("osr_stub", 1); ("gc_unmap", 5); ("verify", 1) ])
+    [ ("reference", `Reference); ("blocks", `Blocks); ("traces", `Traces) ]
 
 (* ---- trace-cache severing on rollback (`Traces engine) ---- *)
 
@@ -338,7 +369,7 @@ let test_traces_cache_severed_on_rollback () =
   run 40_000;
   let points_per_round =
     [ [ ("pause", 1); ("inject_code", 5); ("vtable_patch", 2); ("commit", 1) ];
-      [ ("gc_copy", 1); ("thread_patch", 1); ("verify", 1) ] ]
+      [ ("osr_frame", 1); ("osr_map", 1); ("verify", 1) ] ]
   in
   List.iteri
     (fun i points ->

@@ -70,7 +70,7 @@ let test_fault_domains () =
   Alcotest.(check string) "dotted" "perf" (Fault.domain_of "perf.sample_drop");
   Alcotest.(check string) "dotted 2" "bolt" (Fault.domain_of "bolt.func_reorder");
   Alcotest.(check string) "undotted is txn" "txn" (Fault.domain_of "pause");
-  Alcotest.(check string) "undotted is txn 2" "txn" (Fault.domain_of "gc_copy")
+  Alcotest.(check string) "undotted is txn 2" "txn" (Fault.domain_of "osr_frame")
 
 let test_fault_lethal () =
   let f = Fault.create () in
