@@ -20,6 +20,7 @@ let experiments =
     ("fig10", "BAM on a Clang build", Exp_fig10.run);
     ("ablations", "design-choice ablations + continuous optimization", Exp_ablations.run);
     ("engines", "decoded-block engine vs reference interpreter throughput", Exp_engines.run);
+    ("validate", "Tier-1 validation latency + Tier-2 shadow overhead", Exp_validate.run);
     ("micro", "Bechamel microbenchmarks of the toolchain", Micro.run) ]
 
 let usage () =

@@ -9,6 +9,10 @@
                                    (--fault POINT[:SPEC] injects deterministic
                                    faults anywhere in the pipeline)
      faults                        list fault domains and injection points
+     validate -w W -i I            Tier-1 translation validation of a BOLT
+                                   result without committing; --corrupt
+                                   POINT[:SALT] demonstrates the gate,
+                                   --expect-reject makes it a CI smoke
      chaos                         kill/restart crash-recovery sweep
      osr-smoke                     never-returning event loop through a full
                                    campaign; fails unless the original text is
@@ -305,6 +309,10 @@ let faults_cmd =
     | "proc" -> "process control (pause timeout); rolls the transaction back"
     | "mem" -> "address-space exhaustion at injection; rolls the transaction back"
     | "txn" -> "stop-the-world replacement; a fault rolls back, the daemon retries"
+    | "bolt.miscompile" ->
+      "silent output corruption past the BOLT passes; the Tier-1 validator rejects \
+       it pre-commit (quarantine + abort), the Tier-2 shadow reverts what slips \
+       through (see `ocolos_cli validate`)"
     | _ -> ""
   in
   let run () =
@@ -334,6 +342,97 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults" ~doc:"List pipeline fault domains and injection points")
     Term.(const run $ const ())
+
+(* Standalone Tier-1 translation validation: attach to the live process,
+   profile, run BOLT, and gate the result through the validator without
+   committing anything. --corrupt applies a bolt.miscompile corruption to
+   the BOLT output first, to demonstrate (and CI-check) the gate; the
+   per-pass verdicts name the BOLT pass whose invariant broke. Exit status
+   is the verdict, so this doubles as a smoke check. *)
+let validate_cmd =
+  let corrupt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corrupt" ] ~docv:"POINT[:SALT]"
+          ~doc:
+            "Apply a $(b,bolt.miscompile) corruption to the BOLT output before \
+             validating (see $(b,faults) for the catalog). $(i,SALT) picks the \
+             corruption site (default 1).")
+  in
+  let expect_reject_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-reject" ]
+          ~doc:
+            "Invert the exit status: succeed only when the validator rejects. For \
+             CI smokes over the corruption catalog.")
+  in
+  let run name input_name corrupt expect_reject trace metrics events =
+    let rejected = ref false in
+    (with_obs trace metrics events @@ fun () ->
+    let w = load_workload name in
+    let input = Workload.find_input w input_name in
+    let proc = Workload.launch w ~input in
+    let oc = Ocolos_core.Ocolos.attach proc in
+    Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:60_000 proc;
+    Ocolos_core.Ocolos.start_profiling oc;
+    Ocolos_proc.Proc.run ~cycle_limit:infinity ~max_instrs:120_000 proc;
+    let profile, _ = Ocolos_core.Ocolos.stop_profiling oc in
+    let result, _ = Ocolos_core.Ocolos.run_bolt oc profile in
+    Fmt.pr "BOLT: %d functions reordered, %d skipped@."
+      result.Ocolos_bolt.Bolt.funcs_reordered result.Ocolos_bolt.Bolt.skipped;
+    let result =
+      match corrupt with
+      | None -> result
+      | Some spec ->
+        let point, salt =
+          match String.index_opt spec ':' with
+          | None -> (spec, 1)
+          | Some i -> (
+            let p = String.sub spec 0 i in
+            let s = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt s with
+            | Some salt -> (p, salt)
+            | None -> Fmt.failwith "bad --corrupt %S: SALT must be an integer" spec)
+        in
+        if not (List.mem point Ocolos_bolt.Miscompile.points) then
+          Fmt.failwith "bad --corrupt %S: unknown point %S (see `ocolos_cli faults`)" spec
+            point;
+        let corrupted, mutations = Ocolos_bolt.Miscompile.apply ~point ~salt result in
+        Fmt.pr "corrupted: %s salt %d (%d mutations)@." point salt mutations;
+        corrupted
+    in
+    let report = Ocolos_core.Ocolos.validate_result oc result in
+    Fmt.pr "validated: %d functions, %d blocks, %d instructions@."
+      report.Ocolos_bolt.Validate.rp_funcs report.Ocolos_bolt.Validate.rp_blocks
+      report.Ocolos_bolt.Validate.rp_instrs;
+    List.iter
+      (fun check ->
+        let n = Ocolos_bolt.Validate.check_rejections report check in
+        Fmt.pr "  %-12s %s@." check
+          (if n = 0 then "ok" else Fmt.str "REJECT (%d)" n))
+      Ocolos_bolt.Validate.checks;
+    if Ocolos_bolt.Validate.ok report then Fmt.pr "verdict: ACCEPT@."
+    else begin
+      rejected := true;
+      List.iter
+        (fun rj -> Fmt.pr "  %a@." Ocolos_bolt.Validate.pp_rejection rj)
+        report.Ocolos_bolt.Validate.rp_rejections;
+      Fmt.pr "verdict: REJECT (fids [%s] would be quarantined)@."
+        (String.concat "; "
+           (List.map string_of_int (Ocolos_bolt.Validate.rejected_fids report)))
+    end);
+    if !rejected <> expect_reject then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Tier-1 translation validation of a BOLT result, without committing; \
+          $(b,--corrupt) demonstrates the miscompile gate")
+    Term.(
+      const run $ workload_arg $ input_arg $ corrupt_arg $ expect_reject_arg $ trace_arg
+      $ metrics_arg $ events_arg)
 
 (* Kill/restart crash-recovery sweep: for each (seed, point), kill the
    daemon at that point, check the orphaned target's trace against an
@@ -910,6 +1009,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ocolos_cli" ~doc)
-          [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; faults_cmd; chaos_cmd;
-            osr_smoke_cmd; fleet_cmd; explain_cmd; timeline_cmd; topdown_cmd; stats_cmd;
-            save_cmd; load_cmd; report_cmd; disasm_cmd ]))
+          [ list_cmd; inspect_cmd; run_cmd; bolt_cmd; ocolos_cmd; faults_cmd; validate_cmd;
+            chaos_cmd; osr_smoke_cmd; fleet_cmd; explain_cmd; timeline_cmd; topdown_cmd;
+            stats_cmd; save_cmd; load_cmd; report_cmd; disasm_cmd ]))

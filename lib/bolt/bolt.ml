@@ -165,12 +165,13 @@ let run ?(config = default_config) ?extern_entry ?fault ~(binary : Binary.t)
   let reconstructed =
     logged_pass "cfg" @@ fun () ->
     Trace.span "bolt.cfg" @@ fun sp ->
+    let cfg_of = Cfg.reconstructor binary in
     let r =
       List.filter_map
         (fun fid ->
           match
             cut "bolt.cfg";
-            Cfg.of_binary binary fid
+            cfg_of fid
           with
           | rc ->
             Cfg.attach_profile rc

@@ -91,25 +91,28 @@ let reconstruct ~fid ~entry ~(read_code : int -> Instr.t option)
       let pc = ref leader in
       let continue = ref true in
       while !continue do
-        (* Stop if we ran into an existing leader: fallthrough edge. *)
-        if !pc <> leader && Hashtbl.mem blocks !pc then begin
+        (* Stop if we ran into already-decoded code. Every decoded
+           instruction is in [owner], and an address owns itself iff it is
+           a leader, so one probe distinguishes fresh code / an existing
+           leader (fallthrough edge) / the middle of a decoded block (make
+           the join point a leader by splitting, then fall into it). This
+           loop runs once per instruction per campaign — in BOLT's
+           front-end and again in the Tier-1 validator — so the probe
+           count matters. *)
+        match if !pc = leader then None else Hashtbl.find_opt owner !pc with
+        | Some bstart ->
+          if bstart <> !pc then split_at !pc;
           b.term <- Mfall !pc;
           b.ended <- !pc;
           continue := false
-        end
-        else if !pc <> leader && Hashtbl.mem owner !pc then begin
-          (* Flowing into the middle of an already-decoded block: make the
-             join point a leader by splitting, then fall into it. *)
-          split_at !pc;
-          b.term <- Mfall !pc;
-          b.ended <- !pc;
-          continue := false
-        end
-        else begin
+        | None -> (
           match read_code !pc with
           | None -> unsupported "decode fell off mapped code at 0x%x in %s" !pc fname
           | Some instr ->
-            Hashtbl.replace owner !pc b.start;
+            (* [add], not [replace]: the loop only reaches fresh addresses
+               (the probe above stopped otherwise), and [split_at] uses
+               [replace] when it reassigns ownership. *)
+            Hashtbl.add owner !pc b.start;
             b.instrs <- (!pc, instr) :: b.instrs;
             let next = !pc + Instr.size instr in
             (* Terminators become symbolic block terminators: drop the raw
@@ -164,8 +167,7 @@ let reconstruct ~fid ~entry ~(read_code : int -> Instr.t option)
             | Instr.Nop | Instr.Alu _ | Instr.Alui _ | Instr.Movi _ | Instr.Load _
             | Instr.Store _ | Instr.Call _ | Instr.CallInd _ | Instr.FpCreate _
             | Instr.VtLoad _ | Instr.Rand _ | Instr.TxMark ->
-              pc := next)
-        end
+              pc := next))
       done
     end
   in
@@ -228,21 +230,30 @@ let reconstruct ~fid ~entry ~(read_code : int -> Instr.t option)
     rc_edges = Hashtbl.create 32;
     rc_instr_count = instr_count }
 
-(* Convenience wrapper reconstructing from a binary image. *)
-let of_binary (binary : Binary.t) fid =
-  let sym = binary.Binary.symbols.(fid) in
+(* Reconstructing from a binary image needs O(binary)-sized lookup
+   structures (address index, data image, entry table). [reconstructor]
+   builds them once and closes over them, so reconstructing every hot
+   function of a campaign stays linear in the binary instead of
+   quadratic — both BOLT's front-end and the Tier-1 validator walk whole
+   function lists. *)
+let reconstructor (binary : Binary.t) =
   let index = Binary.build_addr_index binary in
   let data_init = Hashtbl.create 64 in
   List.iter (fun (a, v) -> Hashtbl.replace data_init a v) binary.Binary.global_init;
   let entry_of = Hashtbl.create 256 in
   Array.iter (fun s -> Hashtbl.replace entry_of s.Binary.fs_entry s.Binary.fs_fid)
     binary.Binary.symbols;
-  reconstruct ~fid ~entry:sym.Binary.fs_entry
-    ~read_code:(fun addr -> Binary.find_instr binary addr)
-    ~read_data:(fun addr -> Hashtbl.find_opt data_init addr)
-    ~in_function:(fun addr -> Binary.index_lookup index addr = Some fid)
-    ~fid_of_entry:(fun addr -> Hashtbl.find_opt entry_of addr)
-    ~fname:sym.Binary.fs_name
+  fun fid ->
+    let sym = binary.Binary.symbols.(fid) in
+    reconstruct ~fid ~entry:sym.Binary.fs_entry
+      ~read_code:(fun addr -> Binary.find_instr binary addr)
+      ~read_data:(fun addr -> Hashtbl.find_opt data_init addr)
+      ~in_function:(fun addr -> Binary.index_lookup index addr = Some fid)
+      ~fid_of_entry:(fun addr -> Hashtbl.find_opt entry_of addr)
+      ~fname:sym.Binary.fs_name
+
+(* Convenience wrapper reconstructing one function from a binary image. *)
+let of_binary (binary : Binary.t) fid = reconstructor binary fid
 
 (* Attach profile counts to a reconstructed CFG.
 

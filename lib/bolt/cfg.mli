@@ -35,6 +35,14 @@ val reconstruct :
 (** Reconstruct a function of a binary image. *)
 val of_binary : Ocolos_binary.Binary.t -> int -> reconstructed
 
+(** [reconstructor binary] builds the O(binary)-sized lookup structures
+    once and returns [of_binary binary] partially applied to them: use it
+    when reconstructing many functions of the same image (BOLT's
+    front-end, the Tier-1 validator), where per-call setup would be
+    quadratic. The returned closure raises {!Unsupported} like
+    {!of_binary}. *)
+val reconstructor : Ocolos_binary.Binary.t -> int -> reconstructed
+
 (** Attach profile counts. [branches] are this function's taken edges as
     (from, to, count); [ranges] its straight-line runs as
     (start, end, count). Walking a range bumps every covered block and each

@@ -1,0 +1,23 @@
+(** The [bolt.miscompile] fault domain: silent, deterministic corruption of
+    a finished {!Bolt.result}, injected past every optimization pass so
+    that only the Tier-1 validator ({!Validate}) and the Tier-2 shadow
+    checker stand between the corruption and the fleet.
+
+    Modes: [branch_polarity] (negate one conditional in place),
+    [drop_block] (erase one non-entry block's instructions), [stale_reloc]
+    (re-aim one relocated call / fp-create at the callee's old entry),
+    [frame_map] (shift one exact OSR map entry mid-instruction), and
+    [jump_table] (rotate one emitted jump table's words — every word stays
+    a valid block start, so this passes Tier 1 by design and must be caught
+    at run time). *)
+
+(** The five injection-point names, ["bolt.miscompile.branch_polarity"]
+    etc., in catalog order. *)
+val points : string list
+
+(** [apply ~point ~salt result] returns a corrupted copy of [result] (the
+    input is never mutated) and the number of mutations applied. [salt]
+    deterministically selects among candidate corruption sites; 0 mutations
+    means no applicable site existed. Raises [Invalid_argument] on an
+    unknown point. *)
+val apply : point:string -> salt:int -> Bolt.result -> Bolt.result * int

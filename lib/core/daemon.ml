@@ -43,6 +43,7 @@ type config = {
   warmup_s : float; (* ignore ticks before this *)
   max_retries : int; (* extra replacement attempts after a rollback *)
   retry_backoff_s : float; (* backoff before the first retry; doubles per retry *)
+  shadow_every : int; (* shadow-check every Nth commit (1 = all, 0 = never) *)
 }
 
 let default_config =
@@ -52,7 +53,8 @@ let default_config =
     profile_s = 2.0;
     warmup_s = 1.0;
     max_retries = 3;
-    retry_backoff_s = 1.0 }
+    retry_backoff_s = 1.0;
+    shadow_every = 1 }
 
 type phase =
   | Monitoring
@@ -98,6 +100,7 @@ type action =
   | Idle (* nothing to do *)
   | Started_profiling of string (* reason *)
   | Replaced of Ocolos.replacement_stats
+  | Reverted of { reason : string } (* committed, then shadow divergence reverted it *)
   | Rolled_back of { point : string; attempt : int; giving_up : bool }
   | Retrying of { attempt : int }
   | Campaign_aborted of string (* pipeline fault / watchdog; layout kept *)
@@ -107,6 +110,7 @@ let action_to_string = function
   | Idle -> "idle"
   | Started_profiling reason -> "profiling: " ^ reason
   | Replaced s -> Fmt.str "replaced (C%d)" s.Ocolos.version
+  | Reverted { reason } -> Fmt.str "reverted after shadow divergence (%s)" reason
   | Rolled_back { point; attempt; giving_up } ->
     Fmt.str "rolled back at %s (attempt %d%s)" point attempt
       (if giving_up then ", giving up" else ", will retry")
@@ -152,7 +156,26 @@ let attempt_replace t ~now_s ~attempt result =
   if attempt > 1 then t.retries <- t.retries + 1;
   Ocolos_obs.Metrics.count "ocolos_daemon_attempts_total" 1;
   if attempt > 1 then Ocolos_obs.Metrics.count "ocolos_daemon_retries_total" 1;
-  match Txn.replace_code t.oc result with
+  (* Tier-2 sampling: every [shadow_every]-th commit is shadow-checked,
+     counting from the first. The pre-commit capture must exist before
+     [Txn.replace_code] mutates the target; the check itself runs as the
+     transaction's [verify] gate, so a divergence unwinds through the
+     byte-exact journal rollback rather than a forward revert. *)
+  let shadowing =
+    t.config.shadow_every > 0 && t.replacements mod t.config.shadow_every = 0
+  in
+  let verify =
+    if not shadowing then None
+    else
+      let pre = Shadow.prepare t.oc in
+      Some
+        (fun () ->
+          let shadow = Shadow.arm pre t.oc result in
+          match Shadow.check shadow with
+          | Shadow.Match -> Ok ()
+          | Shadow.Divergence why -> Error why)
+  in
+  match Txn.replace_code ?verify t.oc result with
   | Txn.Committed stats ->
     t.pending <- None;
     t.phase <- Monitoring;
@@ -162,6 +185,19 @@ let attempt_replace t ~now_s ~attempt result =
     Guard.campaign_succeeded t.guard;
     Ocolos_obs.Metrics.count "ocolos_daemon_replacements_total" 1;
     Replaced stats
+  | Txn.Diverged { dv_reason = why; _ } ->
+    (* Wrong code nearly shipped: this is the emergency brake, not the
+       retry loop. The transaction already unwound itself; trip the
+       breaker immediately and drop the BOLT result — replaying it would
+       diverge identically. *)
+    t.pending <- None;
+    t.phase <- Monitoring;
+    t.best_tps <- 0.0;
+    t.last_replacement_s <- now_s;
+    t.rollbacks <- t.rollbacks + 1;
+    Guard.trip_breaker t.guard ~now_s ~reason:("shadow: " ^ why);
+    Ocolos_obs.Metrics.count "ocolos_daemon_shadow_reverts_total" 1;
+    Reverted { reason = why }
   | Txn.Rolled_back rb ->
     t.rollbacks <- t.rollbacks + 1;
     Ocolos_obs.Metrics.count "ocolos_daemon_rollbacks_total" 1;
@@ -234,7 +270,26 @@ let tick t ~now_s =
             else `Bolted result
           end
         with
-        | `Bolted result -> attempt_replace t ~now_s ~attempt:1 result
+        | `Bolted result ->
+          (* Tier-1 gate: translation validation before the code ever
+             reaches [Txn.replace_code]. A rejection quarantines every
+             offending function and aborts the campaign — the next one
+             runs without them, at the degraded tier. *)
+          let report = Ocolos.validate_result t.oc result in
+          if Ocolos_bolt.Validate.ok report then
+            attempt_replace t ~now_s ~attempt:1 result
+          else begin
+            List.iter
+              (fun fid -> Guard.quarantine_now t.guard fid ~reason:"validate")
+              (Ocolos_bolt.Validate.rejected_fids report);
+            campaign_aborted t ~now_s
+              ~reason:
+                (Fmt.str "validation rejected: %s"
+                   (String.concat ","
+                      (List.filter
+                         (fun c -> Ocolos_bolt.Validate.check_rejections report c > 0)
+                         Ocolos_bolt.Validate.checks)))
+          end
         | `Watchdog phase ->
           campaign_aborted t ~now_s ~reason:(Fmt.str "watchdog: %s deadline" phase)
         | exception Ocolos_util.Fault.Injected (point, _) ->

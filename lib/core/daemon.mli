@@ -19,6 +19,14 @@
     {!Ocolos_util.Fault.Killed} is never caught: it escapes {!tick} so the
     {!Supervisor} crash harness can observe the daemon's death.
 
+    Miscompile containment runs in two tiers around every replacement:
+    Tier-1 translation validation ({!Ocolos_bolt.Validate}) gates each
+    BOLT result before {!Txn.replace_code} — a rejection quarantines the
+    offending functions and aborts the campaign — and the Tier-2 shadow
+    checker ({!Shadow}) replays a sampled window after each commit,
+    reverting to the pre-commit snapshot and tripping the breaker on
+    divergence.
+
     Driven by periodic {!tick}s from whoever owns the process's execution
     loop; the controller keeps no thread of its own. *)
 
@@ -31,6 +39,9 @@ type config = {
   max_retries : int;  (** extra replacement attempts after a rollback *)
   retry_backoff_s : float;
       (** backoff before the first retry; doubles on each further retry *)
+  shadow_every : int;
+      (** Tier-2 sampling: shadow-check every Nth commit, counting from the
+          first ([1] checks all, the default; [0] disables the shadow) *)
 }
 
 val default_config : config
@@ -52,6 +63,10 @@ type action =
   | Idle
   | Started_profiling of string
   | Replaced of Ocolos.replacement_stats
+  | Reverted of { reason : string }
+      (** a commit passed {!Txn} but the {!Shadow} replay diverged: the
+          process was reverted to the pre-commit snapshot and the breaker
+          tripped *)
   | Rolled_back of { point : string; attempt : int; giving_up : bool }
   | Retrying of { attempt : int }
   | Campaign_aborted of string

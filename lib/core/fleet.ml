@@ -328,6 +328,28 @@ let rollback t ~now_s ~reason =
   record_versions t;
   Rolled_back { reason; reverted }
 
+(* Shadow divergence on a replica's replacement: wrong code nearly reached
+   the fleet. The divergent replica's own transaction already unwound
+   itself; revert every replica staged earlier this campaign and trip the
+   breaker immediately — campaign_failed's gradual counting is for
+   campaigns that fail {e safely}. *)
+let shadow_diverged t ~now_s ~reason =
+  let reverted = unwind t in
+  t.phase <- Monitoring;
+  t.best_tps <- 0.0;
+  t.last_replacement_s <- now_s;
+  t.rollbacks <- t.rollbacks + 1;
+  Guard.trip_breaker t.guard ~now_s ~reason;
+  Trace.mark "fleet.rolled_back" ~attrs:[ ("reason", Trace.S reason) ];
+  Metrics.count "ocolos_fleet_rollbacks_total" 1;
+  Metrics.count "ocolos_fleet_shadow_reverts_total" 1;
+  Metrics.count "ocolos_fleet_reverted_replicas_total" (List.length reverted);
+  Events.log "fleet.rolled_back"
+    ~fields:
+      [ ("reason", Trace.S reason); ("reverted", Trace.I (List.length reverted)) ];
+  record_versions t;
+  Rolled_back { reason; reverted }
+
 let abort t ~now_s ~reason =
   t.phase <- Monitoring;
   t.best_tps <- 0.0;
@@ -339,17 +361,36 @@ let abort t ~now_s ~reason =
   Campaign_aborted reason
 
 (* Replace on one replica, staging its pre-replace snapshot for rollback.
-   Returns the rollback point on failure. *)
+   The shadow check (sampled by [shadow_every], counting rollouts) runs as
+   the transaction's [verify] gate: a divergent replica unwinds itself
+   byte-exactly inside its own transaction and was never staged, so
+   [`Diverged] tells the caller only the {e other} staged replicas need
+   reverting. *)
 let stage_replace t r result =
   Trace.in_replica r.id @@ fun () ->
   let sn = Ocolos.snapshot r.oc in
   r.verify_base <- Proc.total_counters r.proc;
-  match Txn.replace_code r.oc result with
+  let shadowing =
+    let every = t.config.daemon.Daemon.shadow_every in
+    every > 0 && t.rollouts mod every = 0
+  in
+  let verify =
+    if not shadowing then None
+    else
+      let pre = Shadow.prepare r.oc in
+      Some
+        (fun () ->
+          match Shadow.check (Shadow.arm pre r.oc result) with
+          | Shadow.Match -> Ok ()
+          | Shadow.Divergence why -> Error why)
+  in
+  match Txn.replace_code ?verify r.oc result with
   | Txn.Committed stats ->
     r.pause_debt <- r.pause_debt +. stats.Ocolos.pause_seconds;
     t.staged <- (r, sn) :: t.staged;
-    None
-  | Txn.Rolled_back rb -> Some rb.Txn.rb_point
+    `Staged
+  | Txn.Diverged { dv_reason; _ } -> `Diverged dv_reason
+  | Txn.Rolled_back rb -> `Rolled_back rb.Txn.rb_point
 
 (* Profiling window complete: stop every replica's session, aggregate the
    decimated streams, BOLT once, then start the canary stage. *)
@@ -403,25 +444,45 @@ let finish_profiling t ~now_s =
   | exception Ocolos_util.Fault.Injected (point, _) ->
     abort t ~now_s ~reason:(Fmt.str "fault at %s" point)
   | `Bolted result -> (
+    (* Tier-1 gate: one validation covers the whole fleet — every replica
+       would commit the same BOLT result. A rejection quarantines the
+       offending functions and aborts before any replica pauses. *)
+    let report = Ocolos.validate_result oc0 result in
+    if not (Ocolos_bolt.Validate.ok report) then begin
+      List.iter
+        (fun fid -> Guard.quarantine_now t.guard fid ~reason:"validate")
+        (Ocolos_bolt.Validate.rejected_fids report);
+      abort t ~now_s
+        ~reason:
+          (Fmt.str "validation rejected: %s"
+             (String.concat ","
+                (List.filter
+                   (fun c -> Ocolos_bolt.Validate.check_rejections report c > 0)
+                   Ocolos_bolt.Validate.checks)))
+    end
+    else begin
     let k = canary_count t in
     let canaries = Array.to_list (Array.sub t.reps 0 k) in
     let failed =
       List.fold_left
         (fun failed r ->
           match failed with
-          | Some _ -> failed
-          | None -> (
+          | `Staged -> (
             match stage_replace t r result with
-            | None ->
+            | `Staged ->
               r.baseline_p99 <-
                 (match t.config.latency_probe with Some probe -> probe r.id | None -> 0.0);
-              None
-            | Some point -> Some point))
-        None canaries
+              `Staged
+            | other -> other)
+          | other -> other)
+        `Staged canaries
     in
     match failed with
-    | Some point -> rollback t ~now_s ~reason:(Fmt.str "canary replace rolled back at %s" point)
-    | None ->
+    | `Rolled_back point ->
+      rollback t ~now_s ~reason:(Fmt.str "canary replace rolled back at %s" point)
+    | `Diverged why ->
+      shadow_diverged t ~now_s ~reason:(Fmt.str "canary shadow divergence: %s" why)
+    | `Staged ->
       let version = Ocolos.version (List.hd canaries).oc in
       let ids = List.map (fun r -> r.id) canaries in
       (* Anchor the rest-of-fleet cohort's verify window at the same instant
@@ -442,7 +503,8 @@ let finish_profiling t ~now_s =
       Events.log "fleet.canary_started"
         ~fields:[ ("version", Trace.I version); ("canaries", Trace.I k) ];
       record_versions t;
-      Canary_started { version; canaries = ids })
+      Canary_started { version; canaries = ids }
+    end)
 
 (* Sum a cohort's profiling-window and verify-window counter intervals. *)
 let cohort_totals t ids =
@@ -543,15 +605,15 @@ let finish_verify t ~now_s ~canaries ~result =
     let failed =
       List.fold_left
         (fun failed r ->
-          match failed with
-          | Some _ -> failed
-          | None -> stage_replace t r result)
-        None rest
+          match failed with `Staged -> stage_replace t r result | other -> other)
+        `Staged rest
     in
     match failed with
-    | Some point ->
+    | `Rolled_back point ->
       rollback t ~now_s ~reason:(Fmt.str "promotion replace rolled back at %s" point)
-    | None ->
+    | `Diverged why ->
+      shadow_diverged t ~now_s ~reason:(Fmt.str "promotion shadow divergence: %s" why)
+    | `Staged ->
       let version = Ocolos.version t.reps.(0).oc in
       t.staged <- [];
       t.phase <- Monitoring;

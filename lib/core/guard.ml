@@ -173,6 +173,45 @@ let record_func_failures t failed =
     failed;
   if failed <> [] then export t
 
+(* Immediate quarantine: a translation-validation rejection is proof of
+   miscompilation, not a degradation streak — one strike suffices. The
+   cumulative failure count is raised to the threshold so the exclusion
+   also survives any state export/rebuild that replays counts. *)
+let quarantine_now t fid ~reason =
+  let n =
+    max t.config.quarantine_after
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.func_failures fid))
+  in
+  Hashtbl.replace t.func_failures fid n;
+  if not (Hashtbl.mem t.quarantine fid) then begin
+    Hashtbl.replace t.quarantine fid ();
+    Ocolos_obs.Metrics.count "ocolos_guard_quarantines_total" 1;
+    Ocolos_obs.Trace.mark "guard.quarantined"
+      ~attrs:
+        [ ("fid", Ocolos_obs.Trace.I fid);
+          ("point", Ocolos_obs.Trace.S reason);
+          ("failures", Ocolos_obs.Trace.I n) ];
+    Ocolos_obs.Events.log "guard.quarantined"
+      ~fields:
+        [ ("fid", Ocolos_obs.Trace.I fid);
+          ("point", Ocolos_obs.Trace.S reason);
+          ("failures", Ocolos_obs.Trace.I n) ];
+    export t
+  end
+
+(* Immediate breaker trip: shadow-execution divergence means wrong code was
+   committed and reverted — no probing the same campaign again until the
+   cooldown has passed, whatever the consecutive count says. *)
+let trip_breaker t ~now_s ~reason =
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  Ocolos_obs.Metrics.count "ocolos_guard_campaign_failures_total" 1;
+  if t.tier = `Full then t.tier <- `Func_reorder_only;
+  Ocolos_obs.Trace.mark "guard.breaker_tripped" ~attrs:[ ("reason", Ocolos_obs.Trace.S reason) ];
+  Ocolos_obs.Events.log "guard.breaker_tripped"
+    ~fields:[ ("reason", Ocolos_obs.Trace.S reason) ];
+  (match t.breaker with Open _ -> () | Closed | Half_open -> open_breaker t ~now_s);
+  export t
+
 (* ---- watchdog ---- *)
 
 (* Check one phase's modeled duration against its deadline. Returns [true]

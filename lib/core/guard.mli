@@ -67,6 +67,17 @@ val campaign_succeeded : t -> unit
     reach [quarantine_after]. *)
 val record_func_failures : t -> (int * string) list -> unit
 
+(** Immediately and permanently quarantine one function — the Tier-1
+    translation validator's path: a single rejection is proof of
+    miscompilation, so the [quarantine_after] streak does not apply.
+    [reason] is recorded in the [guard.quarantined] event's [point] field. *)
+val quarantine_now : t -> int -> reason:string -> unit
+
+(** Immediately open the breaker (and degrade the tier / bump the failure
+    count) — the Tier-2 shadow checker's path after a post-commit
+    divergence forced a revert. Idempotent while already open. *)
+val trip_breaker : t -> now_s:float -> reason:string -> unit
+
 (** Quarantined fids, sorted ascending. *)
 val quarantined : t -> int list
 

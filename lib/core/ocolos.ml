@@ -242,8 +242,73 @@ let run_bolt ?(tier : tier = `Full) ?(exclude = []) t profile =
           @ [ { Binary.sec_name = "mem.hull"; sec_base = hull; sec_size = 0 } ] }
   in
   let result = Bolt.run ~config ~binary ~extern_entry ?fault:t.config.fault ~profile () in
+  (* The bolt.miscompile domain fires *after* every pass has finished: the
+     result is silently corrupted in place of crashing, so nothing but the
+     Tier-1 validator (and, for its deliberate jump-table blind spot, the
+     Tier-2 shadow checker) stands between the corruption and the live
+     process. [Fault.Killed] still escapes — a dead daemon is the kill
+     domain's business, not a miscompile. *)
+  let result =
+    match t.config.fault with
+    | None -> result
+    | Some f ->
+      List.fold_left
+        (fun result point ->
+          match Ocolos_util.Fault.cut f point with
+          | () -> result
+          | exception Ocolos_util.Fault.Injected (p, hit) ->
+            Ocolos_obs.Trace.mark "fault.fired"
+              ~attrs:[ ("point", Ocolos_obs.Trace.S p); ("hit", Ocolos_obs.Trace.I hit) ];
+            Ocolos_obs.Metrics.count ~labels:[ ("point", p) ] "ocolos_fault_fired_total" 1;
+            Ocolos_obs.Events.log "fault.fired"
+              ~fields:[ ("point", Ocolos_obs.Trace.S p); ("hit", Ocolos_obs.Trace.I hit) ];
+            let result, mutations = Miscompile.apply ~point:p ~salt:hit result in
+            Ocolos_obs.Events.log "bolt.miscompile.applied"
+              ~fields:
+                [ ("point", Ocolos_obs.Trace.S p);
+                  ("mutations", Ocolos_obs.Trace.I mutations) ];
+            Ocolos_obs.Metrics.count ~labels:[ ("point", p) ]
+              "ocolos_miscompile_mutations_total" mutations;
+            result)
+        result Miscompile.points
+  in
   let seconds = Cost.bolt_seconds t.config.cost ~work_instrs:result.Bolt.work_instrs in
   (result, seconds)
+
+(* Tier-1 miscompile containment: validate a BOLT result against the
+   binary it was derived from, under the same external-entry resolution
+   [run_bolt] used. Must run before {!replace_code} / {!Txn.replace_code};
+   the verdict is logged as a [validate.verdict] event (with one
+   [validate.reject] event per rejection) and [ocolos_validate_*] metrics. *)
+let validate_result t (result : Bolt.result) =
+  Ocolos_obs.Trace.span "ocolos.validate" @@ fun sp ->
+  let report =
+    Validate.run ~binary:t.current
+      ~extern_entry:(fun fid -> Hashtbl.find_opt t.current_entry fid)
+      result
+  in
+  Ocolos_obs.Trace.set_attr sp "funcs" (Ocolos_obs.Trace.I report.Validate.rp_funcs);
+  Ocolos_obs.Trace.set_attr sp "rejections"
+    (Ocolos_obs.Trace.I (List.length report.Validate.rp_rejections));
+  Ocolos_obs.Metrics.count "ocolos_validate_runs_total" 1;
+  Ocolos_obs.Metrics.count "ocolos_validate_funcs_total" report.Validate.rp_funcs;
+  List.iter
+    (fun (rj : Validate.rejection) ->
+      Ocolos_obs.Metrics.count ~labels:[ ("check", rj.Validate.rj_check) ]
+        "ocolos_validate_rejections_total" 1;
+      Ocolos_obs.Events.log "validate.reject"
+        ~fields:
+          [ ("fid", Ocolos_obs.Trace.I rj.Validate.rj_fid);
+            ("check", Ocolos_obs.Trace.S rj.Validate.rj_check);
+            ("reason", Ocolos_obs.Trace.S rj.Validate.rj_reason) ])
+    report.Validate.rp_rejections;
+  Ocolos_obs.Events.log "validate.verdict"
+    ~fields:
+      [ ("ok", Ocolos_obs.Trace.B (Validate.ok report));
+        ("funcs", Ocolos_obs.Trace.I report.Validate.rp_funcs);
+        ("blocks", Ocolos_obs.Trace.I report.Validate.rp_blocks);
+        ("rejections", Ocolos_obs.Trace.I (List.length report.Validate.rp_rejections)) ];
+  report
 
 (* ---- code replacement ---- *)
 
@@ -290,7 +355,7 @@ let fault_catalog =
     "bolt.bb_reorder";
     "bolt.func_reorder";
     "bolt.peephole" ]
-  @ injection_points
+  @ Miscompile.points @ injection_points
 
 module Trace = Ocolos_obs.Trace
 module Metrics = Ocolos_obs.Metrics
@@ -1213,6 +1278,20 @@ let version t = t.version
 let current_binary t = t.current
 let proc t = t.proc
 let config t = t.config
+
+(* The function-pointer resolver frozen at call time: independent copies of
+   the entry tables, so a shadow clone keeps resolving [FpCreate] against
+   the version mix that was live when the clone was taken, immune to later
+   replacements or reverts on the real controller (whose own hook reads the
+   mutable tables). *)
+let frozen_translate_fp t =
+  let entry_fid = Hashtbl.copy t.entry_fid_any in
+  let current = Hashtbl.copy t.current_entry in
+  fun addr ->
+    match Hashtbl.find_opt entry_fid addr with
+    | Some fid -> (
+      match Hashtbl.find_opt current fid with Some e -> e | None -> addr)
+    | None -> addr
 
 (* ---- crash recovery ---- *)
 

@@ -98,6 +98,13 @@ val run_bolt :
   ?tier:tier -> ?exclude:int list -> t -> Ocolos_profiler.Profile.t ->
   Ocolos_bolt.Bolt.result * float
 
+(** Tier-1 miscompile containment: run {!Ocolos_bolt.Validate} over a BOLT
+    result against the current code version, under the same external-entry
+    resolution {!run_bolt} used. Must be consulted before {!replace_code};
+    logs a [validate.verdict] event (plus one [validate.reject] event per
+    rejection) and [ocolos_validate_*] metrics. *)
+val validate_result : t -> Ocolos_bolt.Bolt.result -> Ocolos_bolt.Validate.report
+
 (** The stop-the-world phase: pause, inject C_{i+1}, patch pointers,
     migrate live frames into the new text (on-stack replacement) and unmap
     every retired range, resume. *)
@@ -121,6 +128,12 @@ val stack_live_fids : t -> (int, unit) Hashtbl.t
 
 val proc : t -> Ocolos_proc.Proc.t
 val config : t -> config
+
+(** The wrapFuncPtrCreation resolver frozen at call time: resolves entries
+    against independent copies of the controller's entry tables, immune to
+    later replacements or reverts. The shadow checker ({!Shadow}) installs
+    this on its process clones. *)
+val frozen_translate_fp : t -> int -> int
 
 (** Bytes of stub/copy residue currently mapped. *)
 val residue_bytes : t -> int
@@ -154,8 +167,11 @@ val injection_points : string list
 
 (** The pipeline-wide fault catalog, in pipeline order: [perf.*] sampling
     faults, [perf2bolt.*] aggregation faults, [bolt.*] per-pass faults,
-    then {!injection_points}. The CLI validates [--fault] specs against
-    this list and the chaos harness sweeps it. *)
+    the [bolt.miscompile.*] silent-corruption points
+    ({!Ocolos_bolt.Miscompile.points} — cut after every pass has finished,
+    so only the validator / shadow checker stand between the corruption
+    and the process), then {!injection_points}. The CLI validates
+    [--fault] specs against this list and the chaos harness sweeps it. *)
 val fault_catalog : string list
 
 (** Controller-state snapshot: exactly the fields [replace_code] mutates,

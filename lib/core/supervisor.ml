@@ -86,6 +86,9 @@ let run_to_convergence (daemon : Daemon.t) ~step ~max_ticks =
         Converged_gave_up
           { reason = Fmt.str "rolled back at %s, attempt %d" point attempt; ticks = i + 1 }
       | Daemon.Campaign_aborted reason -> Converged_gave_up { reason; ticks = i + 1 }
+      | Daemon.Reverted { reason } ->
+        Converged_gave_up
+          { reason = Fmt.str "shadow divergence: %s" reason; ticks = i + 1 }
       | Daemon.Breaker_open { until_s } ->
         Converged_gave_up { reason = Fmt.str "breaker open until %.1fs" until_s; ticks = i + 1 }
       | Daemon.Idle | Daemon.Started_profiling _ | Daemon.Retrying _

@@ -25,7 +25,15 @@ type rollback = {
   rb_undone : int; (* address-space mutations undone *)
 }
 
-type outcome = Committed of Ocolos.replacement_stats | Rolled_back of rollback
+type diverged = {
+  dv_reason : string; (* the shadow checker's divergence description *)
+  dv_undone : int; (* address-space mutations undone *)
+}
+
+type outcome =
+  | Committed of Ocolos.replacement_stats
+  | Rolled_back of rollback
+  | Diverged of diverged
 
 let injection_points = Ocolos.injection_points
 
@@ -73,7 +81,16 @@ let check_block_cache proc ~after =
   if not (Proc.validate_code_cache proc) then
     failwith ("Txn.replace_code: decoded-block cache incoherent after " ^ after)
 
-let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
+(* [verify] is the Tier-2 pre-commit-point gate: it runs after every
+   mutation of the replacement has been applied (threads migrated, code
+   and data patched — the address space reads as C_{i+1}) but before the
+   journal is discarded, so a [Error] verdict unwinds through the exact
+   same journal replay a mid-transaction fault uses. That rollback is
+   byte-exact — thread PCs, registers and frames restored from the
+   up-front snapshot — which is what lets the chaos harness demand the
+   surviving trace be byte-identical to a run that never attempted the
+   replacement. *)
+let replace_code ?verify (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
   Trace.span "txn.replace" @@ fun txn_sp ->
   let proc = Ocolos.proc oc in
   let mem = proc.Proc.mem in
@@ -82,19 +99,7 @@ let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
   let th_snap = snapshot_threads proc in
   Addr_space.begin_journal mem;
   Events.log "txn.begin" ~fields:[ ("incumbent", Trace.I (Ocolos.version oc)) ];
-  match Ocolos.replace_code oc result with
-  | stats ->
-    let journaled = Addr_space.commit_journal mem in
-    check_block_cache proc ~after:"commit";
-    Trace.set_attr txn_sp "outcome" (Trace.S "committed");
-    Trace.set_attr txn_sp "version" (Trace.I stats.Ocolos.version);
-    Trace.set_attr txn_sp "journaled" (Trace.I journaled);
-    Metrics.count "ocolos_txn_commits_total" 1;
-    Events.log "txn.commit"
-      ~fields:
-        [ ("version", Trace.I stats.Ocolos.version); ("journaled", Trace.I journaled) ];
-    Committed stats
-  | exception e ->
+  let undo () =
     let undone = Addr_space.rollback_journal mem in
     restore_threads proc th_snap;
     (* Thread state moved twice (migrated forward, then restored): any
@@ -103,6 +108,35 @@ let replace_code (oc : Ocolos.t) (result : Ocolos_bolt.Bolt.result) =
     Ocolos.restore oc oc_snap;
     if not was_paused then Proc.resume proc;
     check_block_cache proc ~after:"rollback";
+    undone
+  in
+  match Ocolos.replace_code oc result with
+  | stats -> (
+    let verdict = match verify with None -> Ok () | Some f -> f () in
+    match verdict with
+    | Ok () ->
+      let journaled = Addr_space.commit_journal mem in
+      check_block_cache proc ~after:"commit";
+      Trace.set_attr txn_sp "outcome" (Trace.S "committed");
+      Trace.set_attr txn_sp "version" (Trace.I stats.Ocolos.version);
+      Trace.set_attr txn_sp "journaled" (Trace.I journaled);
+      Metrics.count "ocolos_txn_commits_total" 1;
+      Events.log "txn.commit"
+        ~fields:
+          [ ("version", Trace.I stats.Ocolos.version); ("journaled", Trace.I journaled) ];
+      Committed stats
+    | Error reason ->
+      let undone = undo () in
+      Trace.set_attr txn_sp "outcome" (Trace.S "diverged");
+      Trace.mark "txn.diverged"
+        ~attrs:[ ("reason", Trace.S reason); ("undone", Trace.I undone) ];
+      Metrics.count "ocolos_txn_divergence_rollbacks_total" 1;
+      Metrics.count "ocolos_txn_mutations_undone_total" undone;
+      Events.log "txn.diverged"
+        ~fields:[ ("reason", Trace.S reason); ("undone", Trace.I undone) ];
+      Diverged { dv_reason = reason; dv_undone = undone })
+  | exception e ->
+    let undone = undo () in
     (match e with
     | Ocolos_util.Fault.Injected (point, hit) ->
       Trace.set_attr txn_sp "outcome" (Trace.S "rolled_back");
@@ -122,3 +156,5 @@ let pp_outcome fmt = function
   | Rolled_back rb ->
     Fmt.pf fmt "rolled back at %s (hit %d, %d mutations undone)" rb.rb_point rb.rb_hit
       rb.rb_undone
+  | Diverged dv ->
+    Fmt.pf fmt "diverged (%s, %d mutations undone)" dv.dv_reason dv.dv_undone

@@ -15,16 +15,33 @@ type rollback = {
   rb_undone : int;  (** address-space mutations undone *)
 }
 
-type outcome = Committed of Ocolos.replacement_stats | Rolled_back of rollback
+type diverged = {
+  dv_reason : string;  (** the shadow checker's divergence description *)
+  dv_undone : int;  (** address-space mutations undone *)
+}
+
+type outcome =
+  | Committed of Ocolos.replacement_stats
+  | Rolled_back of rollback
+  | Diverged of diverged
+      (** the [verify] gate rejected the fully-applied replacement; the
+          transaction was unwound through the same journal replay a
+          mid-transaction fault uses, so the rollback is byte-exact *)
 
 (** = {!Ocolos.injection_points}. *)
 val injection_points : string list
 
 (** Run the stop-the-world phase transactionally. Commits iff the
-    underlying [replace_code] returns; on {!Ocolos_util.Fault.Injected} the
-    transaction rolls back and reports the firing point. Any other
-    exception (e.g. {!Ocolos.Dangling_pointer} from the GC verifier) also
-    triggers a full rollback and is then re-raised. *)
-val replace_code : Ocolos.t -> Ocolos_bolt.Bolt.result -> outcome
+    underlying [replace_code] returns {e and} [verify] (if given) returns
+    [Ok]; [verify] runs after every mutation has been applied — the
+    address space and threads read as C_{i+1} — but before the journal is
+    discarded, which is where the Tier-2 {!Shadow} checker hooks in. An
+    [Error] verdict unwinds byte-exactly and reports {!Diverged}. On
+    {!Ocolos_util.Fault.Injected} the transaction rolls back and reports
+    the firing point. Any other exception (e.g. {!Ocolos.Dangling_pointer}
+    from the GC verifier) also triggers a full rollback and is then
+    re-raised. *)
+val replace_code :
+  ?verify:(unit -> (unit, string) result) -> Ocolos.t -> Ocolos_bolt.Bolt.result -> outcome
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -181,6 +181,19 @@ let fid_of_addr t addr =
   done;
   !found
 
+(* Independent deep copy, for shadow execution: shares no mutable storage
+   with the source. The copy starts with no open journal and no watchers —
+   a clone is never mid-transaction and no execution engine observes it. *)
+let copy t =
+  { code = Hashtbl.copy t.code;
+    data = Ocolos_util.Itbl.copy t.data;
+    vtable_addr = Array.copy t.vtable_addr;
+    sym_index = Array.copy t.sym_index;
+    code_bytes = t.code_bytes;
+    next_map_base = t.next_map_base;
+    journal = None;
+    code_watchers = [] }
+
 (* Map a binary image: copy code, initialize globals and v-tables, index
    symbols. *)
 let load (binary : Binary.t) =

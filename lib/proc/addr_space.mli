@@ -67,6 +67,10 @@ val remove_sym_ranges : t -> pred:(sym_range -> bool) -> unit
 (** Function owning a code address, via the symbol index. *)
 val fid_of_addr : t -> int -> int option
 
+(** Independent deep copy, for shadow execution: shares no mutable storage
+    with the source. The copy has no open journal and no watchers. *)
+val copy : t -> t
+
 (** Map a binary image: copy code, initialize globals and v-tables, index
     symbols. *)
 val load : Ocolos_binary.Binary.t -> t

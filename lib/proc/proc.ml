@@ -54,6 +54,22 @@ let load ?(nthreads = 1) ?(cfg = Ocolos_uarch.Config.broadwell) ?(seed = 42) bin
     block_engine = None;
     trace_engine = None }
 
+(* Independent deep copy of the whole process — the shadow checker's
+   substrate. The clone shares no mutable state with the source: address
+   space, threads (registers, stacks, PRNGs) are duplicated; hooks start
+   empty (the caller installs its own observers); the engine caches start
+   cold (a clone replays on whatever engine its caller picks, typically
+   [`Reference]); and a paused source yields a runnable clone. *)
+let clone t =
+  { mem = Addr_space.copy t.mem;
+    threads = Array.map Thread.copy t.threads;
+    binary = t.binary;
+    hooks = { on_taken_branch = None; translate_fp = None };
+    instret = t.instret;
+    paused = false;
+    block_engine = None;
+    trace_engine = None }
+
 exception Fault = Block_engine.Fault
 
 (* Execute exactly one instruction on [thread], via the shared kernel. *)

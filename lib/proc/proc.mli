@@ -36,6 +36,12 @@ type t = {
 val load :
   ?nthreads:int -> ?cfg:Ocolos_uarch.Config.t -> ?seed:int -> Ocolos_binary.Binary.t -> t
 
+(** Independent deep copy of the whole process (address space, threads,
+    register/stack/PRNG state) — the shadow checker's substrate. The clone
+    shares no mutable state with the source; its hooks start empty, its
+    engine caches cold, and it is runnable even if the source is paused. *)
+val clone : t -> t
+
 exception Fault of string
 
 (** Execute one instruction on the given thread. Raises {!Fault} on an

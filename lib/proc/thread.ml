@@ -33,6 +33,24 @@ let create ~tid ~entry ~seed ~cfg =
     state = Running;
     instret = 0 }
 
+(* Independent deep copy: registers, call stack and PRNG are duplicated so
+   the copy replays the same future execution without touching the source.
+   The core model is fresh — a copy exists to replay architectural
+   semantics (the shadow checker), and cycle state never affects them. *)
+let copy t =
+  { tid = t.tid;
+    regs = Array.copy t.regs;
+    pc = t.pc;
+    frames =
+      Array.map
+        (fun f -> { ret_addr = f.ret_addr; callee_entry = f.callee_entry })
+        t.frames;
+    depth = t.depth;
+    rng = Ocolos_util.Rng.copy t.rng;
+    core = Ocolos_uarch.Core.create ();
+    state = t.state;
+    instret = t.instret }
+
 let grow t =
   let n = Array.length t.frames in
   let bigger = Array.init (2 * n) (fun i -> if i < n then t.frames.(i) else { ret_addr = 0; callee_entry = 0 }) in

@@ -20,6 +20,12 @@ type t = {
 }
 
 val create : tid:int -> entry:int -> seed:int -> cfg:Ocolos_uarch.Config.t -> t
+
+(** Independent deep copy: registers, call stack and PRNG are duplicated
+    (the copy replays the same future execution); the core timing model is
+    fresh, since cycle state never affects architectural semantics. *)
+val copy : t -> t
+
 val push_frame : t -> ret_addr:int -> callee_entry:int -> unit
 
 (** Pop and return the return address, [None] on an empty stack. *)

@@ -403,6 +403,377 @@ let fleet_scenario ?(config = default_config) ?(replicas = 4) ?schedule ~seed ~p
         fo_final_versions = Fleet.versions fleet';
         fo_final_converged = Fleet.converged fleet' }
 
+(* ---- miscompile containment chaos ---- *)
+
+(* The bolt.miscompile points are survivable, not lethal: arming one makes
+   {!Ocolos.run_bolt} hand a silently corrupted result to the daemon, and
+   the property under test is that the two containment tiers stop it — a
+   Tier-1 validation rejection (campaign aborted before [Txn.replace_code],
+   offending functions quarantined, [validate.reject] events logged) or a
+   Tier-2 shadow revert (the commit undone within the same tick, breaker
+   tripped) — with the surviving target's taken-branch trace byte-identical
+   to an uninterrupted run of the version that survived. A corrupted
+   version that commits and stays committed is an escape. *)
+
+module Miscompile = Ocolos_bolt.Miscompile
+
+let miscompile_points = Miscompile.points
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* Capture the structured event log emitted during [f] (the classification
+   below reads bolt.miscompile.applied and validate.reject records from
+   it), restoring whatever ambient log the caller had installed. *)
+let with_events f =
+  let prev = Events.installed () in
+  let log = Events.create () in
+  Events.install log;
+  Fun.protect
+    ~finally:(fun () ->
+      match prev with Some l -> Events.install l | None -> Events.uninstall ())
+    (fun () ->
+      let r = f () in
+      (r, log))
+
+let count_events log ty = List.length (List.filter (fun e -> e.Events.e_type = ty) (Events.events log))
+
+(* Total mutations the armed point actually applied, summed over the
+   bolt.miscompile.applied events it logged. 0 means the corruption found
+   no applicable site (e.g. drop_block on single-block functions), so the
+   handed-over result is valid and any commit of it is benign. *)
+let mc_mutations log point =
+  List.fold_left
+    (fun acc (e : Events.event) ->
+      if
+        e.Events.e_type = "bolt.miscompile.applied"
+        && List.mem ("point", Ocolos_obs.Trace.S point) e.Events.e_fields
+      then
+        acc
+        + (match List.assoc_opt "mutations" e.Events.e_fields with
+          | Some (Ocolos_obs.Trace.I n) -> n
+          | _ -> 0)
+      else acc)
+    0 (Events.events log)
+
+(* Tick the daemon until the corrupted campaign reaches a containment
+   terminal: a validation abort, a shadow revert, or — the escape — a
+   replacement that sticks. Returns the terminal and the number of steps
+   executed (the reference run's [pre_steps]). *)
+let mc_drive cfg d fault ~point ~step =
+  let rec loop i =
+    if i >= cfg.max_ticks then (`None, i)
+    else
+      let now_s = step i in
+      match Daemon.tick d ~now_s with
+      | Daemon.Campaign_aborted reason
+        when String.starts_with ~prefix:"validation rejected" reason ->
+        (`Rejected reason, i + 1)
+      | Daemon.Reverted { reason } -> (`Reverted reason, i + 1)
+      | Daemon.Replaced stats when F.fired fault point > 0 ->
+        (`Committed stats.O.version, i + 1)
+      | _ -> loop (i + 1)
+  in
+  loop 0
+
+type mc_outcome =
+  | Mc_contained of {
+      mc_tier : [ `Validate | `Shadow ];
+      mc_reason : string;
+      mc_mutations : int;
+      mc_quarantined : int list; (* fids the Tier-1 rejection quarantined *)
+      mc_reject_events : int; (* validate.reject events recorded *)
+      mc_breaker_tripped : bool; (* breaker left Closed (Tier-2 terminal) *)
+      mc_survivor_version : int; (* committed version running afterwards *)
+      mc_trace_equal : bool;
+      mc_terminated : bool;
+      mc_cache_ok : bool;
+      mc_convergence : Supervisor.convergence;
+    }
+  | Mc_escaped of { mc_version : int; mc_mutations : int }
+  | Mc_benign (* the point fired but found no applicable corruption site *)
+  | Mc_not_reached (* no campaign ran the point within the tick budget *)
+
+type mc_result = { mc_seed : int; mc_point : string; mc_outcome : mc_outcome }
+
+let mc_verdict r =
+  match r.mc_outcome with
+  | Mc_not_reached | Mc_benign -> `Unreached
+  | Mc_escaped _ -> `Fail
+  | Mc_contained o ->
+    let tier_ok =
+      match o.mc_tier with
+      | `Validate -> o.mc_quarantined <> [] && o.mc_reject_events > 0
+      | `Shadow -> o.mc_breaker_tripped
+    in
+    let conv_ok =
+      match o.mc_convergence with
+      | Supervisor.Converged_replaced _ | Supervisor.Converged_gave_up _ -> true
+      | Supervisor.Diverged -> false
+    in
+    if tier_ok && o.mc_trace_equal && o.mc_terminated && o.mc_cache_ok && conv_ok then
+      `Pass
+    else `Fail
+
+let mc_passed r = mc_verdict r = `Pass
+
+let mc_outcome_to_string = function
+  | Mc_not_reached -> "not reached"
+  | Mc_benign -> "benign (0 mutations)"
+  | Mc_escaped { mc_version; mc_mutations } ->
+    Fmt.str "ESCAPED: %d mutations committed as C%d" mc_mutations mc_version
+  | Mc_contained o ->
+    Fmt.str "%s (%s; %d mutations%s%s, C%d live): trace %s%s%s, then %s"
+      (match o.mc_tier with
+      | `Validate -> "rejected pre-commit"
+      | `Shadow -> "reverted post-commit")
+      o.mc_reason o.mc_mutations
+      (match o.mc_quarantined with
+      | [] -> ""
+      | fids ->
+        Fmt.str ", quarantined [%s]" (String.concat ";" (List.map string_of_int fids)))
+      (if o.mc_breaker_tripped then ", breaker tripped" else "")
+      o.mc_survivor_version
+      (if o.mc_trace_equal then "identical" else "DIVERGED")
+      (if o.mc_terminated then "" else ", NOT drained")
+      (if o.mc_cache_ok then "" else ", STALE CODE CACHE")
+      (Supervisor.convergence_to_string o.mc_convergence)
+
+let mc_result_to_string r =
+  Fmt.str "seed %d %-15s %-31s %s" r.mc_seed
+    (F.domain_of r.mc_point)
+    r.mc_point
+    (mc_outcome_to_string r.mc_outcome)
+
+(* Finite traced run under the armed corruption: drive to the containment
+   terminal, record guard state, stop the daemon cold, drain the target. *)
+let mc_trace_run cfg ~seed ~point =
+  let proc, oc, fault, buf = launch_traced cfg ~seed in
+  F.arm fault point (F.Nth 1);
+  let d = Daemon.create ~config:cfg.daemon oc proc in
+  let (terminal, pre_steps), log =
+    with_events (fun () -> mc_drive cfg d fault ~point ~step:(make_step cfg proc))
+  in
+  let quarantined = Daemon.quarantined d in
+  let breaker_tripped = Daemon.breaker_state d <> Ocolos_core.Guard.Closed in
+  let mutations = mc_mutations log point in
+  let reject_events = count_events log "validate.reject" in
+  ( terminal,
+    pre_steps,
+    O.version oc,
+    mutations,
+    quarantined,
+    reject_events,
+    breaker_tripped,
+    F.fired fault point,
+    finish cfg proc buf )
+
+(* Endless run: reach the same containment terminal, then keep driving the
+   *same* daemon (guard memory intact: the failed campaign degraded the
+   next tier, the quarantine excludes the rejected functions, a tripped
+   breaker may refuse outright) until it commits a valid replacement or
+   cleanly gives up. *)
+let mc_convergence_run cfg ~seed ~point =
+  let w = tiny_workload cfg ~tx_limit:None in
+  let proc = Workload.launch w ~input:(Workload.find_input w "a") in
+  let fault = F.create ~seed () in
+  F.arm fault point (F.Nth 1);
+  let oc = O.attach ~config:(ocolos_config ~fault) proc in
+  let d = Daemon.create ~config:cfg.daemon oc proc in
+  let (terminal, ticks), _log =
+    with_events (fun () -> mc_drive cfg d fault ~point ~step:(make_step cfg proc))
+  in
+  match terminal with
+  | `None | `Committed _ -> None
+  | `Rejected _ | `Reverted _ ->
+    Some
+      (Supervisor.run_to_convergence d
+         ~step:(fun i -> make_step cfg proc (ticks + i))
+         ~max_ticks:cfg.max_ticks)
+
+let miscompile_scenario ?(config = default_config) ?cache ~seed ~point () =
+  let cache = match cache with Some c -> c | None -> new_cache () in
+  let ( terminal,
+        pre_steps,
+        survivor_version,
+        mutations,
+        quarantined,
+        reject_events,
+        breaker_tripped,
+        fired,
+        tail ) =
+    mc_trace_run config ~seed ~point
+  in
+  let outcome =
+    match terminal with
+    | `None when fired = 0 -> Mc_not_reached
+    | (`None | `Committed _) when mutations = 0 -> Mc_benign
+    | `None -> Mc_escaped { mc_version = survivor_version; mc_mutations = mutations }
+    | `Committed v -> Mc_escaped { mc_version = v; mc_mutations = mutations }
+    | (`Rejected reason | `Reverted reason) as t ->
+      let tier = match t with `Rejected _ -> `Validate | `Reverted _ -> `Shadow in
+      let reference =
+        match Hashtbl.find_opt cache (seed, survivor_version, pre_steps) with
+        | Some r -> r
+        | None ->
+          let r = reference_run config ~seed ~version:survivor_version ~pre_steps in
+          Hashtbl.add cache (seed, survivor_version, pre_steps) r;
+          r
+      in
+      let trace_equal, terminated, cache_ok =
+        match reference with
+        | None -> (false, false, false)
+        | Some ref_tail ->
+          ( tail.t_trace = ref_tail.t_trace
+            && tail.t_checksums = ref_tail.t_checksums
+            && tail.t_transactions = ref_tail.t_transactions,
+            tail.t_halted && ref_tail.t_halted,
+            tail.t_cache_ok && ref_tail.t_cache_ok )
+      in
+      let convergence =
+        match mc_convergence_run config ~seed ~point with
+        | Some c -> c
+        | None -> Supervisor.Diverged (* contained in the trace run but not here *)
+      in
+      Mc_contained
+        { mc_tier = tier;
+          mc_reason = reason;
+          mc_mutations = mutations;
+          mc_quarantined = quarantined;
+          mc_reject_events = reject_events;
+          mc_breaker_tripped = breaker_tripped;
+          mc_survivor_version = survivor_version;
+          mc_trace_equal = trace_equal;
+          mc_terminated = terminated;
+          mc_cache_ok = cache_ok;
+          mc_convergence = convergence }
+  in
+  Ocolos_obs.Metrics.count "ocolos_chaos_miscompile_scenarios_total" 1;
+  (match outcome with
+  | Mc_escaped _ -> Ocolos_obs.Metrics.count "ocolos_chaos_miscompile_escapes_total" 1
+  | _ -> ());
+  { mc_seed = seed; mc_point = point; mc_outcome = outcome }
+
+(* ---- fleet miscompile chaos ---- *)
+
+type mc_fleet_result =
+  | Mc_fleet_contained of {
+      mf_tier : [ `Validate | `Shadow ];
+      mf_reason : string;
+      mf_mutations : int;
+      mf_mixed_after : bool; (* was the fleet mixed right after containment? *)
+      mf_versions : int list; (* per-replica versions at the end *)
+      mf_convergence : Supervisor.convergence;
+      mf_converged : bool; (* final fleet homogeneous *)
+    }
+  | Mc_fleet_escaped of { mf_versions : int list; mf_mutations : int }
+  | Mc_fleet_not_reached (* never fired, or fired with no applicable site *)
+
+let mc_fleet_passed = function
+  | Mc_fleet_not_reached -> false
+  | Mc_fleet_escaped _ -> false
+  | Mc_fleet_contained o -> (
+    (not o.mf_mixed_after) && o.mf_converged
+    && match o.mf_convergence with
+       | Supervisor.Converged_replaced _ | Supervisor.Converged_gave_up _ -> true
+       | Supervisor.Diverged -> false)
+
+let mc_fleet_result_to_string ~seed ~point = function
+  | Mc_fleet_not_reached -> Fmt.str "fleet seed %d %-31s not reached" seed point
+  | Mc_fleet_escaped { mf_versions; mf_mutations } ->
+    Fmt.str "fleet seed %d %-31s ESCAPED: %d mutations live on [%s]" seed point
+      mf_mutations
+      (String.concat ";" (List.map string_of_int mf_versions))
+  | Mc_fleet_contained o ->
+    Fmt.str "fleet seed %d %-15s %-31s %s (%s; %d mutations, %s), then %s -> [%s] %s"
+      seed (F.domain_of point) point
+      (match o.mf_tier with
+      | `Validate -> "rejected pre-commit"
+      | `Shadow -> "reverted post-commit")
+      o.mf_reason o.mf_mutations
+      (if o.mf_mixed_after then "MIXED" else "homogeneous")
+      (Supervisor.convergence_to_string o.mf_convergence)
+      (String.concat ";" (List.map string_of_int o.mf_versions))
+      (if o.mf_converged then "(converged)" else "(STILL MIXED)")
+
+let miscompile_fleet_scenario ?(config = default_config) ?(replicas = 4) ~seed ~point ()
+    =
+  let module Fleet = Ocolos_core.Fleet in
+  let w = tiny_workload config ~tx_limit:None in
+  let fault = F.create ~seed () in
+  F.arm fault point (F.Nth 1);
+  let ocfg = ocolos_config ~fault in
+  let fcfg =
+    { Fleet.default_config with
+      Fleet.daemon = config.daemon;
+      max_ipc_drop = 1.0;
+      max_p99_rise = infinity }
+  in
+  let procs =
+    Array.init replicas (fun i ->
+        Workload.launch ~seed:(seed + i) w
+          ~input:(Workload.find_input w (if i mod 2 = 0 then "a" else "b")))
+  in
+  let fleet = Fleet.create ~config:fcfg ~ocolos_config:ocfg procs in
+  let step i =
+    Array.iter
+      (fun p ->
+        Proc.run ~engine:config.engine ~cycle_limit:infinity ~max_instrs:config.step_instrs p)
+      procs;
+    float_of_int (i + 1)
+  in
+  let drive () =
+    let rec loop i =
+      if i >= config.max_ticks then (`None, i)
+      else
+        let now_s = step i in
+        match Fleet.tick fleet ~now_s with
+        | Fleet.Campaign_aborted reason
+          when String.starts_with ~prefix:"validation rejected" reason ->
+          (`Rejected reason, i + 1)
+        | Fleet.Rolled_back { reason; _ } when contains_sub reason "shadow divergence"
+          ->
+          (`Reverted reason, i + 1)
+        | Fleet.Promoted { version; _ } when F.fired fault point > 0 ->
+          (`Committed version, i + 1)
+        | _ -> loop (i + 1)
+    in
+    loop 0
+  in
+  let (terminal, ticks), log = with_events drive in
+  let mutations = mc_mutations log point in
+  match terminal with
+  | `None when F.fired fault point = 0 -> Mc_fleet_not_reached
+  | (`None | `Committed _) when mutations = 0 -> Mc_fleet_not_reached
+  | `None | `Committed _ ->
+    Mc_fleet_escaped { mf_versions = Fleet.versions fleet; mf_mutations = mutations }
+  | (`Rejected reason | `Reverted reason) as t ->
+    let tier = match t with `Rejected _ -> `Validate | `Reverted _ -> `Shadow in
+    let mixed_after = Fleet.mixed fleet in
+    let convergence =
+      Supervisor.run_fleet_to_convergence fleet
+        ~step:(fun i -> step (ticks + i))
+        ~max_ticks:config.max_ticks
+    in
+    Mc_fleet_contained
+      { mf_tier = tier;
+        mf_reason = reason;
+        mf_mutations = mutations;
+        mf_mixed_after = mixed_after;
+        mf_versions = Fleet.versions fleet;
+        mf_convergence = convergence;
+        mf_converged = Fleet.converged fleet }
+
+let miscompile_sweep ?(config = default_config) ?(seeds = [ 1; 2 ])
+    ?(points = miscompile_points) () =
+  List.concat_map
+    (fun seed ->
+      let cache = new_cache () in
+      List.map (fun point -> miscompile_scenario ~config ~cache ~seed ~point ()) points)
+    seeds
+
 let default_points = O.fault_catalog
 let default_seeds = [ 1; 2 ]
 

@@ -123,3 +123,92 @@ val fleet_scenario :
   point:string ->
   unit ->
   fleet_result
+
+(** {2 Miscompile containment chaos}
+
+    The [bolt.miscompile] points are survivable corruption, not deaths:
+    arming one makes {!Ocolos_core.Ocolos.run_bolt} hand the daemon a
+    silently corrupted result, and these scenarios assert the containment
+    tiers stop it — a Tier-1 validation rejection (campaign aborted before
+    commit, offending functions quarantined, [validate.reject] events
+    logged) or a Tier-2 shadow revert (the commit undone within the same
+    tick, breaker tripped) — with the surviving target's taken-branch
+    trace byte-identical to an uninterrupted run of the surviving version,
+    and a subsequent campaign converging on the same daemon. A corrupted
+    version that commits and stays committed is an escape. *)
+
+(** The five [bolt.miscompile.*] points ({!Ocolos_bolt.Miscompile.points}). *)
+val miscompile_points : string list
+
+type mc_outcome =
+  | Mc_contained of {
+      mc_tier : [ `Validate | `Shadow ];
+      mc_reason : string;
+      mc_mutations : int;  (** corruption sites the armed point mutated *)
+      mc_quarantined : int list;  (** fids the Tier-1 rejection quarantined *)
+      mc_reject_events : int;  (** [validate.reject] events recorded *)
+      mc_breaker_tripped : bool;  (** breaker left [Closed] (Tier-2) *)
+      mc_survivor_version : int;  (** committed version running afterwards *)
+      mc_trace_equal : bool;
+      mc_terminated : bool;
+      mc_cache_ok : bool;
+      mc_convergence : Ocolos_core.Supervisor.convergence;
+    }
+  | Mc_escaped of { mc_version : int; mc_mutations : int }
+  | Mc_benign  (** the point fired but found no applicable corruption site *)
+  | Mc_not_reached  (** no campaign ran the point within the tick budget *)
+
+type mc_result = { mc_seed : int; mc_point : string; mc_outcome : mc_outcome }
+
+(** [`Pass]: containment held — the tier-specific evidence is present
+    (quarantine + reject events for Tier 1, a tripped breaker for Tier 2),
+    the drained trace matches the uncorrupted reference, and the endless
+    run converged after containment. [`Fail]: an escape, or containment
+    with missing evidence. [`Unreached]: the point never fired or mutated
+    nothing. *)
+val mc_verdict : mc_result -> [ `Pass | `Unreached | `Fail ]
+
+val mc_passed : mc_result -> bool
+val mc_outcome_to_string : mc_outcome -> string
+val mc_result_to_string : mc_result -> string
+
+(** One (seed, point) miscompile scenario: a finite traced run driven to
+    the containment terminal then drained and compared against a reference
+    ([cache] shares references with the kill scenarios), plus an endless
+    run required to converge after containment. *)
+val miscompile_scenario :
+  ?config:config -> ?cache:ref_cache -> seed:int -> point:string -> unit -> mc_result
+
+(** Scenarios over [seeds] x [points] (defaults: seeds 1–2, the whole
+    [bolt.miscompile] catalog); references shared per seed. *)
+val miscompile_sweep :
+  ?config:config -> ?seeds:int list -> ?points:string list -> unit -> mc_result list
+
+type mc_fleet_result =
+  | Mc_fleet_contained of {
+      mf_tier : [ `Validate | `Shadow ];
+      mf_reason : string;
+      mf_mutations : int;
+      mf_mixed_after : bool;  (** fleet mixed right after containment? *)
+      mf_versions : int list;
+      mf_convergence : Ocolos_core.Supervisor.convergence;
+      mf_converged : bool;  (** final fleet homogeneous *)
+    }
+  | Mc_fleet_escaped of { mf_versions : int list; mf_mutations : int }
+  | Mc_fleet_not_reached  (** never fired, or fired with no applicable site *)
+
+(** Containment left the fleet homogeneous and the continued campaign
+    reached a terminal outcome. *)
+val mc_fleet_passed : mc_fleet_result -> bool
+
+val mc_fleet_result_to_string : seed:int -> point:string -> mc_fleet_result -> string
+
+(** One fleet miscompile scenario: [replicas] endless replicas on a
+    heterogeneous input mix, one shared fault registry, the armed point
+    corrupting the fleet's single BOLT result. Tier 1 must reject it for
+    every replica at once (validation runs once, pre-stage); if it slips
+    through (the [jump_table] blind spot), the canary's Tier-2 shadow must
+    revert the staged replicas before promotion — either way no replica
+    may keep the divergent version and the fleet must end homogeneous. *)
+val miscompile_fleet_scenario :
+  ?config:config -> ?replicas:int -> seed:int -> point:string -> unit -> mc_fleet_result

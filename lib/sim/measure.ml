@@ -140,6 +140,10 @@ let ocolos_steady ?config ?guard ?nthreads ?(seed = 1234) ?(warmup = default_war
   let rec attempt n =
     match Ocolos_core.Txn.replace_code oc result with
     | Ocolos_core.Txn.Committed stats -> stats
+    (* No [verify] gate is passed above, so the transaction cannot report a
+       divergence; measurement runs pay the shadow cost separately. *)
+    | Ocolos_core.Txn.Diverged dv ->
+      raise (Replacement_failed (Fmt.str "shadow divergence: %s" dv.Ocolos_core.Txn.dv_reason))
     | Ocolos_core.Txn.Rolled_back rb ->
       incr rollbacks;
       let rb_pause =

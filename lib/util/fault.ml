@@ -116,9 +116,16 @@ let total_fired t = Hashtbl.fold (fun _ p acc -> acc + p.fired) t.table 0
 let points t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
 
 let domain_of name =
-  match String.index_opt name '.' with
-  | Some i -> String.sub name 0 i
-  | None -> "txn"
+  (* [bolt.miscompile.*] is its own fault domain (silent corruption), not
+     part of [bolt] (pass crashes): keep the two-segment prefix. *)
+  let miscompile = "bolt.miscompile." in
+  if String.length name > String.length miscompile
+     && String.sub name 0 (String.length miscompile) = miscompile
+  then "bolt.miscompile"
+  else
+    match String.index_opt name '.' with
+    | Some i -> String.sub name 0 i
+    | None -> "txn"
 
 let pp_schedule fmt = function
   | Never -> Fmt.string fmt "never"

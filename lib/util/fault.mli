@@ -64,7 +64,9 @@ val total_fired : t -> int
 val points : t -> string list
 
 (** Domain of a point name: the prefix before the first ['.'], or ["txn"]
-    for undotted stop-the-world points. *)
+    for undotted stop-the-world points. Exception: [bolt.miscompile.*]
+    points form their own ["bolt.miscompile"] domain — silent corruption,
+    distinct from the [bolt] pass-crash domain. *)
 val domain_of : string -> string
 
 (** [Ok ()] iff {!arm} would accept the schedule; the [Error] carries the

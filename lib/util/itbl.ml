@@ -37,6 +37,14 @@ let create capacity_hint =
 
 let length t = t.live
 
+(* Independent copy: same bindings, same probe layout, shared nothing. *)
+let copy t =
+  { keys = Array.copy t.keys;
+    vals = Array.copy t.vals;
+    mask = t.mask;
+    live = t.live;
+    used = t.used }
+
 (* Probe for [key]: index of its slot, or (-1) if absent. Tombstones are
    skipped; an empty slot terminates the probe. *)
 let probe t key =

@@ -12,6 +12,9 @@ val create : int -> t
 (** Number of live bindings. *)
 val length : t -> int
 
+(** Independent copy: same bindings, shares no storage with the source. *)
+val copy : t -> t
+
 (** Value bound to [key], or [default] when absent; never allocates. *)
 val find_default : t -> int -> default:int -> int
 

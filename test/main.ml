@@ -23,4 +23,5 @@ let () =
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
       ("disasm", Test_disasm.suite);
-      ("properties", Test_props.suite) ]
+      ("properties", Test_props.suite);
+      ("validate", Test_validate.suite) ]

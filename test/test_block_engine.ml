@@ -90,13 +90,15 @@ let scenario ~engine w =
       (match Txn.replace_code oc result with
       | Txn.Rolled_back rb ->
         Alcotest.(check string) "attempt faulted where armed" "inject_code" rb.Txn.rb_point
-      | Txn.Committed _ -> Alcotest.fail "armed attempt committed");
+      | Txn.Committed _ -> Alcotest.fail "armed attempt committed"
+      | Txn.Diverged _ -> Alcotest.fail "armed attempt diverged");
       F.disarm fault "inject_code";
       run 30_000;
       (* Attempt 2: clean commit, execution continues in the new layout. *)
       (match Txn.replace_code oc result with
       | Txn.Committed _ -> ()
-      | Txn.Rolled_back _ -> Alcotest.fail "clean attempt rolled back");
+      | Txn.Rolled_back _ -> Alcotest.fail "clean attempt rolled back"
+      | Txn.Diverged _ -> Alcotest.fail "clean attempt diverged");
       run 80_000;
       ( proc.Proc.instret,
         Proc.total_counters proc,

@@ -174,7 +174,8 @@ let probe_hit_counts fault oc result =
   F.arm fault "commit" (F.Nth 1);
   (match Txn.replace_code oc result with
   | Txn.Rolled_back rb -> Alcotest.(check string) "probe faulted at commit" "commit" rb.Txn.rb_point
-  | Txn.Committed _ -> Alcotest.fail "commit probe committed");
+  | Txn.Committed _ -> Alcotest.fail "commit probe committed"
+  | Txn.Diverged _ -> Alcotest.fail "commit probe diverged");
   let counts = List.map (fun p -> (p, F.hits fault p)) Txn.injection_points in
   disarm_all fault;
   counts
@@ -203,7 +204,8 @@ let sweep_round ~tag proc oc fault result =
           | Txn.Rolled_back rb ->
             Alcotest.(check string) (ctx ^ ": faulted point") point rb.Txn.rb_point;
             Alcotest.(check int) (ctx ^ ": faulted hit") nth rb.Txn.rb_hit
-          | Txn.Committed _ -> Alcotest.fail (ctx ^ ": committed despite armed fault"));
+          | Txn.Committed _ -> Alcotest.fail (ctx ^ ": committed despite armed fault")
+          | Txn.Diverged _ -> Alcotest.fail (ctx ^ ": diverged despite armed fault"));
           incr attempts;
           check_restored ctx before (capture proc oc);
           (* Zero dangling pointers into the aborted injection region. *)
@@ -235,7 +237,8 @@ let test_rollback_every_point_every_seed () =
     | Txn.Committed stats ->
       Alcotest.(check int) (Printf.sprintf "committed C%d after sweep" round) round
         stats.O.version
-    | Txn.Rolled_back _ -> Alcotest.fail "unarmed commit rolled back");
+    | Txn.Rolled_back _ -> Alcotest.fail "unarmed commit rolled back"
+    | Txn.Diverged _ -> Alcotest.fail "unarmed commit diverged");
     Proc.run ~cycle_limit:infinity ~max_instrs:80_000 proc
   done;
   (* Every named injection point must be reachable somewhere in the sweep —
@@ -289,7 +292,8 @@ let traced_run ?(engine = `Blocks) ~rounds_before ~point () =
     let r = profile_and_bolt () in
     (match Txn.replace_code oc r with
     | Txn.Committed _ -> ()
-    | Txn.Rolled_back _ -> Alcotest.fail "setup round rolled back");
+    | Txn.Rolled_back _ -> Alcotest.fail "setup round rolled back"
+    | Txn.Diverged _ -> Alcotest.fail "setup round diverged");
     run 60_000
   done;
   let result = profile_and_bolt () in
@@ -300,7 +304,8 @@ let traced_run ?(engine = `Blocks) ~rounds_before ~point () =
     F.arm fault p (F.Nth nth);
     match Txn.replace_code oc result with
     | Txn.Rolled_back rb -> Alcotest.(check string) "attempt faulted where armed" p rb.Txn.rb_point
-    | Txn.Committed _ -> Alcotest.fail "traced attempt committed"));
+    | Txn.Committed _ -> Alcotest.fail "traced attempt committed"
+    | Txn.Diverged _ -> Alcotest.fail "traced attempt diverged"));
   let trace = record_branches proc in
   Proc.run ~engine ~cycle_limit:infinity ~max_instrs:100_000_000 proc;
   (List.rev !trace, Workload.checksums proc, Proc.transactions proc)
@@ -387,7 +392,8 @@ let test_traces_cache_severed_on_rollback () =
           (match Txn.replace_code oc result with
           | Txn.Rolled_back rb ->
             Alcotest.(check string) (ctx ^ ": faulted point") point rb.Txn.rb_point
-          | Txn.Committed _ -> Alcotest.fail (ctx ^ ": committed despite armed fault"));
+          | Txn.Committed _ -> Alcotest.fail (ctx ^ ": committed despite armed fault")
+          | Txn.Diverged _ -> Alcotest.fail (ctx ^ ": diverged despite armed fault"));
           Alcotest.(check bool) (ctx ^ ": trace cache valid after journal replay") true
             (Proc.validate_code_cache proc);
           (* Injection points before live-text patching replay only writes
@@ -408,7 +414,8 @@ let test_traces_cache_severed_on_rollback () =
       | Txn.Committed stats ->
         Alcotest.(check int) (Printf.sprintf "committed C%d after severing sweep" round)
           round stats.O.version
-      | Txn.Rolled_back _ -> Alcotest.fail "unarmed commit rolled back");
+      | Txn.Rolled_back _ -> Alcotest.fail "unarmed commit rolled back"
+    | Txn.Diverged _ -> Alcotest.fail "unarmed commit diverged");
       Alcotest.(check bool)
         (Printf.sprintf "r%d: trace cache valid after commit" round)
         true (Proc.validate_code_cache proc);
@@ -441,7 +448,8 @@ let test_non_fault_exception_rolls_back_and_reraises () =
   F.arm fault "sym_index" (F.Prob 1.0);
   (match Txn.replace_code oc result with
   | Txn.Rolled_back rb -> Alcotest.(check string) "prob fault handled" "sym_index" rb.Txn.rb_point
-  | Txn.Committed _ -> Alcotest.fail "prob fault did not fire");
+  | Txn.Committed _ -> Alcotest.fail "prob fault did not fire"
+  | Txn.Diverged _ -> Alcotest.fail "prob probe diverged");
   check_restored "prob rollback" before (capture proc oc);
   disarm_all fault;
   (* The journal honours plain rollback outside Txn too. *)
@@ -456,7 +464,8 @@ let test_non_fault_exception_rolls_back_and_reraises () =
   (* The state is still transactionally sound: a clean commit succeeds. *)
   (match Txn.replace_code oc result with
   | Txn.Committed stats -> Alcotest.(check int) "clean commit after rollbacks" 1 stats.O.version
-  | Txn.Rolled_back _ -> Alcotest.fail "clean commit rolled back")
+  | Txn.Rolled_back _ -> Alcotest.fail "clean commit rolled back"
+  | Txn.Diverged _ -> Alcotest.fail "clean commit diverged")
 
 let suite =
   [ Alcotest.test_case "fault schedules" `Quick test_fault_schedules;
